@@ -1,0 +1,220 @@
+// Command cfsmap runs the full pipeline — world generation, measurement
+// campaigns, Constrained Facility Search — and prints the inferred
+// interface-to-facility mapping plus a validation report.
+//
+// Usage:
+//
+//	cfsmap [-profile small|default|paper] [-seed N] [-iterations N]
+//	       [-limit N] [-unresolved] [-validate] [-resilience]
+//
+// Offline mode runs the same algorithm on real data instead of the
+// simulator: a PeeringDB-style JSON dump, a plain-text BGP table
+// ("prefix asn" per line) and traceroute transcripts:
+//
+//	cfsmap -peeringdb dump.json -bgp table.txt -traces campaign.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"facilitymap"
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/ip2asn"
+	"facilitymap/internal/registry"
+	"facilitymap/internal/resilience"
+	"facilitymap/internal/trace"
+)
+
+func main() {
+	var (
+		profile    = flag.String("profile", "default", "world profile: small, default or paper")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		iterations = flag.Int("iterations", 100, "CFS iteration cap")
+		limit      = flag.Int("limit", 40, "rows of the mapping to print (0 = all)")
+		unresolved = flag.Bool("unresolved", false, "include unresolved interfaces in the listing")
+		validate   = flag.Bool("validate", true, "score the mapping against the ground-truth sources")
+		resil      = flag.Bool("resilience", false, "print the facility-criticality ranking and top outage simulation")
+		why        = flag.String("why", "", "print the evidence behind the inference for one interface address")
+		asJSON     = flag.Bool("json", false, "emit the mapping as JSON instead of tables")
+
+		pdbFile    = flag.String("peeringdb", "", "offline: PeeringDB-style JSON dump")
+		bgpFile    = flag.String("bgp", "", "offline: BGP table, one \"prefix asn\" per line")
+		tracesFile = flag.String("traces", "", "offline: traceroute transcripts")
+	)
+	flag.Parse()
+
+	if *pdbFile != "" || *tracesFile != "" {
+		if err := runOffline(*pdbFile, *bgpFile, *tracesFile, *iterations, *limit, *unresolved); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sys, err := facilitymap.NewSystem(facilitymap.Config{
+		Profile:       *profile,
+		Seed:          *seed,
+		MaxIterations: *iterations,
+		Explain:       *why != "",
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("world: %d facilities, %d IXPs, %d ASes — running CFS...\n",
+		len(sys.Env.W.Facilities), len(sys.Env.W.IXPs), len(sys.Env.W.ASes))
+
+	m := sys.MapInterconnections()
+	if *asJSON {
+		if err := m.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println()
+	fmt.Println(m.Summary())
+
+	fmt.Printf("%-16s %-34s %-28s %s\n", "INTERFACE", "OWNER", "FACILITY", "CITY")
+	printed := 0
+	for _, info := range m.Interfaces() {
+		if !info.Resolved && !*unresolved {
+			continue
+		}
+		fac := info.Facility
+		if !info.Resolved {
+			fac = fmt.Sprintf("(%d candidates)", len(info.Candidate))
+		}
+		flags := ""
+		if info.Remote {
+			flags += " [remote]"
+		}
+		if info.Heuristic {
+			flags += " [heuristic]"
+		}
+		fmt.Printf("%-16s %-34s %-28s %s%s\n", info.IP, info.Owner, fac, info.City, flags)
+		printed++
+		if *limit > 0 && printed >= *limit {
+			fmt.Printf("... (%d more; raise -limit to see them)\n", len(m.Interfaces())-printed)
+			break
+		}
+	}
+
+	if *why != "" {
+		info, ok := m.Lookup(*why)
+		if !ok {
+			fmt.Printf("\nno inference recorded for %s\n", *why)
+		} else {
+			fmt.Printf("\nevidence for %s (%s):\n", info.IP, info.Owner)
+			if len(info.Evidence) == 0 {
+				fmt.Println("  (no constraints were applied)")
+			}
+			for _, ev := range info.Evidence {
+				fmt.Printf("  - %s\n", ev)
+			}
+		}
+	}
+
+	if *resil {
+		an := resilience.Analyze(sys.Env.DB, m.Result())
+		fmt.Println()
+		fmt.Println(an.Render(10))
+		if rank := an.Ranking(); len(rank) > 0 {
+			out := an.SimulateOutage(rank[0].Facility)
+			fmt.Printf("outage of %s: %d links lost, %d AS pairs severed, %d degraded\n",
+				out.Name, out.LostLinks, len(out.SeveredPairs), out.DegradedPairs)
+		}
+	}
+
+	if *validate {
+		v := m.Validate()
+		fmt.Printf("\nvalidation: overall %s (%.1f%%)\n", v.Overall, 100*v.Overall.Frac())
+		for src, c := range v.BySource {
+			if c.Total > 0 {
+				fmt.Printf("  %-18s %s (%.1f%%)\n", src, c, 100*c.Frac())
+			}
+		}
+		if v.CityLevel.Total > 0 {
+			fmt.Printf("  %-18s %s (%.1f%%)\n", "city-level", v.CityLevel, 100*v.CityLevel.Frac())
+		}
+		if v.RemotePeering.Total > 0 {
+			fmt.Printf("  %-18s %s (%.1f%%)\n", "remote flags", v.RemotePeering, 100*v.RemotePeering.Frac())
+		}
+	}
+}
+
+// runOffline executes CFS over externally-supplied data: registry dump,
+// BGP table and traceroute transcripts. Alias resolution, remote-peering
+// detection and targeted follow-ups need live measurement access and are
+// disabled; steps 1-2 plus the §4.3/§4.4 placements still run.
+func runOffline(pdbFile, bgpFile, tracesFile string, iterations, limit int, unresolved bool) error {
+	if pdbFile == "" || tracesFile == "" {
+		return fmt.Errorf("offline mode needs both -peeringdb and -traces")
+	}
+	pdb, err := os.Open(pdbFile)
+	if err != nil {
+		return err
+	}
+	defer pdb.Close()
+	db, _, err := registry.FromPeeringDB(pdb)
+	if err != nil {
+		return err
+	}
+	var svcIPASN *ip2asn.Service
+	if bgpFile != "" {
+		f, err := os.Open(bgpFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		entries, err := ip2asn.ParseTable(f)
+		if err != nil {
+			return err
+		}
+		svcIPASN = ip2asn.FromTable(entries)
+	} else {
+		svcIPASN = ip2asn.FromTable(nil) // netixlan port records only
+	}
+	tf, err := os.Open(tracesFile)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	paths, err := trace.Parse(tf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("offline: %d facilities, %d exchanges, %d traceroutes\n",
+		len(db.Facilities), len(db.IXPs), len(paths))
+
+	cfg := cfs.DefaultConfig()
+	cfg.MaxIterations = iterations
+	cfg.UseTargeted = false
+	cfg.UseAliasResolution = false
+	cfg.UseRemoteDetection = false
+	res := cfs.New(cfg, db, svcIPASN, nil, nil, nil).Run(paths)
+
+	fmt.Printf("interfaces observed: %d, resolved: %d (%.1f%%)\n\n",
+		len(res.Interfaces), res.Resolved(), 100*res.ResolvedFraction())
+	fmt.Printf("%-16s %-12s %-30s %s\n", "INTERFACE", "OWNER", "FACILITY", "CANDIDATES")
+	printed := 0
+	for ip, ir := range res.Interfaces {
+		if !ir.Resolved && !unresolved {
+			continue
+		}
+		fac := ""
+		if ir.Resolved {
+			if rec, ok := db.Facilities[ir.Facility]; ok {
+				fac = rec.Name
+			}
+		}
+		fmt.Printf("%-16s %-12v %-30s %d\n", ip, ir.Owner, fac, len(ir.Candidates))
+		printed++
+		if limit > 0 && printed >= limit {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation over a synthetic world and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [-world small|default|paper] [-seed N] [-only LIST]
+//	            [-iterations N] [-repeats N]
+//
+// -only selects a comma-separated subset of:
+// table1,fig2,fig3,fig7,fig8,fig9,fig10,headline,proximity,ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/experiments"
+	"facilitymap/internal/world"
+)
+
+func main() {
+	var (
+		worldFlag  = flag.String("world", "default", "world profile: small, default or paper")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		only       = flag.String("only", "", "comma-separated experiment subset")
+		iterations = flag.Int("iterations", 100, "CFS iteration cap")
+		repeats    = flag.Int("repeats", 3, "Figure 8 repeats per removal level")
+	)
+	flag.Parse()
+
+	var wcfg world.Config
+	switch *worldFlag {
+	case "small":
+		wcfg = world.Small()
+	case "default":
+		wcfg = world.Default()
+	case "paper":
+		wcfg = world.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown world profile %q\n", *worldFlag)
+		os.Exit(2)
+	}
+	wcfg.Seed = *seed
+
+	want := func(name string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, n := range strings.Split(*only, ",") {
+			if strings.TrimSpace(n) == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+	fmt.Printf("# Building %s world (seed %d)...\n", *worldFlag, *seed)
+	env := experiments.NewEnv(wcfg, *seed)
+	fmt.Printf("# world: %d metros, %d facilities, %d IXPs, %d ASes, %d routers, %d links (%.1fs)\n\n",
+		len(env.W.Metros), len(env.W.Facilities), len(env.W.IXPs), len(env.W.ASes),
+		len(env.W.Routers), len(env.W.Links), time.Since(start).Seconds())
+
+	cfg := cfs.DefaultConfig()
+	cfg.MaxIterations = *iterations
+
+	if want("table1") {
+		fmt.Println(experiments.Table1(env).Render())
+	}
+	if want("fig2") {
+		fmt.Println(experiments.Figure2(env).Render())
+	}
+	if want("fig3") {
+		threshold := 10
+		if *worldFlag == "small" {
+			threshold = 2
+		}
+		fmt.Println(experiments.Figure3(env, threshold).Render())
+	}
+
+	var mainRun *cfs.Result
+	runMain := func() *cfs.Result {
+		if mainRun == nil {
+			fmt.Println("# Running CFS (all platforms)...")
+			t0 := time.Now()
+			mainRun = env.RunCFS(cfg)
+			fmt.Printf("# CFS finished in %.1fs: %d interfaces, %d resolved\n\n",
+				time.Since(t0).Seconds(), len(mainRun.Interfaces), mainRun.Resolved())
+		}
+		return mainRun
+	}
+
+	if want("fig7") {
+		fmt.Println("# Running Figure 7 (three CFS configurations)...")
+		fmt.Println(experiments.Figure7(env, cfg).Render())
+	}
+	if want("headline") {
+		fmt.Println(experiments.Headline(env, runMain()).Render())
+	}
+	if want("fig9") {
+		fmt.Println(experiments.Figure9(env, runMain()).Render())
+	}
+	if want("fig10") {
+		fmt.Println(experiments.Figure10(env, runMain()).Render())
+	}
+	if want("proximity") {
+		fmt.Println(experiments.Proximity(env).Render())
+	}
+	if want("ablations") {
+		fmt.Println("# Running ablation suite (7 CFS configurations)...")
+		abCfg := cfg
+		if abCfg.MaxIterations > 40 {
+			abCfg.MaxIterations = 40
+		}
+		fmt.Println(experiments.Ablations(env, abCfg).Render())
+	}
+	if want("fig8") {
+		n := len(env.DB.Facilities)
+		removals := []int{0, n / 8, n / 4, 3 * n / 8, n / 2, 5 * n / 8, 3 * n / 4}
+		fmt.Printf("# Running Figure 8 knockout sweep (%d levels x %d repeats)...\n", len(removals), *repeats)
+		f8cfg := cfg
+		if f8cfg.MaxIterations > 40 {
+			f8cfg.MaxIterations = 40 // sweep cost control
+		}
+		fmt.Println(experiments.Figure8(env, f8cfg, removals, *repeats, *seed+1).Render())
+	}
+	fmt.Printf("# total wall time %.1fs, %d traceroutes, simulated platform time %s\n",
+		time.Since(start).Seconds(), env.Svc.Traceroutes, env.Svc.SimulatedCost)
+}

@@ -1,0 +1,94 @@
+// Command worldgen generates a synthetic Internet and dumps it as JSON:
+// metros, facilities, IXPs (with switch fabrics), ASes, routers,
+// interfaces, memberships and interconnection links. The dump loads back
+// with world.DecodeJSON, so topologies can be authored or post-processed
+// externally and fed to the full pipeline.
+//
+// Usage:
+//
+//	worldgen [-profile small|default|paper] [-seed N] [-summary]
+//	worldgen -check dump.json   # validate + summarise an existing dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"facilitymap/internal/world"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "default", "world profile: small, default or paper")
+		seed    = flag.Int64("seed", 42, "generation seed")
+		summary = flag.Bool("summary", false, "print counts instead of the full JSON dump")
+		check   = flag.String("check", "", "load a dump, validate it and print its summary")
+	)
+	flag.Parse()
+
+	var w *world.World
+	if *check != "" {
+		f, err := os.Open(*check)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w, err = world.DecodeJSON(f)
+		if err != nil {
+			fatal(err)
+		}
+		printSummary(w)
+		return
+	}
+
+	var cfg world.Config
+	switch *profile {
+	case "small":
+		cfg = world.Small()
+	case "default":
+		cfg = world.Default()
+	case "paper":
+		cfg = world.PaperScale()
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+	cfg.Seed = *seed
+	w = world.Generate(cfg)
+
+	if *summary {
+		printSummary(w)
+		return
+	}
+	if err := w.EncodeJSON(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func printSummary(w *world.World) {
+	kinds := map[world.LinkKind]int{}
+	for _, l := range w.Links {
+		kinds[l.Kind]++
+	}
+	remote := 0
+	for _, m := range w.Memberships {
+		if m.Remote {
+			remote++
+		}
+	}
+	fmt.Printf("metros      %d\n", len(w.Metros))
+	fmt.Printf("facilities  %d\n", len(w.Facilities))
+	fmt.Printf("ixps        %d (%d active)\n", len(w.IXPs), len(w.ActiveIXPs()))
+	fmt.Printf("ases        %d\n", len(w.ASes))
+	fmt.Printf("routers     %d\n", len(w.Routers))
+	fmt.Printf("interfaces  %d\n", len(w.Interfaces))
+	fmt.Printf("memberships %d (%d remote)\n", len(w.Memberships), remote)
+	for kind, n := range kinds {
+		fmt.Printf("links/%-18s %d\n", kind, n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

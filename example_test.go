@@ -1,0 +1,98 @@
+package facilitymap_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"facilitymap"
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/ip2asn"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/registry"
+	"facilitymap/internal/trace"
+)
+
+// Example shows the minimal end-to-end flow: generate a world, run the
+// Constrained Facility Search, and query the result.
+func Example() {
+	sys, err := facilitymap.NewSystem(facilitymap.Config{
+		Profile:       "small",
+		Seed:          7,
+		MaxIterations: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapping := sys.MapInterconnections()
+
+	resolved := 0
+	for _, info := range mapping.Interfaces() {
+		if info.Resolved {
+			resolved++
+		}
+	}
+	fmt.Println(resolved > 0)
+	// Output: true
+}
+
+// ExampleMergeMappings demonstrates incremental map construction (§8 of
+// the paper): merging two campaigns never loses resolutions.
+func ExampleMergeMappings() {
+	sys, err := facilitymap.NewSystem(facilitymap.Config{
+		Profile:       "small",
+		Seed:          7,
+		MaxIterations: 15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	first := sys.MapInterconnections()
+	second := sys.MapInterconnections()
+	merged := facilitymap.MergeMappings(first, second)
+	fmt.Println(merged.Result().Resolved() >= first.Result().Resolved())
+	// Output: true
+}
+
+// Example_offline runs the algorithm on externally-supplied data — a
+// PeeringDB-style dump, a BGP table and a traceroute transcript — with
+// no simulator involved.
+func Example_offline() {
+	const pdb = `{
+	  "fac": [{"id": 1, "name": "Telehouse North", "org_name": "Telehouse",
+	           "city": "London", "country": "GB", "latitude": 51.51, "longitude": -0.005}],
+	  "net": [{"asn": 64500, "name": "NetA"}, {"asn": 64501, "name": "NetB"}],
+	  "ix": [{"id": 9, "name": "LON-X", "city": "London", "country": "GB"}],
+	  "netfac": [{"local_asn": 64500, "fac_id": 1}, {"local_asn": 64501, "fac_id": 1}],
+	  "ixfac": [{"ix_id": 9, "fac_id": 1}],
+	  "netixlan": [{"asn": 64501, "ix_id": 9, "ipaddr4": "195.66.224.2"}],
+	  "ixpfx": [{"ix_id": 9, "prefix": "195.66.224.0/22"}]
+	}`
+	const bgpTable = "20.0.0.0/16 64500\n20.1.0.0/16 64501\n"
+	const transcript = `traceroute to 20.1.0.9, 30 hops max
+ 1  20.0.0.1  0.5 ms
+ 2  195.66.224.2  1.0 ms
+ 3  20.1.0.9  1.4 ms
+`
+	db, _, err := registry.FromPeeringDB(strings.NewReader(pdb))
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries, err := ip2asn.ParseTable(strings.NewReader(bgpTable))
+	if err != nil {
+		log.Fatal(err)
+	}
+	paths, err := trace.Parse(strings.NewReader(transcript))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := cfs.DefaultConfig()
+	cfg.UseTargeted = false
+	cfg.UseAliasResolution = false
+	cfg.UseRemoteDetection = false
+	res := cfs.New(cfg, db, ip2asn.FromTable(entries), nil, nil, nil).Run(paths)
+
+	ir := res.Interfaces[netaddr.MustParseIP("195.66.224.2")]
+	fmt.Println(ir.Resolved, db.Facilities[ir.Facility].Name)
+	// Output: true Telehouse North
+}

@@ -1,0 +1,50 @@
+// Resilience analysis: the paper motivates facility-level mapping with
+// "assessment of the resilience of interconnections in the event of
+// natural disasters, facility or router outages" (§1). This example
+// runs CFS, ranks buildings by the interconnections they carry, and
+// simulates the outage of the most critical one.
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facilitymap"
+	"facilitymap/internal/resilience"
+)
+
+func main() {
+	sys, err := facilitymap.NewSystem(facilitymap.Config{
+		Profile:       "small",
+		Seed:          13,
+		MaxIterations: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapping := sys.MapInterconnections()
+
+	an := resilience.Analyze(sys.Env.DB, mapping.Result())
+	fmt.Println(an.Render(8))
+
+	// Simulate losing the most critical building.
+	top := an.Ranking()[0]
+	out := an.SimulateOutage(top.Facility)
+	fmt.Printf("outage simulation: %s goes dark\n", out.Name)
+	fmt.Printf("  interconnections lost:        %d\n", out.LostLinks)
+	fmt.Printf("  interfaces lost:              %d\n", out.LostInterfaces)
+	fmt.Printf("  AS pairs degraded (have alternatives): %d\n", out.DegradedPairs)
+	fmt.Printf("  AS pairs severed (no known alternative): %d\n", len(out.SeveredPairs))
+	for i, p := range out.SeveredPairs {
+		if i == 6 {
+			fmt.Printf("    ... and %d more\n", len(out.SeveredPairs)-i)
+			break
+		}
+		fmt.Printf("    %v <-> %v\n", p.A, p.B)
+	}
+
+	pairs := an.SingleSitePairs()
+	fmt.Printf("\n%d AS pairs interconnect in exactly one known building (single points of failure)\n", len(pairs))
+}

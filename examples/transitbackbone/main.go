@@ -1,0 +1,118 @@
+// Transit-provider case study: Tier-1 backbones interconnect mostly via
+// private cross-connects (§5, Figure 10), tag routes with ingress-point
+// BGP communities (§6), and expose looking glasses. This example maps a
+// synthetic Tier-1, then cross-checks CFS's facility inferences against
+// the operator's own community dictionary — the paper's second
+// validation source.
+//
+//	go run ./examples/transitbackbone
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facilitymap"
+	"facilitymap/internal/bgp"
+	"facilitymap/internal/platform"
+	"facilitymap/internal/world"
+)
+
+func main() {
+	sys, err := facilitymap.NewSystem(facilitymap.Config{
+		Profile:       "small",
+		Seed:          33,
+		MaxIterations: 60,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := sys.Env
+
+	// Pick a community-tagging Tier-1 with BGP-capable looking glasses.
+	var tier1 *world.AS
+	for _, as := range env.W.ASes {
+		if as.Type == world.Tier1 && as.TagsCommunities && as.RunsLookingGlass {
+			tier1 = as
+			break
+		}
+	}
+	if tier1 == nil {
+		log.Fatal("no suitable Tier-1 generated")
+	}
+	fmt.Printf("case study: %v (%s) — %d facilities, %d routers\n\n",
+		tier1.ASN, tier1.Name, len(tier1.Facilities), len(tier1.Routers))
+
+	mapping := sys.MapInterconnections()
+	res := mapping.Result()
+
+	// The operator's community dictionary, as compiled from its public
+	// documentation (§6: "a dictionary of 109 community values").
+	dict := bgp.BuildDictionary(env.W, tier1.ASN)
+	fmt.Printf("community dictionary: %d ingress-point values\n", len(dict))
+
+	// Query a BGP-capable looking glass of the Tier-1 and compare the
+	// tagged ingress facility against CFS's inference for the exit
+	// interface seen in the matching traceroute.
+	var lg *platform.VantagePoint
+	for _, vp := range env.Fleet.ByKind(platform.LookingGlass) {
+		if vp.AS == tier1.ASN && vp.BGPCapable {
+			lg = vp
+			break
+		}
+	}
+	if lg == nil {
+		fmt.Println("no BGP-capable LG for this operator; skipping cross-check")
+	} else {
+		agree, checked := 0, 0
+		for _, as := range env.W.ASes {
+			if as.ASN == tier1.ASN || checked >= 12 {
+				continue
+			}
+			dst := env.W.Interfaces[env.W.Routers[as.Routers[0]].Core()].IP
+			route, ok := env.Svc.LookingGlassBGP(lg, dst)
+			if !ok || len(route.Communities) == 0 {
+				continue
+			}
+			taggedFac, ok := dict[route.Communities[0]]
+			if !ok {
+				continue
+			}
+			// The tag names where the route *enters* the operator — the
+			// exit border router for traffic, i.e. the last hop owned by
+			// the Tier-1 before the path leaves it.
+			path := env.Svc.TracerouteFrom(lg, dst)
+			hops := path.ResponsiveHops()
+			for i := 0; i+1 < len(hops); i++ {
+				ir, next := res.Interfaces[hops[i]], res.Interfaces[hops[i+1]]
+				if ir == nil || ir.Owner != tier1.ASN || !ir.Resolved {
+					continue
+				}
+				if next != nil && next.Owner == tier1.ASN {
+					continue // not the exit yet
+				}
+				checked++
+				if ir.Facility == taggedFac {
+					agree++
+				}
+				break
+			}
+		}
+		fmt.Printf("community cross-check: %d/%d inferred facilities match the ingress tags\n",
+			agree, checked)
+	}
+
+	// Footprint report: the Tier-1's interconnections by facility.
+	fmt.Printf("\n%s interconnection footprint (resolved interfaces):\n", tier1.Name)
+	byFacility := map[string]int{}
+	for _, ir := range res.Interfaces {
+		if ir.Owner == tier1.ASN && ir.Resolved {
+			if rec, ok := env.DB.Facilities[ir.Facility]; ok {
+				byFacility[rec.Name]++
+			}
+		}
+	}
+	for name, n := range byFacility {
+		fmt.Printf("  %-30s %d interfaces\n", name, n)
+	}
+}

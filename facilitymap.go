@@ -1,0 +1,283 @@
+// Package facilitymap is a reproduction of "Mapping Peering
+// Interconnections to a Facility" (Giotsas, Smaragdakis, Huffaker,
+// Luckie, claffy — CoNEXT 2015): an implementation of Constrained
+// Facility Search (CFS), the algorithm that infers the physical
+// colocation facility where an interconnection between two networks is
+// established, and the engineering approach used (public peering over an
+// IXP, private cross-connect, tethering, or remote peering).
+//
+// Because the original study consumes the live Internet, this module
+// ships a full synthetic substrate with known ground truth: an Internet
+// generator (internal/world), a BGP and traceroute simulator, alias
+// resolution, a PeeringDB-style registry with realistic gaps, and the
+// four validation sources of the paper's §6. The CFS core consumes only
+// the noisy observational views; the ground truth is used exclusively
+// for validation.
+//
+// This package is the high-level facade: build a System, run the
+// mapping, inspect per-interface inferences, validate, and print the
+// paper's tables. The sub-packages under internal/ expose the full
+// machinery for finer control (see the examples/ directory).
+package facilitymap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/experiments"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/stats"
+	"facilitymap/internal/validation"
+	"facilitymap/internal/world"
+)
+
+// Config selects the world profile and search parameters.
+type Config struct {
+	// Profile is "small", "default" or "paper" (dataset scale).
+	Profile string
+	// Seed drives every random choice; equal seeds give equal worlds
+	// and equal inferences.
+	Seed int64
+	// MaxIterations bounds the CFS loop (paper: 100).
+	MaxIterations int
+	// Explain records, per interface, the constraints that produced its
+	// inference; Lookup then returns them as Evidence.
+	Explain bool
+}
+
+// DefaultConfig mirrors the paper's operating point on the default
+// world profile.
+func DefaultConfig() Config {
+	return Config{Profile: "default", Seed: 42, MaxIterations: 100}
+}
+
+// System is a fully wired synthetic Internet plus measurement stack.
+type System struct {
+	// Env exposes the underlying environment for advanced use (the
+	// experiment harnesses, the raw world, the measurement service).
+	Env *experiments.Env
+	cfg Config
+}
+
+// NewSystem generates the world and deploys the measurement platforms.
+func NewSystem(cfg Config) (*System, error) {
+	var wcfg world.Config
+	switch cfg.Profile {
+	case "", "default":
+		wcfg = world.Default()
+	case "small":
+		wcfg = world.Small()
+	case "paper":
+		wcfg = world.PaperScale()
+	default:
+		return nil, fmt.Errorf("facilitymap: unknown profile %q", cfg.Profile)
+	}
+	if cfg.Seed != 0 {
+		wcfg.Seed = cfg.Seed
+	}
+	return &System{Env: experiments.NewEnv(wcfg, wcfg.Seed), cfg: cfg}, nil
+}
+
+// MapInterconnections runs the measurement campaigns and the CFS search,
+// returning the converged mapping.
+func (s *System) MapInterconnections() *Mapping {
+	c := cfs.DefaultConfig()
+	if s.cfg.MaxIterations > 0 {
+		c.MaxIterations = s.cfg.MaxIterations
+	}
+	c.TraceProvenance = s.cfg.Explain
+	res := s.Env.RunCFS(c)
+	return &Mapping{sys: s, res: res}
+}
+
+// Mapping is the outcome of one CFS run.
+type Mapping struct {
+	sys *System
+	res *cfs.Result
+}
+
+// Result exposes the raw CFS result for advanced consumers.
+func (m *Mapping) Result() *cfs.Result { return m.res }
+
+// InterfaceInfo is the human-readable inference for one interface.
+type InterfaceInfo struct {
+	IP        string
+	Owner     string // "AS64500 (Some Network)"
+	Resolved  bool
+	Facility  string // facility name when resolved
+	City      string // metro when resolved or city-constrained
+	Candidate []string
+	Remote    bool // member reaches its IXP through a reseller
+	Heuristic bool // placed by a §4.3/§4.4 heuristic, not set intersection
+	// Evidence lists the constraints behind the inference when the
+	// System was built with Explain.
+	Evidence []string
+}
+
+// Lookup reports the inference for one interface address.
+func (m *Mapping) Lookup(ip string) (InterfaceInfo, bool) {
+	addr, err := netaddr.ParseIP(ip)
+	if err != nil {
+		return InterfaceInfo{}, false
+	}
+	ir, ok := m.res.Interfaces[addr]
+	if !ok {
+		return InterfaceInfo{}, false
+	}
+	return m.describe(ir), true
+}
+
+// Interfaces lists every inference, resolved first, in address order.
+func (m *Mapping) Interfaces() []InterfaceInfo {
+	var ips []netaddr.IP
+	for ip := range m.res.Interfaces {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool {
+		a, b := m.res.Interfaces[ips[i]], m.res.Interfaces[ips[j]]
+		if a.Resolved != b.Resolved {
+			return a.Resolved
+		}
+		return ips[i] < ips[j]
+	})
+	out := make([]InterfaceInfo, 0, len(ips))
+	for _, ip := range ips {
+		out = append(out, m.describe(m.res.Interfaces[ip]))
+	}
+	return out
+}
+
+func (m *Mapping) describe(ir *cfs.InterfaceResult) InterfaceInfo {
+	env := m.sys.Env
+	info := InterfaceInfo{
+		IP:        ir.IP.String(),
+		Resolved:  ir.Resolved,
+		Remote:    ir.RemoteMember,
+		Heuristic: ir.ViaFarEnd || ir.ViaProximity,
+	}
+	if ir.Owner != 0 {
+		info.Owner = fmt.Sprintf("%v (%s)", ir.Owner, env.DB.ASName(ir.Owner))
+	}
+	for _, f := range ir.Candidates {
+		if rec, ok := env.DB.Facilities[f]; ok {
+			info.Candidate = append(info.Candidate, rec.Name)
+		}
+	}
+	if ir.Resolved {
+		if rec, ok := env.DB.Facilities[ir.Facility]; ok {
+			info.Facility = rec.Name
+		}
+		if c, ok := env.DB.MetroClusterOf(ir.Facility); ok {
+			info.City = env.DB.ClusterName(c)
+		}
+	} else if ir.CityConstrain {
+		info.City = env.DB.ClusterName(ir.CityCluster)
+	}
+	if m.res.Provenance != nil {
+		// Deduplicate: constraints reapply every iteration.
+		seen := make(map[string]bool)
+		for _, ev := range m.res.Provenance[ir.IP] {
+			if !seen[ev] {
+				seen[ev] = true
+				info.Evidence = append(info.Evidence, ev)
+			}
+		}
+	}
+	return info
+}
+
+// ValidationSummary condenses the §6 validation of a run.
+type ValidationSummary struct {
+	Overall       validation.Count
+	BySource      map[string]validation.Count
+	CityLevel     validation.Count
+	RemotePeering validation.Count
+}
+
+// Validate scores the mapping against the paper's four ground-truth
+// sources (direct feedback, BGP communities, DNS records, IXP websites).
+func (m *Mapping) Validate() ValidationSummary {
+	rep := m.sys.Env.Validator().Validate(m.res)
+	out := ValidationSummary{
+		Overall:       rep.Overall(),
+		BySource:      make(map[string]validation.Count),
+		CityLevel:     rep.CityLevel,
+		RemotePeering: rep.RemotePeering,
+	}
+	for cell, c := range rep.Cells {
+		got := out.BySource[cell.Source.String()]
+		got.Correct += c.Correct
+		got.Total += c.Total
+		out.BySource[cell.Source.String()] = got
+	}
+	return out
+}
+
+// Summary renders a short report: coverage, convergence, router roles.
+func (m *Mapping) Summary() string {
+	res := m.res
+	census := res.Census()
+	t := stats.NewTable("Constrained Facility Search — run summary", "metric", "value")
+	t.AddRow("peering interfaces observed", fmt.Sprint(len(res.Interfaces)))
+	t.AddRow("resolved to a single facility", fmt.Sprint(res.Resolved()))
+	t.AddRow("resolved fraction", stats.Pct(res.ResolvedFraction()))
+	t.AddRow("CFS iterations", fmt.Sprint(len(res.History)))
+	t.AddRow("routers observed", fmt.Sprint(census.Routers))
+	t.AddRow("multi-role routers", fmt.Sprint(census.MultiRole))
+	t.AddRow("multi-IXP routers", fmt.Sprint(census.MultiIXP))
+	t.AddRow("far-end placements (§4.3)", fmt.Sprint(res.FarEndInferences))
+	t.AddRow("proximity placements (§4.4)", fmt.Sprint(res.ProximityInferences))
+	return t.Render()
+}
+
+// MergeMappings combines several runs into one incremental map (§8 of
+// the paper): candidate facility sets intersect across runs, so a later
+// campaign can collapse interfaces an earlier one left ambiguous. All
+// mappings must come from the same System.
+func MergeMappings(mappings ...*Mapping) *Mapping {
+	if len(mappings) == 0 {
+		return nil
+	}
+	results := make([]*cfs.Result, 0, len(mappings))
+	for _, m := range mappings {
+		results = append(results, m.res)
+	}
+	return &Mapping{sys: mappings[0].sys, res: cfs.Merge(results...)}
+}
+
+// WriteJSON emits the mapping as machine-readable JSON: a summary plus
+// one record per interface (resolved first). Downstream tooling can
+// consume this instead of the text tables.
+func (m *Mapping) WriteJSON(w io.Writer) error {
+	census := m.res.Census()
+	doc := struct {
+		Summary struct {
+			Interfaces    int     `json:"interfaces"`
+			Resolved      int     `json:"resolved"`
+			ResolvedFrac  float64 `json:"resolved_fraction"`
+			Iterations    int     `json:"iterations"`
+			Routers       int     `json:"routers"`
+			MultiRole     int     `json:"multi_role_routers"`
+			MultiIXP      int     `json:"multi_ixp_routers"`
+			FarEndPlaced  int     `json:"far_end_placements"`
+			ProximityUsed int     `json:"proximity_placements"`
+		} `json:"summary"`
+		Interfaces []InterfaceInfo `json:"interfaces"`
+	}{}
+	doc.Summary.Interfaces = len(m.res.Interfaces)
+	doc.Summary.Resolved = m.res.Resolved()
+	doc.Summary.ResolvedFrac = m.res.ResolvedFraction()
+	doc.Summary.Iterations = len(m.res.History)
+	doc.Summary.Routers = census.Routers
+	doc.Summary.MultiRole = census.MultiRole
+	doc.Summary.MultiIXP = census.MultiIXP
+	doc.Summary.FarEndPlaced = m.res.FarEndInferences
+	doc.Summary.ProximityUsed = m.res.ProximityInferences
+	doc.Interfaces = m.Interfaces()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

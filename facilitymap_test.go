@@ -1,0 +1,190 @@
+package facilitymap
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func smallSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(Config{Profile: "small", Seed: 1, MaxIterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewSystemProfiles(t *testing.T) {
+	for _, p := range []string{"small", "default", ""} {
+		if _, err := NewSystem(Config{Profile: p, Seed: 5}); err != nil {
+			t.Errorf("profile %q: %v", p, err)
+		}
+	}
+	if _, err := NewSystem(Config{Profile: "bogus"}); err == nil {
+		t.Error("bogus profile should error")
+	}
+}
+
+func TestMappingRoundTrip(t *testing.T) {
+	sys := smallSystem(t)
+	m := sys.MapInterconnections()
+	infos := m.Interfaces()
+	if len(infos) == 0 {
+		t.Fatal("no interfaces mapped")
+	}
+	// Resolved-first ordering.
+	seenUnresolved := false
+	resolved := 0
+	for _, info := range infos {
+		if !info.Resolved {
+			seenUnresolved = true
+		} else {
+			resolved++
+			if seenUnresolved {
+				t.Fatal("resolved interface after unresolved in listing")
+			}
+			if info.Facility == "" || info.City == "" {
+				t.Fatalf("resolved interface lacks names: %+v", info)
+			}
+		}
+		if info.IP == "" {
+			t.Fatal("empty IP in info")
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("nothing resolved")
+	}
+	// Lookup round-trips.
+	got, ok := m.Lookup(infos[0].IP)
+	if !ok || got.IP != infos[0].IP || got.Facility != infos[0].Facility {
+		t.Fatalf("Lookup(%s) = %+v, want %+v", infos[0].IP, got, infos[0])
+	}
+	if _, ok := m.Lookup("203.0.113.99"); ok {
+		t.Error("unknown IP should not resolve")
+	}
+	if _, ok := m.Lookup("not-an-ip"); ok {
+		t.Error("garbage IP should not resolve")
+	}
+}
+
+func TestValidateSummary(t *testing.T) {
+	sys := smallSystem(t)
+	m := sys.MapInterconnections()
+	v := m.Validate()
+	if v.Overall.Total == 0 {
+		t.Fatal("validation empty")
+	}
+	if v.Overall.Frac() < 0.6 {
+		t.Errorf("validated accuracy %.2f too low", v.Overall.Frac())
+	}
+	if len(v.BySource) == 0 {
+		t.Error("no per-source breakdown")
+	}
+}
+
+func TestSummaryRender(t *testing.T) {
+	sys := smallSystem(t)
+	m := sys.MapInterconnections()
+	out := m.Summary()
+	for _, want := range []string{"resolved fraction", "multi-role routers", "CFS iterations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergeMappings(t *testing.T) {
+	sys := smallSystem(t)
+	m1 := sys.MapInterconnections()
+	m2 := sys.MapInterconnections()
+	merged := MergeMappings(m1, m2)
+	if merged == nil {
+		t.Fatal("merge returned nil")
+	}
+	if merged.Result().Resolved() < m1.Result().Resolved() {
+		t.Errorf("merge lost resolution: %d vs %d",
+			merged.Result().Resolved(), m1.Result().Resolved())
+	}
+	if MergeMappings() != nil {
+		t.Error("empty merge should be nil")
+	}
+	// Merged mapping still answers lookups.
+	infos := merged.Interfaces()
+	if len(infos) == 0 {
+		t.Fatal("merged mapping empty")
+	}
+	if _, ok := merged.Lookup(infos[0].IP); !ok {
+		t.Error("lookup on merged mapping failed")
+	}
+}
+
+func TestExplainEvidence(t *testing.T) {
+	sys, err := NewSystem(Config{Profile: "small", Seed: 1, MaxIterations: 20, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sys.MapInterconnections()
+	withEvidence := 0
+	for _, info := range m.Interfaces() {
+		if !info.Resolved {
+			continue
+		}
+		if len(info.Evidence) > 0 {
+			withEvidence++
+			// Evidence is deduplicated.
+			seen := map[string]bool{}
+			for _, ev := range info.Evidence {
+				if seen[ev] {
+					t.Fatalf("duplicate evidence line %q", ev)
+				}
+				seen[ev] = true
+			}
+		}
+	}
+	if withEvidence == 0 {
+		t.Error("Explain produced no evidence")
+	}
+	// Without Explain, no evidence is attached.
+	plain, _ := NewSystem(Config{Profile: "small", Seed: 1, MaxIterations: 20})
+	pm := plain.MapInterconnections()
+	for _, info := range pm.Interfaces() {
+		if len(info.Evidence) != 0 {
+			t.Fatal("evidence attached without Explain")
+		}
+		break
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	sys := smallSystem(t)
+	m := sys.MapInterconnections()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Summary struct {
+			Interfaces int     `json:"interfaces"`
+			Resolved   int     `json:"resolved"`
+			Frac       float64 `json:"resolved_fraction"`
+		} `json:"summary"`
+		Interfaces []InterfaceInfo `json:"interfaces"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Summary.Interfaces != len(m.Interfaces()) {
+		t.Errorf("summary interfaces %d != %d", doc.Summary.Interfaces, len(m.Interfaces()))
+	}
+	if doc.Summary.Resolved != m.Result().Resolved() {
+		t.Errorf("summary resolved mismatch")
+	}
+	if len(doc.Interfaces) != doc.Summary.Interfaces {
+		t.Errorf("record count %d != summary %d", len(doc.Interfaces), doc.Summary.Interfaces)
+	}
+	if doc.Interfaces[0].IP == "" {
+		t.Error("empty record")
+	}
+}

@@ -1,0 +1,3 @@
+module facilitymap
+
+go 1.22

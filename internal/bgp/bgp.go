@@ -1,0 +1,288 @@
+// Package bgp computes interdomain routing over the ground-truth world:
+// valley-free (Gao-Rexford) best paths between every AS pair, the next-AS
+// forwarding decision the traceroute engine follows, and the ingress-point
+// BGP communities used as a validation source (§6 of the paper).
+//
+// The model is deliberately route-per-origin rather than route-per-prefix:
+// every AS in the world originates only its own address block, so the
+// routing state collapses to "which neighbor do I use to reach origin AS
+// O", which is what traceroute forwarding needs.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"facilitymap/internal/world"
+)
+
+// RouteType is the local-preference class of a best route.
+type RouteType int8
+
+const (
+	Unreachable RouteType = iota
+	Self                  // the origin itself
+	ViaCustomer
+	ViaPeer
+	ViaProvider
+)
+
+func (t RouteType) String() string {
+	switch t {
+	case Unreachable:
+		return "unreachable"
+	case Self:
+		return "self"
+	case ViaCustomer:
+		return "via-customer"
+	case ViaPeer:
+		return "via-peer"
+	case ViaProvider:
+		return "via-provider"
+	default:
+		return fmt.Sprintf("RouteType(%d)", int(t))
+	}
+}
+
+// Routing holds the converged best-route tables for one world.
+type Routing struct {
+	w    *world.World
+	asns []world.ASN       // dense index -> ASN, sorted
+	idx  map[world.ASN]int // ASN -> dense index
+	next [][]int32         // next[a][o]: dense index of next AS from a toward origin o; -1 unreachable
+	hops [][]int16         // AS-path length (number of AS hops; 0 at origin)
+	typ  [][]RouteType     // route class at a for origin o
+}
+
+// Compute converges routing for the world. Deterministic: ties break on
+// lowest neighbor ASN.
+func Compute(w *world.World) *Routing {
+	n := len(w.ASes)
+	r := &Routing{
+		w:    w,
+		asns: make([]world.ASN, n),
+		idx:  make(map[world.ASN]int, n),
+		next: make([][]int32, n),
+		hops: make([][]int16, n),
+		typ:  make([][]RouteType, n),
+	}
+	for i, as := range w.ASes {
+		r.asns[i] = as.ASN
+		r.idx[as.ASN] = i
+	}
+	for i := 0; i < n; i++ {
+		r.next[i] = make([]int32, n)
+		r.hops[i] = make([]int16, n)
+		r.typ[i] = make([]RouteType, n)
+		for j := 0; j < n; j++ {
+			r.next[i][j] = -1
+		}
+	}
+
+	// Sorted adjacency lists (dense indices) for deterministic ties.
+	providers := make([][]int, n) // providers[a]: a's providers
+	customers := make([][]int, n)
+	peers := make([][]int, n)
+	for i, as := range w.ASes {
+		for _, p := range as.Providers {
+			providers[i] = append(providers[i], r.idx[p])
+		}
+		for _, c := range as.Customers {
+			customers[i] = append(customers[i], r.idx[c])
+		}
+		for _, p := range as.Peers {
+			peers[i] = append(peers[i], r.idx[p])
+		}
+		sort.Ints(providers[i])
+		sort.Ints(customers[i])
+		sort.Ints(peers[i])
+	}
+
+	for o := 0; o < n; o++ {
+		r.converge(o, providers, customers, peers)
+	}
+	return r
+}
+
+// converge computes best routes toward one origin for every AS.
+//
+// Valley-free export rules: customer-learned routes (and the origin's own)
+// are exported to everyone; peer- and provider-learned routes only to
+// customers. Selection: customer > peer > provider; then shortest AS path;
+// then lowest neighbor ASN (enforced by sorted adjacency + stable BFS).
+func (r *Routing) converge(o int, providers, customers, peers [][]int) {
+	n := len(r.asns)
+	const inf = int16(1) << 14
+
+	// Phase 1 (uphill): customer routes propagate from the origin up
+	// through provider edges. upDist[a] = shortest customer-route length.
+	upDist := make([]int16, n)
+	upNext := make([]int32, n)
+	for i := range upDist {
+		upDist[i], upNext[i] = inf, -1
+	}
+	upDist[o] = 0
+	queue := []int{o}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for _, p := range providers[a] {
+			if upDist[p] > upDist[a]+1 {
+				upDist[p] = upDist[a] + 1
+				upNext[p] = int32(a)
+				queue = append(queue, p)
+			}
+		}
+	}
+
+	// Record phase-1 results.
+	for a := 0; a < n; a++ {
+		if upDist[a] >= inf {
+			continue
+		}
+		r.hops[a][o] = upDist[a]
+		r.next[a][o] = upNext[a]
+		if a == o {
+			r.typ[a][o] = Self
+			r.next[a][o] = int32(a)
+		} else {
+			r.typ[a][o] = ViaCustomer
+		}
+	}
+
+	// Phase 2 (one peer hop): an AS without a customer route may use a
+	// peer that has one. Peer routes never beat customer routes.
+	type peerRoute struct {
+		dist int16
+		via  int32
+	}
+	peerBest := make([]peerRoute, n)
+	for a := 0; a < n; a++ {
+		peerBest[a] = peerRoute{inf, -1}
+		if r.typ[a][o] == ViaCustomer || r.typ[a][o] == Self {
+			continue
+		}
+		for _, p := range peers[a] {
+			if upDist[p] < inf && upDist[p]+1 < peerBest[a].dist {
+				peerBest[a] = peerRoute{upDist[p] + 1, int32(p)}
+			}
+		}
+		if peerBest[a].via >= 0 {
+			r.typ[a][o] = ViaPeer
+			r.hops[a][o] = peerBest[a].dist
+			r.next[a][o] = peerBest[a].via
+		}
+	}
+
+	// Phase 3 (downhill): any AS holding a route exports it to its
+	// customers; provider routes propagate down the customer cone.
+	// BFS over provider->customer edges from all routed ASes at once,
+	// ordered by (dist, provider ASN) for determinism.
+	type item struct {
+		a    int
+		dist int16
+	}
+	var frontier []item
+	for a := 0; a < n; a++ {
+		if r.typ[a][o] != Unreachable {
+			frontier = append(frontier, item{a, r.hops[a][o]})
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool {
+		if frontier[i].dist != frontier[j].dist {
+			return frontier[i].dist < frontier[j].dist
+		}
+		return frontier[i].a < frontier[j].a
+	})
+	downDist := make([]int16, n)
+	for i := range downDist {
+		downDist[i] = inf
+	}
+	// The frontier is consumed FIFO. Distances enqueued are always
+	// current+1, so with the sorted initial frontier the queue stays
+	// non-decreasing in dist (unit-weight multi-source BFS) and the
+	// first route to reach a customer is a shortest one.
+	for head := 0; head < len(frontier); head++ {
+		it := frontier[head]
+		for _, c := range customers[it.a] {
+			if r.typ[c][o] != Unreachable {
+				continue // already has customer/peer route: preferred
+			}
+			if it.dist+1 < downDist[c] {
+				downDist[c] = it.dist + 1
+				r.typ[c][o] = ViaProvider
+				r.hops[c][o] = it.dist + 1
+				r.next[c][o] = int32(it.a)
+				frontier = append(frontier, item{c, it.dist + 1})
+			}
+		}
+	}
+	// Note: ViaProvider entries were marked during BFS; entries that were
+	// reached by multiple providers kept the shortest/lowest one because
+	// the frontier is processed in (dist, asn) order and a routed AS is
+	// never revisited.
+}
+
+// indexOf returns the dense index of an ASN, or -1.
+func (r *Routing) indexOf(a world.ASN) int {
+	i, ok := r.idx[a]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// NextAS returns the neighbor AS that `from` forwards to when reaching
+// `origin`. ok is false when unreachable or unknown. When from == origin,
+// it returns origin itself.
+func (r *Routing) NextAS(from, origin world.ASN) (world.ASN, bool) {
+	fi, oi := r.indexOf(from), r.indexOf(origin)
+	if fi < 0 || oi < 0 || r.next[fi][oi] < 0 {
+		return 0, false
+	}
+	return r.asns[r.next[fi][oi]], true
+}
+
+// RouteClass returns the local-pref class of from's best route to origin.
+func (r *Routing) RouteClass(from, origin world.ASN) RouteType {
+	fi, oi := r.indexOf(from), r.indexOf(origin)
+	if fi < 0 || oi < 0 {
+		return Unreachable
+	}
+	return r.typ[fi][oi]
+}
+
+// PathLength returns the AS-path hop count of from's best route to origin.
+func (r *Routing) PathLength(from, origin world.ASN) (int, bool) {
+	fi, oi := r.indexOf(from), r.indexOf(origin)
+	if fi < 0 || oi < 0 || r.next[fi][oi] < 0 {
+		return 0, false
+	}
+	return int(r.hops[fi][oi]), true
+}
+
+// ASPath returns the full AS-level path from `from` to `origin`,
+// inclusive of both ends.
+func (r *Routing) ASPath(from, origin world.ASN) ([]world.ASN, bool) {
+	fi, oi := r.indexOf(from), r.indexOf(origin)
+	if fi < 0 || oi < 0 || r.next[fi][oi] < 0 {
+		return nil, false
+	}
+	path := []world.ASN{from}
+	cur := fi
+	for cur != oi {
+		nxt := int(r.next[cur][oi])
+		if nxt < 0 {
+			return nil, false
+		}
+		path = append(path, r.asns[nxt])
+		cur = nxt
+		if len(path) > len(r.asns)+1 {
+			panic("bgp: forwarding loop")
+		}
+	}
+	return path, true
+}
+
+// ASNs returns all ASNs in dense-index order.
+func (r *Routing) ASNs() []world.ASN { return r.asns }

@@ -1,0 +1,265 @@
+package bgp
+
+import (
+	"testing"
+
+	"facilitymap/internal/world"
+)
+
+func testWorld(t *testing.T) (*world.World, *Routing) {
+	t.Helper()
+	w := world.Generate(world.Small())
+	return w, Compute(w)
+}
+
+func TestFullReachability(t *testing.T) {
+	w, r := testWorld(t)
+	for _, a := range w.ASes {
+		for _, b := range w.ASes {
+			if _, ok := r.NextAS(a.ASN, b.ASN); !ok {
+				t.Fatalf("%v cannot reach %v", a.ASN, b.ASN)
+			}
+		}
+	}
+}
+
+func TestSelfRoute(t *testing.T) {
+	w, r := testWorld(t)
+	for _, a := range w.ASes {
+		nxt, ok := r.NextAS(a.ASN, a.ASN)
+		if !ok || nxt != a.ASN {
+			t.Fatalf("self route of %v = %v,%v", a.ASN, nxt, ok)
+		}
+		if r.RouteClass(a.ASN, a.ASN) != Self {
+			t.Fatalf("self route class of %v = %v", a.ASN, r.RouteClass(a.ASN, a.ASN))
+		}
+		if n, _ := r.PathLength(a.ASN, a.ASN); n != 0 {
+			t.Fatalf("self path length of %v = %d", a.ASN, n)
+		}
+	}
+}
+
+func TestPathsEndAtOrigin(t *testing.T) {
+	w, r := testWorld(t)
+	for _, a := range w.ASes {
+		for _, b := range w.ASes {
+			path, ok := r.ASPath(a.ASN, b.ASN)
+			if !ok {
+				t.Fatalf("no path %v->%v", a.ASN, b.ASN)
+			}
+			if path[0] != a.ASN || path[len(path)-1] != b.ASN {
+				t.Fatalf("path %v->%v = %v", a.ASN, b.ASN, path)
+			}
+			if n, _ := r.PathLength(a.ASN, b.ASN); n != len(path)-1 {
+				t.Fatalf("path length mismatch %v->%v: %d vs %v", a.ASN, b.ASN, n, path)
+			}
+			// No AS repeats (loop-freedom).
+			seen := make(map[world.ASN]bool, len(path))
+			for _, x := range path {
+				if seen[x] {
+					t.Fatalf("loop in path %v", path)
+				}
+				seen[x] = true
+			}
+		}
+	}
+}
+
+// relation returns c2p/p2p/p2c between consecutive ASes, or fails.
+func relation(t *testing.T, w *world.World, a, b world.ASN) string {
+	asA := w.ASByNumber(a)
+	for _, p := range asA.Providers {
+		if p == b {
+			return "c2p"
+		}
+	}
+	for _, c := range asA.Customers {
+		if c == b {
+			return "p2c"
+		}
+	}
+	for _, p := range asA.Peers {
+		if p == b {
+			return "p2p"
+		}
+	}
+	t.Fatalf("no relationship between %v and %v", a, b)
+	return ""
+}
+
+// TestValleyFree: every best path must be a sequence of c2p edges, then at
+// most one p2p edge, then p2c edges.
+func TestValleyFree(t *testing.T) {
+	w, r := testWorld(t)
+	for _, a := range w.ASes {
+		for _, b := range w.ASes {
+			if a.ASN == b.ASN {
+				continue
+			}
+			path, _ := r.ASPath(a.ASN, b.ASN)
+			phase := 0 // 0=uphill, 1=after peer, 2=downhill
+			for i := 0; i+1 < len(path); i++ {
+				switch relation(t, w, path[i], path[i+1]) {
+				case "c2p":
+					if phase != 0 {
+						t.Fatalf("valley in path %v (uphill after descent)", path)
+					}
+				case "p2p":
+					if phase != 0 {
+						t.Fatalf("two peer edges in path %v", path)
+					}
+					phase = 1
+				case "p2c":
+					phase = 2
+				}
+			}
+		}
+	}
+}
+
+// TestLocalPref: when an AS has a route through a customer, its best
+// route class must be ViaCustomer even if shorter peer/provider paths
+// exist.
+func TestLocalPref(t *testing.T) {
+	w, r := testWorld(t)
+	for _, a := range w.ASes {
+		for _, b := range w.ASes {
+			if a.ASN == b.ASN {
+				continue
+			}
+			// If origin is inside a's customer cone, class must be
+			// ViaCustomer.
+			if inCustomerCone(w, a.ASN, b.ASN, make(map[world.ASN]bool)) {
+				if got := r.RouteClass(a.ASN, b.ASN); got != ViaCustomer {
+					t.Fatalf("%v->%v: class %v, want via-customer", a.ASN, b.ASN, got)
+				}
+			}
+		}
+	}
+}
+
+func inCustomerCone(w *world.World, top, target world.ASN, seen map[world.ASN]bool) bool {
+	if seen[top] {
+		return false
+	}
+	seen[top] = true
+	for _, c := range w.ASByNumber(top).Customers {
+		if c == target || inCustomerCone(w, c, target, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRouteClassConsistency(t *testing.T) {
+	w, r := testWorld(t)
+	for _, a := range w.ASes {
+		for _, b := range w.ASes {
+			if a.ASN == b.ASN {
+				continue
+			}
+			nxt, ok := r.NextAS(a.ASN, b.ASN)
+			if !ok {
+				continue
+			}
+			rel := relation(t, w, a.ASN, nxt)
+			switch r.RouteClass(a.ASN, b.ASN) {
+			case ViaCustomer:
+				if rel != "p2c" {
+					t.Fatalf("%v->%v via-customer but next hop %v is %s", a.ASN, b.ASN, nxt, rel)
+				}
+			case ViaPeer:
+				if rel != "p2p" {
+					t.Fatalf("%v->%v via-peer but next hop %v is %s", a.ASN, b.ASN, nxt, rel)
+				}
+			case ViaProvider:
+				if rel != "c2p" {
+					t.Fatalf("%v->%v via-provider but next hop %v is %s", a.ASN, b.ASN, nxt, rel)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w := world.Generate(world.Small())
+	r1 := Compute(w)
+	r2 := Compute(w)
+	for _, a := range w.ASes {
+		for _, b := range w.ASes {
+			n1, _ := r1.NextAS(a.ASN, b.ASN)
+			n2, _ := r2.NextAS(a.ASN, b.ASN)
+			if n1 != n2 {
+				t.Fatalf("non-deterministic next hop %v->%v: %v vs %v", a.ASN, b.ASN, n1, n2)
+			}
+		}
+	}
+}
+
+func TestUnknownASN(t *testing.T) {
+	_, r := testWorld(t)
+	if _, ok := r.NextAS(1, 2); ok {
+		t.Error("unknown ASNs should be unreachable")
+	}
+	if _, ok := r.ASPath(1, 2); ok {
+		t.Error("unknown ASNs should have no path")
+	}
+	if r.RouteClass(1, 2) != Unreachable {
+		t.Error("unknown ASNs should be Unreachable")
+	}
+}
+
+func TestIngressCommunities(t *testing.T) {
+	w, _ := testWorld(t)
+	var tagger *world.AS
+	for _, as := range w.ASes {
+		if as.TagsCommunities && len(as.Facilities) >= 2 {
+			tagger = as
+			break
+		}
+	}
+	if tagger == nil {
+		t.Skip("no tagging AS in small world")
+	}
+	d := BuildDictionary(w, tagger.ASN)
+	if len(d) != len(tagger.Facilities) {
+		t.Fatalf("dictionary has %d entries, want %d", len(d), len(tagger.Facilities))
+	}
+	for _, f := range tagger.Facilities {
+		c, ok := IngressCommunity(w, tagger.ASN, f)
+		if !ok {
+			t.Fatalf("no community for facility %d", f)
+		}
+		if got := d[c]; got != f {
+			t.Fatalf("dictionary round-trip: %v -> %d, want %d", c, got, f)
+		}
+		if c.AS != tagger.ASN || c.Value < communityBase {
+			t.Fatalf("malformed community %v", c)
+		}
+	}
+	// Distinct facilities get distinct values.
+	seen := make(map[uint32]bool)
+	for c := range d {
+		if seen[c.Value] {
+			t.Fatalf("duplicate community value %d", c.Value)
+		}
+		seen[c.Value] = true
+	}
+	// Non-tagging AS yields nothing.
+	for _, as := range w.ASes {
+		if !as.TagsCommunities {
+			if BuildDictionary(w, as.ASN) != nil {
+				t.Fatalf("%v should have no dictionary", as.ASN)
+			}
+			if _, ok := IngressCommunity(w, as.ASN, 0); ok {
+				t.Fatalf("%v should not tag", as.ASN)
+			}
+			break
+		}
+	}
+	// Foreign facility yields nothing.
+	foreign := world.FacilityID(len(w.Facilities) + 5)
+	if _, ok := IngressCommunity(w, tagger.ASN, foreign); ok {
+		t.Error("foreign facility should have no community")
+	}
+}

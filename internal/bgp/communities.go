@@ -1,0 +1,65 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"facilitymap/internal/world"
+)
+
+// Community is a BGP community attribute value "asn:value". Operators in
+// the world use the value range 10000+ to tag the facility where a route
+// entered their network, mirroring the ingress-point tagging the paper
+// exploits for validation (§6: "a dictionary of 109 community values used
+// to annotate ingress points, defined by 4 large transit providers").
+type Community struct {
+	AS    world.ASN
+	Value uint32
+}
+
+func (c Community) String() string { return fmt.Sprintf("%d:%d", uint32(c.AS), c.Value) }
+
+// communityBase is the first value used for ingress-facility tags.
+const communityBase = 10000
+
+// IngressCommunity returns the community AS `tagger` attaches to routes
+// entering through a border router located at facility f. ok is false
+// when the AS does not tag or the facility is not in its footprint.
+func IngressCommunity(w *world.World, tagger world.ASN, f world.FacilityID) (Community, bool) {
+	as := w.ASByNumber(tagger)
+	if as == nil || !as.TagsCommunities {
+		return Community{}, false
+	}
+	// The value encodes the facility's position in the AS's (sorted)
+	// facility list, which is how operators number their PoPs.
+	facs := append([]world.FacilityID(nil), as.Facilities...)
+	sort.Slice(facs, func(i, j int) bool { return facs[i] < facs[j] })
+	for i, g := range facs {
+		if g == f {
+			return Community{AS: tagger, Value: communityBase + uint32(i)}, true
+		}
+	}
+	return Community{}, false
+}
+
+// Dictionary maps an operator's ingress community values back to
+// facilities. This is the "compiled dictionary" a researcher obtains from
+// operator documentation; validation uses it to decode communities seen
+// in looking-glass BGP output.
+type Dictionary map[Community]world.FacilityID
+
+// BuildDictionary compiles the community dictionary for one operator.
+// It returns nil for operators that do not tag ingress points.
+func BuildDictionary(w *world.World, tagger world.ASN) Dictionary {
+	as := w.ASByNumber(tagger)
+	if as == nil || !as.TagsCommunities {
+		return nil
+	}
+	d := make(Dictionary, len(as.Facilities))
+	facs := append([]world.FacilityID(nil), as.Facilities...)
+	sort.Slice(facs, func(i, j int) bool { return facs[i] < facs[j] })
+	for i, f := range facs {
+		d[Community{AS: tagger, Value: communityBase + uint32(i)}] = f
+	}
+	return d
+}

@@ -1,0 +1,236 @@
+// Package cfs implements the paper's contribution: Constrained Facility
+// Search (§4). Given traceroute observations, public facility/IXP data,
+// alias resolution and remote-peering detection, it infers for each
+// observed peering interface the physical facility hosting its router,
+// and for each interconnection the engineering approach used (public
+// peering, cross-connect, tethering, remote peering).
+//
+// The algorithm iterates four steps until convergence or timeout:
+//
+//  1. classify traceroute adjacencies into public ((IP_A, IP_ixp, IP_B))
+//     and private ((IP_A, IP_B)) peerings;
+//  2. constrain the near-end interface to the intersection of the
+//     involved parties' facility sets, using remote-peering detection
+//     when the intersection is empty;
+//  3. propagate constraints across alias sets (all interfaces of one
+//     router share one facility);
+//  4. launch targeted follow-up traceroutes chosen to shrink the
+//     candidate sets of still-unresolved interfaces.
+//
+// The package consumes only observational inputs — the registry, the
+// IP-to-ASN service, the measurement platforms — never ground truth.
+package cfs
+
+import (
+	"facilitymap/internal/alias"
+	"facilitymap/internal/ip2asn"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/platform"
+	"facilitymap/internal/registry"
+	"facilitymap/internal/remote"
+	"facilitymap/internal/world"
+)
+
+// Config tunes the search and enables ablations.
+type Config struct {
+	// MaxIterations bounds the CFS loop (the paper uses 100, §5).
+	MaxIterations int
+	// FollowUpBudget caps targeted traceroutes per iteration.
+	FollowUpBudget int
+	// TargetsPerInterface caps follow-up targets per unresolved
+	// interface per iteration.
+	TargetsPerInterface int
+	// VPsPerTarget caps vantage points per follow-up target.
+	VPsPerTarget int
+	// MDAFlows enables multipath exploration on follow-up traceroutes:
+	// each probe tries this many flow labels, exposing redundant
+	// equal-cost interconnections. 0 disables (plain Paris probes).
+	MDAFlows int
+	// Platforms usable for targeted measurements (Figure 7 runs CFS
+	// with all platforms, Atlas-only and LG-only).
+	Platforms []platform.Kind
+	// AliasRounds lists the iterations (1-based) before which alias
+	// resolution re-runs over the grown interface pool.
+	AliasRounds []int
+
+	// Ablation switches.
+	UseAliasResolution bool
+	UseTargeted        bool
+	UseRemoteDetection bool
+	UseProximity       bool
+
+	// TraceProvenance records, per interface, the constraints applied
+	// (for debugging and explainability; costs memory).
+	TraceProvenance bool
+}
+
+// DefaultConfig mirrors the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		MaxIterations:       100,
+		FollowUpBudget:      400,
+		TargetsPerInterface: 3,
+		VPsPerTarget:        2,
+		Platforms:           platform.Kinds(),
+		AliasRounds:         []int{1, 5, 15, 40, 70},
+		UseAliasResolution:  true,
+		UseTargeted:         true,
+		UseRemoteDetection:  true,
+		UseProximity:        true,
+	}
+}
+
+// Pipeline wires the observational inputs together.
+type Pipeline struct {
+	cfg    Config
+	db     *registry.Database
+	ipasn  *ip2asn.Service
+	svc    *platform.Service
+	det    *remote.Detector
+	prober *alias.Prober
+}
+
+// New builds a pipeline. det and prober may be nil when the matching
+// config switches are off.
+func New(cfg Config, db *registry.Database, ipasn *ip2asn.Service,
+	svc *platform.Service, det *remote.Detector, prober *alias.Prober) *Pipeline {
+	return &Pipeline{cfg: cfg, db: db, ipasn: ipasn, svc: svc, det: det, prober: prober}
+}
+
+// LinkType is the inferred engineering approach of an interconnection.
+type LinkType int
+
+const (
+	// PublicLocal: public peering with the near member colocated at an
+	// IXP facility.
+	PublicLocal LinkType = iota
+	// PublicRemote: public peering with the near member reaching the
+	// IXP through a reseller.
+	PublicRemote
+	// PrivateCrossConnect: private interconnect inside a shared
+	// facility.
+	PrivateCrossConnect
+	// PrivateTethering: private VLAN over a shared IXP fabric.
+	PrivateTethering
+	// PrivateUnknown: private interconnect with no shared facility or
+	// fabric in the data (long-haul circuit or missing data).
+	PrivateUnknown
+)
+
+func (t LinkType) String() string {
+	switch t {
+	case PublicLocal:
+		return "public-local"
+	case PublicRemote:
+		return "public-remote"
+	case PrivateCrossConnect:
+		return "cross-connect"
+	case PrivateTethering:
+		return "tethering"
+	case PrivateUnknown:
+		return "private-unknown"
+	default:
+		return "invalid"
+	}
+}
+
+// Adjacency is one classified peering observation from a traceroute.
+type Adjacency struct {
+	// Near is the near-end peering interface (IP_A in the paper).
+	Near netaddr.IP
+	// NearAS is IP_A's (repaired) owner.
+	NearAS world.ASN
+	// Public marks an IXP crossing; IXP and FarPort describe it.
+	Public  bool
+	IXP     world.IXPID
+	FarPort netaddr.IP // the IXP-LAN address replying (far router's port)
+	// FarAS/Far are set for private adjacencies: the next hop interface
+	// and its owner.
+	Far   netaddr.IP
+	FarAS world.ASN
+
+	Type LinkType
+}
+
+// InterfaceResult is the final inference for one interface.
+type InterfaceResult struct {
+	IP    netaddr.IP
+	Owner world.ASN // zero when the owner could not be established
+	// Candidates is the final candidate facility set; nil when the
+	// search never obtained a constraint.
+	Candidates []world.FacilityID
+	// Facility is set when Candidates collapsed to exactly one.
+	Facility world.FacilityID
+	Resolved bool
+	// CityCluster is set when all candidates share one metro cluster
+	// ("constrain the location to a single city", §5).
+	CityCluster   int
+	CityConstrain bool
+	// ViaProximity marks far-end ports placed by the switch-proximity
+	// heuristic rather than by set intersection.
+	ViaProximity bool
+	// ViaFarEnd marks cross-connect far ends placed by the §4.3
+	// same-building inference.
+	ViaFarEnd bool
+	// RemoteMember marks interfaces of IXP members inferred to peer
+	// remotely.
+	RemoteMember bool
+}
+
+// IterationStats is one row of the convergence curve (Figure 7).
+type IterationStats struct {
+	Iteration  int
+	Observed   int // peering interfaces in the pool
+	Resolved   int // collapsed to a single facility
+	CityOnly   int // constrained to one metro but not one facility
+	FollowUps  int // targeted traceroutes issued this iteration
+	NewAdjs    int // adjacencies added this iteration
+	Conflicts  int // empty-intersection constraint attempts
+	RemoteSeen int // interfaces flagged remote so far
+}
+
+// Result is the full outcome of one CFS run.
+type Result struct {
+	Interfaces map[netaddr.IP]*InterfaceResult
+	Links      []*Adjacency
+	History    []IterationStats
+
+	// aliasSetOf maps an address to its alias-set ID (router identity)
+	// for the census; nil when alias resolution was disabled.
+	aliasSetOf func(netaddr.IP) int
+
+	// Provenance lists the constraints applied per interface, in order,
+	// when Config.TraceProvenance was set.
+	Provenance map[netaddr.IP][]string
+
+	// MissingFacilityData counts unresolved interfaces whose owner has
+	// no facility data at all (§5: 33% of unresolved interfaces).
+	MissingFacilityData int
+	// ProximityInferences counts far-end placements by the heuristic.
+	ProximityInferences int
+	// FarEndInferences counts cross-connect far ends placed by the
+	// same-building rule (§4.3).
+	FarEndInferences int
+	// MergeConflicts counts interfaces whose candidate sets disagreed
+	// outright when results were combined with Merge.
+	MergeConflicts int
+}
+
+// Resolved returns the number of interfaces mapped to a single facility.
+func (r *Result) Resolved() int {
+	n := 0
+	for _, ir := range r.Interfaces {
+		if ir.Resolved {
+			n++
+		}
+	}
+	return n
+}
+
+// ResolvedFraction returns Resolved()/len(Interfaces).
+func (r *Result) ResolvedFraction() float64 {
+	if len(r.Interfaces) == 0 {
+		return 0
+	}
+	return float64(r.Resolved()) / float64(len(r.Interfaces))
+}

@@ -1,0 +1,188 @@
+package cfs
+
+import (
+	"testing"
+
+	"facilitymap/internal/alias"
+	"facilitymap/internal/bgp"
+	"facilitymap/internal/geo"
+	"facilitymap/internal/ip2asn"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/platform"
+	"facilitymap/internal/registry"
+	"facilitymap/internal/trace"
+	"facilitymap/internal/world"
+)
+
+// TestFigure5ToyExample reproduces the paper's Figure 5 walk-through
+// end-to-end on a hand-assembled world:
+//
+//	trace 1 (A.1, IX.1, B.1): AS A shares facilities {2,5} with the IXP,
+//	    so A.1 -> {2,5};
+//	tr ace 2 (A.3, C.1): AS A shares facilities {1,2} with AS C, so
+//	    A.3 -> {1,2};
+//	alias resolution: A.1 and A.3 are one router, so the intersection
+//	    pins both to facility 2.
+func TestFigure5ToyExample(t *testing.T) {
+	w := &world.World{}
+	metro := &geo.Metro{ID: 0, Name: "Toyville", Country: "TV", Region: geo.Europe,
+		Center: geo.Coord{Lat: 50, Lon: 8}}
+	w.Metros = []*geo.Metro{metro}
+	// Facilities 0..5; the paper's labels 1..5 map to IDs 1..5.
+	for i := 0; i <= 5; i++ {
+		w.Facilities = append(w.Facilities, &world.Facility{
+			ID: world.FacilityID(i), Name: "F", Operator: "Op",
+			Metro: 0, Coord: metro.Center, CityName: "Toyville",
+		})
+	}
+	// IXP at facilities {2,4,5} with one access switch each.
+	ix := &world.IXP{
+		ID: 0, Name: "TOY-IX", Metro: 0,
+		Prefix:     netaddr.MustParsePrefix("195.0.0.0/24"),
+		Facilities: []world.FacilityID{2, 4, 5},
+	}
+	core := &world.Switch{ID: 0, IXP: 0, Role: world.CoreSwitch, Facility: 2, Parent: world.None}
+	w.Switches = append(w.Switches, core)
+	ix.Core = 0
+	ix.Switches = []world.SwitchID{0}
+	for i, f := range ix.Facilities {
+		s := &world.Switch{ID: world.SwitchID(i + 1), IXP: 0, Role: world.AccessSwitch,
+			Facility: f, Parent: 0}
+		w.Switches = append(w.Switches, s)
+		ix.Switches = append(ix.Switches, s.ID)
+	}
+	w.IXPs = []*world.IXP{ix}
+
+	mkAS := func(asn world.ASN, prefix string, facs ...world.FacilityID) *world.AS {
+		as := &world.AS{ASN: asn, Name: asn.String(), Type: world.Transit,
+			Prefixes:   []netaddr.Prefix{netaddr.MustParsePrefix(prefix)},
+			Facilities: facs}
+		w.ASes = append(w.ASes, as)
+		return as
+	}
+	asA := mkAS(64500, "20.0.0.0/16", 1, 2, 5)
+	asB := mkAS(64501, "20.1.0.0/16", 4)
+	asC := mkAS(64502, "20.2.0.0/16", 1, 2, 3)
+
+	mkRouter := func(as *world.AS, fac world.FacilityID) *world.Router {
+		r := &world.Router{ID: world.RouterID(len(w.Routers)), AS: as.ASN,
+			Facility: fac, Metro: 0, Coord: metro.Center,
+			IPID: world.IPIDSharedCounter, RespondsToTraceroute: true}
+		w.Routers = append(w.Routers, r)
+		as.Routers = append(as.Routers, r.ID)
+		return r
+	}
+	mkIface := func(r *world.Router, ip string, kind world.InterfaceKind, ixp world.IXPID, sw world.SwitchID) *world.Interface {
+		ifc := &world.Interface{ID: world.InterfaceID(len(w.Interfaces)),
+			IP: netaddr.MustParseIP(ip), Router: r.ID, Kind: kind, IXP: ixp, Switch: sw, Link: world.None}
+		w.Interfaces = append(w.Interfaces, ifc)
+		r.Interfaces = append(r.Interfaces, ifc.ID)
+		return ifc
+	}
+
+	// AS A's router (truth: facility 2) with three interfaces: core A.1,
+	// an IXP port, and private side A.3 toward C.
+	rA := mkRouter(asA, 2)
+	a1 := mkIface(rA, "20.0.0.1", world.CoreIface, world.IXPID(world.None), world.SwitchID(world.None))
+	mkIface(rA, "195.0.0.10", world.IXPPort, 0, 1)
+	a3 := mkIface(rA, "20.0.0.3", world.PrivateSide, world.IXPID(world.None), world.SwitchID(world.None))
+
+	// AS B's router at facility 4 with its IXP port IX.1 and core B.1.
+	rB := mkRouter(asB, 4)
+	b1 := mkIface(rB, "20.1.0.1", world.CoreIface, world.IXPID(world.None), world.SwitchID(world.None))
+	ix1 := mkIface(rB, "195.0.0.20", world.IXPPort, 0, 2)
+
+	// AS C's router at facility 2 (cross-connect partner of A).
+	rC := mkRouter(asC, 2)
+	c1 := mkIface(rC, "20.2.0.1", world.CoreIface, world.IXPID(world.None), world.SwitchID(world.None))
+
+	// Memberships so registry lists A and B at the exchange.
+	w.Memberships = []*world.Membership{
+		{ID: 0, AS: asA.ASN, IXP: 0, Router: rA.ID, Port: rA.Interfaces[1], AccessSwitch: 1},
+		{ID: 1, AS: asB.ASN, IXP: 0, Router: rB.ID, Port: ix1.ID, AccessSwitch: 2},
+	}
+	// Make routing trivially computable.
+	asA.Peers = []world.ASN{asB.ASN, asC.ASN}
+	asB.Peers = []world.ASN{asA.ASN}
+	asC.Peers = []world.ASN{asA.ASN}
+	asB.Providers = []world.ASN{}
+	w.Finalize()
+
+	// Lossless registry: the toy tests the algorithm, not the gaps.
+	db := registry.Collect(w, registry.Config{
+		Seed: 1, ASCompleteProb: 1, MinCompleteness: 1,
+		IXPFacilityListedProb: 1, IXPWebsiteFacilityProb: 1,
+		MembershipListedProb: 1,
+	})
+
+	rt := bgp.Compute(w)
+	engine := trace.New(w, rt, 1)
+	svc := platform.NewService(w, &platform.Fleet{}, engine, rt)
+	cfg := DefaultConfig()
+	cfg.UseTargeted = false
+	cfg.UseRemoteDetection = false
+	cfg.UseProximity = false
+	cfg.MaxIterations = 5
+	p := New(cfg, db, ip2asn.New(w), svc, nil, alias.NewProber(w, 3))
+
+	paths := []trace.Path{
+		{Hops: []trace.Hop{
+			{IP: a1.IP, Responded: true},
+			{IP: ix1.IP, Responded: true},
+			{IP: b1.IP, Responded: true},
+		}},
+		{Hops: []trace.Hop{
+			{IP: a3.IP, Responded: true},
+			{IP: c1.IP, Responded: true},
+		}},
+	}
+	res := p.Run(paths)
+
+	irA1 := res.Interfaces[a1.IP]
+	irA3 := res.Interfaces[a3.IP]
+	if irA1 == nil || irA3 == nil {
+		t.Fatal("toy interfaces missing from the pool")
+	}
+	if !irA1.Resolved || irA1.Facility != 2 {
+		t.Errorf("A.1 = %+v, want resolved to facility 2", irA1)
+	}
+	if !irA3.Resolved || irA3.Facility != 2 {
+		t.Errorf("A.3 = %+v, want resolved to facility 2", irA3)
+	}
+	// The public adjacency must be typed correctly.
+	foundPublic := false
+	for _, a := range res.Links {
+		if a.Public && a.Near == a1.IP && a.IXP == 0 {
+			foundPublic = true
+		}
+	}
+	if !foundPublic {
+		t.Error("trace 1's IXP crossing was not classified as public peering")
+	}
+}
+
+// TestFigure6SwitchProximity encodes the Figure 6 semantics: traffic
+// between members stays local to an access or backhaul switch, so the
+// learned proximity ranking picks the fabric-adjacent facility and
+// refuses to choose between same-backhaul candidates it has never been
+// able to separate.
+func TestFigure6SwitchProximity(t *testing.T) {
+	px := NewProximity()
+	const ixp = world.IXPID(1)
+	// Facilities 2 and 3 hang off backhaul BH1; facility 4 is beyond the
+	// core (Figure 6's layout). Crossings from facility 2 always surface
+	// far ports in facility 3 (local), never 4.
+	for i := 0; i < 6; i++ {
+		px.Observe(ixp, 2, 3)
+	}
+	if f, ok := px.Pick(ixp, 2, []world.FacilityID{3, 4}); !ok || f != 3 {
+		t.Errorf("Pick = %v,%v; want facility 3 (same backhaul)", f, ok)
+	}
+	// AS D's case: both candidate facilities equally proximate — the
+	// heuristic must refuse.
+	px.Observe(ixp, 5, 3)
+	px.Observe(ixp, 5, 4)
+	if _, ok := px.Pick(ixp, 5, []world.FacilityID{3, 4}); ok {
+		t.Error("equal proximity must yield no inference (§4.4)")
+	}
+}

@@ -1,0 +1,101 @@
+package cfs
+
+import (
+	"sort"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// Merge combines the results of several CFS runs into one incremental
+// map — the paper's closing point (§8): "by utilizing results for
+// individual interconnections and others inferred in the process, it is
+// possible to incrementally construct a more detailed map of
+// interconnections."
+//
+// Per interface, candidate sets intersect across runs (each run's set is
+// a sound over-approximation, so the intersection is too); an interface
+// unresolved in one run may collapse to a single facility once another
+// run contributes a disjoint constraint. Runs that disagree outright —
+// an empty intersection — keep the earliest run's answer and increment
+// MergeConflicts. Links are unioned.
+func Merge(results ...*Result) *Result {
+	out := &Result{Interfaces: make(map[netaddr.IP]*InterfaceResult)}
+	seenLinks := make(map[adjKey]bool)
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		out.MissingFacilityData += res.MissingFacilityData
+		out.ProximityInferences += res.ProximityInferences
+		out.FarEndInferences += res.FarEndInferences
+		if out.aliasSetOf == nil {
+			out.aliasSetOf = res.aliasSetOf
+		}
+		for _, a := range res.Links {
+			key := adjKey{a.Near, a.FarPort}
+			if !a.Public {
+				key = adjKey{a.Near, a.Far}
+			}
+			if !seenLinks[key] {
+				seenLinks[key] = true
+				out.Links = append(out.Links, a)
+			}
+		}
+		for ip, ir := range res.Interfaces {
+			cur, ok := out.Interfaces[ip]
+			if !ok {
+				cp := *ir
+				cp.Candidates = append([]world.FacilityID(nil), ir.Candidates...)
+				out.Interfaces[ip] = &cp
+				continue
+			}
+			mergeInterface(out, cur, ir)
+		}
+	}
+	return out
+}
+
+func mergeInterface(out *Result, cur *InterfaceResult, next *InterfaceResult) {
+	if cur.Owner == 0 {
+		cur.Owner = next.Owner
+	}
+	cur.RemoteMember = cur.RemoteMember || next.RemoteMember
+	cur.ViaProximity = cur.ViaProximity && next.ViaProximity
+	cur.ViaFarEnd = cur.ViaFarEnd && next.ViaFarEnd
+	switch {
+	case len(next.Candidates) == 0:
+		// The new run adds no constraint.
+	case len(cur.Candidates) == 0:
+		cur.Candidates = append([]world.FacilityID(nil), next.Candidates...)
+	default:
+		inter := intersectSlices(cur.Candidates, next.Candidates)
+		if len(inter) == 0 {
+			out.MergeConflicts++
+			return // keep the earlier run's answer
+		}
+		cur.Candidates = inter
+	}
+	if len(cur.Candidates) == 1 {
+		cur.Resolved = true
+		cur.Facility = cur.Candidates[0]
+		cur.CityConstrain = false
+	} else {
+		cur.Resolved = false
+	}
+}
+
+func intersectSlices(a, b []world.FacilityID) []world.FacilityID {
+	set := make(map[world.FacilityID]bool, len(a))
+	for _, f := range a {
+		set[f] = true
+	}
+	var out []world.FacilityID
+	for _, f := range b {
+		if set[f] {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,120 @@
+package cfs
+
+import (
+	"testing"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/platform"
+	"facilitymap/internal/world"
+)
+
+func mkResult(entries map[string][]world.FacilityID) *Result {
+	r := &Result{Interfaces: make(map[netaddr.IP]*InterfaceResult)}
+	for ip, cands := range entries {
+		addr := netaddr.MustParseIP(ip)
+		ir := &InterfaceResult{IP: addr, Owner: 64500,
+			Candidates: append([]world.FacilityID(nil), cands...)}
+		if len(cands) == 1 {
+			ir.Resolved = true
+			ir.Facility = cands[0]
+		}
+		r.Interfaces[addr] = ir
+	}
+	return r
+}
+
+func TestMergeComplementaryConstraints(t *testing.T) {
+	a := mkResult(map[string][]world.FacilityID{
+		"10.0.0.1": {1, 2, 5}, // unresolved in run A
+		"10.0.0.2": {7},
+	})
+	b := mkResult(map[string][]world.FacilityID{
+		"10.0.0.1": {2, 3}, // disjoint constraint collapses to {2}
+		"10.0.0.3": {9},
+	})
+	m := Merge(a, b)
+	if len(m.Interfaces) != 3 {
+		t.Fatalf("merged %d interfaces, want 3", len(m.Interfaces))
+	}
+	ir := m.Interfaces[netaddr.MustParseIP("10.0.0.1")]
+	if !ir.Resolved || ir.Facility != 2 {
+		t.Errorf("intersection should resolve to facility 2: %+v", ir)
+	}
+	if !m.Interfaces[netaddr.MustParseIP("10.0.0.2")].Resolved {
+		t.Error("run-A-only inference lost")
+	}
+	if !m.Interfaces[netaddr.MustParseIP("10.0.0.3")].Resolved {
+		t.Error("run-B-only inference lost")
+	}
+	if m.MergeConflicts != 0 {
+		t.Errorf("unexpected conflicts: %d", m.MergeConflicts)
+	}
+}
+
+func TestMergeConflictKeepsEarlier(t *testing.T) {
+	a := mkResult(map[string][]world.FacilityID{"10.0.0.1": {1}})
+	b := mkResult(map[string][]world.FacilityID{"10.0.0.1": {2}})
+	m := Merge(a, b)
+	ir := m.Interfaces[netaddr.MustParseIP("10.0.0.1")]
+	if !ir.Resolved || ir.Facility != 1 {
+		t.Errorf("conflict should keep the earlier run: %+v", ir)
+	}
+	if m.MergeConflicts != 1 {
+		t.Errorf("MergeConflicts = %d, want 1", m.MergeConflicts)
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	a := mkResult(map[string][]world.FacilityID{
+		"10.0.0.1": {1, 2},
+		"10.0.0.2": {7},
+	})
+	m := Merge(a, a)
+	if m.Resolved() != a.Resolved() || len(m.Interfaces) != len(a.Interfaces) {
+		t.Errorf("self-merge changed the result: %d/%d vs %d/%d",
+			m.Resolved(), len(m.Interfaces), a.Resolved(), len(a.Interfaces))
+	}
+	if m.MergeConflicts != 0 {
+		t.Errorf("self-merge conflicts: %d", m.MergeConflicts)
+	}
+	// Nil runs are skipped.
+	if got := Merge(nil, a, nil); got.Resolved() != a.Resolved() {
+		t.Error("nil runs should be ignored")
+	}
+}
+
+// TestMergeOfRealRuns: two campaigns with different seeds over one world
+// should combine into at least as many resolutions as either alone.
+func TestMergeOfRealRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs")
+	}
+	s := buildStack(t, world.Small())
+	cfg := DefaultConfig()
+	cfg.MaxIterations = 20
+	run1 := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober).Run(s.initialCorpus())
+	// Second campaign: different targets (wide scan only).
+	var wide []netaddr.IP
+	for _, as := range s.w.ASes {
+		for i, rid := range as.Routers {
+			if i >= 2 {
+				break
+			}
+			wide = append(wide, s.w.Interfaces[s.w.Routers[rid].Core()].IP)
+		}
+	}
+	run2 := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober).Run(
+		s.svc.Campaign(platform.Kinds(), wide))
+	merged := Merge(run1, run2)
+	if merged.Resolved() < run1.Resolved() || merged.Resolved() < run2.Resolved() {
+		t.Errorf("merge lost resolutions: %d vs %d/%d",
+			merged.Resolved(), run1.Resolved(), run2.Resolved())
+	}
+	if len(merged.Interfaces) < len(run1.Interfaces) {
+		t.Error("merge lost interfaces")
+	}
+	t.Logf("run1 %d/%d, run2 %d/%d, merged %d/%d (conflicts %d)",
+		run1.Resolved(), len(run1.Interfaces),
+		run2.Resolved(), len(run2.Interfaces),
+		merged.Resolved(), len(merged.Interfaces), merged.MergeConflicts)
+}

@@ -1,0 +1,117 @@
+package cfs
+
+import (
+	"strings"
+	"testing"
+
+	"facilitymap/internal/ip2asn"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/registry"
+	"facilitymap/internal/trace"
+)
+
+// TestOfflinePipeline drives the full offline adoption path: a
+// PeeringDB-style JSON dump, a plain-text BGP table and raw traceroute
+// transcripts — no simulator, no measurement service — reproducing the
+// Figure 5 toy inference from files alone.
+func TestOfflinePipeline(t *testing.T) {
+	const pdb = `{
+	  "fac": [
+	    {"id": 1, "name": "F1", "org_name": "Op", "city": "Toyville", "country": "TV", "latitude": 50, "longitude": 8},
+	    {"id": 2, "name": "F2", "org_name": "Op", "city": "Toyville", "country": "TV", "latitude": 50.001, "longitude": 8.001},
+	    {"id": 3, "name": "F3", "org_name": "Op", "city": "Toyville", "country": "TV", "latitude": 50.002, "longitude": 8.002},
+	    {"id": 4, "name": "F4", "org_name": "Op", "city": "Toyville", "country": "TV", "latitude": 50.003, "longitude": 8.003},
+	    {"id": 5, "name": "F5", "org_name": "Op", "city": "Toyville", "country": "TV", "latitude": 50.004, "longitude": 8.004}
+	  ],
+	  "net": [
+	    {"asn": 64500, "name": "AS A"},
+	    {"asn": 64501, "name": "AS B"},
+	    {"asn": 64502, "name": "AS C"}
+	  ],
+	  "ix": [{"id": 7, "name": "TOY-IX", "city": "Toyville", "country": "TV"}],
+	  "netfac": [
+	    {"local_asn": 64500, "fac_id": 1},
+	    {"local_asn": 64500, "fac_id": 2},
+	    {"local_asn": 64500, "fac_id": 5},
+	    {"local_asn": 64501, "fac_id": 4},
+	    {"local_asn": 64502, "fac_id": 1},
+	    {"local_asn": 64502, "fac_id": 2},
+	    {"local_asn": 64502, "fac_id": 3}
+	  ],
+	  "ixfac": [
+	    {"ix_id": 7, "fac_id": 2},
+	    {"ix_id": 7, "fac_id": 4},
+	    {"ix_id": 7, "fac_id": 5}
+	  ],
+	  "netixlan": [
+	    {"asn": 64500, "ix_id": 7, "ipaddr4": "195.0.0.10"},
+	    {"asn": 64501, "ix_id": 7, "ipaddr4": "195.0.0.20"}
+	  ],
+	  "ixpfx": [{"ix_id": 7, "prefix": "195.0.0.0/24"}]
+	}`
+	const bgpTable = `# toy table
+20.0.0.0/16 64500
+20.1.0.0/16 64501
+20.2.0.0/16 64502
+`
+	const traces = `traceroute to 20.1.0.1, 30 hops max
+ 1  20.0.0.1  0.4 ms
+ 2  195.0.0.20  1.1 ms
+ 3  20.1.0.1  1.5 ms
+
+traceroute to 20.2.0.1, 30 hops max
+ 1  20.0.0.3  0.4 ms
+ 2  20.2.0.1  0.9 ms
+`
+	db, facIDs, err := registry.FromPeeringDB(strings.NewReader(pdb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ip2asn.ParseTable(strings.NewReader(bgpTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := trace.Parse(strings.NewReader(traces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offline configuration: no measurement service, no alias prober,
+	// no remote detection.
+	cfg := DefaultConfig()
+	cfg.UseTargeted = false
+	cfg.UseAliasResolution = false
+	cfg.UseRemoteDetection = false
+	cfg.MaxIterations = 5
+	p := New(cfg, db, ip2asn.FromTable(entries), nil, nil, nil)
+	res := p.Run(paths)
+
+	// Trace 1: 20.0.0.1 (AS A) constrained by A ∩ TOY-IX = {F2, F5}.
+	ir1 := res.Interfaces[netaddr.MustParseIP("20.0.0.1")]
+	if ir1 == nil {
+		t.Fatal("trace-1 near interface missing")
+	}
+	wantSet := map[string]bool{"F2": true, "F5": true}
+	if len(ir1.Candidates) != 2 {
+		t.Fatalf("A.1 candidates = %v, want the two A∩IXP facilities", ir1.Candidates)
+	}
+	for _, c := range ir1.Candidates {
+		if !wantSet[db.Facilities[c].Name] {
+			t.Fatalf("unexpected candidate %s", db.Facilities[c].Name)
+		}
+	}
+	// Trace 2: 20.0.0.3 (AS A) constrained by A ∩ C = {F1, F2}.
+	ir2 := res.Interfaces[netaddr.MustParseIP("20.0.0.3")]
+	if ir2 == nil || len(ir2.Candidates) != 2 {
+		t.Fatalf("A.3 = %+v, want two candidates", ir2)
+	}
+	// Without alias resolution the two interfaces stay separate (the
+	// Figure 5 collapse to F2 needs step 3); the public far port still
+	// resolves to B's single common facility with the exchange.
+	irB := res.Interfaces[netaddr.MustParseIP("195.0.0.20")]
+	if irB == nil || !irB.Resolved || irB.Facility != facIDs[4] {
+		t.Fatalf("B's port = %+v, want resolved to F4", irB)
+	}
+	if irB.Owner != 64501 {
+		t.Fatalf("B's port owner = %v (netixlan should identify it)", irB.Owner)
+	}
+}

@@ -1,0 +1,105 @@
+package cfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// TestConstrainMonotonic: candidate sets only ever shrink, regardless of
+// the constraint sequence — the invariant behind the monotone
+// convergence curve of Figure 7.
+func TestConstrainMonotonic(t *testing.T) {
+	f := func(seqs [][]uint8) bool {
+		st := &state{cand: make(map[netaddr.IP]facset)}
+		ip := netaddr.MustParseIP("10.0.0.1")
+		prevSize := -1
+		for _, raw := range seqs {
+			var ids []world.FacilityID
+			for _, x := range raw {
+				ids = append(ids, world.FacilityID(x%32))
+			}
+			st.constrain(ip, facsetOf(ids), "prop")
+			cur := st.cand[ip]
+			if cur == nil {
+				// Only legal when every set so far was empty.
+				if len(ids) > 0 {
+					return false
+				}
+				continue
+			}
+			if prevSize >= 0 && len(cur) > prevSize {
+				return false
+			}
+			if len(cur) == 0 {
+				return false // never collapses to empty
+			}
+			prevSize = len(cur)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntersectProperties: intersect is commutative, idempotent and
+// bounded by its inputs.
+func TestIntersectProperties(t *testing.T) {
+	f := func(rawA, rawB []uint8) bool {
+		a, b := make(facset), make(facset)
+		for _, x := range rawA {
+			a[world.FacilityID(x%64)] = true
+		}
+		for _, x := range rawB {
+			b[world.FacilityID(x%64)] = true
+		}
+		ab := intersect(a, b)
+		ba := intersect(b, a)
+		if len(ab) != len(ba) {
+			return false
+		}
+		for f := range ab {
+			if !ba[f] || !a[f] || !b[f] {
+				return false
+			}
+		}
+		// Idempotence: a ∩ a = a.
+		aa := intersect(a, a)
+		if len(aa) != len(a) {
+			return false
+		}
+		// Every common element is present.
+		for f := range a {
+			if b[f] && !ab[f] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunDeterministic: identical inputs produce identical inferences.
+func TestRunDeterministic(t *testing.T) {
+	s1 := buildStack(t, world.Small())
+	cfg := DefaultConfig()
+	cfg.MaxIterations = 12
+	r1 := New(cfg, s1.db, s1.ipasn, s1.svc, s1.det, s1.prober).Run(s1.initialCorpus())
+	s2 := buildStack(t, world.Small())
+	r2 := New(cfg, s2.db, s2.ipasn, s2.svc, s2.det, s2.prober).Run(s2.initialCorpus())
+	if len(r1.Interfaces) != len(r2.Interfaces) || r1.Resolved() != r2.Resolved() {
+		t.Fatalf("non-deterministic run: %d/%d vs %d/%d",
+			r1.Resolved(), len(r1.Interfaces), r2.Resolved(), len(r2.Interfaces))
+	}
+	for ip, a := range r1.Interfaces {
+		b := r2.Interfaces[ip]
+		if b == nil || a.Resolved != b.Resolved || a.Facility != b.Facility {
+			t.Fatalf("interface %v diverged: %+v vs %+v", ip, a, b)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package cfs
+
+import (
+	"sort"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/platform"
+	"facilitymap/internal/trace"
+	"facilitymap/internal/world"
+)
+
+// Run executes the CFS loop over an initial traceroute corpus and
+// returns the converged inferences.
+func (p *Pipeline) Run(initial []trace.Path) *Result {
+	return p.run(Observations{Paths: initial})
+}
+
+func (p *Pipeline) run(obs Observations) *Result {
+	st := p.newState()
+	for _, path := range obs.Paths {
+		st.processPath(path)
+	}
+	for _, s := range obs.Sessions {
+		st.processSession(s)
+	}
+
+	aliasAt := make(map[int]bool, len(p.cfg.AliasRounds))
+	for _, r := range p.cfg.AliasRounds {
+		aliasAt[r] = true
+	}
+
+	var history []IterationStats
+	for iter := 1; iter <= p.cfg.MaxIterations; iter++ {
+		st.changed = false
+		if aliasAt[iter] {
+			st.resolveAliases()
+		}
+		st.applyConstraints()
+		st.aliasStep()
+
+		stats := st.snapshot(iter)
+		followUps, newAdjs := 0, 0
+		if p.cfg.UseTargeted && p.svc != nil && iter < p.cfg.MaxIterations {
+			followUps, newAdjs = st.targetedRound(iter)
+		}
+		stats.FollowUps = followUps
+		stats.NewAdjs = newAdjs
+		history = append(history, stats)
+
+		if stats.Resolved == stats.Observed {
+			break
+		}
+		if !st.changed && newAdjs == 0 && !aliasAt[iter+1] {
+			break // fixed point: nothing more to learn
+		}
+	}
+	res := st.assemble(history)
+	p.applyFarEnd(st, res)
+	if p.cfg.UseProximity {
+		p.applyProximity(st, res)
+	}
+	return res
+}
+
+// applyFarEnd is the §4.3 cross-connect inference, run as a second-class
+// pass so its errors cannot cascade through alias propagation: once the
+// near router of a cross-connect is pinned to one facility, its other
+// end sits in the same building, provided the far AS is known to be
+// present there.
+func (p *Pipeline) applyFarEnd(st *state, res *Result) {
+	for _, a := range st.adjOrder {
+		if a.Public || a.Type != PrivateCrossConnect {
+			continue
+		}
+		near, far := res.Interfaces[a.Near], res.Interfaces[a.Far]
+		if near == nil || far == nil || !near.Resolved || far.Resolved {
+			continue
+		}
+		if near.ViaFarEnd || near.ViaProximity {
+			continue // no chaining off heuristic placements
+		}
+		f := near.Facility
+		coPresent := false
+		for _, g := range p.db.FacilitiesOfAS(a.FarAS) {
+			if g == f {
+				coPresent = true
+				break
+			}
+		}
+		if !coPresent {
+			continue
+		}
+		// Consistent with the far side's own candidates, if any.
+		if len(far.Candidates) > 0 {
+			in := false
+			for _, c := range far.Candidates {
+				if c == f {
+					in = true
+				}
+			}
+			if !in {
+				continue
+			}
+		}
+		far.Resolved = true
+		far.Facility = f
+		far.Candidates = []world.FacilityID{f}
+		far.ViaFarEnd = true
+		res.FarEndInferences++
+	}
+}
+
+func (st *state) snapshot(iter int) IterationStats {
+	s := IterationStats{Iteration: iter, Observed: len(st.pool), Conflicts: st.conflicts}
+	for _, ip := range st.pool {
+		c := st.cand[ip]
+		switch {
+		case len(c) == 1:
+			s.Resolved++
+		case len(c) > 1 && st.singleCluster(c):
+			s.CityOnly++
+		}
+		if st.remoteIface[ip] {
+			s.RemoteSeen++
+		}
+	}
+	return s
+}
+
+// singleCluster reports whether every candidate facility normalises to
+// one metro cluster.
+func (st *state) singleCluster(c facset) bool {
+	first := -1
+	for f := range c {
+		cl, ok := st.p.db.MetroClusterOf(f)
+		if !ok {
+			return false
+		}
+		if first == -1 {
+			first = cl
+		} else if cl != first {
+			return false
+		}
+	}
+	return first != -1
+}
+
+// targetedRound implements Step 4: for unresolved interfaces, pick
+// target ASes whose facility sets can shrink the candidates, and
+// traceroute toward them from vantage points that saw the interface.
+func (st *state) targetedRound(iter int) (followUps, newAdjs int) {
+	cfg := st.p.cfg
+	budget := cfg.FollowUpBudget
+	allowed := make(map[platform.Kind]bool, len(cfg.Platforms))
+	for _, k := range cfg.Platforms {
+		allowed[k] = true
+	}
+	for _, ip := range st.unresolved() {
+		if budget <= 0 {
+			break
+		}
+		ownerAS, ok := st.ownerOf(ip)
+		if !ok {
+			continue
+		}
+		fa := st.p.db.FacilitiesOfAS(ownerAS)
+		if len(fa) == 0 {
+			continue // missing facility data: no constraint can help
+		}
+		cand := st.cand[ip]
+		if cand == nil {
+			cand = facsetOf(fa)
+		}
+		targets := st.pickTargets(ip, ownerAS, fa, cand)
+		for _, tgt := range targets {
+			if budget <= 0 {
+				break
+			}
+			dst, ok := st.targetAddress(tgt)
+			if !ok {
+				continue
+			}
+			vps := st.vantagePoints(ip, allowed, iter)
+			for _, vp := range vps {
+				if budget <= 0 {
+					break
+				}
+				if cfg.MDAFlows > 1 {
+					for _, path := range st.p.svc.MDAFrom(vp, dst, cfg.MDAFlows) {
+						newAdjs += st.processPath(path)
+					}
+					followUps += cfg.MDAFlows
+					budget -= cfg.MDAFlows
+					continue
+				}
+				path := st.p.svc.TracerouteFrom(vp, dst)
+				followUps++
+				budget--
+				newAdjs += st.processPath(path)
+			}
+			used := st.usedTargets[ip]
+			if used == nil {
+				used = make(map[world.ASN]bool)
+				st.usedTargets[ip] = used
+			}
+			used[tgt] = true
+		}
+	}
+	return followUps, newAdjs
+}
+
+// pickTargets selects follow-up target ASes for an unresolved interface
+// owned by A: networks whose facility footprint is a subset of A's
+// (paper: {F_target} ⊂ {F_A}) and overlaps — but does not cover — the
+// current candidate set, smallest overlap first, preferring targets not
+// colocated at IXPs already used to constrain this interface.
+func (st *state) pickTargets(ip netaddr.IP, a world.ASN, fa []world.FacilityID, cand facset) []world.ASN {
+	faSet := facsetOf(fa)
+	queried := st.queriedIXPs[ip]
+	used := st.usedTargets[ip]
+
+	type scored struct {
+		asn     world.ASN
+		overlap int
+		subset  bool // facility footprint fully inside F_A
+		atQuery bool // colocated at an already-queried IXP
+	}
+	var cands []scored
+	for _, rec := range st.p.ipasn.AllASNs() {
+		if rec == a || used[rec] {
+			continue
+		}
+		ft := st.p.db.FacilitiesOfAS(rec)
+		if len(ft) == 0 {
+			continue
+		}
+		subset := len(ft) < len(fa)
+		overlap := 0
+		for _, f := range ft {
+			if !faSet[f] {
+				subset = false
+			}
+			if cand[f] {
+				overlap++
+			}
+		}
+		if overlap == 0 || overlap == len(cand) {
+			continue
+		}
+		atQuery := false
+		for _, ix := range st.p.db.IXPsOfAS(rec) {
+			if queried[ix] {
+				atQuery = true
+				break
+			}
+		}
+		cands = append(cands, scored{rec, overlap, subset, atQuery})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		// Paper preference first: targets whose footprint is a strict
+		// subset of F_A guarantee any resulting constraint shrinks the
+		// set; non-subset overlappers are a fallback tier.
+		if cands[i].subset != cands[j].subset {
+			return cands[i].subset
+		}
+		if cands[i].atQuery != cands[j].atQuery {
+			return !cands[i].atQuery // unqueried-IXP targets first
+		}
+		if cands[i].overlap != cands[j].overlap {
+			return cands[i].overlap < cands[j].overlap
+		}
+		return cands[i].asn < cands[j].asn
+	})
+	n := st.p.cfg.TargetsPerInterface
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]world.ASN, 0, n)
+	for _, c := range cands[:n] {
+		out = append(out, c.asn)
+	}
+	return out
+}
+
+// targetAddress picks "one active IP per prefix" for a target AS: a
+// previously-observed interface when available, otherwise the first
+// host of its announced prefix.
+func (st *state) targetAddress(asn world.ASN) (netaddr.IP, bool) {
+	for _, ip := range st.pool {
+		if o, ok := st.ownerOf(ip); ok && o == asn {
+			if _, isIXP := st.p.db.IXPByIP(ip); !isIXP {
+				return ip, true
+			}
+		}
+	}
+	prefixes := st.p.ipasn.PrefixesOf(asn)
+	if len(prefixes) == 0 {
+		return 0, false
+	}
+	return prefixes[0].Addr + 1, true
+}
+
+// vantagePoints selects sources for a follow-up: vantage points that
+// already observed the interface (their paths cross its router), else a
+// deterministic rotation over the allowed platforms.
+func (st *state) vantagePoints(ip netaddr.IP, allowed map[platform.Kind]bool, iter int) []*platform.VantagePoint {
+	var out []*platform.VantagePoint
+	for _, vp := range st.observedBy[ip] {
+		if allowed[vp.Kind] {
+			out = append(out, vp)
+			if len(out) >= st.p.cfg.VPsPerTarget {
+				return out
+			}
+		}
+	}
+	fleet := st.p.svc.Fleet().VPs
+	if len(fleet) == 0 {
+		return out
+	}
+	start := (int(ip) + iter*7919) % len(fleet)
+	for i := 0; i < len(fleet) && len(out) < st.p.cfg.VPsPerTarget; i++ {
+		vp := fleet[(start+i)%len(fleet)]
+		if allowed[vp.Kind] {
+			out = append(out, vp)
+		}
+	}
+	return out
+}
+
+// assemble builds the final Result from converged state.
+func (st *state) assemble(history []IterationStats) *Result {
+	res := &Result{
+		Interfaces: make(map[netaddr.IP]*InterfaceResult, len(st.pool)),
+		History:    history,
+	}
+	for _, ip := range st.pool {
+		ir := &InterfaceResult{IP: ip, RemoteMember: st.remoteIface[ip]}
+		if asn, ok := st.ownerOf(ip); ok {
+			ir.Owner = asn
+		}
+		if c := st.cand[ip]; c != nil {
+			for f := range c {
+				ir.Candidates = append(ir.Candidates, f)
+			}
+			sort.Slice(ir.Candidates, func(i, j int) bool { return ir.Candidates[i] < ir.Candidates[j] })
+			if len(c) == 1 {
+				ir.Resolved = true
+				ir.Facility = ir.Candidates[0]
+			} else if st.singleCluster(c) {
+				ir.CityConstrain = true
+				ir.CityCluster, _ = st.p.db.MetroClusterOf(ir.Candidates[0])
+			}
+		}
+		if !ir.Resolved && ir.Owner != 0 && len(st.p.db.FacilitiesOfAS(ir.Owner)) == 0 {
+			res.MissingFacilityData++
+		}
+		res.Interfaces[ip] = ir
+	}
+	res.Links = st.adjOrder
+	if st.sets != nil {
+		res.aliasSetOf = st.sets.SetID
+	}
+	res.Provenance = st.prov
+	return res
+}

@@ -1,0 +1,457 @@
+package cfs
+
+import (
+	"fmt"
+	"sort"
+
+	"facilitymap/internal/alias"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/platform"
+	"facilitymap/internal/trace"
+	"facilitymap/internal/world"
+)
+
+// facset is a candidate facility set.
+type facset map[world.FacilityID]bool
+
+func facsetOf(ids []world.FacilityID) facset {
+	s := make(facset, len(ids))
+	for _, f := range ids {
+		s[f] = true
+	}
+	return s
+}
+
+func intersect(a, b facset) facset {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	out := make(facset)
+	for f := range a {
+		if b[f] {
+			out[f] = true
+		}
+	}
+	return out
+}
+
+type portKey struct {
+	as world.ASN
+	ix world.IXPID
+}
+
+type adjKey struct {
+	near, far netaddr.IP
+}
+
+type state struct {
+	p *Pipeline
+
+	pool     []netaddr.IP // peering interfaces under study, discovery order
+	inPool   map[netaddr.IP]bool
+	cand     map[netaddr.IP]facset // nil entry: unconstrained
+	owner    map[netaddr.IP]world.ASN
+	repaired map[netaddr.IP]world.ASN
+
+	sets *alias.Sets
+
+	adjs     map[adjKey]*Adjacency
+	adjOrder []*Adjacency
+
+	observedBy  map[netaddr.IP][]*platform.VantagePoint
+	vpsByRouter map[world.RouterID]*platform.VantagePoint
+	usedTargets map[netaddr.IP]map[world.ASN]bool
+	queriedIXPs map[netaddr.IP]map[world.IXPID]bool
+
+	portOf      map[portKey]netaddr.IP
+	remoteCache map[portKey]int // 0 untested, 1 remote, 2 local, 3 untestable
+	remoteIface map[netaddr.IP]bool
+	// pinned holds authoritative IP-to-ASN mappings from looking-glass
+	// session listings; they outrank alias repair and prefix matching.
+	pinned map[netaddr.IP]world.ASN
+
+	conflicts int
+	changed   bool
+
+	// prov records constraint provenance per IP when tracing is on.
+	prov map[netaddr.IP][]string
+}
+
+func (p *Pipeline) newState() *state {
+	st := &state{
+		p:           p,
+		inPool:      make(map[netaddr.IP]bool),
+		cand:        make(map[netaddr.IP]facset),
+		owner:       make(map[netaddr.IP]world.ASN),
+		repaired:    make(map[netaddr.IP]world.ASN),
+		adjs:        make(map[adjKey]*Adjacency),
+		observedBy:  make(map[netaddr.IP][]*platform.VantagePoint),
+		vpsByRouter: make(map[world.RouterID]*platform.VantagePoint),
+		usedTargets: make(map[netaddr.IP]map[world.ASN]bool),
+		queriedIXPs: make(map[netaddr.IP]map[world.IXPID]bool),
+		portOf:      make(map[portKey]netaddr.IP),
+		remoteCache: make(map[portKey]int),
+		remoteIface: make(map[netaddr.IP]bool),
+	}
+	if p.cfg.TraceProvenance {
+		st.prov = make(map[netaddr.IP][]string)
+	}
+	// Offline mode (pre-collected traceroutes, no measurement service)
+	// runs without vantage-point bookkeeping; step 4 requires a service.
+	if p.svc != nil {
+		for _, vp := range p.svc.Fleet().VPs {
+			if _, ok := st.vpsByRouter[vp.Router]; !ok {
+				st.vpsByRouter[vp.Router] = vp
+			}
+		}
+	}
+	return st
+}
+
+// ownerOf resolves an address's AS: the alias-repaired mapping when
+// available, then PeeringDB netixlan port records for peering-LAN
+// addresses (which BGP does not cover), then the raw longest-prefix
+// mapping.
+func (st *state) ownerOf(ip netaddr.IP) (world.ASN, bool) {
+	if asn, ok := st.pinned[ip]; ok {
+		return asn, true
+	}
+	if asn, ok := st.repaired[ip]; ok {
+		return asn, true
+	}
+	if asn, ok := st.owner[ip]; ok {
+		return asn, true
+	}
+	if asn, ok := st.p.db.PortOwner(ip); ok {
+		st.owner[ip] = asn
+		return asn, true
+	}
+	asn, ok := st.p.ipasn.Lookup(ip)
+	if ok {
+		st.owner[ip] = asn
+	}
+	return asn, ok
+}
+
+func (st *state) addToPool(ip netaddr.IP) {
+	if !st.inPool[ip] {
+		st.inPool[ip] = true
+		st.pool = append(st.pool, ip)
+	}
+}
+
+func (st *state) observe(ip netaddr.IP, vp *platform.VantagePoint) {
+	if vp == nil {
+		return
+	}
+	for _, prev := range st.observedBy[ip] {
+		if prev == vp {
+			return
+		}
+	}
+	st.observedBy[ip] = append(st.observedBy[ip], vp)
+}
+
+// processPath classifies one traceroute into adjacencies (Step 1, §4.2).
+func (st *state) processPath(path trace.Path) int {
+	vp := st.vpsByRouter[path.SrcRouter]
+	hops := path.ResponsiveHops()
+	added := 0
+	for i := 0; i+1 < len(hops); i++ {
+		h1, h2 := hops[i], hops[i+1]
+		if ix, ok := st.p.db.IXPByIP(h2); ok {
+			// Public peering (IP_A, IP_ixp, ...): the near interface h1
+			// belongs to the near member's router; h2 is the far
+			// router's port on the IXP LAN.
+			if _, isIXP := st.p.db.IXPByIP(h1); isIXP {
+				continue // consecutive IXP hops: ambiguous, discard
+			}
+			if _, ok := st.ownerOf(h1); !ok {
+				continue // unresolved interface: discard (§4.2 step 1)
+			}
+			key := adjKey{h1, h2}
+			if _, dup := st.adjs[key]; !dup {
+				a := &Adjacency{Near: h1, Public: true, IXP: ix, FarPort: h2}
+				st.adjs[key] = a
+				st.adjOrder = append(st.adjOrder, a)
+				added++
+			}
+			st.addToPool(h1)
+			st.addToPool(h2)
+			st.observe(h1, vp)
+			st.observe(h2, vp)
+			if b, ok := st.ownerOf(h2); ok {
+				st.portOf[portKey{b, ix}] = h2
+			}
+			continue
+		}
+		// Private peering (IP_A, IP_B): both sides resolve to different
+		// ASes. Shared-/30 misattribution makes some of these look
+		// intra-AS until alias repair fixes the owners; adjacencies are
+		// re-derived from stored IPs each round, so repairs take effect.
+		a1, ok1 := st.ownerOf(h1)
+		a2, ok2 := st.ownerOf(h2)
+		if !ok1 || !ok2 || a1 == a2 {
+			continue
+		}
+		key := adjKey{h1, h2}
+		if _, dup := st.adjs[key]; !dup {
+			a := &Adjacency{Near: h1, Far: h2}
+			st.adjs[key] = a
+			st.adjOrder = append(st.adjOrder, a)
+			added++
+		}
+		st.addToPool(h1)
+		st.addToPool(h2)
+		st.observe(h1, vp)
+		st.observe(h2, vp)
+	}
+	return added
+}
+
+// constrain intersects ip's candidate set with s (Step 2). Candidate
+// sets only ever shrink; an empty intersection signals inconsistent
+// data and leaves the previous set untouched. The reason string feeds
+// the provenance log when tracing is enabled.
+func (st *state) constrain(ip netaddr.IP, s facset, reason string) {
+	if len(s) == 0 {
+		return
+	}
+	if st.prov != nil {
+		st.prov[ip] = append(st.prov[ip], fmt.Sprintf("%s -> %d candidates", reason, len(s)))
+	}
+	cur := st.cand[ip]
+	if cur == nil {
+		cp := make(facset, len(s))
+		for f := range s {
+			cp[f] = true
+		}
+		st.cand[ip] = cp
+		st.changed = true
+		return
+	}
+	inter := intersect(cur, s)
+	if len(inter) == 0 {
+		st.conflicts++
+		return
+	}
+	if len(inter) != len(cur) {
+		st.cand[ip] = inter
+		st.changed = true
+	}
+}
+
+func (st *state) markQueried(ip netaddr.IP, ix world.IXPID) {
+	m := st.queriedIXPs[ip]
+	if m == nil {
+		m = make(map[world.IXPID]bool)
+		st.queriedIXPs[ip] = m
+	}
+	m[ix] = true
+}
+
+// checkRemote consults (and caches) the remote-peering detector for a
+// member's port at an IXP.
+func (st *state) checkRemote(asn world.ASN, ix world.IXPID) int {
+	key := portKey{asn, ix}
+	if v := st.remoteCache[key]; v != 0 {
+		return v
+	}
+	if !st.p.cfg.UseRemoteDetection || st.p.det == nil {
+		st.remoteCache[key] = 3
+		return 3
+	}
+	port, ok := st.portOf[key]
+	if !ok {
+		st.remoteCache[key] = 3
+		return 3
+	}
+	remote, tested := st.p.det.IsRemote(port, ix)
+	switch {
+	case !tested:
+		st.remoteCache[key] = 3
+	case remote:
+		st.remoteCache[key] = 1
+	default:
+		st.remoteCache[key] = 2
+	}
+	return st.remoteCache[key]
+}
+
+// applyConstraints runs Step 2 over every adjacency. Constraints are
+// monotone, so reprocessing is safe and picks up owner repairs and new
+// remote-detection verdicts.
+func (st *state) applyConstraints() {
+	db := st.p.db
+	for _, a := range st.adjOrder {
+		if a.Public {
+			st.applyPublic(a)
+		} else {
+			st.applyPrivate(a)
+		}
+	}
+	_ = db
+}
+
+func (st *state) applyPublic(a *Adjacency) {
+	db := st.p.db
+	fixp := facsetOf(db.FacilitiesOfIXP(a.IXP))
+	// Near side.
+	if nearAS, ok := st.ownerOf(a.Near); ok {
+		a.NearAS = nearAS
+		fa := facsetOf(db.FacilitiesOfAS(nearAS))
+		s := intersect(fa, fixp)
+		switch {
+		case len(s) > 0:
+			st.constrain(a.Near, s, fmt.Sprintf("public near %v x IXP%d", nearAS, a.IXP))
+			st.markQueried(a.Near, a.IXP)
+			a.Type = PublicLocal
+		case len(fa) > 0:
+			// No common facility: remote member, or missing data.
+			switch st.checkRemote(nearAS, a.IXP) {
+			case 1:
+				st.remoteIface[a.Near] = true
+				// Anywhere in the member's footprint.
+				st.constrain(a.Near, fa, fmt.Sprintf("remote member %v of IXP%d", nearAS, a.IXP))
+				a.Type = PublicRemote
+			case 2:
+				st.conflicts++ // detector says local yet no common facility
+			}
+		}
+	}
+	// Far side: the port's owner (when alias repair identified it) must
+	// sit at a facility it shares with the IXP — the "reverse
+	// direction" constraint of §4.3, applied without needing a reverse
+	// traceroute because the port address itself pins the IXP.
+	farAS, ok := st.ownerOf(a.FarPort)
+	if !ok {
+		return
+	}
+	a.FarAS = farAS
+	fb := facsetOf(db.FacilitiesOfAS(farAS))
+	s := intersect(fb, fixp)
+	switch {
+	case len(s) > 0:
+		st.constrain(a.FarPort, s, fmt.Sprintf("public far %v x IXP%d", farAS, a.IXP))
+		st.markQueried(a.FarPort, a.IXP)
+	case len(fb) > 0:
+		if st.checkRemote(farAS, a.IXP) == 1 {
+			st.remoteIface[a.FarPort] = true
+			st.constrain(a.FarPort, fb, fmt.Sprintf("remote member %v of IXP%d", farAS, a.IXP))
+		}
+	}
+}
+
+func (st *state) applyPrivate(a *Adjacency) {
+	db := st.p.db
+	nearAS, ok1 := st.ownerOf(a.Near)
+	farAS, ok2 := st.ownerOf(a.Far)
+	if !ok1 || !ok2 || nearAS == farAS {
+		return
+	}
+	a.NearAS, a.FarAS = nearAS, farAS
+	fa := facsetOf(db.FacilitiesOfAS(nearAS))
+	fb := facsetOf(db.FacilitiesOfAS(farAS))
+	s := intersect(fa, fb)
+	if len(s) > 0 {
+		// Cross-connect: constrain the near end (§4.2). The candidate
+		// set is the pair's full co-presence list, never this single
+		// link's facility, because AS pairs interconnect in several
+		// metros and a narrower guess would collapse wrongly.
+		st.constrain(a.Near, s, fmt.Sprintf("private pair %v x %v (far %v)", nearAS, farAS, a.Far))
+		a.Type = PrivateCrossConnect
+		return
+	}
+	// No common facility: tethering over a shared IXP, or remote
+	// private peering / missing data (§4.2 outcome 3).
+	shared := sharedIXPs(db.IXPsOfAS(nearAS), db.IXPsOfAS(farAS))
+	if len(shared) == 0 {
+		a.Type = PrivateUnknown
+		return
+	}
+	// Classify as tethering but apply no facility constraint: the
+	// empty intersection may equally mean a cross-connect whose shared
+	// facility is missing from one party's record, and constraining on
+	// a misclassification would poison the candidate sets (the paper
+	// likewise leaves outcome 3 unconstrained, §4.2).
+	a.Type = PrivateTethering
+}
+
+func sharedIXPs(a, b []world.IXPID) []world.IXPID {
+	set := make(map[world.IXPID]bool, len(a))
+	for _, ix := range a {
+		set[ix] = true
+	}
+	var out []world.IXPID
+	for _, ix := range b {
+		if set[ix] {
+			out = append(out, ix)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// aliasStep propagates constraints across alias sets (Step 3): all
+// interfaces of one router share a facility, so their candidate sets
+// intersect.
+func (st *state) aliasStep() {
+	if st.sets == nil {
+		return
+	}
+	for _, set := range st.sets.All() {
+		if len(set) < 2 {
+			continue
+		}
+		var inter facset
+		for _, ip := range set {
+			c := st.cand[ip]
+			if c == nil {
+				continue
+			}
+			if inter == nil {
+				inter = make(facset, len(c))
+				for f := range c {
+					inter[f] = true
+				}
+				continue
+			}
+			inter = intersect(inter, c)
+		}
+		if len(inter) == 0 {
+			if inter != nil {
+				st.conflicts++
+			}
+			continue
+		}
+		for _, ip := range set {
+			st.constrain(ip, inter, fmt.Sprintf("alias set of %v", set[0]))
+		}
+	}
+}
+
+// resolveAliases (re-)runs alias resolution over the interface pool and
+// repairs IP-to-ASN mappings by majority vote (§4.1).
+func (st *state) resolveAliases() {
+	if !st.p.cfg.UseAliasResolution || st.p.prober == nil {
+		return
+	}
+	st.sets = alias.Resolve(st.p.prober, st.pool)
+	st.repaired = st.p.ipasn.Repair(st.sets.All())
+	// Give repaired owners to ports etc. that raw lookup missed.
+	for ip, asn := range st.repaired {
+		st.owner[ip] = asn
+	}
+}
+
+// unresolved lists pool interfaces not yet collapsed to one facility,
+// in discovery order.
+func (st *state) unresolved() []netaddr.IP {
+	var out []netaddr.IP
+	for _, ip := range st.pool {
+		if c := st.cand[ip]; c == nil || len(c) > 1 {
+			out = append(out, ip)
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package cfs
+
+import (
+	"testing"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/platform"
+	"facilitymap/internal/world"
+)
+
+func TestP2PPartner(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"20.0.0.1", "20.0.0.2"},
+		{"20.0.0.2", "20.0.0.1"},
+		{"20.0.0.5", "20.0.0.6"},
+	}
+	for _, c := range cases {
+		if got := P2PPartner(netaddr.MustParseIP(c.in)); got != netaddr.MustParseIP(c.want) {
+			t.Errorf("P2PPartner(%s) = %v, want %s", c.in, got, c.want)
+		}
+	}
+	// Network/broadcast slots have no partner.
+	for _, s := range []string{"20.0.0.0", "20.0.0.3"} {
+		if got := P2PPartner(netaddr.MustParseIP(s)); got != 0 {
+			t.Errorf("P2PPartner(%s) = %v, want 0", s, got)
+		}
+	}
+}
+
+// TestSessionsImproveResolution: LG session listings add backbone
+// adjacencies the traceroute corpus misses, so resolution must not drop
+// and pinned owners must be correct.
+func TestSessionsImproveResolution(t *testing.T) {
+	s := buildStack(t, world.Small())
+	cfg := DefaultConfig()
+	cfg.MaxIterations = 15
+
+	paths := s.initialCorpus()
+	var sessions []SessionObservation
+	for _, vp := range s.fleet.ByKind(platform.LookingGlass) {
+		for _, sess := range s.svc.LookingGlassSessions(vp) {
+			sessions = append(sessions, SessionObservation{
+				LGAS: vp.AS, PeerIP: sess.PeerIP, PeerAS: sess.PeerAS,
+			})
+		}
+	}
+	if len(sessions) == 0 {
+		t.Skip("no BGP-capable LGs in small world")
+	}
+	without := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober).Run(paths)
+	with := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober).
+		RunObservations(Observations{Paths: paths, Sessions: sessions})
+
+	if len(with.Interfaces) < len(without.Interfaces) {
+		t.Errorf("sessions lost interfaces: %d vs %d", len(with.Interfaces), len(without.Interfaces))
+	}
+	if with.Resolved() < without.Resolved() {
+		t.Errorf("sessions reduced resolution: %d vs %d", with.Resolved(), without.Resolved())
+	}
+	t.Logf("without sessions: %d/%d; with: %d/%d (%d sessions)",
+		without.Resolved(), len(without.Interfaces),
+		with.Resolved(), len(with.Interfaces), len(sessions))
+
+	// Pinned owners are authoritative and correct against ground truth.
+	wrong := 0
+	for _, sess := range sessions {
+		ir := with.Interfaces[sess.PeerIP]
+		if ir == nil {
+			continue
+		}
+		truth := s.w.RouterOfIP(sess.PeerIP)
+		if truth != nil && ir.Owner != truth.AS {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		t.Errorf("%d pinned session peers have wrong owners", wrong)
+	}
+}
+
+// TestSessionPublicFarSide: a session whose peer sits on an IXP LAN
+// constrains the far port even without a local address.
+func TestSessionPublicFarSide(t *testing.T) {
+	s := buildStack(t, world.Small())
+	var obs []SessionObservation
+	var expectIP netaddr.IP
+	for _, m := range s.w.Memberships {
+		if _, confirmed := s.db.IXPs[m.IXP]; !confirmed {
+			continue
+		}
+		ip := s.w.Interfaces[m.Port].IP
+		obs = append(obs, SessionObservation{LGAS: 64499, PeerIP: ip, PeerAS: m.AS})
+		expectIP = ip
+		break
+	}
+	if len(obs) == 0 {
+		t.Skip("no confirmed memberships")
+	}
+	cfg := DefaultConfig()
+	cfg.UseTargeted = false
+	cfg.UseAliasResolution = false
+	cfg.UseRemoteDetection = false
+	cfg.MaxIterations = 3
+	res := New(cfg, s.db, s.ipasn, s.svc, nil, nil).
+		RunObservations(Observations{Sessions: obs})
+	ir := res.Interfaces[expectIP]
+	if ir == nil {
+		t.Fatal("session peer missing from pool")
+	}
+	if len(ir.Candidates) == 0 {
+		t.Error("far port gained no candidates from the session listing")
+	}
+}

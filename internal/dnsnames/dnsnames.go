@@ -1,0 +1,308 @@
+// Package dnsnames models router-interface reverse DNS and the DRoP-style
+// hostname geolocation the paper compares against (§5, §7). Operators
+// follow heterogeneous conventions — airport codes, CLLI codes, explicit
+// facility codes like "rtr.thn.lon" — while many publish no PTR records
+// at all (Google) or let them go stale. The Decoder plays the researcher:
+// it knows the public airport/CLLI hints plus facility-code conventions
+// confirmed with a handful of operators (§6 "DNS records"), and is
+// honest about coverage: most interfaces cannot be geolocated this way.
+package dnsnames
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/registry"
+	"facilitymap/internal/world"
+)
+
+// Resolver serves PTR lookups from the ground truth plus a loss model.
+type Resolver struct {
+	w *world.World
+	// missing marks interfaces with no PTR despite the operator having a
+	// convention (contributing to the paper's "29% have no DNS record").
+	missing map[world.InterfaceID]bool
+	// opaque marks interfaces whose hostname carries no location hints
+	// (the paper: 55% of named interfaces encode no geolocation).
+	opaque map[world.InterfaceID]bool
+	// staleMetro reassigns the encoded metro for stale records.
+	staleMetro map[world.InterfaceID]geo.MetroID
+	facCodes   map[world.FacilityID]string
+}
+
+// NewResolver builds the PTR database.
+func NewResolver(w *world.World, seed int64) *Resolver {
+	rng := rand.New(rand.NewSource(seed))
+	r := &Resolver{
+		w:          w,
+		missing:    make(map[world.InterfaceID]bool),
+		opaque:     make(map[world.InterfaceID]bool),
+		staleMetro: make(map[world.InterfaceID]geo.MetroID),
+		facCodes:   facilityCodes(w),
+	}
+	for _, ifc := range w.Interfaces {
+		rtr := w.Routers[ifc.Router]
+		style := w.ASByNumber(rtr.AS).DNSStyle
+		if style == world.DNSNone {
+			continue
+		}
+		if rng.Float64() < 0.40 {
+			r.missing[ifc.ID] = true
+			continue
+		}
+		if rng.Float64() < 0.25 {
+			// Opaque naming: "cust-1234.example.net" style with no
+			// geographic hints.
+			r.opaque[ifc.ID] = true
+			continue
+		}
+		if style == world.DNSStale && rng.Float64() < 0.25 {
+			// Record predates a router move: points at a random metro.
+			r.staleMetro[ifc.ID] = geo.MetroID(rng.Intn(len(w.Metros)))
+		}
+	}
+	return r
+}
+
+// facilityCodes derives the per-facility short codes used in hostnames:
+// operator abbreviation + metro airport + per-metro ordinal, lowercase,
+// e.g. "apx.lhr2". Both the operators (encoding) and the researcher
+// (decoding, via registry records) can compute this mapping.
+func facilityCodes(w *world.World) map[world.FacilityID]string {
+	codes := make(map[world.FacilityID]string, len(w.Facilities))
+	type key struct {
+		op    string
+		metro geo.MetroID
+	}
+	ordinal := make(map[key]int)
+	for _, f := range w.Facilities { // world order == facility ID order
+		k := key{f.Operator, f.Metro}
+		ordinal[k]++
+		op := strings.ToLower(f.Operator)
+		if len(op) > 3 {
+			op = op[:3]
+		}
+		codes[f.ID] = fmt.Sprintf("%s.%s%d", op,
+			strings.ToLower(w.MetroAirport(f.Metro)), ordinal[k])
+	}
+	return codes
+}
+
+func slug(name string) string {
+	s := strings.ToLower(name)
+	s = strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			return r
+		}
+		return -1
+	}, s)
+	if len(s) > 10 {
+		s = s[:10]
+	}
+	if s == "" {
+		s = "net"
+	}
+	return s
+}
+
+func clli(metroName, country string) string {
+	s := strings.ToUpper(strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+			return r
+		}
+		return -1
+	}, metroName))
+	for len(s) < 4 {
+		s += "X"
+	}
+	return strings.ToLower(s[:4] + country)
+}
+
+// PTR returns the reverse-DNS hostname of an interface address.
+func (r *Resolver) PTR(ip netaddr.IP) (string, bool) {
+	ifc := r.w.InterfaceByIP(ip)
+	if ifc == nil || r.missing[ifc.ID] {
+		return "", false
+	}
+	rtr := r.w.Routers[ifc.Router]
+	as := r.w.ASByNumber(rtr.AS)
+	metro := rtr.Metro
+	if m, ok := r.staleMetro[ifc.ID]; ok {
+		metro = m
+	}
+	asSlug := slug(as.Name)
+	port := fmt.Sprintf("ae%d", int(ifc.ID)%16)
+	if r.opaque[ifc.ID] {
+		return fmt.Sprintf("cust-%d.%s.net", int(ifc.ID), asSlug), true
+	}
+	switch as.DNSStyle {
+	case world.DNSAirport, world.DNSStale:
+		return fmt.Sprintf("%s.r%d.%s.%s.net", port, int(rtr.ID)%32,
+			strings.ToLower(r.w.MetroAirport(metro)), asSlug), true
+	case world.DNSCLLI:
+		return fmt.Sprintf("%s.%s01.%s.net", port,
+			clli(r.w.Metros[metro].Name, r.w.Metros[metro].Country), asSlug), true
+	case world.DNSFacility:
+		if rtr.Facility == world.None {
+			return fmt.Sprintf("%s.r%d.%s.net", port, int(rtr.ID)%32, asSlug), true
+		}
+		return fmt.Sprintf("%s.rtr.%s.%s.net", port,
+			r.facCodes[world.FacilityID(rtr.Facility)], asSlug), true
+	default:
+		return "", false
+	}
+}
+
+// Coverage reports how many of the given addresses have PTR records.
+func (r *Resolver) Coverage(ips []netaddr.IP) (withRecord, total int) {
+	for _, ip := range ips {
+		total++
+		if _, ok := r.PTR(ip); ok {
+			withRecord++
+		}
+	}
+	return withRecord, total
+}
+
+// Decoder extracts location hints from hostnames, DRoP-style. It is
+// built from public data only: the registry's facility records (for
+// operator/metro-derived facility codes) and the worldwide airport-code
+// gazetteer.
+type Decoder struct {
+	airportCluster map[string]string // airport code -> canonical city
+	clliCluster    map[string]string
+	facByCode      map[string]world.FacilityID
+	// confirmedOps are AS name slugs whose facility conventions were
+	// verified with the operator (§6: "7 operators in the UK and
+	// Germany ... confirmed the DNS records were current").
+	confirmedOps map[string]bool
+}
+
+// NewDecoder compiles the decoding dictionaries. airports maps metro
+// display names to IATA codes (public knowledge); db supplies facility
+// records; confirmed lists AS names whose facility-code conventions were
+// verified with the operator.
+func NewDecoder(db *registry.Database, airports map[string]string, confirmed []string) *Decoder {
+	d := &Decoder{
+		airportCluster: make(map[string]string),
+		clliCluster:    make(map[string]string),
+		facByCode:      make(map[string]world.FacilityID),
+		confirmedOps:   make(map[string]bool),
+	}
+	for city, code := range airports {
+		d.airportCluster[strings.ToLower(code)] = city
+		d.clliCluster[clli(city, countryOfCity(db, city))] = city
+	}
+	// Rebuild facility codes from registry records the same way the
+	// operators do (operator + metro + ordinal in record order).
+	type key struct {
+		op   string
+		code string
+	}
+	ordinal := make(map[key]int)
+	ids := make([]world.FacilityID, 0, len(db.Facilities))
+	for id := range db.Facilities {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// A cluster may be displayed under a suburb name ("El Segundo"),
+	// so pick its airport code from any member city found in the
+	// gazetteer, scanning facilities in record order.
+	clusterCode := make(map[int]string)
+	for _, id := range ids {
+		cluster, _ := db.MetroClusterOf(id)
+		if _, done := clusterCode[cluster]; done {
+			continue
+		}
+		if code, ok := airports[db.Facilities[id].City]; ok {
+			clusterCode[cluster] = code
+		}
+	}
+	for _, id := range ids {
+		rec := db.Facilities[id]
+		cluster, _ := db.MetroClusterOf(id)
+		code, ok := clusterCode[cluster]
+		if !ok {
+			// No member city in the gazetteer: first 3 letters.
+			code = db.ClusterName(cluster)
+			if len(code) > 3 {
+				code = code[:3]
+			}
+		}
+		k := key{rec.Operator, code}
+		ordinal[k]++
+		op := strings.ToLower(rec.Operator)
+		if len(op) > 3 {
+			op = op[:3]
+		}
+		d.facByCode[fmt.Sprintf("%s.%s%d", op, strings.ToLower(code), ordinal[k])] = id
+	}
+	for _, name := range confirmed {
+		d.confirmedOps[slug(name)] = true
+	}
+	return d
+}
+
+func countryOfCity(db *registry.Database, city string) string {
+	for _, rec := range db.Facilities {
+		if rec.City == city {
+			return rec.Country
+		}
+	}
+	return "XX"
+}
+
+// GeolocateCity returns the city hint encoded in a hostname, if any.
+func (d *Decoder) GeolocateCity(hostname string) (string, bool) {
+	labels := strings.Split(hostname, ".")
+	for _, l := range labels {
+		if city, ok := d.airportCluster[l]; ok {
+			return city, true
+		}
+		// CLLI labels carry a numeric suffix: "londgb01".
+		trimmed := strings.TrimRight(l, "0123456789")
+		if city, ok := d.clliCluster[trimmed]; ok {
+			return city, true
+		}
+	}
+	// Facility codes also imply the city ("apx.lhr2" -> lhr).
+	if _, city, ok := d.facilityFrom(hostname); ok {
+		return city, true
+	}
+	return "", false
+}
+
+// Facility decodes an explicit facility code, but only for operators
+// whose convention was confirmed — unconfirmed patterns are too risky to
+// trust (§7 discusses DNS misnaming).
+func (d *Decoder) Facility(hostname string) (world.FacilityID, bool) {
+	labels := strings.Split(hostname, ".")
+	if len(labels) < 2 {
+		return 0, false
+	}
+	opSlug := labels[len(labels)-2]
+	if !d.confirmedOps[opSlug] {
+		return 0, false
+	}
+	f, _, ok := d.facilityFrom(hostname)
+	return f, ok
+}
+
+func (d *Decoder) facilityFrom(hostname string) (world.FacilityID, string, bool) {
+	labels := strings.Split(hostname, ".")
+	for i := 0; i+1 < len(labels); i++ {
+		code := labels[i] + "." + labels[i+1]
+		if f, ok := d.facByCode[code]; ok {
+			city := strings.TrimRight(labels[i+1], "0123456789")
+			if c, ok := d.airportCluster[city]; ok {
+				return f, c, true
+			}
+			return f, "", true
+		}
+	}
+	return 0, "", false
+}

@@ -1,0 +1,215 @@
+package dnsnames
+
+import (
+	"strings"
+	"testing"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/registry"
+	"facilitymap/internal/world"
+)
+
+type fixture struct {
+	w   *world.World
+	db  *registry.Database
+	res *Resolver
+	dec *Decoder
+}
+
+var cached *fixture
+
+func fx(t *testing.T) *fixture {
+	t.Helper()
+	if cached == nil {
+		w := world.Generate(world.Default())
+		db := registry.Collect(w, registry.DefaultConfig())
+		res := NewResolver(w, 13)
+		airports := make(map[string]string)
+		for _, m := range w.Metros {
+			airports[m.Name] = w.MetroAirport(m.ID)
+		}
+		var confirmed []string
+		for _, as := range w.ASes {
+			if as.DNSStyle == world.DNSFacility {
+				confirmed = append(confirmed, as.Name)
+			}
+		}
+		cached = &fixture{w, db, res, NewDecoder(db, airports, confirmed)}
+	}
+	return cached
+}
+
+func TestNoPTRForSilentOperators(t *testing.T) {
+	f := fx(t)
+	for _, as := range f.w.ASes {
+		if as.DNSStyle != world.DNSNone {
+			continue
+		}
+		for _, rid := range as.Routers {
+			for _, i := range f.w.Routers[rid].Interfaces {
+				if name, ok := f.res.PTR(f.w.Interfaces[i].IP); ok {
+					t.Fatalf("silent operator %v has PTR %q", as.ASN, name)
+				}
+			}
+		}
+	}
+}
+
+func TestPartialCoverage(t *testing.T) {
+	f := fx(t)
+	var ips []netaddr.IP
+	for _, ifc := range f.w.Interfaces {
+		ips = append(ips, ifc.IP)
+	}
+	with, total := f.res.Coverage(ips)
+	if with == 0 || with == total {
+		t.Fatalf("coverage %d/%d; want partial (paper: 71%% of peering interfaces)", with, total)
+	}
+	t.Logf("PTR coverage: %d/%d (%.0f%%)", with, total, 100*float64(with)/float64(total))
+}
+
+func TestAirportGeolocation(t *testing.T) {
+	f := fx(t)
+	right, wrong, decoded := 0, 0, 0
+	for _, as := range f.w.ASes {
+		if as.DNSStyle != world.DNSAirport {
+			continue
+		}
+		for _, rid := range as.Routers {
+			rtr := f.w.Routers[rid]
+			ip := f.w.Interfaces[rtr.Core()].IP
+			name, ok := f.res.PTR(ip)
+			if !ok {
+				continue
+			}
+			city, ok := f.dec.GeolocateCity(name)
+			if !ok {
+				if strings.HasPrefix(name, "cust-") {
+					continue // opaque record: no hints by design
+				}
+				t.Fatalf("airport hostname %q not decodable", name)
+			}
+			decoded++
+			if city == f.w.Metros[rtr.Metro].Name {
+				right++
+			} else {
+				wrong++
+			}
+		}
+	}
+	if decoded == 0 {
+		t.Fatal("no airport hostnames decoded")
+	}
+	if wrong != 0 {
+		t.Errorf("airport decoding errors: %d/%d (style=airport should be exact)", wrong, decoded)
+	}
+}
+
+func TestStaleRecordsMislocate(t *testing.T) {
+	f := fx(t)
+	wrong, decoded := 0, 0
+	for _, as := range f.w.ASes {
+		if as.DNSStyle != world.DNSStale {
+			continue
+		}
+		for _, rid := range as.Routers {
+			rtr := f.w.Routers[rid]
+			for _, i := range rtr.Interfaces {
+				name, ok := f.res.PTR(f.w.Interfaces[i].IP)
+				if !ok {
+					continue
+				}
+				city, ok := f.dec.GeolocateCity(name)
+				if !ok {
+					continue
+				}
+				decoded++
+				if city != f.w.Metros[rtr.Metro].Name {
+					wrong++
+				}
+			}
+		}
+	}
+	if decoded == 0 {
+		t.Skip("no stale-style operators")
+	}
+	if wrong == 0 {
+		t.Error("stale operators should mislocate some interfaces (§7 DNS misnaming)")
+	}
+	t.Logf("stale records wrong: %d/%d", wrong, decoded)
+}
+
+func TestFacilityDecoding(t *testing.T) {
+	f := fx(t)
+	right, total := 0, 0
+	for _, as := range f.w.ASes {
+		if as.DNSStyle != world.DNSFacility {
+			continue
+		}
+		for _, rid := range as.Routers {
+			rtr := f.w.Routers[rid]
+			if rtr.Facility == world.None {
+				continue
+			}
+			name, ok := f.res.PTR(f.w.Interfaces[rtr.Core()].IP)
+			if !ok {
+				continue
+			}
+			fac, ok := f.dec.Facility(name)
+			if !ok {
+				if strings.HasPrefix(name, "cust-") {
+					continue // opaque record: no hints by design
+				}
+				t.Fatalf("facility hostname %q not decodable", name)
+			}
+			total++
+			if fac == world.FacilityID(rtr.Facility) {
+				right++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no facility hostnames decoded")
+	}
+	if right*100 < total*95 {
+		t.Errorf("facility decoding accuracy %d/%d; confirmed conventions should be near-exact", right, total)
+	}
+}
+
+func TestFacilityDecodingRefusesUnconfirmed(t *testing.T) {
+	f := fx(t)
+	// A hostname from an unconfirmed operator must not be decoded even
+	// if it happens to contain a facility-looking code.
+	name := "ae1.rtr.apx.lhr1.unknownop.net"
+	if _, ok := f.dec.Facility(name); ok {
+		t.Error("decoded facility for unconfirmed operator")
+	}
+	if _, ok := f.dec.GeolocateCity("totally.opaque.hostname"); ok {
+		t.Error("geolocated a hint-free hostname")
+	}
+}
+
+func TestPTRUnknownIP(t *testing.T) {
+	f := fx(t)
+	if _, ok := f.res.PTR(netaddr.MustParseIP("203.0.113.3")); ok {
+		t.Error("unknown IP should have no PTR")
+	}
+}
+
+func TestHostnameShape(t *testing.T) {
+	f := fx(t)
+	seen := 0
+	for _, ifc := range f.w.Interfaces {
+		name, ok := f.res.PTR(ifc.IP)
+		if !ok {
+			continue
+		}
+		seen++
+		if strings.Contains(name, " ") || !strings.HasSuffix(name, ".net") {
+			t.Fatalf("malformed hostname %q", name)
+		}
+		if seen > 500 {
+			break
+		}
+	}
+}

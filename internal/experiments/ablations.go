@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/platform"
+	"facilitymap/internal/stats"
+	"facilitymap/internal/world"
+)
+
+// AblationRow is one configuration of the ablation study.
+type AblationRow struct {
+	Name     string
+	Observed int
+	Resolved int
+	// Accuracy of resolved inferences against ground truth.
+	Accuracy float64
+	// Traceroutes issued by this run's targeted rounds.
+	FollowUps int
+}
+
+// AblationResult quantifies each design choice DESIGN.md calls out by
+// switching it off and re-running the pipeline.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Ablations runs the ablation suite. Expensive: one full CFS run per row.
+func Ablations(e *Env, base cfs.Config) *AblationResult {
+	configs := []struct {
+		name   string
+		mutate func(*cfs.Config)
+	}{
+		{"baseline", func(*cfs.Config) {}},
+		{"no alias resolution", func(c *cfs.Config) { c.UseAliasResolution = false }},
+		{"no targeted traceroutes", func(c *cfs.Config) { c.UseTargeted = false }},
+		{"no remote detection", func(c *cfs.Config) { c.UseRemoteDetection = false }},
+		{"no proximity heuristic", func(c *cfs.Config) { c.UseProximity = false }},
+		{"Atlas only", func(c *cfs.Config) { c.Platforms = []platform.Kind{platform.Atlas} }},
+		{"LGs only", func(c *cfs.Config) { c.Platforms = []platform.Kind{platform.LookingGlass} }},
+	}
+	out := &AblationResult{}
+	for _, cc := range configs {
+		cfg := base
+		cc.mutate(&cfg)
+		res := e.RunCFS(cfg)
+		row := AblationRow{
+			Name:     cc.name,
+			Observed: len(res.Interfaces),
+			Resolved: res.Resolved(),
+		}
+		right, wrong := 0, 0
+		for ip, ir := range res.Interfaces {
+			if !ir.Resolved {
+				continue
+			}
+			truth := truthFacility(e, ip)
+			if truth < 0 {
+				continue
+			}
+			if ir.Facility == world.FacilityID(truth) {
+				right++
+			} else {
+				wrong++
+			}
+		}
+		if right+wrong > 0 {
+			row.Accuracy = float64(right) / float64(right+wrong)
+		}
+		for _, h := range res.History {
+			row.FollowUps += h.FollowUps
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// truthFacility returns the ground-truth facility of an interface, or -1
+// for off-facility routers and unknown addresses.
+func truthFacility(e *Env, ip netaddr.IP) int {
+	r := e.W.RouterOfIP(ip)
+	if r == nil || r.Facility == world.None {
+		return -1
+	}
+	return int(r.Facility)
+}
+
+// Render prints the study.
+func (r *AblationResult) Render() string {
+	t := stats.NewTable("Ablations: each design choice switched off",
+		"configuration", "observed", "resolved", "resolved%", "accuracy", "follow-ups")
+	for _, row := range r.Rows {
+		frac := 0.0
+		if row.Observed > 0 {
+			frac = float64(row.Resolved) / float64(row.Observed)
+		}
+		t.AddRow(row.Name, fmt.Sprint(row.Observed), fmt.Sprint(row.Resolved),
+			stats.Pct(frac), stats.Pct(row.Accuracy), fmt.Sprint(row.FollowUps))
+	}
+	return t.Render()
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seven CFS runs")
+	}
+	e := env(t)
+	r := Ablations(e, fastCFS())
+	if len(r.Rows) != 7 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	base := r.Rows[0]
+	if base.Name != "baseline" || base.Resolved == 0 {
+		t.Fatalf("baseline malformed: %+v", base)
+	}
+	for _, row := range r.Rows {
+		if row.Observed == 0 {
+			t.Fatalf("%s observed nothing", row.Name)
+		}
+		if row.Accuracy <= 0.4 {
+			t.Errorf("%s accuracy %.2f implausibly low", row.Name, row.Accuracy)
+		}
+	}
+	// Switching off alias resolution must not beat the baseline.
+	for _, row := range r.Rows[1:] {
+		if row.Name == "no alias resolution" && row.Resolved > base.Resolved {
+			t.Errorf("no-alias (%d) beat baseline (%d)", row.Resolved, base.Resolved)
+		}
+		if row.Name == "no targeted traceroutes" && row.FollowUps != 0 {
+			t.Errorf("no-targeted still issued %d follow-ups", row.FollowUps)
+		}
+	}
+	if !strings.Contains(r.Render(), "Ablations") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/world"
+)
+
+var smallEnv *Env
+
+func env(t testing.TB) *Env {
+	t.Helper()
+	if smallEnv == nil {
+		smallEnv = NewEnv(world.Small(), 51)
+	}
+	return smallEnv
+}
+
+// fastCFS shortens the loop for test runtime.
+func fastCFS() cfs.Config {
+	cfg := cfs.DefaultConfig()
+	cfg.MaxIterations = 25
+	cfg.FollowUpBudget = 150
+	cfg.AliasRounds = []int{1, 5, 15}
+	return cfg
+}
+
+func TestTable1(t *testing.T) {
+	r := Table1(env(t))
+	if len(r.Rows) != 4 {
+		t.Fatalf("Table1 rows = %d", len(r.Rows))
+	}
+	if r.Total.VPs == 0 {
+		t.Fatal("no vantage points in Table 1")
+	}
+	out := r.Render()
+	for _, want := range []string{"RIPE Atlas", "Vantage Pts.", "Countries"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	r := Figure2(env(t))
+	if r.ASesChecked == 0 {
+		t.Fatal("Figure 2 checked no ASes")
+	}
+	if r.MissingLinks == 0 {
+		t.Error("Figure 2 found no PeeringDB gaps; the loss model is off")
+	}
+	for _, row := range r.Rows {
+		if row.PDBFraction < 0 || row.PDBFraction > 1 {
+			t.Fatalf("fraction out of range: %+v", row)
+		}
+	}
+	// Rows sorted by facility count, descending.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Facilities > r.Rows[i-1].Facilities {
+			t.Fatal("Figure 2 rows not sorted")
+		}
+	}
+	if !strings.Contains(r.Render(), "PeeringDB") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	e := env(t)
+	r := Figure3(e, 2)
+	if len(r.Rows) == 0 {
+		t.Fatal("Figure 3 has no qualifying metros")
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Facilities > r.Rows[i-1].Facilities {
+			t.Fatal("Figure 3 not ranked")
+		}
+	}
+	if r.TotalFacilities != len(e.DB.Facilities) {
+		t.Errorf("total facilities %d != %d", r.TotalFacilities, len(e.DB.Facilities))
+	}
+	if len(r.PerRegion) == 0 {
+		t.Error("no regional split")
+	}
+	if !strings.Contains(r.Render(), "Figure 3") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three CFS runs")
+	}
+	r := Figure7(env(t), fastCFS())
+	if len(r.Curves) != 3 {
+		t.Fatalf("Figure 7 curves = %d", len(r.Curves))
+	}
+	for _, c := range r.Curves {
+		if len(c.Fraction) == 0 {
+			t.Fatalf("curve %q empty", c.Label)
+		}
+		for i := 1; i < len(c.Fraction); i++ {
+			if c.Fraction[i]+1e-9 < c.Fraction[i-1]*0.9 {
+				t.Errorf("curve %q collapses at %d: %v -> %v",
+					c.Label, i, c.Fraction[i-1], c.Fraction[i])
+			}
+		}
+	}
+	all := r.Curves[0].Fraction
+	if all[len(all)-1] <= 0.2 {
+		t.Errorf("all-platform convergence too low: %v", all[len(all)-1])
+	}
+	if r.DNSGeolocated <= 0 || r.DNSGeolocated >= 1 {
+		t.Errorf("DNS baseline coverage %v implausible", r.DNSGeolocated)
+	}
+	if !strings.Contains(r.Render(), "DNS-based geolocation") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("knockout sweep")
+	}
+	e := env(t)
+	nFacs := len(e.DB.Facilities)
+	r := Figure8(e, fastCFS(), []int{0, nFacs / 4, nFacs / 2}, 2, 99)
+	if len(r.Points) != 3 {
+		t.Fatalf("Figure 8 points = %d", len(r.Points))
+	}
+	if r.Points[0].UnresolvedFrac > 0.02 {
+		t.Errorf("zero removals should change nothing: %+v", r.Points[0])
+	}
+	if r.Points[2].UnresolvedFrac <= r.Points[0].UnresolvedFrac {
+		t.Errorf("removals should increase unresolved fraction: %+v", r.Points)
+	}
+	if !strings.Contains(r.Render(), "Figure 8") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure9And10AndHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full CFS run")
+	}
+	e := env(t)
+	res := e.RunCFS(fastCFS())
+	f9 := Figure9(e, res)
+	if f9.Overall.Total == 0 {
+		t.Fatal("Figure 9 validated nothing")
+	}
+	if f9.Overall.Frac() < 0.6 {
+		t.Errorf("validated accuracy %.2f too low", f9.Overall.Frac())
+	}
+	if !strings.Contains(f9.Render(), "Figure 9") {
+		t.Error("figure 9 render incomplete")
+	}
+
+	f10 := Figure10(e, res)
+	totalIfaces := 0
+	for _, asn := range f10.Targets {
+		totalIfaces += f10.Mix[asn][RegionAll].Total()
+	}
+	if totalIfaces == 0 {
+		t.Fatal("Figure 10 counted no interfaces")
+	}
+	// Content providers should skew public (the paper's CDN finding).
+	contentPublic, contentTotal := 0, 0
+	for _, asn := range f10.Targets {
+		if e.W.ASByNumber(asn).Type != world.Content {
+			continue
+		}
+		m := f10.Mix[asn][RegionAll]
+		contentPublic += m.PublicLocal + m.PublicRemote
+		contentTotal += m.Total()
+	}
+	if contentTotal > 0 && contentPublic*2 < contentTotal {
+		t.Errorf("content providers should be public-peering heavy: %d/%d",
+			contentPublic, contentTotal)
+	}
+	if !strings.Contains(f10.Render(), "Figure 10") {
+		t.Error("figure 10 render incomplete")
+	}
+
+	h := Headline(e, res)
+	if h.Observed == 0 || h.Resolved == 0 {
+		t.Fatal("headline empty")
+	}
+	if h.MultiRoleFrac <= 0 {
+		t.Error("no multi-role routers in headline")
+	}
+	if !strings.Contains(h.Render(), "70.65%") {
+		t.Error("headline render should cite paper values")
+	}
+}
+
+func TestProximityExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("member campaign")
+	}
+	e := env(t)
+	r := Proximity(e)
+	if r.IXP == world.IXPID(world.None) {
+		t.Skip("no disclosing IXP in small world")
+	}
+	if r.TestPairs == 0 {
+		t.Skip("no dual-homed members at the disclosing IXP")
+	}
+	t.Logf("proximity: exact=%d sameBackhaul=%d wrong=%d noInf=%d (train=%d test=%d)",
+		r.Exact, r.SameBackhaul, r.Wrong, r.NoInference, r.TrainPairs, r.TestPairs)
+	if r.ExactFrac() < 0.4 {
+		t.Errorf("exact fraction %.2f too low (paper: 77%%)", r.ExactFrac())
+	}
+	if !strings.Contains(r.Render(), "switch-proximity") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/stats"
+	"facilitymap/internal/world"
+)
+
+// PeeringMix is the per-type interface tally of one target AS in one
+// region (or worldwide for RegionAll).
+type PeeringMix struct {
+	PublicLocal  int
+	PublicRemote int
+	CrossConnect int
+	Tethering    int
+}
+
+// Total sums the mix.
+func (m PeeringMix) Total() int {
+	return m.PublicLocal + m.PublicRemote + m.CrossConnect + m.Tethering
+}
+
+// RegionAll keys the worldwide tally in Figure10Result.
+const RegionAll = "Total"
+
+// Figure10Result reproduces Figure 10: number of peering interfaces per
+// target AS, split by inferred peering type, worldwide and per region.
+type Figure10Result struct {
+	// Mix[asn][region] tallies resolved peering interfaces.
+	Mix     map[world.ASN]map[string]PeeringMix
+	Targets []world.ASN
+	Names   map[world.ASN]string
+	Regions []string
+}
+
+// Figure10 tallies a CFS run's interfaces for the campaign targets.
+func Figure10(e *Env, res *cfs.Result) *Figure10Result {
+	out := &Figure10Result{
+		Mix:     make(map[world.ASN]map[string]PeeringMix),
+		Targets: append([]world.ASN(nil), e.Targets...),
+		Names:   make(map[world.ASN]string),
+		Regions: []string{RegionAll, geo.Europe.String(), geo.NorthAmerica.String(), geo.Asia.String()},
+	}
+	targetSet := make(map[world.ASN]bool, len(e.Targets))
+	for _, asn := range e.Targets {
+		targetSet[asn] = true
+		out.Names[asn] = e.DB.ASName(asn)
+		out.Mix[asn] = make(map[string]PeeringMix)
+	}
+	// Each interface counts once, under its preferred adjacency type.
+	for ip, ir := range res.Interfaces {
+		if ir.Owner == 0 || !targetSet[ir.Owner] {
+			continue
+		}
+		lt, ok := dominantType(res, ip, ir)
+		if !ok {
+			continue
+		}
+		region := regionOfInterface(e, ir)
+		add := func(key string) {
+			m := out.Mix[ir.Owner][key]
+			switch lt {
+			case cfs.PublicLocal:
+				m.PublicLocal++
+			case cfs.PublicRemote:
+				m.PublicRemote++
+			case cfs.PrivateCrossConnect:
+				m.CrossConnect++
+			case cfs.PrivateTethering:
+				m.Tethering++
+			}
+			out.Mix[ir.Owner][key] = m
+		}
+		add(RegionAll)
+		if region != "" {
+			add(region)
+		}
+	}
+	sort.Slice(out.Targets, func(i, j int) bool { return out.Targets[i] < out.Targets[j] })
+	return out
+}
+
+// dominantType picks the interface's reported category: remote public if
+// flagged remote, else its most telling adjacency.
+func dominantType(res *cfs.Result, ip netaddr.IP, ir *cfs.InterfaceResult) (cfs.LinkType, bool) {
+	var best cfs.LinkType = -1
+	for _, a := range res.Links {
+		if a.Near != ip && a.FarPort != ip && a.Far != ip {
+			continue
+		}
+		t := a.Type
+		if t == cfs.PrivateUnknown {
+			continue
+		}
+		if best == -1 || t == cfs.PublicLocal || t == cfs.PublicRemote {
+			best = t
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	if (best == cfs.PublicLocal || best == cfs.PublicRemote) && ir.RemoteMember {
+		return cfs.PublicRemote, true
+	}
+	return best, true
+}
+
+// regionOfInterface places an interface by its inferred facility's metro
+// (resolved interfaces) or the candidate cluster; unplaced interfaces
+// report only in the worldwide column.
+func regionOfInterface(e *Env, ir *cfs.InterfaceResult) string {
+	var fac world.FacilityID = -1
+	if ir.Resolved {
+		fac = ir.Facility
+	} else if len(ir.Candidates) > 0 {
+		fac = ir.Candidates[0]
+	}
+	if fac < 0 {
+		return ""
+	}
+	return e.W.Metros[e.W.Facilities[fac].Metro].Region.String()
+}
+
+// Render prints the per-target mixes like Figure 10's panels.
+func (r *Figure10Result) Render() string {
+	var out string
+	for _, region := range r.Regions {
+		t := stats.NewTable(fmt.Sprintf("Figure 10 (%s): peering interfaces by type", region),
+			"target", "type", "public-local", "public-remote", "x-connect", "tethering", "total")
+		for _, asn := range r.Targets {
+			m := r.Mix[asn][region]
+			if m.Total() == 0 {
+				continue
+			}
+			t.AddRow(asn.String(), r.Names[asn],
+				fmt.Sprint(m.PublicLocal), fmt.Sprint(m.PublicRemote),
+				fmt.Sprint(m.CrossConnect), fmt.Sprint(m.Tethering),
+				fmt.Sprint(m.Total()))
+		}
+		out += t.Render() + "\n"
+	}
+	return out
+}

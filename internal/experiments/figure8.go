@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/stats"
+	"facilitymap/internal/world"
+)
+
+// Figure8Point is one x-position of Figure 8.
+type Figure8Point struct {
+	Removed int
+	// UnresolvedFrac is the average fraction of baseline-resolved
+	// interfaces that become unresolved.
+	UnresolvedFrac float64
+	// ChangedFrac is the average fraction of baseline-resolved
+	// interfaces that converge to a *different* facility.
+	ChangedFrac float64
+}
+
+// Figure8Result reproduces Figure 8: sensitivity of CFS to missing
+// facility data, measured by removing facilities from the registry in
+// random order and re-running the search.
+type Figure8Result struct {
+	Points  []Figure8Point
+	Repeats int
+	// TotalFacilities in the registry before removal.
+	TotalFacilities int
+}
+
+// Figure8 runs the knockout sweep: for each removal count, `repeats`
+// random removal sets are averaged (the paper removes up to 1,400 of
+// 1,694 facilities with 20 repeats).
+func Figure8(e *Env, cfg cfs.Config, removals []int, repeats int, seed int64) *Figure8Result {
+	baseline := e.RunCFS(cfg)
+	base := make(map[netaddr.IP]world.FacilityID)
+	for ip, ir := range baseline.Interfaces {
+		if ir.Resolved {
+			base[ip] = ir.Facility
+		}
+	}
+	var facIDs []world.FacilityID
+	for id := range e.DB.Facilities {
+		facIDs = append(facIDs, id)
+	}
+	// Deterministic ordering before shuffling.
+	for i := 0; i < len(facIDs); i++ {
+		for j := i + 1; j < len(facIDs); j++ {
+			if facIDs[j] < facIDs[i] {
+				facIDs[i], facIDs[j] = facIDs[j], facIDs[i]
+			}
+		}
+	}
+	out := &Figure8Result{Repeats: repeats, TotalFacilities: len(facIDs)}
+	for _, k := range removals {
+		if k > len(facIDs) {
+			k = len(facIDs)
+		}
+		var unres, changed []float64
+		for rep := 0; rep < repeats; rep++ {
+			rng := rand.New(rand.NewSource(seed + int64(k*1000+rep)))
+			perm := rng.Perm(len(facIDs))
+			gone := make(map[world.FacilityID]bool, k)
+			for i := 0; i < k; i++ {
+				gone[facIDs[perm[i]]] = true
+			}
+			res := e.RunCFSOn(cfg, e.DB.RemoveFacilities(gone))
+			lost, moved := 0, 0
+			for ip, fac := range base {
+				ir := res.Interfaces[ip]
+				switch {
+				case ir == nil || !ir.Resolved:
+					lost++
+				case ir.Facility != fac:
+					moved++
+				}
+			}
+			unres = append(unres, float64(lost)/float64(len(base)))
+			changed = append(changed, float64(moved)/float64(len(base)))
+		}
+		out.Points = append(out.Points, Figure8Point{
+			Removed:        k,
+			UnresolvedFrac: stats.Mean(unres),
+			ChangedFrac:    stats.Mean(changed),
+		})
+	}
+	return out
+}
+
+// Render prints the sweep.
+func (r *Figure8Result) Render() string {
+	t := stats.NewTable(fmt.Sprintf(
+		"Figure 8: effect of removing facilities from the dataset (%d repeats, %d facilities total)",
+		r.Repeats, r.TotalFacilities),
+		"removed", "removed%", "resolved->unresolved", "changed inference")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.Removed),
+			stats.Pct(float64(p.Removed)/float64(r.TotalFacilities)),
+			stats.Pct(p.UnresolvedFrac), stats.Pct(p.ChangedFrac))
+	}
+	return t.Render()
+}

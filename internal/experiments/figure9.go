@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/stats"
+	"facilitymap/internal/validation"
+)
+
+// Figure9Result reproduces Figure 9: fraction of ground-truth locations
+// matching inferred locations, classified by validation source and link
+// type.
+type Figure9Result struct {
+	Report  *validation.Report
+	Overall validation.Count
+}
+
+// Figure9 validates a CFS run with all four §6 sources.
+func Figure9(e *Env, res *cfs.Result) *Figure9Result {
+	rep := e.Validator().Validate(res)
+	return &Figure9Result{Report: rep, Overall: rep.Overall()}
+}
+
+// Render prints the source × link-type matrix.
+func (r *Figure9Result) Render() string {
+	types := []cfs.LinkType{cfs.PublicLocal, cfs.PublicRemote,
+		cfs.PrivateCrossConnect, cfs.PrivateTethering, cfs.PrivateUnknown}
+	title := fmt.Sprintf(
+		"Figure 9: validated accuracy by source and link type (overall %s = %s)",
+		r.Overall, stats.Pct(r.Overall.Frac()))
+	if r.Report.WrongButSameCity.Total > 0 {
+		title += fmt.Sprintf("\nwrong inferences landing in the true facility's metro: %s (%s)",
+			r.Report.WrongButSameCity, stats.Pct(r.Report.WrongButSameCity.Frac()))
+	}
+	t := stats.NewTable(title,
+		"source", "public-local", "public-remote", "cross-connect", "tethering", "private-unknown", "city-level", "remote flags")
+	for _, src := range validation.Sources() {
+		row := []string{src.String()}
+		for _, lt := range types {
+			c := r.Report.Cells[validation.Cell{Source: src, Type: lt}]
+			if c.Total == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%s (%s)", c, stats.Pct(c.Frac())))
+			}
+		}
+		if src == validation.DirectFeedback && r.Report.CityLevel.Total > 0 {
+			row = append(row, r.Report.CityLevel.String())
+		} else {
+			row = append(row, "-")
+		}
+		if src == validation.IXPWebsites && r.Report.RemotePeering.Total > 0 {
+			row = append(row, r.Report.RemotePeering.String())
+		} else {
+			row = append(row, "-")
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"facilitymap/internal/stats"
+	"facilitymap/internal/world"
+)
+
+// Figure2Row is one AS of Figure 2: its true facility count (from the
+// operator's own NOC page) and the fraction PeeringDB captures.
+type Figure2Row struct {
+	ASN         world.ASN
+	Name        string
+	Facilities  int     // facilities per the NOC website (ground truth)
+	PDBFraction float64 // fraction of those present in PeeringDB
+}
+
+// Figure2Result reproduces Figure 2: per-AS facility counts from NOC
+// websites versus PeeringDB coverage, with the paper's summary numbers
+// (ASes checked, ASes with missing links, total missing links, ASes with
+// no PeeringDB facilities at all).
+type Figure2Result struct {
+	Rows         []Figure2Row
+	ASesChecked  int
+	ASesWithGaps int
+	MissingLinks int
+	ASesAbsent   int
+}
+
+// Figure2 samples the ASes that publish NOC facility pages (the paper
+// checked 152 such networks) and compares against PeeringDB records.
+func Figure2(e *Env) *Figure2Result {
+	out := &Figure2Result{}
+	for _, as := range e.W.ASes {
+		noc := e.DB.NOCFacilities(as.ASN)
+		if len(noc) == 0 {
+			continue // operator publishes nothing to compare against
+		}
+		pdb := e.DB.PDBFacilities(as.ASN)
+		inPDB := make(map[world.FacilityID]bool, len(pdb))
+		for _, f := range pdb {
+			inPDB[f] = true
+		}
+		covered := 0
+		for _, f := range noc {
+			if inPDB[f] {
+				covered++
+			}
+		}
+		row := Figure2Row{
+			ASN:         as.ASN,
+			Name:        as.Name,
+			Facilities:  len(noc),
+			PDBFraction: float64(covered) / float64(len(noc)),
+		}
+		out.Rows = append(out.Rows, row)
+		out.ASesChecked++
+		if missing := len(noc) - covered; missing > 0 {
+			out.ASesWithGaps++
+			out.MissingLinks += missing
+		}
+		if len(pdb) == 0 {
+			out.ASesAbsent++
+		}
+	}
+	// Paper orders ASes by facility count, descending.
+	sort.Slice(out.Rows, func(i, j int) bool {
+		if out.Rows[i].Facilities != out.Rows[j].Facilities {
+			return out.Rows[i].Facilities > out.Rows[j].Facilities
+		}
+		return out.Rows[i].ASN < out.Rows[j].ASN
+	})
+	return out
+}
+
+// Render prints the summary and the top of the per-AS distribution.
+func (r *Figure2Result) Render() string {
+	t := stats.NewTable(fmt.Sprintf(
+		"Figure 2: NOC-website facility counts vs PeeringDB coverage\n"+
+			"checked %d ASes; PeeringDB misses %d AS-to-facility links across %d ASes; %d ASes absent entirely",
+		r.ASesChecked, r.MissingLinks, r.ASesWithGaps, r.ASesAbsent),
+		"AS", "facilities (NOC)", "fraction in PeeringDB")
+	n := len(r.Rows)
+	if n > 20 {
+		n = 20
+	}
+	for _, row := range r.Rows[:n] {
+		t.AddRow(row.Name, fmt.Sprint(row.Facilities), stats.Pct(row.PDBFraction))
+	}
+	return t.Render()
+}
+
+// Figure3Row is one metro bar of Figure 3.
+type Figure3Row struct {
+	Metro      string
+	Region     string
+	Facilities int
+}
+
+// Figure3Result reproduces Figure 3: metropolitan areas ranked by
+// interconnection facility count, reported above a threshold.
+type Figure3Result struct {
+	Threshold int
+	Rows      []Figure3Row
+	// TotalFacilities and Metros summarise the dataset like §3.1.2
+	// (1,694 facilities in 684 cities for the paper).
+	TotalFacilities int
+	Metros          int
+	PerRegion       map[string]int
+}
+
+// Figure3 counts facilities per normalised metro cluster. The paper's
+// threshold is 10; scale it with world size so smaller worlds still
+// produce a ranking.
+func Figure3(e *Env, threshold int) *Figure3Result {
+	counts := make(map[int]int)
+	for id := range e.DB.Facilities {
+		if c, ok := e.DB.MetroClusterOf(id); ok {
+			counts[c]++
+		}
+	}
+	out := &Figure3Result{
+		Threshold:       threshold,
+		TotalFacilities: len(e.DB.Facilities),
+		Metros:          e.DB.Clusters(),
+		PerRegion:       make(map[string]int),
+	}
+	for _, f := range e.W.Facilities {
+		out.PerRegion[e.W.Metros[f.Metro].Region.String()]++
+	}
+	for cluster, n := range counts {
+		if n < threshold {
+			continue
+		}
+		out.Rows = append(out.Rows, Figure3Row{
+			Metro:      e.DB.ClusterName(cluster),
+			Facilities: n,
+			Region:     regionOfCluster(e, cluster),
+		})
+	}
+	sort.Slice(out.Rows, func(i, j int) bool {
+		if out.Rows[i].Facilities != out.Rows[j].Facilities {
+			return out.Rows[i].Facilities > out.Rows[j].Facilities
+		}
+		return out.Rows[i].Metro < out.Rows[j].Metro
+	})
+	return out
+}
+
+func regionOfCluster(e *Env, cluster int) string {
+	for id := range e.DB.Facilities {
+		if c, ok := e.DB.MetroClusterOf(id); ok && c == cluster {
+			return e.W.Metros[e.W.Facilities[id].Metro].Region.String()
+		}
+	}
+	return ""
+}
+
+// Render prints the ranking.
+func (r *Figure3Result) Render() string {
+	t := stats.NewTable(fmt.Sprintf(
+		"Figure 3: metros with at least %d interconnection facilities\n"+
+			"dataset: %d facilities across %d metros",
+		r.Threshold, r.TotalFacilities, r.Metros),
+		"metro", "region", "facilities")
+	for _, row := range r.Rows {
+		t.AddRow(row.Metro, row.Region, fmt.Sprint(row.Facilities))
+	}
+	return t.Render()
+}

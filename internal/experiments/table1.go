@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+
+	"facilitymap/internal/platform"
+	"facilitymap/internal/stats"
+)
+
+// Table1Result reproduces Table 1: characteristics of the four traceroute
+// measurement platforms (vantage points, ASNs, countries), plus the
+// unique totals.
+type Table1Result struct {
+	Rows  []platform.Stats
+	Total platform.Stats
+}
+
+// Table1 computes the platform summary.
+func Table1(e *Env) *Table1Result {
+	rows, total := e.Fleet.TableOne()
+	return &Table1Result{Rows: rows, Total: total}
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table1Result) Render() string {
+	t := stats.NewTable("Table 1: traceroute measurement platforms",
+		"", "RIPE Atlas", "LGs", "iPlane", "Ark", "Total unique")
+	get := func(sel func(platform.Stats) int) []string {
+		cells := make([]string, 0, 5)
+		for _, row := range r.Rows {
+			cells = append(cells, fmt.Sprint(sel(row)))
+		}
+		cells = append(cells, fmt.Sprint(sel(r.Total)))
+		return cells
+	}
+	t.AddRow(append([]string{"Vantage Pts."}, get(func(s platform.Stats) int { return s.VPs })...)...)
+	t.AddRow(append([]string{"ASNs"}, get(func(s platform.Stats) int { return s.ASNs })...)...)
+	t.AddRow(append([]string{"Countries"}, get(func(s platform.Stats) int { return s.Countries })...)...)
+	return t.Render()
+}

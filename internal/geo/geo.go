@@ -1,0 +1,146 @@
+// Package geo provides geographic primitives for the synthetic Internet:
+// coordinates, great-circle distances, metropolitan areas, world regions,
+// and a propagation-delay model used by the traceroute simulator.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Region is a coarse world region, matching the regional breakdown used in
+// the paper (facility counts per region in §3.1.2, Figure 10 columns).
+type Region int
+
+const (
+	NorthAmerica Region = iota
+	Europe
+	Asia
+	Oceania
+	SouthAmerica
+	Africa
+	numRegions
+)
+
+// Regions lists every region in declaration order.
+func Regions() []Region {
+	r := make([]Region, numRegions)
+	for i := range r {
+		r[i] = Region(i)
+	}
+	return r
+}
+
+func (r Region) String() string {
+	switch r {
+	case NorthAmerica:
+		return "North America"
+	case Europe:
+		return "Europe"
+	case Asia:
+		return "Asia"
+	case Oceania:
+		return "Oceania"
+	case SouthAmerica:
+		return "South America"
+	case Africa:
+		return "Africa"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// Coord is a point on the Earth's surface in decimal degrees.
+type Coord struct {
+	Lat float64 // latitude, -90..90
+	Lon float64 // longitude, -180..180
+}
+
+// Valid reports whether the coordinate lies in the legal lat/lon ranges.
+func (c Coord) Valid() bool {
+	return c.Lat >= -90 && c.Lat <= 90 && c.Lon >= -180 && c.Lon <= 180 &&
+		!math.IsNaN(c.Lat) && !math.IsNaN(c.Lon)
+}
+
+func (c Coord) String() string {
+	return fmt.Sprintf("(%.4f,%.4f)", c.Lat, c.Lon)
+}
+
+// EarthRadiusKm is the mean Earth radius used by DistanceKm.
+const EarthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle (haversine) distance between two
+// coordinates in kilometres.
+func DistanceKm(a, b Coord) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	// Clamp to guard against floating-point excursions slightly above 1.
+	if s > 1 {
+		s = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(s))
+}
+
+// DistanceMiles returns the great-circle distance in statute miles.
+func DistanceMiles(a, b Coord) float64 {
+	const milesPerKm = 0.621371
+	return DistanceKm(a, b) * milesPerKm
+}
+
+// fiberSpeedKmPerMs is the signal propagation speed in optical fiber,
+// roughly 2/3 the speed of light in vacuum: ~200 km per millisecond.
+const fiberSpeedKmPerMs = 200.0
+
+// fiberPathStretch inflates the great-circle distance to account for real
+// fiber paths not following geodesics (conduits, rings, landing points).
+const fiberPathStretch = 1.3
+
+// PropagationDelay returns the one-way propagation delay for a signal
+// travelling between two coordinates over terrestrial fiber.
+func PropagationDelay(a, b Coord) time.Duration {
+	km := DistanceKm(a, b) * fiberPathStretch
+	ms := km / fiberSpeedKmPerMs
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// RTT returns the round-trip propagation time between two coordinates.
+func RTT(a, b Coord) time.Duration {
+	return 2 * PropagationDelay(a, b)
+}
+
+// MetroID identifies a metropolitan area.
+type MetroID int
+
+// Metro is a metropolitan area: one or more nearby cities grouped into a
+// single market, as the paper does for e.g. Jersey City + New York City
+// ("NYC metropolitan area", §3.1.1).
+type Metro struct {
+	ID      MetroID
+	Name    string // canonical metro name, e.g. "London"
+	Country string // ISO 3166-1 alpha-2 country code
+	Region  Region
+	Center  Coord
+	// Aliases are alternative city names that fall inside this metro and
+	// appear in sloppily-maintained registry records ("Jersey City" for
+	// the NYC metro). The canonical Name is not repeated here.
+	Aliases []string
+}
+
+// MetroGroupingMiles is the distance threshold under which two cities are
+// considered the same metropolitan area (paper §3.1.1: "If the distance
+// between two cities is less than 5 miles, we map them to the same
+// metropolitan area").
+const MetroGroupingMiles = 5.0
+
+// SameMetro reports whether two city-centre coordinates should be grouped
+// into one metropolitan area under the paper's 5-mile rule.
+func SameMetro(a, b Coord) bool {
+	return DistanceMiles(a, b) < MetroGroupingMiles
+}

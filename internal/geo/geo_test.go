@@ -1,0 +1,152 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var (
+	london   = Coord{Lat: 51.5074, Lon: -0.1278}
+	newYork  = Coord{Lat: 40.7128, Lon: -74.0060}
+	sydney   = Coord{Lat: -33.8688, Lon: 151.2093}
+	frankfrt = Coord{Lat: 50.1109, Lon: 8.6821}
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b    Coord
+		wantKm  float64
+		slackKm float64
+	}{
+		{"London-NewYork", london, newYork, 5570, 60},
+		{"London-Frankfurt", london, frankfrt, 640, 20},
+		{"London-Sydney", london, sydney, 16990, 120},
+		{"identity", london, london, 0, 0.001},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := DistanceKm(tt.a, tt.b)
+			if math.Abs(got-tt.wantKm) > tt.slackKm {
+				t.Errorf("DistanceKm(%v,%v) = %.1f, want %.1f ± %.1f",
+					tt.a, tt.b, got, tt.wantKm, tt.slackKm)
+			}
+		})
+	}
+}
+
+func TestDistanceAntipodes(t *testing.T) {
+	a := Coord{Lat: 0, Lon: 0}
+	b := Coord{Lat: 0, Lon: 180}
+	want := math.Pi * EarthRadiusKm
+	if got := DistanceKm(a, b); math.Abs(got-want) > 1 {
+		t.Errorf("antipodal distance = %.1f, want %.1f", got, want)
+	}
+}
+
+func randCoord(r *rand.Rand) Coord {
+	return Coord{Lat: r.Float64()*180 - 90, Lon: r.Float64()*360 - 180}
+}
+
+func TestDistancePropertySymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randCoord(r), randCoord(r)
+		d1, d2 := DistanceKm(a, b), DistanceKm(b, a)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistancePropertyBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randCoord(r), randCoord(r)
+		d := DistanceKm(a, b)
+		return d >= 0 && d <= math.Pi*EarthRadiusKm+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistancePropertyTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randCoord(r), randCoord(r), randCoord(r)
+		// Allow tiny numerical slack.
+		return DistanceKm(a, c) <= DistanceKm(a, b)+DistanceKm(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordValid(t *testing.T) {
+	valid := []Coord{{0, 0}, {90, 180}, {-90, -180}, london}
+	for _, c := range valid {
+		if !c.Valid() {
+			t.Errorf("Valid(%v) = false, want true", c)
+		}
+	}
+	invalid := []Coord{{91, 0}, {0, 181}, {-90.1, 0}, {math.NaN(), 0}, {0, math.NaN()}}
+	for _, c := range invalid {
+		if c.Valid() {
+			t.Errorf("Valid(%v) = true, want false", c)
+		}
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	// London-Frankfurt is ~640 km great circle; with 1.3 stretch and
+	// 200 km/ms that is ~4.2ms one way.
+	d := PropagationDelay(london, frankfrt)
+	if d < 3*time.Millisecond || d > 6*time.Millisecond {
+		t.Errorf("PropagationDelay(London,Frankfurt) = %v, want 3ms..6ms", d)
+	}
+	if got, want := RTT(london, frankfrt), 2*d; got != want {
+		t.Errorf("RTT = %v, want %v", got, want)
+	}
+	if PropagationDelay(london, london) != 0 {
+		t.Errorf("zero-distance delay = %v, want 0", PropagationDelay(london, london))
+	}
+}
+
+func TestSameMetro(t *testing.T) {
+	jerseyCity := Coord{Lat: 40.7178, Lon: -74.0431}
+	manhattan := Coord{Lat: 40.7306, Lon: -73.9866}
+	// Jersey City and lower Manhattan are ~3 miles apart.
+	if !SameMetro(jerseyCity, manhattan) {
+		t.Error("Jersey City and Manhattan should group into one metro")
+	}
+	if SameMetro(london, frankfrt) {
+		t.Error("London and Frankfurt must not group into one metro")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	want := map[Region]string{
+		NorthAmerica: "North America",
+		Europe:       "Europe",
+		Asia:         "Asia",
+		Oceania:      "Oceania",
+		SouthAmerica: "South America",
+		Africa:       "Africa",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("Region(%d).String() = %q, want %q", int(r), r.String(), s)
+		}
+	}
+	if got := Region(99).String(); got != "Region(99)" {
+		t.Errorf("unknown region String() = %q", got)
+	}
+	if n := len(Regions()); n != 6 {
+		t.Errorf("len(Regions()) = %d, want 6", n)
+	}
+}

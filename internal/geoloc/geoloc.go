@@ -1,0 +1,96 @@
+// Package geoloc models a commercial IP-geolocation database, the second
+// baseline the paper compares against (§7). Such databases are reliable
+// at country granularity but poor at city level, and they collapse a
+// content provider's whole address space onto its headquarters (the
+// "every Google IP maps to California" failure mode).
+package geoloc
+
+import (
+	"math/rand"
+
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// Result is one database answer.
+type Result struct {
+	Country string
+	Metro   geo.MetroID
+	// HasMetro is false when the database only has country granularity
+	// for this block.
+	HasMetro bool
+}
+
+// DB is the geolocation database snapshot.
+type DB struct {
+	w       *world.World
+	rng     *rand.Rand
+	byBlock map[world.ASN]Result // per-AS headquarters answer
+	perIfc  map[netaddr.IP]Result
+}
+
+// New snapshots a database over the world. Accuracy knobs follow the
+// literature the paper cites: country ~95%, city ~60%, content providers
+// pinned to their home metro.
+func New(w *world.World, seed int64) *DB {
+	db := &DB{
+		w:       w,
+		rng:     rand.New(rand.NewSource(seed)),
+		byBlock: make(map[world.ASN]Result),
+		perIfc:  make(map[netaddr.IP]Result),
+	}
+	for _, as := range w.ASes {
+		// Headquarters metro: the metro of the AS's first router.
+		home := w.Routers[as.Routers[0]].Metro
+		db.byBlock[as.ASN] = Result{
+			Country:  w.Metros[home].Country,
+			Metro:    home,
+			HasMetro: true,
+		}
+	}
+	for _, ifc := range w.Interfaces {
+		r := w.Routers[ifc.Router]
+		as := w.ASByNumber(r.AS)
+		truth := Result{
+			Country:  w.Metros[r.Metro].Country,
+			Metro:    r.Metro,
+			HasMetro: true,
+		}
+		switch {
+		case as.Type == world.Content:
+			// Whole block mapped to headquarters.
+			db.perIfc[ifc.IP] = db.byBlock[as.ASN]
+		case db.rng.Float64() < 0.60:
+			db.perIfc[ifc.IP] = truth
+		case db.rng.Float64() < 0.875: // 0.35*0.875+0.6 ≈ 0.9 country-right
+			// Right country, wrong metro.
+			wrong := db.randomMetroInCountry(truth.Country, r.Metro)
+			db.perIfc[ifc.IP] = Result{Country: truth.Country, Metro: wrong, HasMetro: true}
+		default:
+			// Wrong country entirely.
+			m := geo.MetroID(db.rng.Intn(len(w.Metros)))
+			db.perIfc[ifc.IP] = Result{Country: w.Metros[m].Country, Metro: m, HasMetro: true}
+		}
+	}
+	return db
+}
+
+func (db *DB) randomMetroInCountry(country string, not geo.MetroID) geo.MetroID {
+	var cands []geo.MetroID
+	for _, m := range db.w.Metros {
+		if m.Country == country && m.ID != not {
+			cands = append(cands, m.ID)
+		}
+	}
+	if len(cands) == 0 {
+		return not
+	}
+	return cands[db.rng.Intn(len(cands))]
+}
+
+// Locate answers a database query for one address.
+func (db *DB) Locate(ip netaddr.IP) (Result, bool) {
+	r, ok := db.perIfc[ip]
+	return r, ok
+}

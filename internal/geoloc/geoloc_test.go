@@ -1,0 +1,69 @@
+package geoloc
+
+import (
+	"testing"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+func TestAccuracyProfile(t *testing.T) {
+	w := world.Generate(world.Default())
+	db := New(w, 17)
+	countryRight, metroRight, total := 0, 0, 0
+	for _, ifc := range w.Interfaces {
+		r, ok := db.Locate(ifc.IP)
+		if !ok {
+			t.Fatalf("no record for %v", ifc.IP)
+		}
+		rtr := w.Routers[ifc.Router]
+		total++
+		if r.Country == w.Metros[rtr.Metro].Country {
+			countryRight++
+		}
+		if r.HasMetro && r.Metro == rtr.Metro {
+			metroRight++
+		}
+	}
+	cr := float64(countryRight) / float64(total)
+	mr := float64(metroRight) / float64(total)
+	if cr < 0.80 {
+		t.Errorf("country accuracy %.2f too low", cr)
+	}
+	if mr > 0.75 {
+		t.Errorf("metro accuracy %.2f too high; the baseline must be weak at city level", mr)
+	}
+	if mr >= cr {
+		t.Errorf("metro accuracy (%.2f) should trail country accuracy (%.2f)", mr, cr)
+	}
+	t.Logf("geolocation baseline: country %.2f, metro %.2f over %d interfaces", cr, mr, total)
+}
+
+func TestContentPinnedToHeadquarters(t *testing.T) {
+	w := world.Generate(world.Default())
+	db := New(w, 17)
+	for _, as := range w.ASes {
+		if as.Type != world.Content {
+			continue
+		}
+		home := w.Routers[as.Routers[0]].Metro
+		for _, rid := range as.Routers {
+			for _, i := range w.Routers[rid].Interfaces {
+				r, _ := db.Locate(w.Interfaces[i].IP)
+				if r.Metro != home {
+					t.Fatalf("content interface %v located at %v, want headquarters %v",
+						w.Interfaces[i].IP, r.Metro, home)
+				}
+			}
+		}
+		break
+	}
+}
+
+func TestUnknownAddress(t *testing.T) {
+	w := world.Generate(world.Small())
+	db := New(w, 1)
+	if _, ok := db.Locate(netaddr.MustParseIP("203.0.113.200")); ok {
+		t.Error("unknown address should have no record")
+	}
+}

@@ -1,0 +1,152 @@
+// Package ip2asn is the Team Cymru-style IP-to-ASN mapping service: a
+// longest-prefix-match view of the BGP table. Mapping router interfaces
+// with it is subject to the systematic error the paper highlights (§4.1):
+// one side of a private interconnect /30 is numbered from the *other*
+// network's address space, so longest-prefix matching attributes that
+// interface to the wrong AS. The repair — majority vote over alias sets —
+// is implemented by Repair.
+package ip2asn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// Service answers IP-to-ASN queries from announced prefixes.
+type Service struct {
+	trie     netaddr.Trie[world.ASN]
+	byOrigin map[world.ASN][]netaddr.Prefix
+}
+
+// New builds the service from every prefix announced in the world.
+// IXP peering LANs are not announced in BGP, so lookups inside them fail
+// (exactly why the paper needs the registry's IXP prefix lists).
+func New(w *world.World) *Service {
+	s := &Service{byOrigin: make(map[world.ASN][]netaddr.Prefix)}
+	for _, as := range w.ASes {
+		for _, p := range as.Prefixes {
+			s.trie.Insert(p, as.ASN)
+			s.byOrigin[as.ASN] = append(s.byOrigin[as.ASN], p)
+		}
+	}
+	return s
+}
+
+// Entry is one row of an externally-supplied BGP table.
+type Entry struct {
+	Prefix netaddr.Prefix
+	Origin world.ASN
+}
+
+// FromTable builds the service from an explicit prefix table — the
+// offline path for running the pipeline on real BGP data instead of the
+// synthetic world.
+func FromTable(entries []Entry) *Service {
+	s := &Service{byOrigin: make(map[world.ASN][]netaddr.Prefix)}
+	for _, e := range entries {
+		s.trie.Insert(e.Prefix, e.Origin)
+		s.byOrigin[e.Origin] = append(s.byOrigin[e.Origin], e.Prefix)
+	}
+	return s
+}
+
+// ParseTable reads a plain-text BGP table with one "prefix origin-asn"
+// pair per line; '#' starts a comment.
+func ParseTable(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	var out []Entry
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("ip2asn: line %d: want \"prefix asn\", got %q", lineNo, line)
+		}
+		prefix, err := netaddr.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("ip2asn: line %d: %w", lineNo, err)
+		}
+		asn, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "AS"), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("ip2asn: line %d: bad ASN %q", lineNo, fields[1])
+		}
+		out = append(out, Entry{Prefix: prefix, Origin: world.ASN(asn)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Lookup maps an address to the origin AS of its longest covering prefix.
+func (s *Service) Lookup(ip netaddr.IP) (world.ASN, bool) {
+	asn, _, ok := s.trie.Lookup(ip)
+	return asn, ok
+}
+
+// AllASNs returns every origin AS present in the BGP table, sorted.
+func (s *Service) AllASNs() []world.ASN {
+	out := make([]world.ASN, 0, len(s.byOrigin))
+	for asn := range s.byOrigin {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PrefixesOf returns the prefixes a network announces — the BGP-table
+// view the paper uses to select "one active IP per prefix" as traceroute
+// targets (§5).
+func (s *Service) PrefixesOf(asn world.ASN) []netaddr.Prefix {
+	return s.byOrigin[asn]
+}
+
+// Repair applies the majority-vote correction of Chang et al. (paper
+// ref [16]): every IP in an alias set (one router) is re-mapped to the
+// ASN held by the majority of the set's resolvable interfaces. Input is
+// the alias sets from alias resolution; the result maps each IP to its
+// repaired owner. IPs with no BGP covering prefix stay unmapped unless
+// their alias set has a majority. Ties keep the original per-IP mapping.
+func (s *Service) Repair(aliasSets [][]netaddr.IP) map[netaddr.IP]world.ASN {
+	out := make(map[netaddr.IP]world.ASN)
+	for _, set := range aliasSets {
+		votes := make(map[world.ASN]int)
+		for _, ip := range set {
+			if asn, ok := s.Lookup(ip); ok {
+				votes[asn]++
+			}
+		}
+		var best world.ASN
+		bestN, total, tie := 0, 0, false
+		for asn, n := range votes {
+			total += n
+			switch {
+			case n > bestN:
+				best, bestN, tie = asn, n, false
+			case n == bestN:
+				tie = true
+			}
+		}
+		for _, ip := range set {
+			if bestN*2 > total && !tie {
+				out[ip] = best
+				continue
+			}
+			if asn, ok := s.Lookup(ip); ok {
+				out[ip] = asn
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package ip2asn
+
+import (
+	"strings"
+	"testing"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+func TestLookupInterfaces(t *testing.T) {
+	w := world.Generate(world.Small())
+	s := New(w)
+	misses := 0
+	wrong := 0
+	total := 0
+	for _, ifc := range w.Interfaces {
+		if ifc.Kind == world.IXPPort {
+			// IXP LANs are not announced.
+			if _, ok := s.Lookup(ifc.IP); ok {
+				t.Errorf("IXP port %v should have no BGP mapping", ifc.IP)
+			}
+			continue
+		}
+		total++
+		owner := w.Routers[ifc.Router].AS
+		got, ok := s.Lookup(ifc.IP)
+		if !ok {
+			misses++
+			continue
+		}
+		if got != owner {
+			wrong++
+		}
+	}
+	if misses > 0 {
+		t.Errorf("%d non-IXP interfaces have no mapping", misses)
+	}
+	// Private /30 far sides are numbered from the neighbor's space, so
+	// some interfaces MUST be misattributed — that is the phenomenon
+	// the paper corrects with alias resolution.
+	if wrong == 0 {
+		t.Error("expected some misattributed private-side interfaces, got none")
+	}
+	t.Logf("misattributed %d/%d interfaces (expected: private link far sides)", wrong, total)
+}
+
+func TestRepairMajorityVote(t *testing.T) {
+	w := world.Generate(world.Small())
+	s := New(w)
+	// Build the true alias sets from ground truth and verify repair
+	// fixes (most of) the conflicting mappings.
+	var sets [][]netaddr.IP
+	for _, r := range w.Routers {
+		var set []netaddr.IP
+		for _, i := range r.Interfaces {
+			ifc := w.Interfaces[i]
+			if ifc.Kind != world.IXPPort { // IXP IPs are excluded from mapping
+				set = append(set, ifc.IP)
+			}
+		}
+		if len(set) > 0 {
+			sets = append(sets, set)
+		}
+	}
+	repaired := s.Repair(sets)
+	wrongBefore, wrongAfter := 0, 0
+	for _, r := range w.Routers {
+		for _, i := range r.Interfaces {
+			ifc := w.Interfaces[i]
+			if ifc.Kind == world.IXPPort {
+				continue
+			}
+			if got, ok := s.Lookup(ifc.IP); ok && got != r.AS {
+				wrongBefore++
+			}
+			if got, ok := repaired[ifc.IP]; ok && got != r.AS {
+				wrongAfter++
+			}
+		}
+	}
+	if wrongAfter >= wrongBefore {
+		t.Errorf("repair did not reduce misattributions: before=%d after=%d", wrongBefore, wrongAfter)
+	}
+	t.Logf("misattributions: before=%d after=%d", wrongBefore, wrongAfter)
+}
+
+func TestRepairTieKeepsOriginal(t *testing.T) {
+	w := world.Generate(world.Small())
+	s := New(w)
+	// Construct an artificial 2-interface set with one IP from each of
+	// two ASes: a tie; both must keep their original mapping.
+	a, b := w.ASes[0], w.ASes[1]
+	ipA := a.Prefixes[0].Addr + 9999
+	ipB := b.Prefixes[0].Addr + 9999
+	out := s.Repair([][]netaddr.IP{{ipA, ipB}})
+	if out[ipA] != a.ASN || out[ipB] != b.ASN {
+		t.Errorf("tie repair changed mappings: %v->%v %v->%v", ipA, out[ipA], ipB, out[ipB])
+	}
+}
+
+func TestRepairUnmappedSet(t *testing.T) {
+	w := world.Generate(world.Small())
+	s := New(w)
+	// Addresses outside all announced space stay unmapped.
+	ip := netaddr.MustParseIP("8.8.8.8")
+	out := s.Repair([][]netaddr.IP{{ip}})
+	if _, ok := out[ip]; ok {
+		t.Error("unannounced address should stay unmapped")
+	}
+}
+
+func TestRepairMajorityPullsInUnmapped(t *testing.T) {
+	w := world.Generate(world.Small())
+	s := New(w)
+	a := w.ASes[0]
+	in1 := a.Prefixes[0].Addr + 101
+	in2 := a.Prefixes[0].Addr + 102
+	outside := netaddr.MustParseIP("8.8.4.4")
+	out := s.Repair([][]netaddr.IP{{in1, in2, outside}})
+	if out[outside] != a.ASN {
+		t.Errorf("majority should pull unmapped alias into %v, got %v", a.ASN, out[outside])
+	}
+}
+
+func TestPrefixesOfAndAllASNs(t *testing.T) {
+	w := world.Generate(world.Small())
+	s := New(w)
+	asns := s.AllASNs()
+	if len(asns) != len(w.ASes) {
+		t.Fatalf("AllASNs returned %d, want %d", len(asns), len(w.ASes))
+	}
+	for i := 1; i < len(asns); i++ {
+		if asns[i] <= asns[i-1] {
+			t.Fatal("AllASNs not sorted")
+		}
+	}
+	for _, as := range w.ASes {
+		got := s.PrefixesOf(as.ASN)
+		if len(got) != len(as.Prefixes) {
+			t.Fatalf("PrefixesOf(%v) = %d prefixes, want %d", as.ASN, len(got), len(as.Prefixes))
+		}
+		for i, p := range got {
+			if p != as.Prefixes[i] {
+				t.Fatalf("PrefixesOf(%v)[%d] = %v, want %v", as.ASN, i, p, as.Prefixes[i])
+			}
+		}
+	}
+	if got := s.PrefixesOf(world.ASN(1)); got != nil {
+		t.Errorf("unknown ASN prefixes = %v, want nil", got)
+	}
+}
+
+func TestParseTableAndFromTable(t *testing.T) {
+	in := `# test table
+20.0.0.0/16 64500
+20.1.0.0/16 AS64501
+
+20.2.0.0/16 64502
+`
+	entries, err := ParseTable(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries", len(entries))
+	}
+	s := FromTable(entries)
+	asn, ok := s.Lookup(netaddr.MustParseIP("20.1.2.3"))
+	if !ok || asn != 64501 {
+		t.Fatalf("Lookup = %v,%v", asn, ok)
+	}
+	if len(s.AllASNs()) != 3 {
+		t.Fatalf("AllASNs = %v", s.AllASNs())
+	}
+	bad := []string{
+		"20.0.0.0/16\n",
+		"not-a-prefix 64500\n",
+		"20.0.0.0/16 not-an-asn\n",
+	}
+	for _, b := range bad {
+		if _, err := ParseTable(strings.NewReader(b)); err == nil {
+			t.Errorf("ParseTable(%q) succeeded, want error", b)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package netaddr_test
+
+import (
+	"fmt"
+
+	"facilitymap/internal/netaddr"
+)
+
+// ExampleTrie_Lookup shows longest-prefix matching, the primitive behind
+// the IP-to-ASN service.
+func ExampleTrie_Lookup() {
+	var routes netaddr.Trie[string]
+	routes.Insert(netaddr.MustParsePrefix("10.0.0.0/8"), "backbone")
+	routes.Insert(netaddr.MustParsePrefix("10.5.0.0/16"), "customer")
+
+	for _, ip := range []string{"10.5.1.1", "10.9.9.9"} {
+		owner, prefix, _ := routes.Lookup(netaddr.MustParseIP(ip))
+		fmt.Printf("%s -> %s via %s\n", ip, owner, prefix)
+	}
+	// Output:
+	// 10.5.1.1 -> customer via 10.5.0.0/16
+	// 10.9.9.9 -> backbone via 10.0.0.0/8
+}
+
+// ExampleAllocator shows non-overlapping subnet carving.
+func ExampleAllocator() {
+	alloc := netaddr.NewAllocator(netaddr.MustParsePrefix("192.0.2.0/24"))
+	a, _ := alloc.AllocPrefix(26)
+	b, _ := alloc.AllocPrefix(26)
+	fmt.Println(a, b, a.Overlaps(b))
+	// Output: 192.0.2.0/26 192.0.2.64/26 false
+}

@@ -1,0 +1,46 @@
+package netaddr
+
+import "testing"
+
+// FuzzParseIP: no panic, and successful parses round-trip.
+func FuzzParseIP(f *testing.F) {
+	for _, seed := range []string{"0.0.0.0", "255.255.255.255", "10.0.0.1",
+		"1.2.3", "1..2.3", "300.1.1.1", "", "a.b.c.d", "1.2.3.4.5"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ip, err := ParseIP(s)
+		if err != nil {
+			return
+		}
+		if got := ip.String(); got == "" {
+			t.Fatalf("valid IP %q rendered empty", s)
+		}
+		back, err := ParseIP(ip.String())
+		if err != nil || back != ip {
+			t.Fatalf("round trip failed for %q: %v %v", s, back, err)
+		}
+	})
+}
+
+// FuzzParsePrefix: no panic; valid prefixes have zero host bits and
+// round-trip.
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{"10.0.0.0/8", "0.0.0.0/0", "1.2.3.4/32",
+		"10.0.0.1/8", "10.0.0.0/33", "10.0.0.0/", "x/8"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if p.Addr&^p.Mask() != 0 {
+			t.Fatalf("prefix %q accepted with host bits", s)
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip failed for %q", s)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Package netaddr implements the IPv4 addressing substrate: address and
+// prefix values, sequential allocators used by the world generator, and a
+// binary radix trie for longest-prefix matching (the basis of the Team
+// Cymru-style IP-to-ASN service in internal/ip2asn).
+package netaddr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// IP is an IPv4 address stored host-ordered in a uint32.
+type IP uint32
+
+// ParseIP parses dotted-quad notation. It rejects anything that is not
+// exactly four decimal octets.
+func ParseIP(s string) (IP, error) {
+	var ip uint32
+	octet := 0
+	nOctets := 0
+	nDigits := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if nDigits == 0 {
+				return 0, fmt.Errorf("netaddr: invalid IP %q", s)
+			}
+			ip = ip<<8 | uint32(octet)
+			nOctets++
+			octet, nDigits = 0, 0
+			continue
+		}
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("netaddr: invalid IP %q", s)
+		}
+		octet = octet*10 + int(c-'0')
+		nDigits++
+		if octet > 255 || nDigits > 3 {
+			return 0, fmt.Errorf("netaddr: invalid IP %q", s)
+		}
+	}
+	if nOctets != 4 {
+		return 0, fmt.Errorf("netaddr: invalid IP %q", s)
+	}
+	return IP(ip), nil
+}
+
+// MustParseIP is ParseIP that panics on error; for tests and constants.
+func MustParseIP(s string) IP {
+	ip, err := ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d",
+		byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Prefix is an IPv4 CIDR prefix.
+type Prefix struct {
+	Addr IP    // network address; host bits are zero for a valid Prefix
+	Bits uint8 // prefix length, 0..32
+}
+
+// ParsePrefix parses "a.b.c.d/n" and requires host bits to be zero.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			slash = i
+			break
+		}
+	}
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("netaddr: invalid prefix %q: missing /", s)
+	}
+	ip, err := ParseIP(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits := 0
+	if len(s[slash+1:]) == 0 || len(s[slash+1:]) > 2 {
+		return Prefix{}, fmt.Errorf("netaddr: invalid prefix %q", s)
+	}
+	for _, c := range s[slash+1:] {
+		if c < '0' || c > '9' {
+			return Prefix{}, fmt.Errorf("netaddr: invalid prefix %q", s)
+		}
+		bits = bits*10 + int(c-'0')
+	}
+	if bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: invalid prefix length in %q", s)
+	}
+	p := Prefix{Addr: ip, Bits: uint8(bits)}
+	if p.Addr&^p.mask() != 0 {
+		return Prefix{}, fmt.Errorf("netaddr: prefix %q has host bits set", s)
+	}
+	return p, nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p Prefix) mask() IP {
+	if p.Bits == 0 {
+		return 0
+	}
+	return IP(^uint32(0) << (32 - p.Bits))
+}
+
+// Mask returns the network mask of the prefix as an IP value.
+func (p Prefix) Mask() IP { return p.mask() }
+
+// Contains reports whether ip falls inside the prefix.
+func (p Prefix) Contains(ip IP) bool {
+	return ip&p.mask() == p.Addr
+}
+
+// Overlaps reports whether the two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.Bits <= q.Bits {
+		return p.Contains(q.Addr)
+	}
+	return q.Contains(p.Addr)
+}
+
+// NumAddresses returns the number of addresses covered by the prefix.
+func (p Prefix) NumAddresses() uint64 {
+	return uint64(1) << (32 - p.Bits)
+}
+
+// Nth returns the i-th address inside the prefix. It returns an error when
+// i is outside the prefix.
+func (p Prefix) Nth(i uint64) (IP, error) {
+	if i >= p.NumAddresses() {
+		return 0, fmt.Errorf("netaddr: address index %d out of range for %v", i, p)
+	}
+	return p.Addr + IP(i), nil
+}
+
+// Subnet carves the i-th subnet of length bits out of the prefix.
+func (p Prefix) Subnet(bits uint8, i uint64) (Prefix, error) {
+	if bits < p.Bits || bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: cannot carve /%d out of %v", bits, p)
+	}
+	n := uint64(1) << (bits - p.Bits)
+	if i >= n {
+		return Prefix{}, fmt.Errorf("netaddr: subnet index %d out of range for /%d of %v", i, bits, p)
+	}
+	return Prefix{Addr: p.Addr + IP(i<<(32-bits)), Bits: bits}, nil
+}
+
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.Addr, p.Bits)
+}
+
+// ErrExhausted is returned by allocators that have run out of space.
+var ErrExhausted = errors.New("netaddr: address space exhausted")
+
+// Allocator hands out consecutive, non-overlapping subprefixes and single
+// addresses from one parent prefix. It is not safe for concurrent use; the
+// world generator is single-goroutine.
+type Allocator struct {
+	parent Prefix
+	next   uint64 // next free address offset within parent
+}
+
+// NewAllocator returns an allocator over the given parent prefix.
+func NewAllocator(parent Prefix) *Allocator {
+	return &Allocator{parent: parent}
+}
+
+// Parent returns the prefix the allocator carves from.
+func (a *Allocator) Parent() Prefix { return a.parent }
+
+// Remaining returns the number of unallocated addresses.
+func (a *Allocator) Remaining() uint64 {
+	return a.parent.NumAddresses() - a.next
+}
+
+// AllocPrefix returns the next aligned subprefix of the requested length.
+func (a *Allocator) AllocPrefix(bits uint8) (Prefix, error) {
+	if bits < a.parent.Bits || bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: cannot allocate /%d from %v", bits, a.parent)
+	}
+	size := uint64(1) << (32 - bits)
+	// Align the cursor up to the subprefix size.
+	start := (a.next + size - 1) &^ (size - 1)
+	if start+size > a.parent.NumAddresses() {
+		return Prefix{}, ErrExhausted
+	}
+	a.next = start + size
+	return Prefix{Addr: a.parent.Addr + IP(start), Bits: bits}, nil
+}
+
+// AllocIP returns the next single address.
+func (a *Allocator) AllocIP() (IP, error) {
+	if a.next >= a.parent.NumAddresses() {
+		return 0, ErrExhausted
+	}
+	ip := a.parent.Addr + IP(a.next)
+	a.next++
+	return ip, nil
+}

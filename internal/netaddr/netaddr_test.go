@@ -1,0 +1,308 @@
+package netaddr
+
+import (
+	"testing"
+)
+
+func TestParseIP(t *testing.T) {
+	valid := map[string]IP{
+		"0.0.0.0":         0,
+		"255.255.255.255": 0xFFFFFFFF,
+		"10.0.0.1":        0x0A000001,
+		"192.168.1.200":   0xC0A801C8,
+	}
+	for s, want := range valid {
+		got, err := ParseIP(s)
+		if err != nil {
+			t.Errorf("ParseIP(%q) error: %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseIP(%q) = %#x, want %#x", s, got, want)
+		}
+		if got.String() != s {
+			t.Errorf("IP(%q).String() = %q", s, got.String())
+		}
+	}
+	invalid := []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1..2.3",
+		"a.b.c.d", "1.2.3.4 ", "01e.0.0.0", "1.2.3.1000"}
+	for _, s := range invalid {
+		if _, err := ParseIP(s); err == nil {
+			t.Errorf("ParseIP(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	if p.Addr != MustParseIP("10.1.0.0") || p.Bits != 16 {
+		t.Fatalf("unexpected prefix: %v", p)
+	}
+	if p.String() != "10.1.0.0/16" {
+		t.Errorf("String() = %q", p.String())
+	}
+	invalid := []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.1/16", "10.0.0.0/", "10.0.0.0/1x", "10.0.0.0/123"}
+	for _, s := range invalid {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("192.0.2.0/24")
+	if !p.Contains(MustParseIP("192.0.2.0")) || !p.Contains(MustParseIP("192.0.2.255")) {
+		t.Error("prefix should contain its own range endpoints")
+	}
+	if p.Contains(MustParseIP("192.0.3.0")) || p.Contains(MustParseIP("192.0.1.255")) {
+		t.Error("prefix contains addresses outside its range")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseIP("203.0.113.77")) {
+		t.Error("/0 must contain everything")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.5.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested prefixes must overlap")
+	}
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Error("disjoint prefixes must not overlap")
+	}
+}
+
+func TestPrefixSubnetAndNth(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/16")
+	s, err := p.Subnet(24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "10.0.3.0/24" {
+		t.Errorf("Subnet(24,3) = %v", s)
+	}
+	if _, err := p.Subnet(24, 256); err == nil {
+		t.Error("out-of-range subnet index should error")
+	}
+	if _, err := p.Subnet(8, 0); err == nil {
+		t.Error("shorter subnet length should error")
+	}
+	ip, err := s.Nth(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.String() != "10.0.3.7" {
+		t.Errorf("Nth(7) = %v", ip)
+	}
+	if _, err := s.Nth(256); err == nil {
+		t.Error("out-of-range Nth should error")
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	a := NewAllocator(MustParsePrefix("10.0.0.0/24"))
+	p1, err := a.AllocPrefix(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != "10.0.0.0/26" {
+		t.Errorf("first /26 = %v", p1)
+	}
+	ip, err := a.AllocIP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.String() != "10.0.0.64" {
+		t.Errorf("first IP after /26 = %v", ip)
+	}
+	// Next /26 must be aligned: cursor is at .65, aligned up to .128.
+	p2, err := a.AllocPrefix(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.String() != "10.0.0.128/26" {
+		t.Errorf("aligned /26 = %v", p2)
+	}
+	if p1.Overlaps(p2) {
+		t.Error("allocations overlap")
+	}
+	// Exhaustion.
+	if _, err := a.AllocPrefix(25); err != ErrExhausted {
+		t.Errorf("expected exhaustion, got %v", err)
+	}
+	if rem := a.Remaining(); rem != 64 {
+		t.Errorf("Remaining() = %d, want 64", rem)
+	}
+}
+
+func TestAllocatorDisjointProperty(t *testing.T) {
+	a := NewAllocator(MustParsePrefix("172.16.0.0/12"))
+	var got []Prefix
+	lens := []uint8{24, 30, 22, 26, 30, 24, 16, 28}
+	for _, l := range lens {
+		p, err := a.AllocPrefix(l)
+		if err != nil {
+			t.Fatalf("AllocPrefix(%d): %v", l, err)
+		}
+		if p.Bits != l {
+			t.Fatalf("allocated %v, want /%d", p, l)
+		}
+		if !a.Parent().Contains(p.Addr) {
+			t.Fatalf("allocation %v outside parent", p)
+		}
+		for _, q := range got {
+			if p.Overlaps(q) {
+				t.Fatalf("allocation %v overlaps %v", p, q)
+			}
+		}
+		got = append(got, p)
+	}
+}
+
+func TestTrieLongestPrefixMatch(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 100)
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), 200)
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), 300)
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), 1)
+
+	tests := []struct {
+		ip   string
+		want int
+		bits uint8
+	}{
+		{"10.1.2.3", 300, 24},
+		{"10.1.3.3", 200, 16},
+		{"10.2.0.1", 100, 8},
+		{"192.0.2.1", 1, 0},
+	}
+	for _, tt := range tests {
+		v, m, ok := tr.Lookup(MustParseIP(tt.ip))
+		if !ok {
+			t.Errorf("Lookup(%s): no match", tt.ip)
+			continue
+		}
+		if v != tt.want || m.Bits != tt.bits {
+			t.Errorf("Lookup(%s) = %d %v, want %d /%d", tt.ip, v, m, tt.want, tt.bits)
+		}
+	}
+}
+
+func TestTrieNoMatch(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 7)
+	if _, _, ok := tr.Lookup(MustParseIP("11.0.0.1")); ok {
+		t.Error("Lookup outside stored prefixes should fail")
+	}
+	var empty Trie[int]
+	if _, _, ok := empty.Lookup(MustParseIP("1.2.3.4")); ok {
+		t.Error("Lookup on empty trie should fail")
+	}
+}
+
+func TestTrieInsertReplaceAndExact(t *testing.T) {
+	var tr Trie[string]
+	p := MustParsePrefix("198.51.100.0/24")
+	if !tr.Insert(p, "a") {
+		t.Error("first insert should report fresh")
+	}
+	if tr.Insert(p, "b") {
+		t.Error("re-insert should not report fresh")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", tr.Len())
+	}
+	v, ok := tr.Exact(p)
+	if !ok || v != "b" {
+		t.Errorf("Exact = %q,%v want b,true", v, ok)
+	}
+	if _, ok := tr.Exact(MustParsePrefix("198.51.100.0/25")); ok {
+		t.Error("Exact on missing prefix should fail")
+	}
+}
+
+func TestTrieWalk(t *testing.T) {
+	var tr Trie[int]
+	prefixes := []string{"10.0.0.0/8", "10.1.0.0/16", "192.0.2.0/24", "0.0.0.0/0"}
+	for i, s := range prefixes {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	var seen []string
+	tr.Walk(func(p Prefix, v int) bool {
+		seen = append(seen, p.String())
+		return true
+	})
+	if len(seen) != len(prefixes) {
+		t.Fatalf("Walk visited %d prefixes, want %d: %v", len(seen), len(prefixes), seen)
+	}
+	// Address-order check: /0 first, then 10.0.0.0/8 before 192.0.2.0/24.
+	if seen[0] != "0.0.0.0/0" || seen[1] != "10.0.0.0/8" || seen[3] != "192.0.2.0/24" {
+		t.Errorf("Walk order = %v", seen)
+	}
+	// Early stop.
+	n := 0
+	tr.Walk(func(Prefix, int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Walk early stop visited %d, want 1", n)
+	}
+}
+
+// TestTrieMatchesLinearScan cross-checks the trie against a brute-force
+// longest-prefix scan on pseudo-random tables and probes.
+func TestTrieMatchesLinearScan(t *testing.T) {
+	type entry struct {
+		p Prefix
+		v int
+	}
+	// Deterministic pseudo-random generator (xorshift) to avoid the
+	// rand import dance; reproducible across runs.
+	x := uint32(0x9E3779B9)
+	next := func() uint32 {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		return x
+	}
+	for trial := 0; trial < 25; trial++ {
+		var tr Trie[int]
+		var table []entry
+		for i := 0; i < 200; i++ {
+			bits := uint8(next()%25) + 8 // /8../32
+			addr := IP(next()) & Prefix{Bits: bits}.Mask()
+			p := Prefix{Addr: addr, Bits: bits}
+			tr.Insert(p, i)
+			// Mirror replacement semantics of the trie.
+			replaced := false
+			for j := range table {
+				if table[j].p == p {
+					table[j].v = i
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				table = append(table, entry{p, i})
+			}
+		}
+		for probe := 0; probe < 300; probe++ {
+			ip := IP(next())
+			wantV, wantBits, wantOK := 0, -1, false
+			for _, e := range table {
+				if e.p.Contains(ip) && int(e.p.Bits) > wantBits {
+					wantV, wantBits, wantOK = e.v, int(e.p.Bits), true
+				}
+			}
+			gotV, gotM, gotOK := tr.Lookup(ip)
+			if gotOK != wantOK {
+				t.Fatalf("trial %d probe %v: ok=%v want %v", trial, ip, gotOK, wantOK)
+			}
+			if wantOK && (gotV != wantV || int(gotM.Bits) != wantBits) {
+				t.Fatalf("trial %d probe %v: got %d /%d, want %d /%d",
+					trial, ip, gotV, gotM.Bits, wantV, wantBits)
+			}
+		}
+	}
+}

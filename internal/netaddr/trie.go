@@ -1,0 +1,110 @@
+package netaddr
+
+// Trie is a binary radix trie mapping prefixes to values, supporting
+// longest-prefix match. It backs the IP-to-ASN service. Values are
+// identified by a small integer payload (e.g. an ASN); the zero value of a
+// Trie is empty and ready to use.
+type Trie[V any] struct {
+	root *trieNode[V]
+	n    int
+}
+
+type trieNode[V any] struct {
+	children [2]*trieNode[V]
+	val      V
+	hasVal   bool
+}
+
+// Insert associates value v with prefix p, replacing any existing value for
+// exactly that prefix. It reports whether the prefix was newly inserted.
+func (t *Trie[V]) Insert(p Prefix, v V) bool {
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	n := t.root
+	for i := uint8(0); i < p.Bits; i++ {
+		bit := (p.Addr >> (31 - i)) & 1
+		if n.children[bit] == nil {
+			n.children[bit] = &trieNode[V]{}
+		}
+		n = n.children[bit]
+	}
+	fresh := !n.hasVal
+	n.val, n.hasVal = v, true
+	if fresh {
+		t.n++
+	}
+	return fresh
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.n }
+
+// Lookup returns the value of the longest prefix containing ip, along with
+// the matched prefix itself. ok is false when no prefix covers ip.
+func (t *Trie[V]) Lookup(ip IP) (v V, match Prefix, ok bool) {
+	n := t.root
+	if n == nil {
+		return v, Prefix{}, false
+	}
+	var bestVal V
+	var bestBits uint8
+	found := false
+	if n.hasVal { // default route /0
+		bestVal, found = n.val, true
+	}
+	for i := uint8(0); i < 32 && n != nil; i++ {
+		bit := (ip >> (31 - i)) & 1
+		n = n.children[bit]
+		if n != nil && n.hasVal {
+			bestVal, bestBits, found = n.val, i+1, true
+		}
+	}
+	if !found {
+		return v, Prefix{}, false
+	}
+	maskTop := Prefix{Bits: bestBits}
+	return bestVal, Prefix{Addr: ip & maskTop.mask(), Bits: bestBits}, true
+}
+
+// Exact returns the value stored for exactly prefix p.
+func (t *Trie[V]) Exact(p Prefix) (v V, ok bool) {
+	n := t.root
+	if n == nil {
+		return v, false
+	}
+	for i := uint8(0); i < p.Bits; i++ {
+		bit := (p.Addr >> (31 - i)) & 1
+		n = n.children[bit]
+		if n == nil {
+			return v, false
+		}
+	}
+	return n.val, n.hasVal
+}
+
+// Walk visits every stored prefix/value pair in address order. Returning
+// false from fn stops the walk.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	if t.root == nil {
+		return
+	}
+	walk(t.root, Prefix{}, fn)
+}
+
+func walk[V any](n *trieNode[V], p Prefix, fn func(Prefix, V) bool) bool {
+	if n.hasVal && !fn(p, n.val) {
+		return false
+	}
+	for bit := IP(0); bit <= 1; bit++ {
+		c := n.children[bit]
+		if c == nil {
+			continue
+		}
+		child := Prefix{Addr: p.Addr | bit<<(31-p.Bits), Bits: p.Bits + 1}
+		if !walk(c, child, fn) {
+			return false
+		}
+	}
+	return true
+}

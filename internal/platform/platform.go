@@ -1,0 +1,384 @@
+// Package platform models the four measurement platforms of Table 1:
+// RIPE Atlas probes (numerous, edge-hosted, Europe-skewed), public
+// looking glasses (in transit backbones, some BGP-capable, rate-limited),
+// and the iPlane and CAIDA Ark archives (small fleets with periodic
+// campaigns). The CFS driver schedules measurements through this package
+// only, so platform coverage biases shape inference results exactly as
+// they do in the paper (Figure 7: Atlas-only vs LG-only convergence).
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"facilitymap/internal/bgp"
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/trace"
+	"facilitymap/internal/world"
+)
+
+// Kind identifies a measurement platform.
+type Kind int
+
+const (
+	Atlas Kind = iota
+	LookingGlass
+	IPlane
+	Ark
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Atlas:
+		return "RIPE Atlas"
+	case LookingGlass:
+		return "Looking Glasses"
+	case IPlane:
+		return "iPlane"
+	case Ark:
+		return "Ark"
+	default:
+		return "unknown"
+	}
+}
+
+// Kinds lists all platform kinds.
+func Kinds() []Kind { return []Kind{Atlas, LookingGlass, IPlane, Ark} }
+
+// VantagePoint is one measurement source.
+type VantagePoint struct {
+	ID     int
+	Kind   Kind
+	Router world.RouterID // attachment router (the probe's gateway)
+	AS     world.ASN
+	Metro  geo.MetroID
+	// Coord is the probe host's self-reported location.
+	Coord geo.Coord
+	// BGPCapable looking glasses answer "show ip bgp"-style queries
+	// (§3.2: 168 of 1877 LGs support BGP queries).
+	BGPCapable bool
+}
+
+// Fleet is the deployed set of vantage points over one world.
+type Fleet struct {
+	w   *world.World
+	VPs []*VantagePoint
+}
+
+// DeployConfig tunes fleet sizes. Counts are approximate targets.
+type DeployConfig struct {
+	Seed int64
+	// AtlasPerAccessAS is the mean number of Atlas probes hosted per
+	// eligible edge AS (scaled up in Europe).
+	AtlasPerAccessAS float64
+	// LGBGPFraction is the share of looking glasses that answer BGP
+	// queries.
+	LGBGPFraction float64
+	// IPlaneVPs and ArkVPs are the archive fleet sizes.
+	IPlaneVPs, ArkVPs int
+}
+
+// DefaultDeploy mirrors the relative platform sizes of Table 1.
+func DefaultDeploy() DeployConfig {
+	return DeployConfig{
+		Seed:             1000,
+		AtlasPerAccessAS: 3,
+		LGBGPFraction:    0.2,
+		IPlaneVPs:        30,
+		ArkVPs:           20,
+	}
+}
+
+// Deploy places vantage points over the world.
+func Deploy(w *world.World, cfg DeployConfig) *Fleet {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Fleet{w: w}
+	add := func(kind Kind, rtr world.RouterID, bgpCap bool) {
+		r := w.Routers[rtr]
+		f.VPs = append(f.VPs, &VantagePoint{
+			ID:         len(f.VPs),
+			Kind:       kind,
+			Router:     rtr,
+			AS:         r.AS,
+			Metro:      r.Metro,
+			Coord:      r.Coord,
+			BGPCapable: bgpCap,
+		})
+	}
+
+	// RIPE Atlas: probes behind access and enterprise networks,
+	// Europe-heavy (the paper: "RIPE Atlas probes have a significantly
+	// larger footprint in Europe").
+	for _, as := range w.ASes {
+		if as.Type != world.Access && as.Type != world.Enterprise {
+			continue
+		}
+		mean := cfg.AtlasPerAccessAS
+		if as.Region == geo.Europe {
+			mean *= 2.5
+		}
+		if as.Type == world.Enterprise {
+			mean *= 0.3
+		}
+		n := poisson(rng, mean)
+		for i := 0; i < n; i++ {
+			// Probes sit behind the aggregation (first) router.
+			add(Atlas, as.Routers[0], false)
+		}
+	}
+	// Looking glasses: transit and Tier-1 operators expose one vantage
+	// per PoP router; a fraction answer BGP queries.
+	for _, as := range w.ASes {
+		if !as.RunsLookingGlass {
+			continue
+		}
+		bgpCap := rng.Float64() < cfg.LGBGPFraction
+		for _, rtr := range as.Routers {
+			add(LookingGlass, rtr, bgpCap)
+		}
+	}
+	// iPlane and Ark: small fleets on random edge networks worldwide.
+	var edges []world.RouterID
+	for _, as := range w.ASes {
+		if as.Type == world.Access {
+			edges = append(edges, as.Routers[0])
+		}
+	}
+	for i := 0; i < cfg.IPlaneVPs && len(edges) > 0; i++ {
+		add(IPlane, edges[rng.Intn(len(edges))], false)
+	}
+	for i := 0; i < cfg.ArkVPs && len(edges) > 0; i++ {
+		add(Ark, edges[rng.Intn(len(edges))], false)
+	}
+	return f
+}
+
+func poisson(rng *rand.Rand, mean float64) int {
+	// Knuth's method; means here are small.
+	threshold := math.Exp(-mean)
+	l := 1.0
+	for i := 0; i < 200; i++ {
+		l *= rng.Float64()
+		if l < threshold {
+			return i
+		}
+	}
+	return 200
+}
+
+// ByKind returns the vantage points of one platform.
+func (f *Fleet) ByKind(k Kind) []*VantagePoint {
+	var out []*VantagePoint
+	for _, vp := range f.VPs {
+		if vp.Kind == k {
+			out = append(out, vp)
+		}
+	}
+	return out
+}
+
+// Stats summarises the fleet like Table 1: vantage points, distinct
+// ASNs and distinct countries per platform plus the unique total.
+type Stats struct {
+	Kind      Kind
+	VPs       int
+	ASNs      int
+	Countries int
+}
+
+// TableOne computes the per-platform summary plus the all-platform
+// unique totals (returned as a Stats with Kind == numKinds).
+func (f *Fleet) TableOne() ([]Stats, Stats) {
+	var rows []Stats
+	for _, k := range Kinds() {
+		rows = append(rows, f.statsOf(func(vp *VantagePoint) bool { return vp.Kind == k }, k))
+	}
+	total := f.statsOf(func(*VantagePoint) bool { return true }, numKinds)
+	return rows, total
+}
+
+func (f *Fleet) statsOf(sel func(*VantagePoint) bool, k Kind) Stats {
+	asns := make(map[world.ASN]bool)
+	countries := make(map[string]bool)
+	n := 0
+	for _, vp := range f.VPs {
+		if !sel(vp) {
+			continue
+		}
+		n++
+		asns[vp.AS] = true
+		countries[f.w.Metros[vp.Metro].Country] = true
+	}
+	return Stats{Kind: k, VPs: n, ASNs: len(asns), Countries: len(countries)}
+}
+
+// Service runs measurements for the inference pipeline and accounts for
+// their (simulated) wall-clock cost: a full Atlas campaign takes about
+// five minutes per target; looking glasses enforce 60-second probing
+// gaps (§3.2).
+type Service struct {
+	w      *world.World
+	fleet  *Fleet
+	engine *trace.Engine
+	rt     *bgp.Routing
+
+	// SimulatedCost accumulates the virtual time the measurement
+	// campaigns would have taken on the real platforms.
+	SimulatedCost time.Duration
+	// Traceroutes counts issued traceroutes.
+	Traceroutes int
+}
+
+// NewService wires a fleet to the data-plane engine.
+func NewService(w *world.World, fleet *Fleet, engine *trace.Engine, rt *bgp.Routing) *Service {
+	return &Service{w: w, fleet: fleet, engine: engine, rt: rt}
+}
+
+// Fleet returns the underlying fleet.
+func (s *Service) Fleet() *Fleet { return s.fleet }
+
+// Engine returns the data-plane engine (for ping-based methods).
+func (s *Service) Engine() *trace.Engine { return s.engine }
+
+const (
+	atlasCampaignCost = 5 * time.Minute
+	lgProbeGap        = 60 * time.Second
+	archiveCost       = 0 // archived data is free
+)
+
+// Campaign traceroutes from every vantage point of the given kinds
+// toward each destination.
+func (s *Service) Campaign(kinds []Kind, dsts []netaddr.IP) []trace.Path {
+	var out []trace.Path
+	for _, k := range kinds {
+		vps := s.fleet.ByKind(k)
+		for _, dst := range dsts {
+			switch k {
+			case Atlas:
+				s.SimulatedCost += atlasCampaignCost
+			case LookingGlass:
+				s.SimulatedCost += lgProbeGap * time.Duration(len(vps))
+			default:
+				s.SimulatedCost += archiveCost
+			}
+			for _, vp := range vps {
+				out = append(out, s.engine.Traceroute(vp.Router, dst))
+				s.Traceroutes++
+			}
+		}
+	}
+	return out
+}
+
+// TracerouteFrom issues a single traceroute from one vantage point.
+func (s *Service) TracerouteFrom(vp *VantagePoint, dst netaddr.IP) trace.Path {
+	switch vp.Kind {
+	case Atlas:
+		s.SimulatedCost += time.Second
+	case LookingGlass:
+		s.SimulatedCost += lgProbeGap
+	}
+	s.Traceroutes++
+	return s.engine.Traceroute(vp.Router, dst)
+}
+
+// MDAFrom issues a multipath (MDA-style) exploration from one vantage
+// point: several flow labels, one result per distinct path. Costs one
+// traceroute per flow.
+func (s *Service) MDAFrom(vp *VantagePoint, dst netaddr.IP, flows int) []trace.Path {
+	switch vp.Kind {
+	case Atlas:
+		s.SimulatedCost += time.Duration(flows) * time.Second
+	case LookingGlass:
+		s.SimulatedCost += time.Duration(flows) * lgProbeGap
+	}
+	s.Traceroutes += flows
+	return s.engine.TracerouteMDA(vp.Router, dst, flows)
+}
+
+// BGPRoute is the looking-glass view of one route ("show ip bgp <dst>").
+type BGPRoute struct {
+	ASPath      []world.ASN
+	Communities []bgp.Community
+}
+
+// LookingGlassBGP answers a BGP query at a BGP-capable looking glass:
+// the AS path toward dst and the ingress communities the LG's operator
+// attached. Returns ok=false for non-LG or non-BGP-capable vantage
+// points, or unreachable destinations.
+//
+// The ingress tag is resolved against the same hot-potato exit the
+// traceroute from this vantage point would use, which is why the paper
+// insists on LGs "that provide BGP and traceroute vantage points from
+// the same routers" (§6).
+func (s *Service) LookingGlassBGP(vp *VantagePoint, dst netaddr.IP) (BGPRoute, bool) {
+	if vp.Kind != LookingGlass || !vp.BGPCapable {
+		return BGPRoute{}, false
+	}
+	ifc := s.w.InterfaceByIP(dst)
+	if ifc == nil {
+		return BGPRoute{}, false
+	}
+	origin := s.w.Routers[ifc.Router].AS
+	path, ok := s.rt.ASPath(vp.AS, origin)
+	if !ok {
+		return BGPRoute{}, false
+	}
+	route := BGPRoute{ASPath: path}
+	if len(path) >= 2 {
+		_, near := s.engine.ExitRouter(vp.Router, path[1])
+		if near != world.RouterID(world.None) {
+			nearRtr := s.w.Routers[near]
+			if nearRtr.Facility != world.None {
+				if c, ok := bgp.IngressCommunity(s.w, vp.AS, world.FacilityID(nearRtr.Facility)); ok {
+					route.Communities = append(route.Communities, c)
+				}
+			}
+		}
+	}
+	return route, true
+}
+
+// Session is one row of a looking glass's "show ip bgp summary": the
+// peer's address on the shared medium and its AS number.
+type Session struct {
+	PeerIP netaddr.IP
+	PeerAS world.ASN
+}
+
+// LookingGlassSessions lists the BGP sessions terminating on a
+// BGP-capable looking glass's router (§3.2: such LGs "list the BGP
+// sessions established with the router running the looking glass, and
+// indicate the ASN and IP address of the peering router"). The paper
+// used these listings to augment the traceroute data; feed them to the
+// pipeline as observations of the LG router's adjacencies.
+func (s *Service) LookingGlassSessions(vp *VantagePoint) []Session {
+	if vp.Kind != LookingGlass || !vp.BGPCapable {
+		return nil
+	}
+	var out []Session
+	for _, l := range s.w.LinksOf(vp.Router) {
+		_, farIface := l.OtherEnd(vp.Router)
+		far := s.w.Interfaces[farIface]
+		out = append(out, Session{
+			PeerIP: far.IP,
+			PeerAS: s.w.Routers[far.Router].AS,
+		})
+	}
+	return out
+}
+
+// SortedVPIDs returns vantage point IDs sorted for deterministic
+// iteration in drivers.
+func (f *Fleet) SortedVPIDs() []int {
+	ids := make([]int, len(f.VPs))
+	for i := range f.VPs {
+		ids[i] = i
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,244 @@
+package platform
+
+import (
+	"testing"
+
+	"facilitymap/internal/bgp"
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/trace"
+	"facilitymap/internal/world"
+)
+
+type fixture struct {
+	w   *world.World
+	rt  *bgp.Routing
+	e   *trace.Engine
+	fl  *Fleet
+	svc *Service
+}
+
+var cached *fixture
+
+func fx(t *testing.T) *fixture {
+	t.Helper()
+	if cached == nil {
+		w := world.Generate(world.Default())
+		rt := bgp.Compute(w)
+		e := trace.New(w, rt, 5)
+		fl := Deploy(w, DefaultDeploy())
+		cached = &fixture{w, rt, e, fl, NewService(w, fl, e, rt)}
+	}
+	return cached
+}
+
+func TestDeployShape(t *testing.T) {
+	f := fx(t)
+	rows, total := f.fl.TableOne()
+	if len(rows) != 4 {
+		t.Fatalf("TableOne returned %d rows", len(rows))
+	}
+	byKind := make(map[Kind]Stats)
+	for _, r := range rows {
+		byKind[r.Kind] = r
+	}
+	// Relative sizes of Table 1: Atlas >> LGs >> iPlane, Ark.
+	if byKind[Atlas].VPs <= byKind[LookingGlass].VPs {
+		t.Errorf("Atlas (%d) should outnumber LGs (%d)", byKind[Atlas].VPs, byKind[LookingGlass].VPs)
+	}
+	if byKind[LookingGlass].VPs <= byKind[IPlane].VPs {
+		t.Errorf("LGs (%d) should outnumber iPlane (%d)", byKind[LookingGlass].VPs, byKind[IPlane].VPs)
+	}
+	if byKind[Atlas].ASNs <= byKind[LookingGlass].ASNs {
+		t.Errorf("Atlas AS spread (%d) should exceed LG AS spread (%d)",
+			byKind[Atlas].ASNs, byKind[LookingGlass].ASNs)
+	}
+	if total.VPs != len(f.fl.VPs) {
+		t.Errorf("total VPs %d != fleet size %d", total.VPs, len(f.fl.VPs))
+	}
+	if total.Countries < byKind[Atlas].Countries {
+		t.Error("total country coverage below Atlas coverage")
+	}
+}
+
+func TestAtlasEuropeSkew(t *testing.T) {
+	f := fx(t)
+	eu, na := 0, 0
+	for _, vp := range f.fl.ByKind(Atlas) {
+		switch f.w.Metros[vp.Metro].Region {
+		case geo.Europe:
+			eu++
+		case geo.NorthAmerica:
+			na++
+		}
+	}
+	if eu <= na {
+		t.Errorf("Atlas probes: Europe=%d should exceed NorthAmerica=%d", eu, na)
+	}
+}
+
+func TestLGsInTransitBackbones(t *testing.T) {
+	f := fx(t)
+	bgpCapable := 0
+	for _, vp := range f.fl.ByKind(LookingGlass) {
+		as := f.w.ASByNumber(vp.AS)
+		if as.Type != world.Tier1 && as.Type != world.Transit {
+			t.Fatalf("LG hosted by %v (%v)", vp.AS, as.Type)
+		}
+		if !as.RunsLookingGlass {
+			t.Fatalf("LG in AS %v that runs no LG", vp.AS)
+		}
+		if vp.BGPCapable {
+			bgpCapable++
+		}
+	}
+	if bgpCapable == 0 {
+		t.Error("no BGP-capable looking glasses deployed")
+	}
+}
+
+func TestCampaignCostAccounting(t *testing.T) {
+	f := fx(t)
+	svc := NewService(f.w, f.fl, f.e, f.rt)
+	dst := f.w.Interfaces[f.w.Routers[f.w.ASes[0].Routers[0]].Core()].IP
+	paths := svc.Campaign([]Kind{Ark}, []netaddr.IP{dst})
+	if len(paths) != len(f.fl.ByKind(Ark)) {
+		t.Fatalf("campaign returned %d paths, want %d", len(paths), len(f.fl.ByKind(Ark)))
+	}
+	if svc.Traceroutes != len(paths) {
+		t.Errorf("traceroute counter %d != %d", svc.Traceroutes, len(paths))
+	}
+	costBefore := svc.SimulatedCost
+	svc.Campaign([]Kind{LookingGlass}, []netaddr.IP{dst})
+	if svc.SimulatedCost <= costBefore {
+		t.Error("LG campaign should accrue simulated cost")
+	}
+}
+
+func TestLookingGlassBGPCommunities(t *testing.T) {
+	f := fx(t)
+	svc := NewService(f.w, f.fl, f.e, f.rt)
+	var lg *VantagePoint
+	for _, vp := range f.fl.ByKind(LookingGlass) {
+		if vp.BGPCapable && f.w.ASByNumber(vp.AS).TagsCommunities {
+			lg = vp
+			break
+		}
+	}
+	if lg == nil {
+		t.Skip("no BGP-capable tagging LG")
+	}
+	// Query a route to some far-away content AS.
+	var dst netaddr.IP
+	for _, as := range f.w.ASes {
+		if as.Type == world.Content && as.ASN != lg.AS {
+			dst = f.w.Interfaces[f.w.Routers[as.Routers[0]].Core()].IP
+			break
+		}
+	}
+	route, ok := svc.LookingGlassBGP(lg, dst)
+	if !ok {
+		t.Fatal("BGP query failed")
+	}
+	if len(route.ASPath) < 2 || route.ASPath[0] != lg.AS {
+		t.Fatalf("AS path %v malformed", route.ASPath)
+	}
+	if len(route.Communities) == 0 {
+		t.Fatal("tagging operator returned no ingress community")
+	}
+	// The community must decode to the facility of the hot-potato exit
+	// router toward the next AS.
+	d := bgp.BuildDictionary(f.w, lg.AS)
+	fac, ok := d[route.Communities[0]]
+	if !ok {
+		t.Fatalf("community %v not in dictionary", route.Communities[0])
+	}
+	_, near := f.e.ExitRouter(lg.Router, route.ASPath[1])
+	if got := f.w.Routers[near].Facility; got == world.None || world.FacilityID(got) != fac {
+		t.Errorf("community decodes to facility %d, exit router sits in %d", fac, got)
+	}
+	// Non-capable VP refuses.
+	for _, vp := range f.fl.ByKind(Atlas) {
+		if _, ok := svc.LookingGlassBGP(vp, dst); ok {
+			t.Error("Atlas probe answered a BGP query")
+		}
+		break
+	}
+}
+
+func TestTracerouteFromCost(t *testing.T) {
+	f := fx(t)
+	svc := NewService(f.w, f.fl, f.e, f.rt)
+	dst := f.w.Interfaces[f.w.Routers[f.w.ASes[0].Routers[0]].Core()].IP
+	var atlasVP, lgVP *VantagePoint
+	for _, vp := range f.fl.VPs {
+		if vp.Kind == Atlas && atlasVP == nil {
+			atlasVP = vp
+		}
+		if vp.Kind == LookingGlass && lgVP == nil {
+			lgVP = vp
+		}
+	}
+	svc.TracerouteFrom(atlasVP, dst)
+	costAfterAtlas := svc.SimulatedCost
+	svc.TracerouteFrom(lgVP, dst)
+	if svc.SimulatedCost-costAfterAtlas < costAfterAtlas {
+		t.Error("LG probes should cost more simulated time than Atlas probes (60s gap)")
+	}
+	if svc.Traceroutes != 2 {
+		t.Errorf("traceroute counter %d, want 2", svc.Traceroutes)
+	}
+}
+
+func TestSortedVPIDs(t *testing.T) {
+	f := fx(t)
+	ids := f.fl.SortedVPIDs()
+	if len(ids) != len(f.fl.VPs) {
+		t.Fatalf("SortedVPIDs returned %d of %d", len(ids), len(f.fl.VPs))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+}
+
+func TestLookingGlassBGPFailureModes(t *testing.T) {
+	f := fx(t)
+	svc := NewService(f.w, f.fl, f.e, f.rt)
+	var lg *VantagePoint
+	for _, vp := range f.fl.ByKind(LookingGlass) {
+		if vp.BGPCapable {
+			lg = vp
+			break
+		}
+	}
+	if lg == nil {
+		t.Skip("no BGP-capable LG")
+	}
+	// Unknown destination address.
+	if _, ok := svc.LookingGlassBGP(lg, netaddr.MustParseIP("203.0.113.1")); ok {
+		t.Error("query for unrouted address should fail")
+	}
+	// Self-originated route has no next AS and thus no ingress tag.
+	selfDst := f.w.Interfaces[f.w.Routers[lg.Router].Core()].IP
+	route, ok := svc.LookingGlassBGP(lg, selfDst)
+	if !ok {
+		t.Fatal("self route should resolve")
+	}
+	if len(route.ASPath) != 1 || len(route.Communities) != 0 {
+		t.Errorf("self route = %+v, want single-AS path without communities", route)
+	}
+}
+
+func TestVantagePointCoordinates(t *testing.T) {
+	f := fx(t)
+	for _, vp := range f.fl.VPs {
+		if !vp.Coord.Valid() {
+			t.Fatalf("vantage point %d has invalid coordinates %v", vp.ID, vp.Coord)
+		}
+		if vp.Coord != f.w.Routers[vp.Router].Coord {
+			t.Fatalf("vantage point %d coordinate mismatch", vp.ID)
+		}
+	}
+}

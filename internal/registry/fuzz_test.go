@@ -1,0 +1,27 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFromPeeringDB: malformed dumps must error cleanly, never panic.
+func FuzzFromPeeringDB(f *testing.F) {
+	f.Add(sampleDump)
+	f.Add(`{}`)
+	f.Add(`{"fac": [{"id": 1}]}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, s string) {
+		db, _, err := FromPeeringDB(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// A successful parse yields a usable database.
+		_ = db.Clusters()
+		for id := range db.Facilities {
+			if _, ok := db.MetroClusterOf(id); !ok {
+				t.Fatalf("facility %d unclustered", id)
+			}
+		}
+	})
+}

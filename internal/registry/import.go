@@ -1,0 +1,266 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// PeeringDB-style interchange format. The object names and fields mirror
+// the public PeeringDB API (fac, net, ix, netfac, ixfac, netixlan,
+// ixpfx), so a dump of the real service can be massaged into this shape
+// and fed to the CFS pipeline in place of the synthetic registry.
+
+// PDBFacility mirrors the "fac" object.
+type PDBFacility struct {
+	ID        int     `json:"id"`
+	Name      string  `json:"name"`
+	Org       string  `json:"org_name"`
+	City      string  `json:"city"`
+	Country   string  `json:"country"`
+	Latitude  float64 `json:"latitude"`
+	Longitude float64 `json:"longitude"`
+}
+
+// PDBNetwork mirrors the "net" object.
+type PDBNetwork struct {
+	ASN  uint32 `json:"asn"`
+	Name string `json:"name"`
+}
+
+// PDBIX mirrors the "ix" object.
+type PDBIX struct {
+	ID      int    `json:"id"`
+	Name    string `json:"name"`
+	City    string `json:"city"`
+	Country string `json:"country"`
+}
+
+// PDBNetFac mirrors "netfac": a network's presence at a facility.
+type PDBNetFac struct {
+	ASN        uint32 `json:"local_asn"`
+	FacilityID int    `json:"fac_id"`
+}
+
+// PDBIXFac mirrors "ixfac": an exchange's presence at a facility.
+type PDBIXFac struct {
+	IXID       int `json:"ix_id"`
+	FacilityID int `json:"fac_id"`
+}
+
+// PDBNetIXLan mirrors "netixlan": a network's port on a peering LAN.
+type PDBNetIXLan struct {
+	ASN  uint32 `json:"asn"`
+	IXID int    `json:"ix_id"`
+	IPv4 string `json:"ipaddr4"`
+}
+
+// PDBIXPfx mirrors "ixpfx": an exchange's peering LAN prefix.
+type PDBIXPfx struct {
+	IXID   int    `json:"ix_id"`
+	Prefix string `json:"prefix"`
+}
+
+// PDBDump is a whole snapshot.
+type PDBDump struct {
+	Facilities []PDBFacility `json:"fac"`
+	Networks   []PDBNetwork  `json:"net"`
+	IXs        []PDBIX       `json:"ix"`
+	NetFac     []PDBNetFac   `json:"netfac"`
+	IXFac      []PDBIXFac    `json:"ixfac"`
+	NetIXLan   []PDBNetIXLan `json:"netixlan"`
+	IXPfx      []PDBIXPfx    `json:"ixpfx"`
+}
+
+// FromPeeringDB builds a Database from a PeeringDB-style JSON dump. The
+// resulting database runs through the same metro normalisation as the
+// synthetic registry. External facility/IX identifiers are remapped to
+// dense internal IDs; the mapping is returned for callers that need to
+// translate back.
+func FromPeeringDB(r io.Reader) (*Database, map[int]world.FacilityID, error) {
+	var dump PDBDump
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&dump); err != nil {
+		return nil, nil, fmt.Errorf("registry: decoding PeeringDB dump: %w", err)
+	}
+	return fromDump(&dump)
+}
+
+func fromDump(dump *PDBDump) (*Database, map[int]world.FacilityID, error) {
+	db := &Database{
+		Facilities:    make(map[world.FacilityID]*FacilityRecord),
+		IXPs:          make(map[world.IXPID]*IXPRecord),
+		asFacilities:  make(map[world.ASN][]world.FacilityID),
+		asIXPs:        make(map[world.ASN][]world.IXPID),
+		asNames:       make(map[world.ASN]string),
+		pdbFacilities: make(map[world.ASN][]world.FacilityID),
+		nocFacilities: make(map[world.ASN][]world.FacilityID),
+		cluster:       make(map[world.FacilityID]int),
+		clusterName:   make(map[int]string),
+		portOwners:    make(map[netaddr.IP]world.ASN),
+		PortLocations: make(map[world.IXPID]map[netaddr.IP]world.FacilityID),
+		RemoteMembers: make(map[world.IXPID]map[world.ASN]bool),
+	}
+	facIDs := make(map[int]world.FacilityID, len(dump.Facilities))
+	sorted := append([]PDBFacility(nil), dump.Facilities...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i, f := range sorted {
+		id := world.FacilityID(i)
+		if _, dup := facIDs[f.ID]; dup {
+			return nil, nil, fmt.Errorf("registry: duplicate facility id %d", f.ID)
+		}
+		facIDs[f.ID] = id
+		db.Facilities[id] = &FacilityRecord{
+			ID:       id,
+			Name:     f.Name,
+			Operator: f.Org,
+			City:     f.City,
+			Country:  f.Country,
+			Coord:    geo.Coord{Lat: f.Latitude, Lon: f.Longitude},
+		}
+	}
+	for _, n := range dump.Networks {
+		db.asNames[world.ASN(n.ASN)] = n.Name
+	}
+	ixIDs := make(map[int]world.IXPID, len(dump.IXs))
+	sortedIX := append([]PDBIX(nil), dump.IXs...)
+	sort.Slice(sortedIX, func(i, j int) bool { return sortedIX[i].ID < sortedIX[j].ID })
+	for i, ix := range sortedIX {
+		id := world.IXPID(i)
+		if _, dup := ixIDs[ix.ID]; dup {
+			return nil, nil, fmt.Errorf("registry: duplicate ix id %d", ix.ID)
+		}
+		ixIDs[ix.ID] = id
+		db.IXPs[id] = &IXPRecord{ID: id, Name: ix.Name, City: ix.City, Country: ix.Country}
+	}
+	for _, p := range dump.IXPfx {
+		id, ok := ixIDs[p.IXID]
+		if !ok {
+			return nil, nil, fmt.Errorf("registry: ixpfx references unknown ix %d", p.IXID)
+		}
+		prefix, err := netaddr.ParsePrefix(p.Prefix)
+		if err != nil {
+			return nil, nil, fmt.Errorf("registry: ixpfx %d: %w", p.IXID, err)
+		}
+		db.IXPs[id].Prefixes = append(db.IXPs[id].Prefixes, prefix)
+		db.prefixes.Insert(prefix, id)
+	}
+	for _, nf := range dump.NetFac {
+		fid, ok := facIDs[nf.FacilityID]
+		if !ok {
+			return nil, nil, fmt.Errorf("registry: netfac references unknown facility %d", nf.FacilityID)
+		}
+		asn := world.ASN(nf.ASN)
+		db.asFacilities[asn] = append(db.asFacilities[asn], fid)
+		db.pdbFacilities[asn] = append(db.pdbFacilities[asn], fid)
+	}
+	for asn := range db.asFacilities {
+		sort.Slice(db.asFacilities[asn], func(i, j int) bool {
+			return db.asFacilities[asn][i] < db.asFacilities[asn][j]
+		})
+	}
+	for _, xf := range dump.IXFac {
+		id, ok := ixIDs[xf.IXID]
+		if !ok {
+			return nil, nil, fmt.Errorf("registry: ixfac references unknown ix %d", xf.IXID)
+		}
+		fid, ok := facIDs[xf.FacilityID]
+		if !ok {
+			return nil, nil, fmt.Errorf("registry: ixfac references unknown facility %d", xf.FacilityID)
+		}
+		db.IXPs[id].Facilities = append(db.IXPs[id].Facilities, fid)
+	}
+	for _, port := range dump.NetIXLan {
+		id, ok := ixIDs[port.IXID]
+		if !ok {
+			return nil, nil, fmt.Errorf("registry: netixlan references unknown ix %d", port.IXID)
+		}
+		asn := world.ASN(port.ASN)
+		db.IXPs[id].Members = appendASNUnique(db.IXPs[id].Members, asn)
+		db.asIXPs[asn] = appendIXPUnique(db.asIXPs[asn], id)
+		if port.IPv4 != "" {
+			ip, err := netaddr.ParseIP(port.IPv4)
+			if err != nil {
+				return nil, nil, fmt.Errorf("registry: netixlan ipaddr4 %q: %w", port.IPv4, err)
+			}
+			db.portOwners[ip] = asn
+		}
+	}
+	db.normaliseMetros()
+	return db, facIDs, nil
+}
+
+func appendASNUnique(s []world.ASN, a world.ASN) []world.ASN {
+	for _, x := range s {
+		if x == a {
+			return s
+		}
+	}
+	return append(s, a)
+}
+
+func appendIXPUnique(s []world.IXPID, a world.IXPID) []world.IXPID {
+	for _, x := range s {
+		if x == a {
+			return s
+		}
+	}
+	return append(s, a)
+}
+
+// ToPeeringDB exports a database as a PeeringDB-style dump, the inverse
+// of FromPeeringDB. Useful for diffing synthetic registries and as a
+// template for preparing real dumps.
+func (db *Database) ToPeeringDB(w io.Writer) error {
+	dump := &PDBDump{}
+	var facIDs []world.FacilityID
+	for id := range db.Facilities {
+		facIDs = append(facIDs, id)
+	}
+	sort.Slice(facIDs, func(i, j int) bool { return facIDs[i] < facIDs[j] })
+	for _, id := range facIDs {
+		f := db.Facilities[id]
+		dump.Facilities = append(dump.Facilities, PDBFacility{
+			ID: int(id), Name: f.Name, Org: f.Operator,
+			City: f.City, Country: f.Country,
+			Latitude: f.Coord.Lat, Longitude: f.Coord.Lon,
+		})
+	}
+	var asns []world.ASN
+	for asn := range db.asNames {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		dump.Networks = append(dump.Networks, PDBNetwork{ASN: uint32(asn), Name: db.asNames[asn]})
+		for _, f := range db.asFacilities[asn] {
+			dump.NetFac = append(dump.NetFac, PDBNetFac{ASN: uint32(asn), FacilityID: int(f)})
+		}
+		for _, ix := range db.asIXPs[asn] {
+			dump.NetIXLan = append(dump.NetIXLan, PDBNetIXLan{ASN: uint32(asn), IXID: int(ix)})
+		}
+	}
+	var ixIDs []world.IXPID
+	for id := range db.IXPs {
+		ixIDs = append(ixIDs, id)
+	}
+	sort.Slice(ixIDs, func(i, j int) bool { return ixIDs[i] < ixIDs[j] })
+	for _, id := range ixIDs {
+		rec := db.IXPs[id]
+		dump.IXs = append(dump.IXs, PDBIX{ID: int(id), Name: rec.Name, City: rec.City, Country: rec.Country})
+		for _, p := range rec.Prefixes {
+			dump.IXPfx = append(dump.IXPfx, PDBIXPfx{IXID: int(id), Prefix: p.String()})
+		}
+		for _, f := range rec.Facilities {
+			dump.IXFac = append(dump.IXFac, PDBIXFac{IXID: int(id), FacilityID: int(f)})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}

@@ -1,0 +1,154 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+const sampleDump = `{
+  "fac": [
+    {"id": 10, "name": "Telehouse North", "org_name": "Telehouse", "city": "London", "country": "GB", "latitude": 51.51, "longitude": -0.005},
+    {"id": 11, "name": "Docklands East", "org_name": "Telehouse", "city": "Docklands", "country": "GB", "latitude": 51.508, "longitude": -0.01},
+    {"id": 20, "name": "Ashburn DC1", "org_name": "Equin", "city": "Ashburn", "country": "US", "latitude": 39.04, "longitude": -77.48}
+  ],
+  "net": [
+    {"asn": 64500, "name": "Example Transit"},
+    {"asn": 64501, "name": "Example CDN"}
+  ],
+  "ix": [
+    {"id": 5, "name": "LON-X", "city": "London", "country": "GB"}
+  ],
+  "netfac": [
+    {"local_asn": 64500, "fac_id": 10},
+    {"local_asn": 64500, "fac_id": 20},
+    {"local_asn": 64501, "fac_id": 11}
+  ],
+  "ixfac": [
+    {"ix_id": 5, "fac_id": 10},
+    {"ix_id": 5, "fac_id": 11}
+  ],
+  "netixlan": [
+    {"asn": 64500, "ix_id": 5, "ipaddr4": "195.66.224.10"},
+    {"asn": 64501, "ix_id": 5, "ipaddr4": "195.66.224.11"}
+  ],
+  "ixpfx": [
+    {"ix_id": 5, "prefix": "195.66.224.0/22"}
+  ]
+}`
+
+func TestFromPeeringDB(t *testing.T) {
+	db, facIDs, err := FromPeeringDB(strings.NewReader(sampleDump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Facilities) != 3 {
+		t.Fatalf("%d facilities", len(db.Facilities))
+	}
+	// External -> internal facility mapping covers every input.
+	for _, ext := range []int{10, 11, 20} {
+		if _, ok := facIDs[ext]; !ok {
+			t.Fatalf("facility %d unmapped", ext)
+		}
+	}
+	// AS facility lists.
+	if got := db.FacilitiesOfAS(64500); len(got) != 2 {
+		t.Fatalf("AS64500 facilities = %v", got)
+	}
+	if db.ASName(64501) != "Example CDN" {
+		t.Fatalf("name lookup broken")
+	}
+	// IXP prefix matching.
+	ix, ok := db.IXPByIP(netaddr.MustParseIP("195.66.224.10"))
+	if !ok {
+		t.Fatal("LAN address did not match the exchange")
+	}
+	if got := db.FacilitiesOfIXP(ix); len(got) != 2 {
+		t.Fatalf("exchange facilities = %v", got)
+	}
+	// netixlan port ownership.
+	if asn, ok := db.PortOwner(netaddr.MustParseIP("195.66.224.11")); !ok || asn != 64501 {
+		t.Fatalf("port owner = %v,%v", asn, ok)
+	}
+	// Metro normalisation groups Telehouse North with Docklands East
+	// (both London, ~0.4 km apart) but not Ashburn.
+	lon := facIDs[10]
+	dock := facIDs[11]
+	ash := facIDs[20]
+	if !db.SameMetro(lon, dock) {
+		t.Error("London facilities did not normalise into one metro")
+	}
+	if db.SameMetro(lon, ash) {
+		t.Error("London and Ashburn merged")
+	}
+	// Members recorded.
+	if got := db.IXPsOfAS(64500); len(got) != 1 || got[0] != ix {
+		t.Fatalf("AS64500 exchanges = %v", got)
+	}
+}
+
+func TestFromPeeringDBErrors(t *testing.T) {
+	cases := []string{
+		`{"fac": [{"id": 1}, {"id": 1}]}`,                                         // dup facility
+		`{"ix": [{"id": 1}, {"id": 1}]}`,                                          // dup ix
+		`{"ixpfx": [{"ix_id": 9, "prefix": "195.0.0.0/22"}]}`,                     // unknown ix
+		`{"ix": [{"id": 1}], "ixpfx": [{"ix_id": 1, "prefix": "bad"}]}`,           // bad prefix
+		`{"netfac": [{"local_asn": 1, "fac_id": 9}]}`,                             // unknown facility
+		`{"ix": [{"id": 1}], "ixfac": [{"ix_id": 1, "fac_id": 9}]}`,               // unknown facility
+		`{"netixlan": [{"asn": 1, "ix_id": 9}]}`,                                  // unknown ix
+		`{"ix":[{"id":1}], "netixlan": [{"asn": 1, "ix_id": 1, "ipaddr4": "x"}]}`, // bad ip
+		`not json`,
+	}
+	for _, in := range cases {
+		if _, _, err := FromPeeringDB(strings.NewReader(in)); err == nil {
+			t.Errorf("FromPeeringDB(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestPeeringDBRoundTrip(t *testing.T) {
+	w := world.Generate(world.Small())
+	orig := Collect(w, DefaultConfig())
+	var buf bytes.Buffer
+	if err := orig.ToPeeringDB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, _, err := FromPeeringDB(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Facilities) != len(orig.Facilities) {
+		t.Fatalf("facilities %d != %d", len(re.Facilities), len(orig.Facilities))
+	}
+	if len(re.IXPs) != len(orig.IXPs) {
+		t.Fatalf("IXPs %d != %d", len(re.IXPs), len(orig.IXPs))
+	}
+	for _, as := range w.ASes {
+		if got, want := len(re.FacilitiesOfAS(as.ASN)), len(orig.FacilitiesOfAS(as.ASN)); got != want {
+			t.Fatalf("%v facilities %d != %d", as.ASN, got, want)
+		}
+	}
+	// Prefix lookups survive the round trip.
+	for _, ix := range w.ActiveIXPs() {
+		if _, confirmed := orig.IXPs[ix.ID]; !confirmed {
+			continue
+		}
+		ip, _ := ix.Prefix.Nth(7)
+		a, okA := orig.IXPByIP(ip)
+		b, okB := re.IXPByIP(ip)
+		if okA != okB {
+			t.Fatalf("prefix lookup diverged for %s", ix.Name)
+		}
+		// Internal IDs are remapped; compare by record name.
+		if okA && orig.IXPs[a].Name != re.IXPs[b].Name {
+			t.Fatalf("prefix %v maps to %q vs %q", ip, orig.IXPs[a].Name, re.IXPs[b].Name)
+		}
+	}
+	// Metro clustering equivalent: same number of clusters.
+	if re.Clusters() != orig.Clusters() {
+		t.Errorf("clusters %d != %d", re.Clusters(), orig.Clusters())
+	}
+}

@@ -1,0 +1,210 @@
+package registry
+
+import (
+	"sort"
+
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// FacilitiesOfAS returns the merged facility list known for an AS.
+func (db *Database) FacilitiesOfAS(asn world.ASN) []world.FacilityID {
+	return db.asFacilities[asn]
+}
+
+// PDBFacilities returns the PeeringDB-only facility view of an AS
+// (Figure 2's grey bars).
+func (db *Database) PDBFacilities(asn world.ASN) []world.FacilityID {
+	return db.pdbFacilities[asn]
+}
+
+// NOCFacilities returns the facility list from the AS's own NOC website,
+// or nil when the operator publishes none.
+func (db *Database) NOCFacilities(asn world.ASN) []world.FacilityID {
+	return db.nocFacilities[asn]
+}
+
+// IXPsOfAS returns the exchanges where the AS appears as a member.
+func (db *Database) IXPsOfAS(asn world.ASN) []world.IXPID {
+	return db.asIXPs[asn]
+}
+
+// FacilitiesOfIXP returns the partner facilities known for an IXP.
+func (db *Database) FacilitiesOfIXP(ix world.IXPID) []world.FacilityID {
+	rec, ok := db.IXPs[ix]
+	if !ok {
+		return nil
+	}
+	return rec.Facilities
+}
+
+// IXPByIP maps an address into a confirmed IXP peering LAN.
+func (db *Database) IXPByIP(ip netaddr.IP) (world.IXPID, bool) {
+	id, _, ok := db.prefixes.Lookup(ip)
+	return id, ok
+}
+
+// ASName returns the registry name for an ASN.
+func (db *Database) ASName(asn world.ASN) string { return db.asNames[asn] }
+
+// MetroClusterOf returns the normalised metro cluster of a facility.
+// Facilities whose street addresses name different suburbs of one metro
+// share a cluster (the Jersey City / New York example of §3.1.1).
+func (db *Database) MetroClusterOf(f world.FacilityID) (int, bool) {
+	c, ok := db.cluster[f]
+	return c, ok
+}
+
+// ClusterName returns the canonical display name of a metro cluster.
+func (db *Database) ClusterName(c int) string { return db.clusterName[c] }
+
+// SameMetro reports whether two facilities normalised into one metro.
+func (db *Database) SameMetro(a, b world.FacilityID) bool {
+	ca, oka := db.cluster[a]
+	cb, okb := db.cluster[b]
+	return oka && okb && ca == cb
+}
+
+// Clusters returns the number of metro clusters.
+func (db *Database) Clusters() int { return len(db.clusterName) }
+
+// normaliseMetros reimplements the paper's cleanup: translate each
+// facility's address to coordinates and group facilities whose cities
+// are closer than five miles into a single metropolitan area, keyed by
+// the most common city name in the group.
+func (db *Database) normaliseMetros() {
+	ids := make([]world.FacilityID, 0, len(db.Facilities))
+	for id := range db.Facilities {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Union-find over facilities; connect pairs within the threshold.
+	// City-centre coordinates per record come from the postcode; two
+	// suburbs of one metro sit within a few miles of each other.
+	parent := make(map[world.FacilityID]world.FacilityID, len(ids))
+	for _, id := range ids {
+		parent[id] = id
+	}
+	var find func(world.FacilityID) world.FacilityID
+	find = func(x world.FacilityID) world.FacilityID {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	// The generator jitters facilities up to ~7km from the metro centre,
+	// so same-metro facilities can be ~14km apart while distinct metros
+	// are hundreds of km apart. Use single-linkage with the 5-mile rule
+	// on CITY positions: approximate each record's city position by the
+	// centroid of records sharing its (city, country) string first.
+	type cityKey struct{ city, country string }
+	cityPos := make(map[cityKey]geo.Coord)
+	cityN := make(map[cityKey]int)
+	for _, id := range ids {
+		r := db.Facilities[id]
+		k := cityKey{r.City, r.Country}
+		c := cityPos[k]
+		n := cityN[k]
+		cityPos[k] = geo.Coord{
+			Lat: (c.Lat*float64(n) + r.Coord.Lat) / float64(n+1),
+			Lon: (c.Lon*float64(n) + r.Coord.Lon) / float64(n+1),
+		}
+		cityN[k]++
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			a, b := db.Facilities[ids[i]], db.Facilities[ids[j]]
+			if a.Country != b.Country {
+				continue
+			}
+			ka := cityKey{a.City, a.Country}
+			kb := cityKey{b.City, b.Country}
+			if ka == kb || geo.SameMetro(cityPos[ka], cityPos[kb]) {
+				ra, rb := find(ids[i]), find(ids[j])
+				if ra != rb {
+					parent[rb] = ra
+				}
+			}
+		}
+	}
+	// Name each cluster by its most frequent city string (ties: first
+	// alphabetically) and assign dense cluster ids.
+	groups := make(map[world.FacilityID][]world.FacilityID)
+	for _, id := range ids {
+		groups[find(id)] = append(groups[find(id)], id)
+	}
+	var roots []world.FacilityID
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for ci, r := range roots {
+		counts := make(map[string]int)
+		for _, id := range groups[r] {
+			counts[db.Facilities[id].City]++
+			db.cluster[id] = ci
+		}
+		best, bestN := "", 0
+		var names []string
+		for name := range counts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if counts[name] > bestN {
+				best, bestN = name, counts[name]
+			}
+		}
+		db.clusterName[ci] = best
+	}
+}
+
+// RemoveFacilities returns a copy of the database with the given
+// facilities erased from every association — the knockout experiment of
+// Figure 8. Facility records themselves stay (the building exists; the
+// researcher just lost the tenancy data).
+func (db *Database) RemoveFacilities(gone map[world.FacilityID]bool) *Database {
+	out := &Database{
+		Facilities:    db.Facilities,
+		IXPs:          make(map[world.IXPID]*IXPRecord, len(db.IXPs)),
+		asFacilities:  make(map[world.ASN][]world.FacilityID, len(db.asFacilities)),
+		asIXPs:        db.asIXPs,
+		asNames:       db.asNames,
+		pdbFacilities: db.pdbFacilities,
+		nocFacilities: db.nocFacilities,
+		prefixes:      db.prefixes,
+		cluster:       db.cluster,
+		clusterName:   db.clusterName,
+		portOwners:    db.portOwners,
+		PortLocations: db.PortLocations,
+		RemoteMembers: db.RemoteMembers,
+	}
+	filter := func(in []world.FacilityID) []world.FacilityID {
+		var kept []world.FacilityID
+		for _, f := range in {
+			if !gone[f] {
+				kept = append(kept, f)
+			}
+		}
+		return kept
+	}
+	for asn, facs := range db.asFacilities {
+		out.asFacilities[asn] = filter(facs)
+	}
+	for id, rec := range db.IXPs {
+		cp := *rec
+		cp.Facilities = filter(rec.Facilities)
+		out.IXPs[id] = &cp
+	}
+	return out
+}
+
+// PortOwner returns the member ASN registered for an IXP peering-LAN
+// address (PeeringDB netixlan "ipaddr4"), when listed.
+func (db *Database) PortOwner(ip netaddr.IP) (world.ASN, bool) {
+	asn, ok := db.portOwners[ip]
+	return asn, ok
+}

@@ -1,0 +1,339 @@
+// Package registry builds the researcher's view of facility and IXP
+// data: what PeeringDB, PCH, IXP websites, IXP consortia databases and
+// operator NOC pages disclose (§3.1 of the paper). The view is
+// deliberately incomplete and messy in the ways the paper documents —
+// per-AS gaps in PeeringDB (Figure 2), IXP records without facility
+// lists, stale entries for defunct IXPs, inconsistent city naming — and
+// the package reimplements the paper's cleaning pipeline: multi-source
+// IXP confirmation and metro normalisation under the 5-mile rule.
+//
+// Everything downstream (CFS, remote-peering inference, baselines) reads
+// ONLY this database, never the ground truth.
+package registry
+
+import (
+	"math/rand"
+	"sort"
+
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// Source identifies where a record was collected.
+type Source int
+
+const (
+	PeeringDB Source = iota
+	PCH
+	IXPWebsite
+	Consortium
+	NOCWebsite
+)
+
+func (s Source) String() string {
+	switch s {
+	case PeeringDB:
+		return "PeeringDB"
+	case PCH:
+		return "PCH"
+	case IXPWebsite:
+		return "IXP website"
+	case Consortium:
+		return "IXP consortium"
+	case NOCWebsite:
+		return "NOC website"
+	default:
+		return "unknown"
+	}
+}
+
+// FacilityRecord is a colocation facility as the registry knows it.
+type FacilityRecord struct {
+	ID       world.FacilityID
+	Name     string
+	Operator string
+	City     string // as written in the record; may be a suburb name
+	Country  string
+	Coord    geo.Coord // from the postcode, used by metro normalisation
+}
+
+// IXPRecord is a confirmed, active IXP.
+type IXPRecord struct {
+	ID         world.IXPID
+	Name       string
+	City       string
+	Country    string
+	Prefixes   []netaddr.Prefix
+	Facilities []world.FacilityID // may be empty when no source lists them
+	Members    []world.ASN
+}
+
+// Config tunes how lossy each source is.
+type Config struct {
+	Seed int64
+	// ASAbsentProb: the AS has no PeeringDB record at all.
+	ASAbsentProb float64
+	// ASCompleteProb: the PeeringDB record lists every facility; other
+	// records keep each facility with probability drawn from
+	// [MinCompleteness, 0.95].
+	ASCompleteProb  float64
+	MinCompleteness float64
+	// IXPFacilityListedProb: PeeringDB lists the IXP's facilities.
+	IXPFacilityListedProb float64
+	// IXPWebsiteFacilityProb: the IXP's own website lists facilities.
+	IXPWebsiteFacilityProb float64
+	// MembershipListedProb: an AS-IXP membership appears in the data.
+	MembershipListedProb float64
+	// SiteDisclosingIXPs: the N largest IXPs publish full member
+	// interface-to-facility lists on their websites (like AMS-IX, §6).
+	SiteDisclosingIXPs int
+}
+
+// DefaultConfig mirrors the gap rates reported in §3.1 (PeeringDB missed
+// 1,424 AS-to-facility links for 61 of 152 checked ASes; 20 IXPs lacked
+// facility associations).
+func DefaultConfig() Config {
+	return Config{
+		Seed:                   77,
+		ASAbsentProb:           0.04,
+		ASCompleteProb:         0.68,
+		MinCompleteness:        0.55,
+		IXPFacilityListedProb:  0.85,
+		IXPWebsiteFacilityProb: 0.90,
+		MembershipListedProb:   0.95,
+		SiteDisclosingIXPs:     5,
+	}
+}
+
+// Database is the merged, cleaned dataset.
+type Database struct {
+	Facilities map[world.FacilityID]*FacilityRecord
+	IXPs       map[world.IXPID]*IXPRecord
+
+	asFacilities map[world.ASN][]world.FacilityID
+	asIXPs       map[world.ASN][]world.IXPID
+	asNames      map[world.ASN]string
+
+	// pdbFacilities / nocFacilities keep the per-source AS-to-facility
+	// views for the Figure 2 comparison.
+	pdbFacilities map[world.ASN][]world.FacilityID
+	nocFacilities map[world.ASN][]world.FacilityID
+
+	prefixes netaddr.Trie[world.IXPID]
+
+	// Metro normalisation output: facility -> cluster, cluster -> name.
+	cluster     map[world.FacilityID]int
+	clusterName map[int]string
+
+	// portOwners maps a member's peering-LAN address to its ASN, from
+	// PeeringDB netixlan records (the "ipaddr4" field) and IXP member
+	// lists. Coverage tracks MembershipListedProb.
+	portOwners map[netaddr.IP]world.ASN
+
+	// IXP-website disclosures (§6): member port address -> facility, and
+	// which members are remote.
+	PortLocations map[world.IXPID]map[netaddr.IP]world.FacilityID
+	RemoteMembers map[world.IXPID]map[world.ASN]bool
+}
+
+// Collect builds the database from the world under the given loss model.
+func Collect(w *world.World, cfg Config) *Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := &Database{
+		Facilities:    make(map[world.FacilityID]*FacilityRecord),
+		IXPs:          make(map[world.IXPID]*IXPRecord),
+		asFacilities:  make(map[world.ASN][]world.FacilityID),
+		asIXPs:        make(map[world.ASN][]world.IXPID),
+		asNames:       make(map[world.ASN]string),
+		pdbFacilities: make(map[world.ASN][]world.FacilityID),
+		nocFacilities: make(map[world.ASN][]world.FacilityID),
+		cluster:       make(map[world.FacilityID]int),
+		clusterName:   make(map[int]string),
+		portOwners:    make(map[netaddr.IP]world.ASN),
+		PortLocations: make(map[world.IXPID]map[netaddr.IP]world.FacilityID),
+		RemoteMembers: make(map[world.IXPID]map[world.ASN]bool),
+	}
+
+	// Facility records themselves are well-known (the paper compiled
+	// 1,694); the *associations* carry the gaps.
+	for _, f := range w.Facilities {
+		m := w.Metros[f.Metro]
+		db.Facilities[f.ID] = &FacilityRecord{
+			ID:       f.ID,
+			Name:     f.Name,
+			Operator: f.Operator,
+			City:     f.CityName,
+			Country:  m.Country,
+			Coord:    f.Coord,
+		}
+	}
+
+	// AS records: PeeringDB subset plus NOC-website augmentation.
+	for _, as := range w.ASes {
+		db.asNames[as.ASN] = as.Name
+		var pdb []world.FacilityID
+		if rng.Float64() >= cfg.ASAbsentProb {
+			completeness := 1.0
+			if rng.Float64() >= cfg.ASCompleteProb {
+				completeness = cfg.MinCompleteness +
+					rng.Float64()*(0.95-cfg.MinCompleteness)
+			}
+			for _, f := range as.Facilities {
+				if rng.Float64() < completeness {
+					pdb = append(pdb, f)
+				}
+			}
+		}
+		db.pdbFacilities[as.ASN] = pdb
+		merged := append([]world.FacilityID(nil), pdb...)
+		if as.PublishesNOCPage {
+			noc := append([]world.FacilityID(nil), as.Facilities...)
+			db.nocFacilities[as.ASN] = noc
+			merged = unionFacilities(merged, noc)
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		db.asFacilities[as.ASN] = merged
+	}
+
+	// IXP confirmation: a prefix must be corroborated by at least three
+	// of {PeeringDB, PCH, IXP website, consortium} and an active member
+	// seen in at least two sources (§3.1.2). Defunct IXPs appear in
+	// stale sources but PCH flags them and members are gone.
+	type ixpSighting struct {
+		prefix  int
+		members int
+	}
+	for _, ix := range w.IXPs {
+		var sight ixpSighting
+		memberASes := memberASNs(w, ix.ID)
+		if ix.Inactive {
+			// Lingers in PeeringDB and sometimes a consortium list, but
+			// PCH marks it inactive and nobody lists members.
+			sight.prefix = 1
+			if rng.Float64() < 0.5 {
+				sight.prefix++
+			}
+			sight.members = 0
+		} else {
+			for _, p := range []float64{0.92, 0.95, 0.90, 0.80} {
+				if rng.Float64() < p {
+					sight.prefix++
+				}
+			}
+			if len(memberASes) > 0 {
+				sight.members = 2
+				if rng.Float64() < 0.9 {
+					sight.members++
+				}
+			}
+		}
+		if sight.prefix < 3 || sight.members < 2 {
+			continue // fails confirmation
+		}
+		rec := &IXPRecord{
+			ID:       ix.ID,
+			Name:     ix.Name,
+			City:     w.Metros[ix.Metro].Name,
+			Country:  w.Metros[ix.Metro].Country,
+			Prefixes: []netaddr.Prefix{ix.Prefix},
+		}
+		// Facility association: PeeringDB sometimes omits it; the IXP
+		// website usually fills the gap (the JPNAP case in §3.1.2).
+		listed := rng.Float64() < cfg.IXPFacilityListedProb
+		website := rng.Float64() < cfg.IXPWebsiteFacilityProb
+		if listed || website {
+			rec.Facilities = append(rec.Facilities, ix.Facilities...)
+		}
+		for _, asn := range memberASes {
+			if rng.Float64() < cfg.MembershipListedProb {
+				rec.Members = append(rec.Members, asn)
+				db.asIXPs[asn] = append(db.asIXPs[asn], ix.ID)
+				// netixlan-style records also disclose the member's
+				// address on the peering LAN.
+				for _, m := range w.MembersOf(ix.ID) {
+					if m.AS == asn {
+						db.portOwners[w.Interfaces[m.Port].IP] = asn
+					}
+				}
+			}
+		}
+		db.IXPs[ix.ID] = rec
+		db.prefixes.Insert(ix.Prefix, ix.ID)
+	}
+
+	db.normaliseMetros()
+	db.collectIXPSiteData(w, rng, cfg.SiteDisclosingIXPs)
+	return db
+}
+
+func memberASNs(w *world.World, ix world.IXPID) []world.ASN {
+	seen := make(map[world.ASN]bool)
+	var out []world.ASN
+	for _, m := range w.MembersOf(ix) {
+		if !seen[m.AS] {
+			seen[m.AS] = true
+			out = append(out, m.AS)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func unionFacilities(a, b []world.FacilityID) []world.FacilityID {
+	seen := make(map[world.FacilityID]bool, len(a))
+	out := append([]world.FacilityID(nil), a...)
+	for _, f := range a {
+		seen[f] = true
+	}
+	for _, f := range b {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// collectIXPSiteData extracts the full member-port-to-facility lists the
+// largest IXPs publish (AMS-IX, NL-IX, LINX, France-IX, STH-IX in §6).
+// The first two also disclose which members are remote.
+func (db *Database) collectIXPSiteData(w *world.World, rng *rand.Rand, n int) {
+	var confirmed []*IXPRecord
+	for _, rec := range db.IXPs {
+		confirmed = append(confirmed, rec)
+	}
+	// The disclosing exchanges are the *largest by membership* (AMS-IX,
+	// LINX, ... in §6), not by facility spread.
+	sort.Slice(confirmed, func(i, j int) bool {
+		mi, mj := len(confirmed[i].Members), len(confirmed[j].Members)
+		if mi != mj {
+			return mi > mj
+		}
+		return confirmed[i].ID < confirmed[j].ID
+	})
+	if n > len(confirmed) {
+		n = len(confirmed)
+	}
+	for i := 0; i < n; i++ {
+		ix := confirmed[i].ID
+		ports := make(map[netaddr.IP]world.FacilityID)
+		remotes := make(map[world.ASN]bool)
+		for _, m := range w.MembersOf(ix) {
+			if m.Remote {
+				remotes[m.AS] = true
+				// The website shows the reseller's port facility.
+				ports[w.Interfaces[m.Port].IP] = w.Switches[m.AccessSwitch].Facility
+				continue
+			}
+			r := w.Routers[m.Router]
+			if r.Facility != world.None {
+				ports[w.Interfaces[m.Port].IP] = world.FacilityID(r.Facility)
+			}
+		}
+		db.PortLocations[ix] = ports
+		if i < 2 {
+			db.RemoteMembers[ix] = remotes
+		}
+	}
+}

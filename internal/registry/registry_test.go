@@ -1,0 +1,234 @@
+package registry
+
+import (
+	"testing"
+
+	"facilitymap/internal/world"
+)
+
+func collect(t *testing.T) (*world.World, *Database) {
+	t.Helper()
+	w := world.Generate(world.Default())
+	return w, Collect(w, DefaultConfig())
+}
+
+func TestFacilityRecordsComplete(t *testing.T) {
+	w, db := collect(t)
+	if len(db.Facilities) != len(w.Facilities) {
+		t.Fatalf("registry has %d facility records, world has %d",
+			len(db.Facilities), len(w.Facilities))
+	}
+	for _, f := range w.Facilities {
+		rec := db.Facilities[f.ID]
+		if rec == nil {
+			t.Fatalf("facility %d missing", f.ID)
+		}
+		if rec.City == "" || rec.Country == "" {
+			t.Fatalf("facility %d record incomplete: %+v", f.ID, rec)
+		}
+	}
+}
+
+func TestASFacilitiesSubsetOfTruth(t *testing.T) {
+	w, db := collect(t)
+	gaps, asesWithGaps := 0, 0
+	for _, as := range w.ASes {
+		truth := make(map[world.FacilityID]bool)
+		for _, f := range as.Facilities {
+			truth[f] = true
+		}
+		known := db.FacilitiesOfAS(as.ASN)
+		for _, f := range known {
+			if !truth[f] {
+				t.Fatalf("registry invents facility %d for %v", f, as.ASN)
+			}
+		}
+		if missing := len(as.Facilities) - len(known); missing > 0 {
+			gaps += missing
+			asesWithGaps++
+		}
+	}
+	// The registry must be incomplete (that drives the unresolved
+	// fraction in §5) but not absurdly so.
+	if asesWithGaps == 0 {
+		t.Error("registry is complete; expected PeeringDB-style gaps")
+	}
+	t.Logf("AS-to-facility gaps: %d links missing across %d ASes", gaps, asesWithGaps)
+}
+
+func TestNOCAugmentation(t *testing.T) {
+	w, db := collect(t)
+	// ASes with NOC pages must have complete merged facility lists.
+	for _, as := range w.ASes {
+		if !as.PublishesNOCPage {
+			continue
+		}
+		if got, want := len(db.FacilitiesOfAS(as.ASN)), len(as.Facilities); got != want {
+			t.Fatalf("%v publishes NOC page but registry has %d/%d facilities",
+				as.ASN, got, want)
+		}
+		if len(db.NOCFacilities(as.ASN)) != len(as.Facilities) {
+			t.Fatalf("%v NOC list incomplete", as.ASN)
+		}
+		// And PeeringDB alone may be smaller (Figure 2's point).
+		if len(db.PDBFacilities(as.ASN)) > len(as.Facilities) {
+			t.Fatalf("%v PDB list exceeds truth", as.ASN)
+		}
+	}
+}
+
+func TestInactiveIXPsFiltered(t *testing.T) {
+	w, db := collect(t)
+	for _, ix := range w.IXPs {
+		if ix.Inactive {
+			if _, ok := db.IXPs[ix.ID]; ok {
+				t.Fatalf("inactive IXP %s survived confirmation", ix.Name)
+			}
+		}
+	}
+	// Most active IXPs should be confirmed.
+	active, confirmed := 0, 0
+	for _, ix := range w.IXPs {
+		if !ix.Inactive {
+			active++
+			if _, ok := db.IXPs[ix.ID]; ok {
+				confirmed++
+			}
+		}
+	}
+	if confirmed*10 < active*7 {
+		t.Errorf("only %d/%d active IXPs confirmed", confirmed, active)
+	}
+}
+
+func TestIXPByIP(t *testing.T) {
+	w, db := collect(t)
+	for _, m := range w.Memberships {
+		ip := w.Interfaces[m.Port].IP
+		id, ok := db.IXPByIP(ip)
+		if !ok {
+			continue // unconfirmed IXP: acceptable loss
+		}
+		if id != m.IXP {
+			t.Fatalf("port %v attributed to IXP %d, want %d", ip, id, m.IXP)
+		}
+	}
+	// Non-IXP space must not match.
+	for _, as := range w.ASes[:5] {
+		ip := as.Prefixes[0].Addr + 1
+		if _, ok := db.IXPByIP(ip); ok {
+			t.Fatalf("AS address %v matched an IXP LAN", ip)
+		}
+	}
+}
+
+func TestMetroNormalisation(t *testing.T) {
+	w, db := collect(t)
+	// Facilities in the same world metro must share a cluster even when
+	// their records use suburb names (Jersey City vs New York).
+	byMetro := make(map[int][]world.FacilityID)
+	for _, f := range w.Facilities {
+		byMetro[int(f.Metro)] = append(byMetro[int(f.Metro)], f.ID)
+	}
+	for metro, facs := range byMetro {
+		c0, ok := db.MetroClusterOf(facs[0])
+		if !ok {
+			t.Fatalf("facility %d unclustered", facs[0])
+		}
+		for _, f := range facs[1:] {
+			c, _ := db.MetroClusterOf(f)
+			if c != c0 {
+				t.Fatalf("metro %s split into clusters %d and %d (facility %d city %q)",
+					w.Metros[metro].Name, c0, c, f, db.Facilities[f].City)
+			}
+		}
+	}
+	// Different metros must not merge.
+	if db.Clusters() != len(byMetro) {
+		t.Errorf("%d clusters for %d populated metros", db.Clusters(), len(byMetro))
+	}
+	for _, f := range w.Facilities {
+		c, _ := db.MetroClusterOf(f.ID)
+		if db.ClusterName(c) == "" {
+			t.Fatalf("cluster %d unnamed", c)
+		}
+	}
+	if db.SameMetro(byMetro[0][0], byMetro[1][0]) {
+		t.Error("facilities of different metros report SameMetro")
+	}
+}
+
+func TestIXPSiteDisclosures(t *testing.T) {
+	w, db := collect(t)
+	if len(db.PortLocations) == 0 {
+		t.Fatal("no IXP websites disclose member locations")
+	}
+	for ix, ports := range db.PortLocations {
+		for ip, fac := range ports {
+			m := w.InterfaceByIP(ip)
+			if m == nil || m.Kind != world.IXPPort || m.IXP != ix {
+				t.Fatalf("disclosed port %v is not a port of IXP %d", ip, ix)
+			}
+			// For local members the disclosed facility is the router's.
+			r := w.Routers[m.Router]
+			mem := w.MembershipOf(m.Router, ix)
+			if mem != nil && !mem.Remote && world.FacilityID(r.Facility) != fac {
+				t.Fatalf("disclosed facility %d != router facility %d", fac, r.Facility)
+			}
+		}
+	}
+	if len(db.RemoteMembers) == 0 {
+		t.Error("no IXP discloses remote members")
+	}
+}
+
+func TestRemoveFacilities(t *testing.T) {
+	w, db := collect(t)
+	// Knock out the facilities of the busiest AS.
+	var victim *world.AS
+	for _, as := range w.ASes {
+		if victim == nil || len(as.Facilities) > len(victim.Facilities) {
+			victim = as
+		}
+	}
+	gone := make(map[world.FacilityID]bool)
+	for _, f := range db.FacilitiesOfAS(victim.ASN) {
+		gone[f] = true
+	}
+	cut := db.RemoveFacilities(gone)
+	if n := len(cut.FacilitiesOfAS(victim.ASN)); n != 0 {
+		t.Fatalf("victim still has %d facilities after knockout", n)
+	}
+	// Original untouched.
+	if len(db.FacilitiesOfAS(victim.ASN)) == 0 {
+		t.Fatal("knockout mutated the original database")
+	}
+	// IXP lists filtered too.
+	for id, rec := range cut.IXPs {
+		for _, f := range rec.Facilities {
+			if gone[f] {
+				t.Fatalf("IXP %d still lists removed facility %d", id, f)
+			}
+		}
+	}
+}
+
+func TestMembershipListings(t *testing.T) {
+	w, db := collect(t)
+	listed, total := 0, 0
+	for _, m := range w.Memberships {
+		if _, confirmed := db.IXPs[m.IXP]; !confirmed {
+			continue
+		}
+		total++
+		for _, ix := range db.IXPsOfAS(m.AS) {
+			if ix == m.IXP {
+				listed++
+				break
+			}
+		}
+	}
+	if listed == 0 || listed == total {
+		t.Errorf("membership listings: %d/%d (want partial coverage)", listed, total)
+	}
+}

@@ -1,0 +1,67 @@
+package remote
+
+import (
+	"testing"
+
+	"facilitymap/internal/bgp"
+	"facilitymap/internal/platform"
+	"facilitymap/internal/registry"
+	"facilitymap/internal/trace"
+	"facilitymap/internal/world"
+)
+
+func TestDetectorAccuracy(t *testing.T) {
+	w := world.Generate(world.Default())
+	rt := bgp.Compute(w)
+	e := trace.New(w, rt, 21)
+	fleet := platform.Deploy(w, platform.DefaultDeploy())
+	svc := platform.NewService(w, fleet, e, rt)
+	db := registry.Collect(w, registry.DefaultConfig())
+	d := NewDetector(svc, db)
+
+	var right, wrong, untestable int
+	var fp, fn int
+	for _, m := range w.Memberships {
+		if _, confirmed := db.IXPs[m.IXP]; !confirmed {
+			continue
+		}
+		got, ok := d.IsRemote(w.Interfaces[m.Port].IP, m.IXP)
+		if !ok {
+			untestable++
+			continue
+		}
+		if got == m.Remote {
+			right++
+		} else {
+			wrong++
+			if got {
+				fp++
+			} else {
+				fn++
+			}
+		}
+	}
+	total := right + wrong
+	if total == 0 {
+		t.Fatal("no memberships testable")
+	}
+	if right*100 < total*85 {
+		t.Errorf("remote-peering accuracy %d/%d (fp=%d fn=%d); want >=85%%",
+			right, total, fp, fn)
+	}
+	t.Logf("remote detection: %d/%d correct, %d untestable, fp=%d fn=%d, %d pings",
+		right, total, untestable, fp, fn, d.Pings)
+}
+
+func TestDetectorUnknownIXP(t *testing.T) {
+	w := world.Generate(world.Small())
+	rt := bgp.Compute(w)
+	e := trace.New(w, rt, 3)
+	fleet := platform.Deploy(w, platform.DefaultDeploy())
+	svc := platform.NewService(w, fleet, e, rt)
+	db := registry.Collect(w, registry.DefaultConfig())
+	d := NewDetector(svc, db)
+	if _, ok := d.IsRemote(w.Interfaces[0].IP, world.IXPID(9999)); ok {
+		t.Error("unknown IXP should be untestable")
+	}
+}

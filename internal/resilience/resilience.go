@@ -1,0 +1,325 @@
+// Package resilience analyses an inferred interconnection map the way
+// the paper's introduction motivates (§1): "Knowledge of geophysical
+// locations of interconnections also enables assessment of the
+// resilience of interconnections in the event of natural disasters,
+// facility or router outages, peering disputes, and denial of service
+// attacks." Given a CFS result, it ranks facilities by the
+// interconnections they carry, identifies AS pairs whose entire known
+// interconnection surface sits in one building, and simulates facility
+// outages.
+package resilience
+
+import (
+	"fmt"
+	"sort"
+
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/registry"
+	"facilitymap/internal/stats"
+	"facilitymap/internal/world"
+)
+
+// pairKey orders an AS pair canonically.
+type pairKey struct{ a, b world.ASN }
+
+func pairOf(a, b world.ASN) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// FacilityReport ranks one facility's role in the inferred map.
+type FacilityReport struct {
+	Facility world.FacilityID
+	Name     string
+	Metro    string
+	// Interfaces resolved into this facility.
+	Interfaces int
+	// Links whose near end resolved here (interconnections at risk if
+	// the building fails).
+	Links int
+	// ASes with at least one resolved interface here.
+	ASes int
+	// SolePairs counts AS pairs for which this facility hosts their
+	// only known interconnection (total loss of the adjacency on
+	// outage).
+	SolePairs int
+}
+
+// Analysis is the resilience view over one CFS result.
+type Analysis struct {
+	db        *registry.Database
+	res       *cfs.Result
+	perFac    map[world.FacilityID]*FacilityReport
+	pairSites map[pairKey]map[world.FacilityID]bool
+	ifaceFac  map[netaddr.IP]world.FacilityID
+}
+
+// Analyze builds the facility-criticality view of a CFS run. Only
+// resolved interfaces participate; candidate-only inferences are too
+// uncertain to ground an outage claim.
+func Analyze(db *registry.Database, res *cfs.Result) *Analysis {
+	a := &Analysis{
+		db:        db,
+		res:       res,
+		perFac:    make(map[world.FacilityID]*FacilityReport),
+		pairSites: make(map[pairKey]map[world.FacilityID]bool),
+		ifaceFac:  make(map[netaddr.IP]world.FacilityID),
+	}
+	get := func(f world.FacilityID) *FacilityReport {
+		r := a.perFac[f]
+		if r == nil {
+			r = &FacilityReport{Facility: f}
+			if rec, ok := db.Facilities[f]; ok {
+				r.Name = rec.Name
+			}
+			if c, ok := db.MetroClusterOf(f); ok {
+				r.Metro = db.ClusterName(c)
+			}
+			a.perFac[f] = r
+		}
+		return r
+	}
+	asAt := make(map[world.FacilityID]map[world.ASN]bool)
+	for ip, ir := range res.Interfaces {
+		if !ir.Resolved {
+			continue
+		}
+		a.ifaceFac[ip] = ir.Facility
+		r := get(ir.Facility)
+		r.Interfaces++
+		if ir.Owner != 0 {
+			set := asAt[ir.Facility]
+			if set == nil {
+				set = make(map[world.ASN]bool)
+				asAt[ir.Facility] = set
+			}
+			set[ir.Owner] = true
+		}
+	}
+	for f, set := range asAt {
+		get(f).ASes = len(set)
+	}
+	// Link placement: an interconnection sits where its near end
+	// resolved; AS pairs accumulate the set of buildings hosting them.
+	for _, l := range res.Links {
+		fac, ok := a.ifaceFac[l.Near]
+		if !ok {
+			continue
+		}
+		get(fac).Links++
+		if l.NearAS == 0 {
+			continue
+		}
+		far := l.FarAS
+		if l.Public {
+			if ir := res.Interfaces[l.FarPort]; ir != nil {
+				far = ir.Owner
+			}
+		}
+		if far == 0 || far == l.NearAS {
+			continue
+		}
+		key := pairOf(l.NearAS, far)
+		sites := a.pairSites[key]
+		if sites == nil {
+			sites = make(map[world.FacilityID]bool)
+			a.pairSites[key] = sites
+		}
+		sites[fac] = true
+	}
+	// Sole-site pairs.
+	for _, sites := range a.pairSites {
+		if len(sites) == 1 {
+			for f := range sites {
+				get(f).SolePairs++
+			}
+		}
+	}
+	return a
+}
+
+// Ranking returns facilities ordered by carried interconnections
+// (descending), the "critical infrastructure" list.
+func (a *Analysis) Ranking() []*FacilityReport {
+	out := make([]*FacilityReport, 0, len(a.perFac))
+	for _, r := range a.perFac {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Links != out[j].Links {
+			return out[i].Links > out[j].Links
+		}
+		return out[i].Facility < out[j].Facility
+	})
+	return out
+}
+
+// Outage describes the blast radius of losing one facility.
+type Outage struct {
+	Facility world.FacilityID
+	Name     string
+	// LostInterfaces and LostLinks disappear with the building.
+	LostInterfaces int
+	LostLinks      int
+	// SeveredPairs are AS pairs left with no known interconnection.
+	SeveredPairs []ASPair
+	// DegradedPairs lose one of several known interconnection sites.
+	DegradedPairs int
+}
+
+// ASPair is a named adjacency.
+type ASPair struct {
+	A, B world.ASN
+}
+
+// SimulateOutage computes what the inferred map loses when a facility
+// goes dark.
+func (a *Analysis) SimulateOutage(f world.FacilityID) Outage {
+	out := Outage{Facility: f}
+	if rec, ok := a.db.Facilities[f]; ok {
+		out.Name = rec.Name
+	}
+	if r, ok := a.perFac[f]; ok {
+		out.LostInterfaces = r.Interfaces
+		out.LostLinks = r.Links
+	}
+	var keys []pairKey
+	for key, sites := range a.pairSites {
+		if sites[f] {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, key := range keys {
+		if len(a.pairSites[key]) == 1 {
+			out.SeveredPairs = append(out.SeveredPairs, ASPair{key.a, key.b})
+		} else {
+			out.DegradedPairs++
+		}
+	}
+	return out
+}
+
+// SingleSitePairs returns the AS pairs whose only known interconnection
+// sits in one building, sorted by facility then pair.
+func (a *Analysis) SingleSitePairs() []ASPair {
+	var out []ASPair
+	var keys []pairKey
+	for key, sites := range a.pairSites {
+		if len(sites) == 1 {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, key := range keys {
+		out = append(out, ASPair{key.a, key.b})
+	}
+	return out
+}
+
+// Render prints the top of the criticality ranking.
+func (a *Analysis) Render(top int) string {
+	t := stats.NewTable("Facility criticality (inferred interconnections per building)",
+		"facility", "metro", "links", "interfaces", "ASes", "sole-site pairs")
+	rank := a.Ranking()
+	if top > len(rank) {
+		top = len(rank)
+	}
+	for _, r := range rank[:top] {
+		t.AddRow(r.Name, r.Metro, fmt.Sprint(r.Links), fmt.Sprint(r.Interfaces),
+			fmt.Sprint(r.ASes), fmt.Sprint(r.SolePairs))
+	}
+	return t.Render()
+}
+
+// MetroOutage aggregates the blast radius of losing every facility in a
+// metro cluster at once — the natural-disaster scenario of the paper's
+// §1 motivation (the Japan-earthquake study it cites observed exactly
+// such metro-scale impact).
+type MetroOutage struct {
+	Cluster int
+	Metro   string
+	// Facilities lost in the metro.
+	Facilities     int
+	LostInterfaces int
+	LostLinks      int
+	SeveredPairs   []ASPair
+	DegradedPairs  int
+}
+
+// SimulateMetroOutage computes the effect of a whole-metro failure.
+func (a *Analysis) SimulateMetroOutage(cluster int) MetroOutage {
+	out := MetroOutage{Cluster: cluster, Metro: a.db.ClusterName(cluster)}
+	gone := make(map[world.FacilityID]bool)
+	for f := range a.perFac {
+		if c, ok := a.db.MetroClusterOf(f); ok && c == cluster {
+			gone[f] = true
+			out.Facilities++
+			out.LostInterfaces += a.perFac[f].Interfaces
+			out.LostLinks += a.perFac[f].Links
+		}
+	}
+	var keys []pairKey
+	for key, sites := range a.pairSites {
+		hit, survives := false, false
+		for f := range sites {
+			if gone[f] {
+				hit = true
+			} else {
+				survives = true
+			}
+		}
+		if !hit {
+			continue
+		}
+		if survives {
+			out.DegradedPairs++
+		} else {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, key := range keys {
+		out.SeveredPairs = append(out.SeveredPairs, ASPair{key.a, key.b})
+	}
+	return out
+}
+
+// MetroRanking orders metro clusters by the interconnections they host.
+func (a *Analysis) MetroRanking() []MetroOutage {
+	clusters := make(map[int]bool)
+	for f := range a.perFac {
+		if c, ok := a.db.MetroClusterOf(f); ok {
+			clusters[c] = true
+		}
+	}
+	var out []MetroOutage
+	for c := range clusters {
+		out = append(out, a.SimulateMetroOutage(c))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LostLinks != out[j].LostLinks {
+			return out[i].LostLinks > out[j].LostLinks
+		}
+		return out[i].Cluster < out[j].Cluster
+	})
+	return out
+}

@@ -1,0 +1,172 @@
+package resilience
+
+import (
+	"strings"
+	"testing"
+
+	"facilitymap/internal/alias"
+	"facilitymap/internal/bgp"
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/ip2asn"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/platform"
+	"facilitymap/internal/registry"
+	"facilitymap/internal/remote"
+	"facilitymap/internal/trace"
+	"facilitymap/internal/world"
+)
+
+type fixture struct {
+	w   *world.World
+	db  *registry.Database
+	res *cfs.Result
+	an  *Analysis
+}
+
+var cached *fixture
+
+func fx(t *testing.T) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	w := world.Generate(world.Small())
+	rt := bgp.Compute(w)
+	engine := trace.New(w, rt, 23)
+	fleet := platform.Deploy(w, platform.DefaultDeploy())
+	svc := platform.NewService(w, fleet, engine, rt)
+	db := registry.Collect(w, registry.DefaultConfig())
+	det := remote.NewDetector(svc, db)
+	prober := alias.NewProber(w, 31)
+
+	var targets []netaddr.IP
+	for _, as := range w.ASes {
+		targets = append(targets, w.Interfaces[w.Routers[as.Routers[0]].Core()].IP)
+	}
+	paths := svc.Campaign(platform.Kinds(), targets[:10])
+	paths = append(paths, svc.Campaign([]platform.Kind{platform.IPlane, platform.Ark}, targets)...)
+	cfg := cfs.DefaultConfig()
+	cfg.MaxIterations = 25
+	res := cfs.New(cfg, db, ip2asn.New(w), svc, det, prober).Run(paths)
+	cached = &fixture{w, db, res, Analyze(db, res)}
+	return cached
+}
+
+func TestRankingConsistency(t *testing.T) {
+	f := fx(t)
+	rank := f.an.Ranking()
+	if len(rank) == 0 {
+		t.Fatal("no facilities in ranking")
+	}
+	totalIfaces := 0
+	for i, r := range rank {
+		if i > 0 && r.Links > rank[i-1].Links {
+			t.Fatal("ranking not sorted by links")
+		}
+		if r.Interfaces <= 0 {
+			t.Fatalf("facility %d ranked with no interfaces", r.Facility)
+		}
+		if r.ASes <= 0 || r.ASes > r.Interfaces {
+			t.Fatalf("implausible AS count %d for %d interfaces", r.ASes, r.Interfaces)
+		}
+		if r.Name == "" || r.Metro == "" {
+			t.Fatalf("unnamed facility report: %+v", r)
+		}
+		totalIfaces += r.Interfaces
+	}
+	if totalIfaces != f.res.Resolved() {
+		t.Errorf("ranking covers %d interfaces, result resolved %d", totalIfaces, f.res.Resolved())
+	}
+}
+
+func TestOutageAccounting(t *testing.T) {
+	f := fx(t)
+	top := f.an.Ranking()[0]
+	out := f.an.SimulateOutage(top.Facility)
+	if out.LostInterfaces != top.Interfaces || out.LostLinks != top.Links {
+		t.Errorf("outage loses %d/%d, ranking says %d/%d",
+			out.LostInterfaces, out.LostLinks, top.Interfaces, top.Links)
+	}
+	if len(out.SeveredPairs) != top.SolePairs {
+		t.Errorf("severed pairs %d != sole-site pairs %d", len(out.SeveredPairs), top.SolePairs)
+	}
+	if out.Name == "" {
+		t.Error("outage report unnamed")
+	}
+	// An unknown facility loses nothing.
+	empty := f.an.SimulateOutage(world.FacilityID(99999))
+	if empty.LostInterfaces != 0 || empty.LostLinks != 0 || len(empty.SeveredPairs) != 0 {
+		t.Errorf("phantom facility has blast radius: %+v", empty)
+	}
+}
+
+func TestSingleSitePairsMatchOutages(t *testing.T) {
+	f := fx(t)
+	pairs := f.an.SingleSitePairs()
+	// Summing severed pairs over all facilities must equal the global
+	// single-site count.
+	total := 0
+	for _, r := range f.an.Ranking() {
+		total += len(f.an.SimulateOutage(r.Facility).SeveredPairs)
+	}
+	if total != len(pairs) {
+		t.Errorf("per-facility severed pairs sum %d != global single-site %d", total, len(pairs))
+	}
+	for _, p := range pairs {
+		if p.A >= p.B {
+			t.Fatalf("pair not canonical: %+v", p)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	f := fx(t)
+	out := f.an.Render(5)
+	if !strings.Contains(out, "Facility criticality") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 4 {
+		t.Errorf("render too short: %d lines", lines)
+	}
+	// Rendering more rows than facilities must not panic.
+	_ = f.an.Render(10000)
+}
+
+func TestMetroOutage(t *testing.T) {
+	f := fx(t)
+	rank := f.an.MetroRanking()
+	if len(rank) == 0 {
+		t.Fatal("no metro ranking")
+	}
+	top := rank[0]
+	if top.Metro == "" || top.Facilities == 0 {
+		t.Fatalf("malformed metro outage: %+v", top)
+	}
+	// A metro outage must be at least as damaging as its worst facility.
+	worstFacility := f.an.Ranking()[0]
+	if c, ok := f.db.MetroClusterOf(worstFacility.Facility); ok {
+		m := f.an.SimulateMetroOutage(c)
+		if m.LostLinks < worstFacility.Links {
+			t.Errorf("metro outage (%d links) weaker than one facility (%d)",
+				m.LostLinks, worstFacility.Links)
+		}
+		// Severed+degraded pairs at metro level >= facility-level severed.
+		fo := f.an.SimulateOutage(worstFacility.Facility)
+		if len(m.SeveredPairs) < len(fo.SeveredPairs) {
+			t.Errorf("metro severed %d < facility severed %d",
+				len(m.SeveredPairs), len(fo.SeveredPairs))
+		}
+	}
+	// Ranking ordered by lost links.
+	for i := 1; i < len(rank); i++ {
+		if rank[i].LostLinks > rank[i-1].LostLinks {
+			t.Fatal("metro ranking not sorted")
+		}
+	}
+	// Unknown cluster: empty outage.
+	empty := f.an.SimulateMetroOutage(99999)
+	if empty.Facilities != 0 || len(empty.SeveredPairs) != 0 {
+		t.Errorf("phantom metro has blast radius: %+v", empty)
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if s := Stddev(xs); math.Abs(s-2) > 1e-9 {
+		t.Errorf("Stddev = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct{ p, want float64 }{
+		{0, 1}, {10, 1}, {50, 5}, {90, 9}, {100, 10},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 120)
+		got := Percentile(xs, p)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vals, fracs := CDF([]float64{3, 1, 2, 2})
+	wantVals := []float64{1, 2, 3}
+	wantFracs := []float64{0.25, 0.75, 1.0}
+	if len(vals) != 3 {
+		t.Fatalf("CDF vals = %v", vals)
+	}
+	for i := range wantVals {
+		if vals[i] != wantVals[i] || fracs[i] != wantFracs[i] {
+			t.Errorf("CDF[%d] = (%v,%v), want (%v,%v)", i, vals[i], fracs[i], wantVals[i], wantFracs[i])
+		}
+	}
+	if v, f := CDF(nil); v != nil || f != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "count")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta\t%d", 22)
+	tb.AddRow("gamma", "3", "extra-dropped")
+	out := tb.Render()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, sep, 3 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// All data lines equally wide or less than header line width bound.
+	if !strings.Contains(lines[3], "alpha") || !strings.Contains(lines[4], "22") {
+		t.Errorf("rows mangled:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length %d, want 4", len([]rune(s)))
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series should render lowest block, got %q", flat)
+		}
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty string")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.905) != "90.5%" {
+		t.Errorf("Pct = %q", Pct(0.905))
+	}
+}

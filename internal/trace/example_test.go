@@ -1,0 +1,42 @@
+package trace_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/trace"
+	"facilitymap/internal/world"
+)
+
+// ExampleParse shows loading real traceroute transcripts for offline use.
+func ExampleParse() {
+	transcript := `traceroute to 203.0.113.9, 30 hops max
+ 1  198.51.100.1  0.512 ms
+ 2  *
+ 3  203.0.113.9  4.100 ms
+`
+	paths, err := trace.Parse(strings.NewReader(transcript))
+	if err != nil {
+		panic(err)
+	}
+	p := paths[0]
+	fmt.Println(len(p.Hops), p.Reached, p.Hops[1].Responded)
+	// Output: 3 true false
+}
+
+// ExampleFormatString shows the inverse direction.
+func ExampleFormatString() {
+	p := trace.Path{
+		SrcRouter: world.RouterID(world.None),
+		Dst:       netaddr.MustParseIP("203.0.113.9"),
+		Hops: []trace.Hop{
+			{IP: netaddr.MustParseIP("198.51.100.1"), RTT: 512 * time.Microsecond, Responded: true},
+		},
+	}
+	fmt.Print(trace.FormatString(p))
+	// Output:
+	// traceroute to 203.0.113.9, 1 hops max
+	//  1  198.51.100.1  0.512 ms
+}

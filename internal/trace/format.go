@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// Format renders a path in classic traceroute text:
+//
+//	traceroute to 20.1.2.3, 30 hops max
+//	 1  20.0.0.1  0.412 ms
+//	 2  *
+//	 3  195.0.0.7  4.821 ms
+//
+// Parse reads the same format back. Together they let the pipeline
+// ingest measurements collected outside the simulator (e.g. real
+// traceroute output captured from looking glasses), and make archived
+// campaigns diffable.
+func Format(w io.Writer, p Path) error {
+	if _, err := fmt.Fprintf(w, "traceroute to %s, %d hops max\n", p.Dst, len(p.Hops)); err != nil {
+		return err
+	}
+	for i, h := range p.Hops {
+		if !h.Responded {
+			if _, err := fmt.Fprintf(w, "%2d  *\n", i+1); err != nil {
+				return err
+			}
+			continue
+		}
+		ms := float64(h.RTT) / float64(time.Millisecond)
+		if _, err := fmt.Fprintf(w, "%2d  %s  %.3f ms\n", i+1, h.IP, ms); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatString renders a path to a string.
+func FormatString(p Path) string {
+	var b strings.Builder
+	_ = Format(&b, p) // strings.Builder never errors
+	return b.String()
+}
+
+// Parse reads one or more traceroute transcripts, in the format Format
+// emits, until EOF. The source router of parsed paths is unknown
+// (world.None); callers attach it if they know the vantage point.
+func Parse(r io.Reader) ([]Path, error) {
+	sc := bufio.NewScanner(r)
+	var out []Path
+	var cur *Path
+	lineNo := 0
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			flush()
+			continue
+		}
+		if strings.HasPrefix(line, "traceroute to ") {
+			flush()
+			rest := strings.TrimPrefix(line, "traceroute to ")
+			dstStr := rest
+			if i := strings.IndexAny(rest, ", ("); i >= 0 {
+				dstStr = rest[:i]
+			}
+			dst, err := netaddr.ParseIP(strings.TrimSpace(dstStr))
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad destination: %w", lineNo, err)
+			}
+			cur = &Path{SrcRouter: world.RouterID(world.None), Dst: dst}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("trace: line %d: hop before traceroute header", lineNo)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trace: line %d: malformed hop %q", lineNo, line)
+		}
+		if _, err := strconv.Atoi(fields[0]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad hop number %q", lineNo, fields[0])
+		}
+		if fields[1] == "*" {
+			cur.Hops = append(cur.Hops, Hop{})
+			continue
+		}
+		ip, err := netaddr.ParseIP(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad hop address: %w", lineNo, err)
+		}
+		hop := Hop{IP: ip, Responded: true}
+		if len(fields) >= 3 {
+			msStr := strings.TrimSuffix(fields[2], "ms")
+			ms, err := strconv.ParseFloat(msStr, 64)
+			if err != nil && len(fields) >= 4 && fields[3] == "ms" {
+				ms, err = strconv.ParseFloat(fields[2], 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad RTT %q", lineNo, fields[2])
+			}
+			hop.RTT = time.Duration(ms * float64(time.Millisecond))
+		}
+		cur.Hops = append(cur.Hops, hop)
+		if ip == cur.Dst {
+			cur.Reached = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := fx(t)
+	pairs := samplePairs(f, 40)
+	var b strings.Builder
+	var originals []Path
+	for _, p := range pairs {
+		path := f.e.Traceroute(p.src, p.dst)
+		originals = append(originals, path)
+		if err := Format(&b, path); err != nil {
+			t.Fatal(err)
+		}
+		b.WriteByte('\n')
+	}
+	parsed, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(originals) {
+		t.Fatalf("parsed %d paths, want %d", len(parsed), len(originals))
+	}
+	for i, got := range parsed {
+		want := originals[i]
+		if got.Dst != want.Dst || got.Reached != want.Reached {
+			t.Fatalf("path %d header mismatch: %v/%v vs %v/%v",
+				i, got.Dst, got.Reached, want.Dst, want.Reached)
+		}
+		if len(got.Hops) != len(want.Hops) {
+			t.Fatalf("path %d hop count %d, want %d", i, len(got.Hops), len(want.Hops))
+		}
+		for j := range got.Hops {
+			g, w := got.Hops[j], want.Hops[j]
+			if g.Responded != w.Responded || g.IP != w.IP {
+				t.Fatalf("path %d hop %d mismatch: %+v vs %+v", i, j, g, w)
+			}
+			if g.Responded {
+				// RTT survives within the formatter's microsecond
+				// precision.
+				diff := g.RTT - w.RTT
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > time.Microsecond {
+					t.Fatalf("path %d hop %d RTT %v vs %v", i, j, g.RTT, w.RTT)
+				}
+			}
+		}
+		if got.SrcRouter != world.RouterID(world.None) {
+			t.Fatalf("parsed path claims a source router")
+		}
+	}
+}
+
+func TestParseForeignFormats(t *testing.T) {
+	// Slight variations real tools produce.
+	in := `traceroute to 20.1.2.3 (20.1.2.3), 30 hops max
+ 1  20.0.0.1  0.412 ms
+ 2  *
+ 3  195.0.16.10  4.821 ms
+`
+	paths, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0].Hops) != 3 {
+		t.Fatalf("parsed %+v", paths)
+	}
+	if paths[0].Hops[1].Responded {
+		t.Error("star hop should be unresponsive")
+	}
+	if paths[0].Hops[2].IP != netaddr.MustParseIP("195.0.16.10") {
+		t.Errorf("hop 3 = %v", paths[0].Hops[2].IP)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		" 1  20.0.0.1  0.1 ms\n",                                     // hop before header
+		"traceroute to not-an-ip, 30 hops max\n",                     // bad destination
+		"traceroute to 20.0.0.1, 3 hops max\nbroken\n",               // malformed hop
+		"traceroute to 20.0.0.1, 3 hops max\n x  20.0.0.1  1 ms\n",   // bad hop number
+		"traceroute to 20.0.0.1, 3 hops max\n 1  20.0.0.999  1 ms\n", // bad address
+		"traceroute to 20.0.0.1, 3 hops max\n 1  20.0.0.2  zz ms\n",  // bad RTT
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+	// Empty input parses to nothing.
+	paths, err := Parse(strings.NewReader(""))
+	if err != nil || len(paths) != 0 {
+		t.Errorf("empty input: %v, %v", paths, err)
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	p := Path{Dst: netaddr.MustParseIP("20.0.0.9"), Hops: []Hop{
+		{IP: netaddr.MustParseIP("20.0.0.1"), RTT: 1500 * time.Microsecond, Responded: true},
+		{},
+	}}
+	out := FormatString(p)
+	if !strings.Contains(out, "traceroute to 20.0.0.9") ||
+		!strings.Contains(out, "1.500 ms") || !strings.Contains(out, "*") {
+		t.Errorf("unexpected format:\n%s", out)
+	}
+}

@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary transcripts never panic, and whatever parses
+// re-formats and re-parses to the same hop structure.
+func FuzzParse(f *testing.F) {
+	f.Add("traceroute to 20.1.2.3, 30 hops max\n 1  20.0.0.1  0.4 ms\n 2  *\n")
+	f.Add("traceroute to 1.2.3.4 (1.2.3.4), 5 hops max\n 1  1.2.3.4  1 ms\n")
+	f.Add("garbage\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		paths, err := Parse(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for _, p := range paths {
+			re, err := Parse(strings.NewReader(FormatString(p)))
+			if err != nil {
+				t.Fatalf("formatted output unparseable: %v", err)
+			}
+			if len(re) != 1 || len(re[0].Hops) != len(p.Hops) {
+				t.Fatalf("round trip changed hop count")
+			}
+		}
+	})
+}

@@ -1,0 +1,447 @@
+// Package trace simulates Paris-traceroute measurements over the
+// ground-truth world. It reproduces the observational semantics the CFS
+// methodology depends on (§4.1):
+//
+//   - each transited router replies from its *ingress* interface: the
+//     core interface when entered from inside its own AS, the IXP port
+//     when entered across a public peering, the /30 side when entered
+//     across a private interconnect;
+//   - the destination replies from the probed address itself, so the
+//     final router's ingress stays invisible (the reason for the
+//     reverse-direction search, §4.3);
+//   - unresponsive routers appear as '*' hops;
+//   - RTTs accumulate geographic propagation delay plus jitter, with
+//     occasional transient congestion spikes (why remote-peering
+//     inference takes the minimum over repeated measurements, §4.2).
+package trace
+
+import (
+	"math/rand"
+	"time"
+
+	"facilitymap/internal/bgp"
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// Hop is one traceroute hop.
+type Hop struct {
+	IP        netaddr.IP // zero when the hop did not respond
+	RTT       time.Duration
+	Responded bool
+}
+
+// Path is the result of one traceroute.
+type Path struct {
+	SrcRouter world.RouterID
+	Dst       netaddr.IP
+	Hops      []Hop
+	Reached   bool // the destination itself replied
+}
+
+// ResponsiveHops returns the hop addresses that replied, in order.
+func (p Path) ResponsiveHops() []netaddr.IP {
+	var out []netaddr.IP
+	for _, h := range p.Hops {
+		if h.Responded {
+			out = append(out, h.IP)
+		}
+	}
+	return out
+}
+
+// Engine simulates the data plane of one world.
+type Engine struct {
+	w    *world.World
+	rt   *bgp.Routing
+	seed int64
+
+	linksBetween map[asnPair][]*world.Link
+	// probeCount tallies issued measurements (engine-wide budget view).
+	probeCount int
+}
+
+type asnPair struct{ a, b world.ASN }
+
+func pairOf(a, b world.ASN) asnPair {
+	if a > b {
+		a, b = b, a
+	}
+	return asnPair{a, b}
+}
+
+// New builds a traceroute engine. The seed controls jitter and loss;
+// paths themselves are deterministic functions of (src, dst).
+func New(w *world.World, rt *bgp.Routing, seed int64) *Engine {
+	e := &Engine{w: w, rt: rt, seed: seed,
+		linksBetween: make(map[asnPair][]*world.Link)}
+	for _, l := range w.Links {
+		a := w.Routers[l.A].AS
+		b := w.Routers[l.B].AS
+		e.linksBetween[pairOf(a, b)] = append(e.linksBetween[pairOf(a, b)], l)
+	}
+	return e
+}
+
+// Probes returns the number of measurements issued so far.
+func (e *Engine) Probes() int { return e.probeCount }
+
+// measurementRNG derives a deterministic RNG for one measurement so that
+// repeated identical calls still see fresh jitter (the attempt counter
+// feeds the seed).
+func (e *Engine) measurementRNG(src world.RouterID, dst netaddr.IP, attempt int) *rand.Rand {
+	h := uint64(e.seed)
+	h = h*1099511628211 + uint64(src)
+	h = h*1099511628211 + uint64(dst)
+	h = h*1099511628211 + uint64(attempt)
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// resolveDst finds the router hosting the probed address. When the
+// address is inside an AS block but on no interface, the probe is routed
+// to the AS's first router and never answered.
+func (e *Engine) resolveDst(dst netaddr.IP) (rtr world.RouterID, reachable bool) {
+	if ifc := e.w.InterfaceByIP(dst); ifc != nil {
+		return ifc.Router, true
+	}
+	for _, as := range e.w.ASes {
+		for _, p := range as.Prefixes {
+			if p.Contains(dst) {
+				if len(as.Routers) == 0 {
+					return world.RouterID(world.None), false
+				}
+				return as.Routers[0], false
+			}
+		}
+	}
+	return world.RouterID(world.None), false
+}
+
+// selectLink picks the interconnection link an AS uses to hand traffic to
+// the next AS, from the standpoint of the current router: hot-potato
+// routing chooses the exit nearest to where the traffic currently is.
+// Among fully-tied candidates, the flow label decides (ECMP hashing);
+// flow 0 — Paris traceroute's fixed flow — always picks the lowest link
+// ID. Returns nil when the ASes share no link.
+func (e *Engine) selectLink(cur world.RouterID, curAS, nextAS world.ASN, flow uint32) *world.Link {
+	links := e.linksBetween[pairOf(curAS, nextAS)]
+	if len(links) == 0 {
+		return nil
+	}
+	at := e.w.Routers[cur].Coord
+	var best *world.Link
+	bestKm := 0.0
+	bestLoc := 0
+	for _, l := range links {
+		near := l.A
+		if e.w.Routers[l.A].AS != curAS {
+			near = l.B
+		}
+		km := geo.DistanceKm(at, e.w.Routers[near].Coord)
+		loc := e.locality(l, near)
+		better := false
+		switch {
+		case best == nil, km < bestKm-1e-9:
+			better = true
+		case km < bestKm+1e-9 && flow == 0:
+			// Flow 0 (the dominant share of traffic, and Paris
+			// traceroute's fixed flow): IXP fabrics keep traffic local
+			// to an access or backhaul switch (Figure 6), so among
+			// redundant public links prefer the fabric-proximate far
+			// port, then the lowest link ID.
+			if loc < bestLoc || (loc == bestLoc && l.ID < best.ID) {
+				better = true
+			}
+		case km < bestKm+1e-9:
+			// Non-zero flows: BGP multipath hashes flows across every
+			// equal-cost session, including a dual-homed peer's second
+			// port — what MDA exploration relies on to see redundancy.
+			if ecmpRank(l.ID, flow) < ecmpRank(best.ID, flow) {
+				better = true
+			}
+		}
+		if better {
+			best, bestKm, bestLoc = l, km, loc
+		}
+	}
+	return best
+}
+
+// ecmpRank orders equal-cost links for one flow label. Flow 0 keeps the
+// stable lowest-ID order; other flows hash, emulating per-flow ECMP.
+func ecmpRank(id world.LinkID, flow uint32) uint64 {
+	if flow == 0 {
+		return uint64(id)
+	}
+	h := uint64(id)*2654435761 + uint64(flow)*40503
+	h ^= h >> 16
+	return h
+}
+
+// locality ranks how local a link's far port is to its near port on the
+// IXP fabric: 0 same access switch, 1 same backhaul, 2 via core. Private
+// links rank 0.
+func (e *Engine) locality(l *world.Link, near world.RouterID) int {
+	if l.Kind != world.PublicPeering {
+		return 0
+	}
+	nearIfc := e.w.Interfaces[l.NearEnd(near)]
+	_, farIfc := l.OtherEnd(near)
+	far := e.w.Interfaces[farIfc]
+	if nearIfc.Switch == world.None || far.Switch == world.None {
+		return 2
+	}
+	switch e.w.Locality(world.SwitchID(nearIfc.Switch), world.SwitchID(far.Switch)) {
+	case world.SameSwitch:
+		return 0
+	case world.SameBackhaul:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// ExitRouter exposes the hot-potato link selection to other packages
+// (BGP looking-glass queries need the same decision to attach ingress
+// communities). It returns the link used from srcRouter's AS toward
+// nextAS and the near-end router.
+func (e *Engine) ExitRouter(srcRouter world.RouterID, nextAS world.ASN) (*world.Link, world.RouterID) {
+	curAS := e.w.Routers[srcRouter].AS
+	l := e.selectLink(srcRouter, curAS, nextAS, 0)
+	if l == nil {
+		return nil, world.RouterID(world.None)
+	}
+	near := l.A
+	if e.w.Routers[l.A].AS != curAS {
+		near = l.B
+	}
+	return l, near
+}
+
+// Traceroute issues one Paris traceroute from the network of srcRouter
+// toward dst (fixed flow label, so the path is stable).
+func (e *Engine) Traceroute(srcRouter world.RouterID, dst netaddr.IP) Path {
+	return e.TracerouteFlow(srcRouter, dst, 0)
+}
+
+// TracerouteFlow issues a traceroute with an explicit flow label.
+// Different labels may take different equal-cost links, which is what
+// MDA-style exploration exploits.
+func (e *Engine) TracerouteFlow(srcRouter world.RouterID, dst netaddr.IP, flow uint32) Path {
+	e.probeCount++
+	rng := e.measurementRNG(srcRouter, dst, e.probeCount)
+	p := Path{SrcRouter: srcRouter, Dst: dst}
+
+	dstRtr, reachable := e.resolveDst(dst)
+	if dstRtr == world.RouterID(world.None) {
+		return p
+	}
+	srcAS := e.w.Routers[srcRouter].AS
+	dstAS := e.w.Routers[dstRtr].AS
+	asPath, ok := e.rt.ASPath(srcAS, dstAS)
+	if !ok {
+		return p
+	}
+
+	cum := time.Duration(0) // one-way accumulated propagation
+	prevCoord := e.w.Routers[srcRouter].Coord
+	emit := func(r world.RouterID, ip netaddr.IP) {
+		router := e.w.Routers[r]
+		cum += geo.PropagationDelay(prevCoord, router.Coord)
+		prevCoord = router.Coord
+		rtt := 2*cum + hopJitter(rng)
+		if rng.Float64() < congestionProb {
+			rtt += congestionSpike(rng)
+		}
+		if !router.RespondsToTraceroute {
+			p.Hops = append(p.Hops, Hop{})
+			return
+		}
+		p.Hops = append(p.Hops, Hop{IP: ip, RTT: rtt, Responded: true})
+	}
+
+	cur := srcRouter
+	// First hop: the vantage point's gateway replies from its core
+	// interface, unless the probe targets the gateway itself.
+	if cur != dstRtr {
+		emit(cur, e.w.Interfaces[e.w.Routers[cur].Core()].IP)
+	}
+	for i := 0; i+1 < len(asPath); i++ {
+		curAS, nextAS := asPath[i], asPath[i+1]
+		l := e.selectLink(cur, curAS, nextAS, flow)
+		if l == nil {
+			return p // routing said adjacent but no link: give up
+		}
+		near := l.A
+		if e.w.Routers[l.A].AS != curAS {
+			near = l.B
+		}
+		// Intra-AS segment to the exit router.
+		if near != cur {
+			if near == dstRtr {
+				// Destination inside this AS segment; fall through to
+				// the final-hop logic below.
+				cur = near
+				break
+			}
+			emit(near, e.w.Interfaces[e.w.Routers[near].Core()].IP)
+			cur = near
+		}
+		far, farIface := l.OtherEnd(cur)
+		if far == dstRtr {
+			cur = far
+			break
+		}
+		// The far router replies from its ingress: the link's far-side
+		// interface (IXP port for public peering, /30 side otherwise).
+		emit(far, e.w.Interfaces[farIface].IP)
+		cur = far
+	}
+	// Deliver to the destination router.
+	if cur != dstRtr {
+		// Still inside the destination AS: one intra-AS handoff.
+		if e.w.Routers[cur].AS == dstAS {
+			cur = dstRtr
+		} else {
+			return p
+		}
+	}
+	if reachable {
+		dstRouter := e.w.Routers[dstRtr]
+		cum += geo.PropagationDelay(prevCoord, dstRouter.Coord)
+		rtt := 2*cum + hopJitter(rng)
+		if rng.Float64() < congestionProb {
+			rtt += congestionSpike(rng)
+		}
+		// Destinations answer echo requests even when their router
+		// drops time-exceeded generation.
+		p.Hops = append(p.Hops, Hop{IP: dst, RTT: rtt, Responded: true})
+		p.Reached = true
+	}
+	return p
+}
+
+// Ping measures the RTT to dst, returning the minimum over count probes
+// (the paper's remote-peering method uses repeated measurements at
+// different times to shed transient congestion, §4.2).
+func (e *Engine) Ping(srcRouter world.RouterID, dst netaddr.IP, count int) (time.Duration, bool) {
+	dstRtr, reachable := e.resolveDst(dst)
+	if !reachable {
+		return 0, false
+	}
+	srcAS := e.w.Routers[srcRouter].AS
+	dstAS := e.w.Routers[dstRtr].AS
+	asPath, ok := e.rt.ASPath(srcAS, dstAS)
+	if !ok {
+		return 0, false
+	}
+	// Propagation along the router-level path.
+	oneWay := time.Duration(0)
+	prev := e.w.Routers[srcRouter].Coord
+	cur := srcRouter
+	for i := 0; i+1 < len(asPath); i++ {
+		l := e.selectLink(cur, asPath[i], asPath[i+1], 0)
+		if l == nil {
+			return 0, false
+		}
+		near := l.A
+		if e.w.Routers[l.A].AS != asPath[i] {
+			near = l.B
+		}
+		if near != cur {
+			oneWay += geo.PropagationDelay(prev, e.w.Routers[near].Coord)
+			prev = e.w.Routers[near].Coord
+			cur = near
+		}
+		far, _ := l.OtherEnd(cur)
+		oneWay += geo.PropagationDelay(prev, e.w.Routers[far].Coord)
+		prev = e.w.Routers[far].Coord
+		cur = far
+		if far == dstRtr {
+			break
+		}
+	}
+	if cur != dstRtr {
+		oneWay += geo.PropagationDelay(prev, e.w.Routers[dstRtr].Coord)
+	}
+	best := time.Duration(-1)
+	for i := 0; i < count; i++ {
+		e.probeCount++
+		rng := e.measurementRNG(srcRouter, dst, e.probeCount)
+		rtt := 2*oneWay + hopJitter(rng)
+		if rng.Float64() < congestionProb {
+			rtt += congestionSpike(rng)
+		}
+		if best < 0 || rtt < best {
+			best = rtt
+		}
+	}
+	return best, true
+}
+
+// FabricPing measures the RTT from a member router to another member's
+// peering-LAN address across the IXP switch fabric. Members of one LAN
+// are layer-2 adjacent, so this bypasses BGP entirely — the measurement
+// setup remote-peering inference needs (§4.2). ok is false unless src
+// holds a port on the same IXP as the probed address.
+func (e *Engine) FabricPing(src world.RouterID, port netaddr.IP, count int) (time.Duration, bool) {
+	ifc := e.w.InterfaceByIP(port)
+	if ifc == nil || ifc.Kind != world.IXPPort {
+		return 0, false
+	}
+	if e.w.MembershipOf(src, ifc.IXP) == nil {
+		return 0, false
+	}
+	// Transport over the fabric: reseller circuits for remote members
+	// stretch roughly the geographic distance between the routers.
+	oneWay := geo.PropagationDelay(e.w.Routers[src].Coord, e.w.Routers[ifc.Router].Coord)
+	best := time.Duration(-1)
+	for i := 0; i < count; i++ {
+		e.probeCount++
+		rng := e.measurementRNG(src, port, e.probeCount)
+		rtt := 2*oneWay + hopJitter(rng)
+		if rng.Float64() < congestionProb {
+			rtt += congestionSpike(rng)
+		}
+		if best < 0 || rtt < best {
+			best = rtt
+		}
+	}
+	return best, true
+}
+
+const congestionProb = 0.03
+
+func hopJitter(rng *rand.Rand) time.Duration {
+	return time.Duration(100+rng.Intn(900)) * time.Microsecond
+}
+
+func congestionSpike(rng *rand.Rand) time.Duration {
+	return time.Duration(10+rng.Intn(90)) * time.Millisecond
+}
+
+// TracerouteMDA runs a multipath (MDA-style) exploration: traceroutes
+// with `flows` distinct flow labels, returning one path per distinct hop
+// sequence discovered. Useful for exposing redundant interconnections —
+// e.g. both ports of a dual-homed IXP member — that a single Paris flow
+// hides.
+func (e *Engine) TracerouteMDA(srcRouter world.RouterID, dst netaddr.IP, flows int) []Path {
+	seen := make(map[string]bool)
+	var out []Path
+	for f := 0; f < flows; f++ {
+		p := e.TracerouteFlow(srcRouter, dst, uint32(f))
+		key := ""
+		for _, h := range p.Hops {
+			if h.Responded {
+				key += h.IP.String()
+			}
+			key += "|"
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

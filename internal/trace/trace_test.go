@@ -1,0 +1,449 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"facilitymap/internal/bgp"
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+type fixture struct {
+	w  *world.World
+	rt *bgp.Routing
+	e  *Engine
+}
+
+var cached *fixture
+
+func fx(t *testing.T) *fixture {
+	t.Helper()
+	if cached == nil {
+		w := world.Generate(world.Small())
+		rt := bgp.Compute(w)
+		cached = &fixture{w, rt, New(w, rt, 7)}
+	}
+	return cached
+}
+
+// samplePairs yields (srcRouter, dstIP) pairs spanning many AS pairs.
+func samplePairs(f *fixture, n int) []struct {
+	src world.RouterID
+	dst netaddr.IP
+} {
+	var out []struct {
+		src world.RouterID
+		dst netaddr.IP
+	}
+	for i := 0; i < len(f.w.ASes) && len(out) < n; i++ {
+		for j := 0; j < len(f.w.ASes) && len(out) < n; j += 3 {
+			if i == j {
+				continue
+			}
+			src := f.w.ASes[i].Routers[0]
+			dstRtr := f.w.Routers[f.w.ASes[j].Routers[0]]
+			out = append(out, struct {
+				src world.RouterID
+				dst netaddr.IP
+			}{src, f.w.Interfaces[dstRtr.Core()].IP})
+		}
+	}
+	return out
+}
+
+func TestTracerouteReachesDestination(t *testing.T) {
+	f := fx(t)
+	reached := 0
+	pairs := samplePairs(f, 200)
+	for _, p := range pairs {
+		path := f.e.Traceroute(p.src, p.dst)
+		if path.Reached {
+			reached++
+			last := path.Hops[len(path.Hops)-1]
+			if !last.Responded || last.IP != p.dst {
+				t.Fatalf("final hop %v != dst %v", last.IP, p.dst)
+			}
+		}
+	}
+	if reached < len(pairs)*9/10 {
+		t.Errorf("only %d/%d traceroutes reached their destination", reached, len(pairs))
+	}
+}
+
+func TestTracerouteFirstHopIsGateway(t *testing.T) {
+	f := fx(t)
+	for _, p := range samplePairs(f, 50) {
+		path := f.e.Traceroute(p.src, p.dst)
+		if len(path.Hops) == 0 {
+			continue
+		}
+		h := path.Hops[0]
+		if !h.Responded {
+			continue // gateway may be traceroute-silent
+		}
+		gw := f.w.Routers[p.src]
+		if h.IP != f.w.Interfaces[gw.Core()].IP {
+			t.Fatalf("first hop %v is not gateway core %v", h.IP, f.w.Interfaces[gw.Core()].IP)
+		}
+	}
+}
+
+// TestHopAdjacencyInvariant: consecutive responsive hops must be either
+// an intra-AS handoff (core interface) or an interdomain crossing whose
+// reply comes from the link's far-side interface — IXP port for public
+// peering, /30 side for private interconnects (§4.1 semantics).
+func TestHopAdjacencyInvariant(t *testing.T) {
+	f := fx(t)
+	crossings, publicSeen, privateSeen := 0, 0, 0
+	for _, p := range samplePairs(f, 400) {
+		path := f.e.Traceroute(p.src, p.dst)
+		for i := 0; i+1 < len(path.Hops); i++ {
+			// Only truly adjacent responsive hops: a silent router in
+			// between hides a crossing, which is fine and realistic.
+			if !path.Hops[i].Responded || !path.Hops[i+1].Responded {
+				continue
+			}
+			hops := []netaddr.IP{path.Hops[i].IP, path.Hops[i+1].IP}
+			a := f.w.InterfaceByIP(hops[0])
+			b := f.w.InterfaceByIP(hops[1])
+			if a == nil || b == nil {
+				t.Fatalf("hop IP not an interface: %v -> %v", hops[i], hops[i+1])
+			}
+			ra, rb := f.w.Routers[a.Router], f.w.Routers[b.Router]
+			if ra.AS == rb.AS {
+				// Intra-AS handoff or destination reply.
+				continue
+			}
+			crossings++
+			switch b.Kind {
+			case world.IXPPort:
+				publicSeen++
+			case world.PrivateSide:
+				privateSeen++
+			case world.CoreIface:
+				// Only legal for the destination's own reply.
+				if hops[1] != p.dst {
+					t.Fatalf("interdomain hop replied from core interface %v", hops[1])
+				}
+			}
+		}
+	}
+	if crossings == 0 || publicSeen == 0 || privateSeen == 0 {
+		t.Errorf("want both crossing kinds: crossings=%d public=%d private=%d",
+			crossings, publicSeen, privateSeen)
+	}
+}
+
+// TestPublicPeeringTriple: paths crossing an IXP must show the classic
+// (IP_A, IP_ixp, IP_B) triple where the middle address belongs to the
+// IXP's peering LAN and to the far-side router.
+func TestPublicPeeringTriple(t *testing.T) {
+	f := fx(t)
+	found := false
+	for _, p := range samplePairs(f, 400) {
+		path := f.e.Traceroute(p.src, p.dst)
+		hops := path.ResponsiveHops()
+		for i := 0; i+1 < len(hops); i++ {
+			b := f.w.InterfaceByIP(hops[i+1])
+			if b == nil || b.Kind != world.IXPPort {
+				continue
+			}
+			found = true
+			ix := f.w.IXPs[b.IXP]
+			if !ix.Prefix.Contains(hops[i+1]) {
+				t.Fatalf("IXP port %v outside %s LAN %v", hops[i+1], ix.Name, ix.Prefix)
+			}
+			// The previous hop belongs to a different AS: the near peer.
+			a := f.w.InterfaceByIP(hops[i])
+			if a != nil && f.w.Routers[a.Router].AS == f.w.Routers[b.Router].AS {
+				t.Fatalf("IXP crossing within one AS at %v", hops[i+1])
+			}
+		}
+	}
+	if !found {
+		t.Error("no public peering crossing observed in 400 traceroutes")
+	}
+}
+
+func TestTracerouteDeterministicPath(t *testing.T) {
+	f := fx(t)
+	pairs := samplePairs(f, 30)
+	for _, p := range pairs {
+		h1 := f.e.Traceroute(p.src, p.dst).ResponsiveHops()
+		h2 := f.e.Traceroute(p.src, p.dst).ResponsiveHops()
+		if len(h1) != len(h2) {
+			t.Fatalf("path length changed between runs: %d vs %d", len(h1), len(h2))
+		}
+		for i := range h1 {
+			if h1[i] != h2[i] {
+				t.Fatalf("hop %d changed: %v vs %v (Paris semantics broken)", i, h1[i], h2[i])
+			}
+		}
+	}
+}
+
+func TestRTTsIncreaseRoughly(t *testing.T) {
+	f := fx(t)
+	for _, p := range samplePairs(f, 60) {
+		path := f.e.Traceroute(p.src, p.dst)
+		prev := time.Duration(0)
+		for _, h := range path.Hops {
+			if !h.Responded {
+				continue
+			}
+			if h.RTT <= 0 {
+				t.Fatalf("non-positive RTT %v", h.RTT)
+			}
+			// Allow jitter and congestion spikes: RTT must not drop by
+			// more than the max spike+jitter budget.
+			if h.RTT < prev-101*time.Millisecond {
+				t.Fatalf("RTT fell too far: %v after %v", h.RTT, prev)
+			}
+			if h.RTT > prev {
+				prev = h.RTT
+			}
+		}
+	}
+}
+
+func TestPingMinimumShedsCongestion(t *testing.T) {
+	f := fx(t)
+	p := samplePairs(f, 1)[0]
+	// One probe can be unlucky; 10 probes should converge to near the
+	// propagation floor. min10 <= min1 always.
+	min1, ok1 := f.e.Ping(p.src, p.dst, 1)
+	min10, ok10 := f.e.Ping(p.src, p.dst, 10)
+	if !ok1 || !ok10 {
+		t.Fatal("ping failed")
+	}
+	if min10 > min1 {
+		t.Errorf("min over 10 probes (%v) exceeds min over 1 (%v)", min10, min1)
+	}
+	if min10 <= 0 {
+		t.Errorf("ping RTT %v not positive", min10)
+	}
+}
+
+func TestPingUnreachable(t *testing.T) {
+	f := fx(t)
+	if _, ok := f.e.Ping(0, netaddr.MustParseIP("9.9.9.9"), 3); ok {
+		t.Error("ping to unknown space should fail")
+	}
+	// Address inside an AS block but on no interface: traceroute runs
+	// but never reaches.
+	as := f.w.ASes[len(f.w.ASes)-1]
+	ip, _ := as.Prefixes[0].Nth(as.Prefixes[0].NumAddresses() - 1)
+	path := f.e.Traceroute(f.w.ASes[0].Routers[0], ip)
+	if path.Reached {
+		t.Error("unassigned address should not be Reached")
+	}
+}
+
+func TestRemoteMembersShowHighIXPLatency(t *testing.T) {
+	// Build a world, find a remote membership whose router is far from
+	// the IXP metro, and check that pinging its IXP port from the IXP's
+	// metro yields a visibly higher RTT than pinging a local member.
+	w := world.Generate(world.Default())
+	rt := bgp.Compute(w)
+	e := New(w, rt, 11)
+	var remote, local *world.Membership
+	for _, m := range w.Memberships {
+		ix := w.IXPs[m.IXP]
+		r := w.Routers[m.Router]
+		if m.Remote && geo.DistanceKm(r.Coord, w.Metros[ix.Metro].Center) > 2000 {
+			remote = m
+		}
+		if !m.Remote && remote != nil && m.IXP == remote.IXP {
+			local = m
+		}
+	}
+	if remote == nil || local == nil {
+		t.Skip("no suitable remote/local membership pair")
+	}
+	// Probe from the local member's router (it is in the IXP metro).
+	src := local.Router
+	rIP := w.Interfaces[remote.Port].IP
+	lRtr := w.Routers[local.Router]
+	_ = lRtr
+	rRTT, ok := e.Ping(src, rIP, 5)
+	if !ok {
+		t.Skip("remote port unreachable from local member (no BGP path)")
+	}
+	if rRTT < 10*time.Millisecond {
+		t.Errorf("remote member port RTT %v suspiciously low for a >2000km router", rRTT)
+	}
+}
+
+func TestExitRouterMatchesSelectLink(t *testing.T) {
+	f := fx(t)
+	for _, p := range samplePairs(f, 40) {
+		srcAS := f.w.Routers[p.src].AS
+		dstIfc := f.w.InterfaceByIP(p.dst)
+		dstAS := f.w.Routers[dstIfc.Router].AS
+		if srcAS == dstAS {
+			continue
+		}
+		next, ok := f.rt.NextAS(srcAS, dstAS)
+		if !ok {
+			continue
+		}
+		l, near := f.e.ExitRouter(p.src, next)
+		if l == nil {
+			t.Fatalf("no exit link from %v toward %v despite BGP adjacency", srcAS, next)
+		}
+		if f.w.Routers[near].AS != srcAS {
+			t.Fatalf("exit router %d not in source AS", near)
+		}
+	}
+}
+
+func TestFabricPing(t *testing.T) {
+	f := fx(t)
+	var local *world.Membership
+	for _, m := range f.w.Memberships {
+		if !m.Remote {
+			local = m
+			break
+		}
+	}
+	if local == nil {
+		t.Skip("no local membership")
+	}
+	// A member pinging its own exchange's ports succeeds.
+	var other *world.Membership
+	for _, m := range f.w.Memberships {
+		if m.IXP == local.IXP && m.AS != local.AS {
+			other = m
+			break
+		}
+	}
+	if other == nil {
+		t.Skip("single-member exchange")
+	}
+	rtt, ok := f.e.FabricPing(local.Router, f.w.Interfaces[other.Port].IP, 3)
+	if !ok {
+		t.Fatal("fabric ping between members failed")
+	}
+	if rtt <= 0 {
+		t.Errorf("fabric RTT %v not positive", rtt)
+	}
+	// Non-member source is rejected.
+	var outsider world.RouterID = world.RouterID(world.None)
+	for _, r := range f.w.Routers {
+		if f.w.MembershipOf(r.ID, local.IXP) == nil {
+			outsider = r.ID
+			break
+		}
+	}
+	if outsider != world.RouterID(world.None) {
+		if _, ok := f.e.FabricPing(outsider, f.w.Interfaces[other.Port].IP, 1); ok {
+			t.Error("non-member fabric ping should fail")
+		}
+	}
+	// Non-port targets are rejected.
+	core := f.w.Interfaces[f.w.Routers[local.Router].Core()].IP
+	if _, ok := f.e.FabricPing(local.Router, core, 1); ok {
+		t.Error("fabric ping to a core interface should fail")
+	}
+	if _, ok := f.e.FabricPing(local.Router, netaddr.MustParseIP("9.9.9.9"), 1); ok {
+		t.Error("fabric ping to unknown address should fail")
+	}
+}
+
+func TestProbeCounter(t *testing.T) {
+	w := world.Generate(world.Small())
+	rt := bgp.Compute(w)
+	e := New(w, rt, 99)
+	if e.Probes() != 0 {
+		t.Fatalf("fresh engine has %d probes", e.Probes())
+	}
+	dst := w.Interfaces[w.Routers[w.ASes[1].Routers[0]].Core()].IP
+	e.Traceroute(w.ASes[0].Routers[0], dst)
+	e.Ping(w.ASes[0].Routers[0], dst, 4)
+	if e.Probes() < 5 {
+		t.Errorf("probe counter %d too low after traceroute + 4 pings", e.Probes())
+	}
+}
+
+// TestDualPortFabricLocality: when a member holds redundant ports at two
+// facilities, traffic from a peer lands on the fabric-proximate one
+// (Figure 6 semantics implemented by the engine's link selection).
+func TestDualPortFabricLocality(t *testing.T) {
+	w := world.Generate(world.Default())
+	rt := bgp.Compute(w)
+	e := New(w, rt, 3)
+	// Find an AS with two memberships at one exchange.
+	type mkey struct {
+		as world.ASN
+		ix world.IXPID
+	}
+	count := map[mkey][]*world.Membership{}
+	for _, m := range w.Memberships {
+		k := mkey{m.AS, m.IXP}
+		count[k] = append(count[k], m)
+	}
+	checked := 0
+	for k, ms := range count {
+		if len(ms) < 2 || checked > 5 {
+			continue
+		}
+		// A peer at the same exchange sends toward the dual-homed
+		// member; the engine must pick one of the member's links, and
+		// if localities differ, the more local one.
+		for _, peer := range w.MembersOf(k.ix) {
+			if peer.AS == k.as || peer.Remote {
+				continue
+			}
+			l, _ := e.ExitRouter(peer.Router, k.as)
+			if l == nil || l.Kind != world.PublicPeering || l.IXP != k.ix {
+				continue
+			}
+			checked++
+			break
+		}
+	}
+	if checked == 0 {
+		t.Skip("no dual-homed member adjacent to a peer in this world")
+	}
+}
+
+// TestMDADiscoversRedundantLinks: exploring flow labels reveals paths a
+// single Paris flow hides — in particular both ports of dual-homed IXP
+// members.
+func TestMDADiscoversRedundantLinks(t *testing.T) {
+	w := world.Generate(world.Default())
+	rt := bgp.Compute(w)
+	e := New(w, rt, 3)
+	multi, tried := 0, 0
+	for i := 0; i < len(w.ASes) && tried < 150; i += 3 {
+		for j := 1; j < len(w.ASes) && tried < 150; j += 7 {
+			if i == j {
+				continue
+			}
+			tried++
+			src := w.ASes[i].Routers[0]
+			dst := w.Interfaces[w.Routers[w.ASes[j].Routers[0]].Core()].IP
+			paths := e.TracerouteMDA(src, dst, 6)
+			if len(paths) > 1 {
+				multi++
+			}
+			// Flow 0 must reproduce the Paris path exactly.
+			paris := e.Traceroute(src, dst).ResponsiveHops()
+			mda0 := paths[0].ResponsiveHops()
+			if len(paris) != len(mda0) {
+				t.Fatalf("flow-0 MDA path differs from Paris path")
+			}
+			for k := range paris {
+				if paris[k] != mda0[k] {
+					t.Fatalf("flow-0 hop %d differs", k)
+				}
+			}
+		}
+	}
+	if multi == 0 {
+		t.Error("MDA never found a second path; ECMP diversity missing")
+	}
+	t.Logf("MDA found extra paths on %d/%d pairs", multi, tried)
+}

@@ -1,0 +1,59 @@
+package validation
+
+import (
+	"testing"
+
+	"facilitymap/internal/platform"
+	"facilitymap/internal/world"
+)
+
+func TestDebugCommunityMismatch(t *testing.T) {
+	f := fx(t)
+	v, res := f.v, f.res
+	var lgs []*platform.VantagePoint
+	for _, vp := range v.Svc.Fleet().ByKind(platform.LookingGlass) {
+		if vp.BGPCapable && v.CommunityDicts[vp.AS] != nil {
+			lgs = append(lgs, vp)
+		}
+	}
+	dsts := destinationSample(res, 40)
+	harnessBug, cfsWrong, agree := 0, 0, 0
+	for _, vp := range lgs {
+		dict := v.CommunityDicts[vp.AS]
+		for _, dst := range dsts {
+			route, ok := v.Svc.LookingGlassBGP(vp, dst)
+			if !ok || len(route.Communities) == 0 {
+				continue
+			}
+			truth, ok := dict[route.Communities[0]]
+			if !ok {
+				continue
+			}
+			path := v.Svc.TracerouteFrom(vp, dst)
+			exit, ok := exitInterface(v, vp.AS, path)
+			if !ok {
+				continue
+			}
+			ir := res.Interfaces[exit]
+			if ir == nil || !ir.Resolved {
+				continue
+			}
+			if ir.Facility == truth {
+				agree++
+				continue
+			}
+			// Mismatch: is the community truth the exit router's actual facility?
+			rtr := v.W.RouterOfIP(exit)
+			if rtr != nil && rtr.Facility != world.None && world.FacilityID(rtr.Facility) == truth {
+				cfsWrong++
+			} else {
+				harnessBug++
+				if harnessBug <= 3 {
+					t.Logf("HARNESS: exit=%v exitRtrFac=%d communityFac=%d cfs=%d lgAS=%v dst=%v",
+						exit, rtr.Facility, truth, ir.Facility, vp.AS, dst)
+				}
+			}
+		}
+	}
+	t.Logf("agree=%d cfsWrong=%d harnessMismatch=%d", agree, cfsWrong, harnessBug)
+}

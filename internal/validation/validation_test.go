@@ -1,0 +1,182 @@
+package validation
+
+import (
+	"testing"
+
+	"facilitymap/internal/alias"
+	"facilitymap/internal/bgp"
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/dnsnames"
+	"facilitymap/internal/ip2asn"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/platform"
+	"facilitymap/internal/registry"
+	"facilitymap/internal/remote"
+	"facilitymap/internal/trace"
+	"facilitymap/internal/world"
+)
+
+type fixture struct {
+	w   *world.World
+	res *cfs.Result
+	v   *Validator
+}
+
+var cached *fixture
+
+func fx(t *testing.T) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	w := world.Generate(world.Small())
+	rt := bgp.Compute(w)
+	engine := trace.New(w, rt, 23)
+	fleet := platform.Deploy(w, platform.DefaultDeploy())
+	svc := platform.NewService(w, fleet, engine, rt)
+	db := registry.Collect(w, registry.DefaultConfig())
+	ipasn := ip2asn.New(w)
+	det := remote.NewDetector(svc, db)
+	prober := alias.NewProber(w, 31)
+
+	var targets []netaddr.IP
+	for _, as := range w.ASes {
+		if as.Type == world.Content || as.Type == world.Tier1 {
+			targets = append(targets, w.Interfaces[w.Routers[as.Routers[0]].Core()].IP)
+		}
+	}
+	paths := svc.Campaign(platform.Kinds(), targets)
+	var wide []netaddr.IP
+	for _, as := range w.ASes {
+		wide = append(wide, w.Interfaces[w.Routers[as.Routers[0]].Core()].IP)
+	}
+	paths = append(paths, svc.Campaign([]platform.Kind{platform.IPlane, platform.Ark}, wide)...)
+
+	p := cfs.New(cfs.DefaultConfig(), db, ipasn, svc, det, prober)
+	res := p.Run(paths)
+
+	resolver := dnsnames.NewResolver(w, 13)
+	airports := make(map[string]string)
+	for _, m := range w.Metros {
+		airports[m.Name] = w.MetroAirport(m.ID)
+	}
+	var confirmed []string
+	var feedback []world.ASN
+	dicts := make(map[world.ASN]bgp.Dictionary)
+	for _, as := range w.ASes {
+		if as.DNSStyle == world.DNSFacility {
+			confirmed = append(confirmed, as.Name)
+		}
+		if as.Type == world.Content && len(feedback) < 2 {
+			feedback = append(feedback, as.ASN)
+		}
+		if d := bgp.BuildDictionary(w, as.ASN); d != nil {
+			dicts[as.ASN] = d
+		}
+	}
+	v := &Validator{
+		W:              w,
+		DB:             db,
+		Res:            resolver,
+		Dec:            dnsnames.NewDecoder(db, airports, confirmed),
+		Svc:            svc,
+		FeedbackASes:   feedback,
+		CommunityDicts: dicts,
+	}
+	cached = &fixture{w, res, v}
+	return cached
+}
+
+func TestValidateProducesCells(t *testing.T) {
+	f := fx(t)
+	rep := f.v.Validate(f.res)
+	if len(rep.Cells) == 0 {
+		t.Fatal("no validation cells produced")
+	}
+	bySource := make(map[Source]Count)
+	for cell, c := range rep.Cells {
+		got := bySource[cell.Source]
+		got.Correct += c.Correct
+		got.Total += c.Total
+		bySource[cell.Source] = got
+	}
+	for _, src := range Sources() {
+		t.Logf("%-16s %v (%.0f%%)", src, bySource[src], 100*bySource[src].Frac())
+	}
+	// At least three of the four sources must have coverage on a small
+	// world (community LGs can be sparse).
+	covered := 0
+	for _, c := range bySource {
+		if c.Total > 0 {
+			covered++
+		}
+	}
+	if covered < 3 {
+		t.Errorf("only %d validation sources have coverage", covered)
+	}
+	overall := rep.Overall()
+	if overall.Total == 0 {
+		t.Fatal("empty overall tally")
+	}
+	if overall.Frac() < 0.70 {
+		t.Errorf("overall validated accuracy %.2f too low", overall.Frac())
+	}
+	t.Logf("overall %v (%.0f%%), city-level %v, remote %v",
+		overall, 100*overall.Frac(), rep.CityLevel, rep.RemotePeering)
+}
+
+func TestCityLevelAtLeastFacilityLevel(t *testing.T) {
+	f := fx(t)
+	rep := f.v.Validate(f.res)
+	if rep.CityLevel.Total == 0 {
+		t.Skip("no direct feedback coverage")
+	}
+	var fb Count
+	for cell, c := range rep.Cells {
+		if cell.Source == DirectFeedback {
+			fb.Correct += c.Correct
+			fb.Total += c.Total
+		}
+	}
+	if rep.CityLevel.Frac() < fb.Frac() {
+		t.Errorf("city-level accuracy %.2f below facility-level %.2f",
+			rep.CityLevel.Frac(), fb.Frac())
+	}
+}
+
+func TestIXPWebsiteCellsAreAccurate(t *testing.T) {
+	f := fx(t)
+	rep := f.v.Validate(f.res)
+	var site Count
+	for cell, c := range rep.Cells {
+		if cell.Source == IXPWebsites {
+			site.Correct += c.Correct
+			site.Total += c.Total
+		}
+	}
+	if site.Total == 0 {
+		t.Skip("no IXP website coverage in small world")
+	}
+	// The paper reports its highest accuracy on this subset (99.1%)
+	// because the member lists are complete. The Small world's sparse
+	// proximity statistics keep dual-homed ports harder; the Figure 9
+	// harness reports the full-world number.
+	if site.Frac() < 0.70 {
+		t.Errorf("IXP-website validated accuracy %.2f too low", site.Frac())
+	}
+}
+
+func TestCountHelpers(t *testing.T) {
+	c := Count{Correct: 3, Total: 4}
+	if c.Frac() != 0.75 || c.String() != "3/4" {
+		t.Errorf("Count helpers wrong: %v %v", c.Frac(), c.String())
+	}
+	if (Count{}).Frac() != 0 {
+		t.Error("empty Count should have Frac 0")
+	}
+	for _, s := range Sources() {
+		if s.String() == "unknown" {
+			t.Errorf("source %d has no name", s)
+		}
+	}
+}

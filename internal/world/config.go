@@ -1,0 +1,98 @@
+package world
+
+// Config controls world generation. Profiles: Small (unit tests),
+// Default (examples, experiments), PaperScale (benchmarks approximating
+// the paper's dataset sizes).
+type Config struct {
+	Seed int64
+
+	// NumMetros caps how many embedded metros are instantiated (in
+	// weight order). 0 means all.
+	NumMetros int
+	// FacilityDensity scales facilities per metro: a metro of weight w
+	// gets about w*FacilityDensity facilities (at least one).
+	FacilityDensity float64
+	// NumIXPs is the approximate number of active IXPs.
+	NumIXPs int
+	// InactiveIXPs is the number of defunct IXPs that still appear in
+	// stale registry sources and must be filtered (§3.1.2).
+	InactiveIXPs int
+
+	// AS population by type.
+	NumTier1, NumTransit, NumContent, NumAccess, NumEnterprise int
+
+	// RemotePeerFrac is the probability that an IXP membership without a
+	// local facility presence connects remotely through a reseller
+	// instead of deploying into a partner facility (~20% at AMS-IX, §2).
+	RemotePeerFrac float64
+	// TetheringFrac is the probability that two members of a common IXP
+	// lacking a common facility establish a private VLAN over the fabric.
+	TetheringFrac float64
+}
+
+// Small returns a world small enough for fast unit tests.
+func Small() Config {
+	return Config{
+		Seed:            1,
+		NumMetros:       10,
+		FacilityDensity: 5,
+		NumIXPs:         8,
+		InactiveIXPs:    2,
+		NumTier1:        3,
+		NumTransit:      8,
+		NumContent:      3,
+		NumAccess:       20,
+		NumEnterprise:   8,
+		RemotePeerFrac:  0.25,
+		TetheringFrac:   0.15,
+	}
+}
+
+// Default returns the standard experiment world: a few hundred facilities,
+// ~60 IXPs and ~300 ASes.
+func Default() Config {
+	return Config{
+		Seed:            42,
+		NumMetros:       54, // the Figure 3 metros plus the first tail
+		FacilityDensity: 12,
+		NumIXPs:         55,
+		InactiveIXPs:    6,
+		NumTier1:        10,
+		NumTransit:      50,
+		NumContent:      12,
+		NumAccess:       150,
+		NumEnterprise:   80,
+		RemotePeerFrac:  0.20,
+		TetheringFrac:   0.12,
+	}
+}
+
+// PaperScale returns a configuration whose facility and IXP counts
+// approach the paper's dataset (1,694 facilities, 368 IXPs). Use for
+// benchmarks; generation takes a few seconds.
+func PaperScale() Config {
+	c := Default()
+	c.NumMetros = 0 // every embedded metro
+	c.FacilityDensity = 40
+	c.NumIXPs = 120
+	c.NumAccess = 400
+	c.NumTransit = 90
+	c.NumEnterprise = 200
+	return c
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumMetros <= 0 || c.NumMetros > MaxMetros {
+		c.NumMetros = MaxMetros
+	}
+	if c.FacilityDensity <= 0 {
+		c.FacilityDensity = 12
+	}
+	if c.NumIXPs <= 0 {
+		c.NumIXPs = 10
+	}
+	if c.NumTier1 <= 0 {
+		c.NumTier1 = 3
+	}
+	return c
+}

@@ -1,0 +1,315 @@
+package world
+
+import (
+	"sort"
+
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+)
+
+// ASN ranges per type keep generated numbers recognisable in output.
+const (
+	tier1BaseASN      = 100
+	transitBaseASN    = 2000
+	contentBaseASN    = 15000
+	accessBaseASN     = 30000
+	enterpriseBaseASN = 60000
+)
+
+func (b *builder) newAS(n ASN, name string, typ ASType, region geo.Region, prefixBits uint8) *AS {
+	parent, err := b.asPool.AllocPrefix(prefixBits)
+	if err != nil {
+		panic("world: AS address pool exhausted: " + err.Error())
+	}
+	as := &AS{
+		ASN:      n,
+		Name:     name,
+		Type:     typ,
+		Region:   region,
+		Prefixes: []netaddr.Prefix{parent},
+	}
+	// Real networks announce several more-specifics alongside the
+	// aggregate; the paper picks "one active IP per prefix" as targets,
+	// so the table shape matters. Same origin, so IP-to-ASN lookups are
+	// unaffected.
+	if parent.Bits <= 28 {
+		k := 1 + int(n%3)
+		for i := 0; i < k; i++ {
+			sub, err := parent.Subnet(parent.Bits+2, uint64(i))
+			if err == nil {
+				as.Prefixes = append(as.Prefixes, sub)
+			}
+		}
+	}
+	b.w.ASes = append(b.w.ASes, as)
+	b.asAlloc[n] = netaddr.NewAllocator(parent)
+	b.peersM[n] = make(map[ASN]bool)
+	b.providersM[n] = make(map[ASN]bool)
+	return as
+}
+
+// allocIP hands out an address from an AS's own space.
+func (b *builder) allocIP(as ASN) netaddr.IP {
+	ip, err := b.asAlloc[as].AllocIP()
+	if err != nil {
+		panic("world: AS space exhausted for " + as.String())
+	}
+	return ip
+}
+
+// allocP2P hands out a /30 from an AS's space, returning the two usable
+// host addresses.
+func (b *builder) allocP2P(as ASN) (a, z netaddr.IP) {
+	p, err := b.asAlloc[as].AllocPrefix(30)
+	if err != nil {
+		panic("world: AS space exhausted for " + as.String())
+	}
+	return p.Addr + 1, p.Addr + 2
+}
+
+func (b *builder) randIPID() IPIDBehavior {
+	x := b.rng.Float64()
+	switch {
+	case x < 0.80:
+		return IPIDSharedCounter
+	case x < 0.88:
+		return IPIDRandom
+	case x < 0.93:
+		return IPIDConstant
+	default:
+		return IPIDUnresponsive
+	}
+}
+
+// addRouter creates a router (with its core interface) for an AS, either
+// inside a facility or off-facility in a metro, reusing an existing router
+// at the same location.
+func (b *builder) addRouter(as *AS, fac FacilityID, metro geo.MetroID, ipid IPIDBehavior) RouterID {
+	key := routerKey{as.ASN, fac, metro}
+	if id, ok := b.routerAt[key]; ok {
+		return id
+	}
+	var coord geo.Coord
+	if fac != None {
+		coord = b.w.Facilities[fac].Coord
+		metro = b.w.Facilities[fac].Metro
+		key.met = metro
+		if id, ok := b.routerAt[key]; ok {
+			return id
+		}
+	} else {
+		coord = b.jitterCoord(b.w.Metros[metro].Center)
+	}
+	r := &Router{
+		ID:                   RouterID(len(b.w.Routers)),
+		AS:                   as.ASN,
+		Facility:             fac,
+		Metro:                metro,
+		Coord:                coord,
+		IPID:                 ipid,
+		RespondsToTraceroute: b.rng.Float64() > 0.02,
+	}
+	b.w.Routers = append(b.w.Routers, r)
+	as.Routers = append(as.Routers, r.ID)
+	b.routerAt[key] = r.ID
+	// Core interface.
+	b.addInterface(r, CoreIface, b.allocIP(as.ASN), None, None, None)
+	return r.ID
+}
+
+func (b *builder) addInterface(r *Router, kind InterfaceKind, ip netaddr.IP, ix IXPID, sw SwitchID, link LinkID) InterfaceID {
+	ifc := &Interface{
+		ID:     InterfaceID(len(b.w.Interfaces)),
+		IP:     ip,
+		Router: r.ID,
+		Kind:   kind,
+		IXP:    ix,
+		Switch: sw,
+		Link:   link,
+	}
+	b.w.Interfaces = append(b.w.Interfaces, ifc)
+	r.Interfaces = append(r.Interfaces, ifc.ID)
+	return ifc.ID
+}
+
+// joinFacility records AS presence at a facility (idempotent).
+func (b *builder) joinFacility(as *AS, f FacilityID) {
+	for _, g := range as.Facilities {
+		if g == f {
+			return
+		}
+	}
+	as.Facilities = append(as.Facilities, f)
+}
+
+func (b *builder) genASes() {
+	regions := []geo.Region{geo.NorthAmerica, geo.Europe, geo.Asia}
+	// Tier-1 transit providers: global footprint, private-peering heavy.
+	for i := 0; i < b.cfg.NumTier1; i++ {
+		as := b.newAS(ASN(tier1BaseASN+i), tier1Name(i), Tier1, regions[i%len(regions)], 14)
+		as.TagsCommunities = true
+		as.RunsLookingGlass = true
+		as.PublishesNOCPage = b.rng.Float64() < 0.9
+		as.DNSStyle = []DNSStyle{DNSFacility, DNSAirport, DNSCLLI}[i%3]
+		ipid := b.randIPID()
+		for mi, m := range b.w.Metros {
+			w := b.metroWeights[mi]
+			if w < 0.2 || b.rng.Float64() > 0.55+w*0.45 {
+				continue
+			}
+			facs := b.facsByMetro[m.ID]
+			n := 1
+			if w > 0.5 && len(facs) > 2 {
+				n = 1 + b.rng.Intn(2)
+			}
+			perm := b.rng.Perm(len(facs))
+			for j := 0; j < n && j < len(facs); j++ {
+				f := facs[perm[j]]
+				b.joinFacility(as, f)
+				b.addRouter(as, f, m.ID, ipid)
+			}
+		}
+		b.ensurePresence(as, ipid)
+	}
+	// Content / CDN networks: global, public-peering heavy; the first is
+	// styled after Google: no DNS, unresponsive to alias probes.
+	for i := 0; i < b.cfg.NumContent; i++ {
+		as := b.newAS(ASN(contentBaseASN+i*10), contentName(i), Content, regions[i%len(regions)], 15)
+		as.OpenPeering = true
+		as.PublishesNOCPage = b.rng.Float64() < 0.9
+		ipid := b.randIPID()
+		if i == 0 {
+			as.DNSStyle = DNSNone
+			ipid = IPIDUnresponsive
+		} else {
+			as.DNSStyle = []DNSStyle{DNSAirport, DNSNone, DNSFacility}[i%3]
+		}
+		for mi, m := range b.w.Metros {
+			w := b.metroWeights[mi]
+			if w < 0.28 || b.rng.Float64() > 0.5+w*0.5 {
+				continue
+			}
+			facs := b.ixpHeavyFacilities(m.ID)
+			if len(facs) == 0 {
+				continue
+			}
+			f := facs[b.rng.Intn(len(facs))]
+			b.joinFacility(as, f)
+			b.addRouter(as, f, m.ID, ipid)
+		}
+		b.ensurePresence(as, ipid)
+	}
+	// Regional transit providers.
+	for i := 0; i < b.cfg.NumTransit; i++ {
+		region := b.w.Metros[b.weightedMetro(-1)].Region
+		as := b.newAS(ASN(transitBaseASN+i*3), transitName(i), Transit, region, 17)
+		as.TagsCommunities = b.rng.Float64() < 0.7
+		as.RunsLookingGlass = b.rng.Float64() < 0.6
+		as.PublishesNOCPage = b.rng.Float64() < 0.65
+		as.DNSStyle = []DNSStyle{DNSAirport, DNSCLLI, DNSStale, DNSFacility, DNSNone}[b.rng.Intn(5)]
+		ipid := b.randIPID()
+		nMetros := 2 + b.rng.Intn(5)
+		for j := 0; j < nMetros; j++ {
+			m := b.weightedMetro(region)
+			facs := b.facsByMetro[m]
+			if len(facs) == 0 {
+				continue
+			}
+			f := facs[b.rng.Intn(len(facs))]
+			b.joinFacility(as, f)
+			b.addRouter(as, f, m, ipid)
+		}
+		if len(as.Facilities) == 0 {
+			// Guarantee at least one point of presence.
+			m := b.weightedMetro(-1)
+			f := b.facsByMetro[m][0]
+			b.joinFacility(as, f)
+			b.addRouter(as, f, m, ipid)
+		}
+	}
+	// Access / eyeball networks: national scope.
+	for i := 0; i < b.cfg.NumAccess; i++ {
+		home := b.weightedMetro(-1)
+		m := b.w.Metros[home]
+		as := b.newAS(ASN(accessBaseASN+i*2), accessName(m.Name, i), Access, m.Region, 19)
+		as.DNSStyle = []DNSStyle{DNSNone, DNSStale, DNSAirport}[b.rng.Intn(3)]
+		as.OpenPeering = b.rng.Float64() < 0.6
+		ipid := b.randIPID()
+		// Off-facility aggregation router in the home metro: hosts
+		// vantage points and enterprise customers.
+		b.addRouter(as, None, home, ipid)
+		if facs := b.facsByMetro[home]; len(facs) > 0 && b.rng.Float64() < 0.75 {
+			f := facs[b.rng.Intn(len(facs))]
+			b.joinFacility(as, f)
+			b.addRouter(as, f, home, ipid)
+			if len(facs) > 1 && b.rng.Float64() < 0.3 {
+				g := facs[b.rng.Intn(len(facs))]
+				if g != f {
+					b.joinFacility(as, g)
+					b.addRouter(as, g, home, ipid)
+				}
+			}
+		}
+	}
+	// Enterprise stubs: off-facility only.
+	for i := 0; i < b.cfg.NumEnterprise; i++ {
+		home := b.weightedMetro(-1)
+		as := b.newAS(ASN(enterpriseBaseASN+i), enterpriseName(i), Enterprise, b.w.Metros[home].Region, 21)
+		as.DNSStyle = DNSNone
+		b.addRouter(as, None, home, b.randIPID())
+	}
+	sort.Slice(b.w.ASes, func(i, j int) bool { return b.w.ASes[i].ASN < b.w.ASes[j].ASN })
+}
+
+// ensurePresence guarantees an AS has at least one facility and router.
+func (b *builder) ensurePresence(as *AS, ipid IPIDBehavior) {
+	if len(as.Routers) > 0 {
+		return
+	}
+	m := geo.MetroID(0)
+	f := b.facsByMetro[m][0]
+	b.joinFacility(as, f)
+	b.addRouter(as, f, m, ipid)
+}
+
+// ixpHeavyFacilities returns the facilities in a metro that host at least
+// one IXP access switch, falling back to all facilities.
+func (b *builder) ixpHeavyFacilities(m geo.MetroID) []FacilityID {
+	hosts := make(map[FacilityID]bool)
+	for _, ix := range b.w.IXPs {
+		if ix.Inactive || ix.Metro != m {
+			continue
+		}
+		for _, f := range ix.Facilities {
+			hosts[f] = true
+		}
+	}
+	var out []FacilityID
+	for _, f := range b.facsByMetro[m] {
+		if hosts[f] {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		return b.facsByMetro[m]
+	}
+	return out
+}
+
+func (b *builder) assignResellers() {
+	var transits []ASN
+	for _, as := range b.w.ASes {
+		if as.Type == Transit || as.Type == Tier1 {
+			transits = append(transits, as.ASN)
+		}
+	}
+	for _, ix := range b.w.IXPs {
+		if ix.Inactive || len(transits) == 0 {
+			continue
+		}
+		n := 1 + b.rng.Intn(2)
+		for i := 0; i < n; i++ {
+			ix.Resellers = append(ix.Resellers, transits[b.rng.Intn(len(transits))])
+		}
+	}
+}

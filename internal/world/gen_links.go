@@ -1,0 +1,730 @@
+package world
+
+import (
+	"sort"
+
+	"facilitymap/internal/netaddr"
+)
+
+// ixpAllocators hands out member addresses from each IXP's peering LAN.
+func (b *builder) ixpAlloc(ix *IXP) *netaddr.Allocator {
+	if b.ixpAllocs == nil {
+		b.ixpAllocs = make(map[IXPID]*netaddr.Allocator)
+	}
+	a, ok := b.ixpAllocs[ix.ID]
+	if !ok {
+		a = netaddr.NewAllocator(ix.Prefix)
+		a.AllocIP() // skip the network address
+		b.ixpAllocs[ix.ID] = a
+	}
+	return a
+}
+
+// addMembership connects an AS to an IXP, deciding between a local port
+// (in a common or newly-joined facility) and a remote port via reseller.
+func (b *builder) addMembership(as *AS, ix *IXP) *Membership {
+	mk := memberKey{as.ASN, ix.ID}
+	if b.memberDone[mk] {
+		return nil
+	}
+	b.memberDone[mk] = true
+
+	inIXP := make(map[FacilityID]bool, len(ix.Facilities))
+	for _, f := range ix.Facilities {
+		inIXP[f] = true
+	}
+	var common []FacilityID
+	for _, f := range as.Facilities {
+		if inIXP[f] {
+			common = append(common, f)
+		}
+	}
+
+	var rtr RouterID = None
+	var fac FacilityID = None
+	remote := false
+	var reseller ASN
+	switch {
+	case len(common) > 0:
+		// Prefer a facility where the AS already runs a router with an
+		// IXP port — that yields the multi-IXP routers the paper
+		// observes (11.9% of public-peering routers, §5) — and failing
+		// that, the cross-IXP building, so future joins coincide.
+		fac = common[0]
+		bestHosted := -1
+		for _, f := range common {
+			id, ok := b.routerAt[routerKey{as.ASN, f, b.w.Facilities[f].Metro}]
+			if ok && b.hasIXPPort(id) {
+				fac = f
+				bestHosted = 1 << 20
+				continue
+			}
+			n := b.ixpsHostedAt(f)
+			if n > bestHosted {
+				fac, bestHosted = f, n
+			}
+		}
+		rtr = b.addRouter(as, fac, b.w.Facilities[fac].Metro, b.asIPID(as))
+	case b.rng.Float64() < b.cfg.RemotePeerFrac && len(as.Routers) > 0 && len(ix.Resellers) > 0:
+		// Remote peering: reuse an existing router anywhere.
+		remote = true
+		rtr = as.Routers[0]
+		reseller = ix.Resellers[b.rng.Intn(len(ix.Resellers))]
+	default:
+		// Deploy into one of the IXP's partner facilities, preferring
+		// cross-IXP buildings: a router there can later peer over every
+		// colocated exchange with one chassis (the multi-IXP routers of
+		// §5, 11.9%).
+		fac = b.preferCrossIXPFacility(ix)
+		b.joinFacility(as, fac)
+		rtr = b.addRouter(as, fac, b.w.Facilities[fac].Metro, b.asIPID(as))
+	}
+
+	ip, err := b.ixpAlloc(ix).AllocIP()
+	if err != nil {
+		panic("world: IXP LAN exhausted for " + ix.Name)
+	}
+	var sw SwitchID
+	if remote {
+		// The reseller terminates the transport on one of its ports; the
+		// member lands on whatever access switch the reseller uses.
+		accs := b.accessSwitches(ix)
+		sw = accs[b.rng.Intn(len(accs))]
+	} else {
+		sw = b.accessSwitchAt(ix, fac)
+		if sw == None {
+			accs := b.accessSwitches(ix)
+			sw = accs[b.rng.Intn(len(accs))]
+		}
+	}
+	port := b.addInterface(b.w.Routers[rtr], IXPPort, ip, ix.ID, sw, None)
+	m := &Membership{
+		ID:           MembershipID(len(b.w.Memberships)),
+		AS:           as.ASN,
+		IXP:          ix.ID,
+		Router:       rtr,
+		Port:         port,
+		AccessSwitch: sw,
+		Remote:       remote,
+		Reseller:     reseller,
+	}
+	b.w.Memberships = append(b.w.Memberships, m)
+	// Redundant second port: some local members connect a second router
+	// at another facility of the same exchange (the AMS-IX dual-homing
+	// the §4.4 experiment relies on). Traffic from a peer lands on the
+	// fabric-proximate port.
+	if !remote && len(ix.Facilities) >= 2 && b.rng.Float64() < 0.20 {
+		b.addSecondPort(as, ix, fac)
+	}
+	return m
+}
+
+// addSecondPort joins the member at one more facility of the exchange.
+func (b *builder) addSecondPort(as *AS, ix *IXP, first FacilityID) {
+	var others []FacilityID
+	for _, f := range ix.Facilities {
+		if f != first {
+			others = append(others, f)
+		}
+	}
+	if len(others) == 0 {
+		return
+	}
+	fac := others[b.rng.Intn(len(others))]
+	b.joinFacility(as, fac)
+	rtr := b.addRouter(as, fac, b.w.Facilities[fac].Metro, b.asIPID(as))
+	// A router may hold only one port per IXP.
+	for _, i := range b.w.Routers[rtr].Interfaces {
+		ifc := b.w.Interfaces[i]
+		if ifc.Kind == IXPPort && ifc.IXP == ix.ID {
+			return
+		}
+	}
+	ip, err := b.ixpAlloc(ix).AllocIP()
+	if err != nil {
+		panic("world: IXP LAN exhausted for " + ix.Name)
+	}
+	sw := b.accessSwitchAt(ix, fac)
+	if sw == None {
+		return
+	}
+	port := b.addInterface(b.w.Routers[rtr], IXPPort, ip, ix.ID, sw, None)
+	b.w.Memberships = append(b.w.Memberships, &Membership{
+		ID:           MembershipID(len(b.w.Memberships)),
+		AS:           as.ASN,
+		IXP:          ix.ID,
+		Router:       rtr,
+		Port:         port,
+		AccessSwitch: sw,
+	})
+}
+
+// ixpsHostedAt counts active exchanges with an access switch at f.
+func (b *builder) ixpsHostedAt(f FacilityID) int {
+	n := 0
+	for _, ix := range b.w.IXPs {
+		if ix.Inactive {
+			continue
+		}
+		for _, g := range ix.Facilities {
+			if g == f {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// preferCrossIXPFacility picks the partner facility hosting the most
+// other exchanges (ties broken randomly among the best).
+func (b *builder) preferCrossIXPFacility(ix *IXP) FacilityID {
+	hosts := make(map[FacilityID]int)
+	for _, other := range b.w.IXPs {
+		if other.Inactive || other.ID == ix.ID {
+			continue
+		}
+		for _, f := range other.Facilities {
+			hosts[f]++
+		}
+	}
+	best := -1
+	var top []FacilityID
+	for _, f := range ix.Facilities {
+		n := hosts[f]
+		switch {
+		case n > best:
+			best = n
+			top = []FacilityID{f}
+		case n == best:
+			top = append(top, f)
+		}
+	}
+	return top[b.rng.Intn(len(top))]
+}
+
+func (b *builder) accessSwitches(ix *IXP) []SwitchID {
+	var out []SwitchID
+	for _, sid := range ix.Switches {
+		if b.w.Switches[sid].Role == AccessSwitch {
+			out = append(out, sid)
+		}
+	}
+	return out
+}
+
+func (b *builder) hasIXPPort(r RouterID) bool {
+	for _, i := range b.w.Routers[r].Interfaces {
+		if b.w.Interfaces[i].Kind == IXPPort {
+			return true
+		}
+	}
+	return false
+}
+
+// asIPID returns the IP-ID behaviour for new routers of an AS, keeping it
+// consistent with the AS's existing routers.
+func (b *builder) asIPID(as *AS) IPIDBehavior {
+	if len(as.Routers) > 0 {
+		return b.w.Routers[as.Routers[0]].IPID
+	}
+	return b.randIPID()
+}
+
+func (b *builder) genMemberships() {
+	active := b.w.ActiveIXPs()
+	if len(active) == 0 {
+		return
+	}
+	// Rank IXPs by facility spread (proxy for size).
+	bigFirst := append([]*IXP(nil), active...)
+	sort.Slice(bigFirst, func(i, j int) bool {
+		if len(bigFirst[i].Facilities) != len(bigFirst[j].Facilities) {
+			return len(bigFirst[i].Facilities) > len(bigFirst[j].Facilities)
+		}
+		return bigFirst[i].ID < bigFirst[j].ID
+	})
+	byMetroIXPs := make(map[int][]*IXP)
+	for _, ix := range active {
+		byMetroIXPs[int(ix.Metro)] = append(byMetroIXPs[int(ix.Metro)], ix)
+	}
+
+	for _, as := range b.w.ASes {
+		switch as.Type {
+		case Content:
+			k := 12 + b.rng.Intn(10)
+			if k > len(bigFirst) {
+				k = len(bigFirst)
+			}
+			for i := 0; i < k; i++ {
+				b.addMembership(as, bigFirst[i])
+			}
+		case Tier1:
+			k := 1 + b.rng.Intn(3)
+			top := len(bigFirst)
+			if top > 12 {
+				top = 12
+			}
+			for i := 0; i < k; i++ {
+				b.addMembership(as, bigFirst[b.rng.Intn(top)])
+			}
+		case Transit:
+			var regional []*IXP
+			for _, ix := range active {
+				if b.w.Metros[ix.Metro].Region == as.Region {
+					regional = append(regional, ix)
+				}
+			}
+			if len(regional) == 0 {
+				regional = active
+			}
+			k := 2 + b.rng.Intn(4)
+			for i := 0; i < k; i++ {
+				b.addMembership(as, regional[b.rng.Intn(len(regional))])
+			}
+		case Access:
+			home := b.w.Routers[as.Routers[0]].Metro
+			local := byMetroIXPs[int(home)]
+			k := 1 + b.rng.Intn(3)
+			for i := 0; i < k; i++ {
+				if i < len(local) {
+					b.addMembership(as, local[i])
+					continue
+				}
+				// No local exchange left: join a big one elsewhere
+				// (candidate for remote peering).
+				b.addMembership(as, bigFirst[b.rng.Intn(len(bigFirst))])
+			}
+		case Enterprise:
+			// Stubs do not peer publicly.
+		}
+	}
+}
+
+// pairProb is the probability that two co-located IXP members establish a
+// bilateral session, by AS-type pair.
+func pairProb(a, b ASType) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == Content && b == Access:
+		return 0.85
+	case a == Content && b == Transit:
+		return 0.60
+	case a == Content && b == Content:
+		return 0.40
+	case a == Tier1 && b == Content:
+		return 0.10
+	case a == Transit && b == Access:
+		return 0.50
+	case a == Transit && b == Transit:
+		return 0.35
+	case a == Access && b == Access:
+		return 0.25
+	case a == Tier1:
+		return 0.06
+	default:
+		return 0.2
+	}
+}
+
+func (b *builder) genPublicPeering() {
+	for _, ix := range b.w.IXPs {
+		if ix.Inactive {
+			continue
+		}
+		// Group ports by member: a dual-homed member brings every port
+		// into the session, so redundant links exist and traffic picks
+		// the fabric-proximate one.
+		byAS := make(map[ASN][]*Membership)
+		var order []ASN
+		for _, m := range b.w.Memberships {
+			if m.IXP == ix.ID {
+				if _, seen := byAS[m.AS]; !seen {
+					order = append(order, m.AS)
+				}
+				byAS[m.AS] = append(byAS[m.AS], m)
+			}
+		}
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				asA, asB := b.w.byASNOrNil(order[i]), b.w.byASNOrNil(order[j])
+				multilateral := false
+				establish := false
+				if ix.RouteServer && asA.OpenPeering && asB.OpenPeering {
+					if b.rng.Float64() < 0.9 {
+						establish, multilateral = true, true
+					}
+				} else if b.rng.Float64() < pairProb(asA.Type, asB.Type) {
+					establish = true
+				}
+				if !establish {
+					continue
+				}
+				for _, ma := range byAS[order[i]] {
+					for _, mb := range byAS[order[j]] {
+						b.addLink(&Link{
+							Kind:         PublicPeering,
+							Rel:          PeerToPeer,
+							A:            ma.Router,
+							B:            mb.Router,
+							AIface:       ma.Port,
+							BIface:       mb.Port,
+							IXP:          ix.ID,
+							Multilateral: multilateral,
+						})
+					}
+				}
+				b.setPeers(order[i], order[j])
+			}
+		}
+	}
+}
+
+// byASNOrNil is a pre-index lookup (buildIndexes runs only at the end).
+func (w *World) byASNOrNil(n ASN) *AS {
+	if w.byASN != nil {
+		return w.byASN[n]
+	}
+	for _, as := range w.ASes {
+		if as.ASN == n {
+			return as
+		}
+	}
+	return nil
+}
+
+func (b *builder) addLink(l *Link) *Link {
+	a, z := l.A, l.B
+	if a > z {
+		a, z = z, a
+	}
+	key := linkKey{a, z, l.Kind}
+	if b.linkSeen[key] {
+		return nil
+	}
+	b.linkSeen[key] = true
+	l.ID = LinkID(len(b.w.Links))
+	b.w.Links = append(b.w.Links, l)
+	// Back-fill the Link reference on private-side interfaces.
+	if l.Kind != PublicPeering {
+		b.w.Interfaces[l.AIface].Link = l.ID
+		b.w.Interfaces[l.BIface].Link = l.ID
+	}
+	return l
+}
+
+func (b *builder) setPeers(x, y ASN) {
+	if b.providersM[x][y] || b.providersM[y][x] {
+		return // transit relationship dominates
+	}
+	b.peersM[x][y] = true
+	b.peersM[y][x] = true
+}
+
+func (b *builder) setProvider(cust, prov ASN) {
+	delete(b.peersM[cust], prov)
+	delete(b.peersM[prov], cust)
+	b.providersM[cust][prov] = true
+}
+
+// privateInterconnect links two ASes privately. For c2p, a is the
+// customer. Returns true if at least one link was created.
+func (b *builder) privateInterconnect(a, z *AS, rel Relationship, maxMetros int) bool {
+	made := 0
+	usedMetro := make(map[int]bool)
+	// Exact common facilities first.
+	for _, f := range b.commonFacilities(a, z) {
+		metro := int(b.w.Facilities[f].Metro)
+		if usedMetro[metro] || made >= maxMetros {
+			continue
+		}
+		usedMetro[metro] = true
+		b.crossConnect(a, z, rel, f, f)
+		made++
+	}
+	if made > 0 {
+		return true
+	}
+	// Sister-facility cross-connects: same operator group, same metro.
+	for _, fa := range a.Facilities {
+		if made >= maxMetros {
+			break
+		}
+		for _, fz := range z.Facilities {
+			if fa != fz && b.w.SameSisterGroup(fa, fz) && !usedMetro[int(b.w.Facilities[fa].Metro)] {
+				usedMetro[int(b.w.Facilities[fa].Metro)] = true
+				b.crossConnect(a, z, rel, fa, fz)
+				made++
+				break
+			}
+		}
+	}
+	if made > 0 {
+		return true
+	}
+	// Tethering across a shared IXP.
+	if ix := b.sharedIXP(a, z); ix != nil && b.rng.Float64() < b.cfg.TetheringFrac {
+		b.tether(a, z, rel, ix)
+		return true
+	}
+	// Long-haul private interconnect as last resort.
+	if len(a.Routers) == 0 || len(z.Routers) == 0 {
+		return false
+	}
+	ra := a.Routers[b.rng.Intn(len(a.Routers))]
+	rz := z.Routers[b.rng.Intn(len(z.Routers))]
+	b.privateLink(a, z, rel, ra, rz, LongHaulPrivate, None)
+	return true
+}
+
+func (b *builder) commonFacilities(a, z *AS) []FacilityID {
+	set := make(map[FacilityID]bool, len(a.Facilities))
+	for _, f := range a.Facilities {
+		set[f] = true
+	}
+	var out []FacilityID
+	for _, f := range z.Facilities {
+		if set[f] {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (b *builder) sharedIXP(a, z *AS) *IXP {
+	mine := make(map[IXPID]bool)
+	for mk := range b.memberDone {
+		if mk.as == a.ASN {
+			mine[mk.ix] = true
+		}
+	}
+	// Deterministic choice: the lowest-numbered shared exchange.
+	best := IXPID(None)
+	for mk := range b.memberDone {
+		if mk.as == z.ASN && mine[mk.ix] {
+			if best == IXPID(None) || mk.ix < best {
+				best = mk.ix
+			}
+		}
+	}
+	if best == IXPID(None) {
+		return nil
+	}
+	return b.w.IXPs[best]
+}
+
+func (b *builder) crossConnect(a, z *AS, rel Relationship, fa, fz FacilityID) {
+	ra := b.addRouter(a, fa, b.w.Facilities[fa].Metro, b.asIPID(a))
+	rz := b.addRouter(z, fz, b.w.Facilities[fz].Metro, b.asIPID(z))
+	b.privateLink(a, z, rel, ra, rz, CrossConnect, None)
+}
+
+func (b *builder) tether(a, z *AS, rel Relationship, ix *IXP) {
+	// The VLAN terminates on the routers holding the IXP ports.
+	var ra, rz RouterID = None, None
+	for _, m := range b.w.Memberships {
+		if m.IXP == ix.ID && m.AS == a.ASN {
+			ra = m.Router
+		}
+		if m.IXP == ix.ID && m.AS == z.ASN {
+			rz = m.Router
+		}
+	}
+	if ra == None || rz == None {
+		return
+	}
+	b.privateLink(a, z, rel, ra, rz, Tethering, ix.ID)
+}
+
+// privateLink creates a /30-numbered private link of the given kind.
+// Following operational practice, the provider numbers c2p links and the
+// larger network numbers peer links — which means the *other* side's
+// interface is misattributed by longest-prefix IP-to-ASN mapping, the
+// systematic error alias resolution must repair (§4.1).
+func (b *builder) privateLink(a, z *AS, rel Relationship, ra, rz RouterID, kind LinkKind, ix IXPID) {
+	owner := a
+	switch {
+	case rel == CustomerToProvider:
+		owner = z
+	case typeRank(z.Type) > typeRank(a.Type):
+		owner = z
+	case typeRank(z.Type) == typeRank(a.Type) && b.rng.Float64() < 0.5:
+		owner = z
+	}
+	ipA, ipZ := b.allocP2P(owner.ASN)
+	ifa := b.addInterface(b.w.Routers[ra], PrivateSide, ipA, ix, None, None)
+	ifz := b.addInterface(b.w.Routers[rz], PrivateSide, ipZ, ix, None, None)
+	l := b.addLink(&Link{
+		Kind:   kind,
+		Rel:    rel,
+		A:      ra,
+		B:      rz,
+		AIface: ifa,
+		BIface: ifz,
+		IXP:    ix,
+	})
+	if l == nil {
+		return
+	}
+	if rel == CustomerToProvider {
+		b.setProvider(a.ASN, z.ASN)
+	} else {
+		b.setPeers(a.ASN, z.ASN)
+	}
+}
+
+// typeRank orders AS types by how likely they are to number a shared
+// point-to-point subnet (bigger networks run the numbering).
+func typeRank(t ASType) int {
+	switch t {
+	case Tier1:
+		return 4
+	case Transit:
+		return 3
+	case Content:
+		return 2
+	case Access:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (b *builder) genPrivateLinks() {
+	byType := make(map[ASType][]*AS)
+	for _, as := range b.w.ASes {
+		byType[as.Type] = append(byType[as.Type], as)
+	}
+	tier1s := byType[Tier1]
+	transits := byType[Transit]
+
+	// Tier-1 full mesh of settlement-free peers, interconnected privately
+	// in up to three metros.
+	for i := 0; i < len(tier1s); i++ {
+		for j := i + 1; j < len(tier1s); j++ {
+			b.privateInterconnect(tier1s[i], tier1s[j], PeerToPeer, 3)
+		}
+	}
+	// Transit providers buy from 2-3 Tier-1s.
+	for _, t := range transits {
+		perm := b.rng.Perm(len(tier1s))
+		n := 2 + b.rng.Intn(2)
+		for i := 0; i < n && i < len(perm); i++ {
+			b.privateInterconnect(t, tier1s[perm[i]], CustomerToProvider, 2)
+		}
+	}
+	// Same-region transit providers sometimes peer privately.
+	for i := 0; i < len(transits); i++ {
+		for j := i + 1; j < len(transits); j++ {
+			if transits[i].Region == transits[j].Region && b.rng.Float64() < 0.25 {
+				if len(b.commonFacilities(transits[i], transits[j])) > 0 {
+					b.privateInterconnect(transits[i], transits[j], PeerToPeer, 1)
+				}
+			}
+		}
+	}
+	// Content networks buy transit from 1-2 Tier-1s and cross-connect
+	// with large eyeballs where co-located.
+	for _, c := range byType[Content] {
+		perm := b.rng.Perm(len(tier1s))
+		n := 1 + b.rng.Intn(2)
+		for i := 0; i < n && i < len(perm); i++ {
+			b.privateInterconnect(c, tier1s[perm[i]], CustomerToProvider, 2)
+		}
+		for _, e := range byType[Access] {
+			// CDNs prefer the public fabric; PNIs are reserved for the
+			// largest eyeballs (§5: content traffic is public-heavy).
+			if len(b.commonFacilities(c, e)) > 0 && b.rng.Float64() < 0.15 {
+				b.privateInterconnect(c, e, PeerToPeer, 1)
+			}
+		}
+	}
+	// Access networks buy from 1-3 transit providers (same region
+	// preferred), occasionally directly from a Tier-1.
+	for _, e := range byType[Access] {
+		var regional []*AS
+		for _, t := range transits {
+			if t.Region == e.Region {
+				regional = append(regional, t)
+			}
+		}
+		if len(regional) == 0 {
+			regional = transits
+		}
+		n := 1 + b.rng.Intn(3)
+		perm := b.rng.Perm(len(regional))
+		for i := 0; i < n && i < len(perm); i++ {
+			b.privateInterconnect(e, regional[perm[i]], CustomerToProvider, 1)
+		}
+		if len(tier1s) > 0 && b.rng.Float64() < 0.25 {
+			b.privateInterconnect(e, tier1s[b.rng.Intn(len(tier1s))], CustomerToProvider, 1)
+		}
+	}
+	// Tethering: members of a common IXP with no common facility turn an
+	// existing or would-be peering into a private VLAN over the fabric
+	// (§2, "Private Interconnects over IXP").
+	for _, c := range append(append([]*AS(nil), byType[Content]...), transits...) {
+		for _, e := range byType[Access] {
+			if b.rng.Float64() >= b.cfg.TetheringFrac {
+				continue
+			}
+			if len(b.commonFacilities(c, e)) > 0 {
+				continue
+			}
+			if ix := b.sharedIXP(c, e); ix != nil {
+				b.tether(c, e, PeerToPeer, ix)
+			}
+		}
+	}
+	// Enterprise stubs hang off one access or transit provider via a
+	// long-haul private link (no facility presence at all).
+	candidates := append(append([]*AS(nil), byType[Access]...), transits...)
+	for _, s := range byType[Enterprise] {
+		if len(candidates) == 0 {
+			break
+		}
+		// Prefer a provider in the same region.
+		var sameRegion []*AS
+		for _, c := range candidates {
+			if c.Region == s.Region {
+				sameRegion = append(sameRegion, c)
+			}
+		}
+		pool := sameRegion
+		if len(pool) == 0 {
+			pool = candidates
+		}
+		p := pool[b.rng.Intn(len(pool))]
+		ra := s.Routers[0]
+		rz := p.Routers[b.rng.Intn(len(p.Routers))]
+		b.privateLink(s, p, CustomerToProvider, ra, rz, LongHaulPrivate, None)
+	}
+}
+
+func (b *builder) finishRelationships() {
+	for _, as := range b.w.ASes {
+		var providers, customers, peers []ASN
+		for p := range b.providersM[as.ASN] {
+			providers = append(providers, p)
+		}
+		for _, other := range b.w.ASes {
+			if b.providersM[other.ASN][as.ASN] {
+				customers = append(customers, other.ASN)
+			}
+		}
+		for p := range b.peersM[as.ASN] {
+			peers = append(peers, p)
+		}
+		sortASNs(providers)
+		sortASNs(customers)
+		sortASNs(peers)
+		as.Providers, as.Customers, as.Peers = providers, customers, peers
+	}
+}
+
+func sortASNs(s []ASN) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

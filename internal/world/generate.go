@@ -1,0 +1,365 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+)
+
+// Generate builds a deterministic ground-truth world from the config.
+func Generate(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	b := &builder{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		w: &World{
+			airports: make(map[geo.MetroID]string),
+		},
+		ixpPool:     netaddr.NewAllocator(netaddr.MustParsePrefix("195.0.0.0/8")),
+		asPool:      netaddr.NewAllocator(netaddr.MustParsePrefix("20.0.0.0/7")),
+		asAlloc:     make(map[ASN]*netaddr.Allocator),
+		facsByMetro: make(map[geo.MetroID][]FacilityID),
+		routerAt:    make(map[routerKey]RouterID),
+		linkSeen:    make(map[linkKey]bool),
+		memberDone:  make(map[memberKey]bool),
+		peersM:      make(map[ASN]map[ASN]bool),
+		providersM:  make(map[ASN]map[ASN]bool),
+	}
+	b.genMetros()
+	b.genFacilities()
+	b.genIXPs()
+	b.genASes()
+	b.assignResellers()
+	b.genMemberships()
+	b.genPublicPeering()
+	b.genPrivateLinks()
+	b.finishRelationships()
+	b.w.buildIndexes()
+	return b.w
+}
+
+type routerKey struct {
+	as  ASN
+	fac FacilityID // None for off-facility PoP routers (keyed by metro)
+	met geo.MetroID
+}
+
+type linkKey struct {
+	a, b RouterID
+	kind LinkKind
+}
+
+type memberKey struct {
+	as ASN
+	ix IXPID
+}
+
+type builder struct {
+	cfg Config
+	rng *rand.Rand
+	w   *World
+
+	ixpPool   *netaddr.Allocator
+	asPool    *netaddr.Allocator
+	asAlloc   map[ASN]*netaddr.Allocator
+	ixpAllocs map[IXPID]*netaddr.Allocator
+
+	facsByMetro map[geo.MetroID][]FacilityID
+	routerAt    map[routerKey]RouterID
+	linkSeen    map[linkKey]bool
+	memberDone  map[memberKey]bool
+	peersM      map[ASN]map[ASN]bool // symmetric peer relationships
+	providersM  map[ASN]map[ASN]bool // providersM[cust][prov]
+
+	metroWeights []float64
+}
+
+func (b *builder) genMetros() {
+	n := b.cfg.NumMetros
+	for i := 0; i < n; i++ {
+		s := metroSeeds[i]
+		m := &geo.Metro{
+			ID:      geo.MetroID(i),
+			Name:    s.name,
+			Country: s.country,
+			Region:  s.region,
+			Center:  geo.Coord{Lat: s.lat, Lon: s.lon},
+			Aliases: s.aliases,
+		}
+		b.w.Metros = append(b.w.Metros, m)
+		b.w.airports[m.ID] = s.airport
+		b.metroWeights = append(b.metroWeights, s.weight)
+	}
+}
+
+// weightedMetro picks a metro index proportional to infrastructure weight,
+// optionally restricted to one region (pass -1 for any).
+func (b *builder) weightedMetro(region geo.Region) geo.MetroID {
+	total := 0.0
+	for i, w := range b.metroWeights {
+		if region >= 0 && b.w.Metros[i].Region != region {
+			continue
+		}
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	x := b.rng.Float64() * total
+	for i, w := range b.metroWeights {
+		if region >= 0 && b.w.Metros[i].Region != region {
+			continue
+		}
+		x -= w
+		if x <= 0 {
+			return geo.MetroID(i)
+		}
+	}
+	return geo.MetroID(len(b.metroWeights) - 1)
+}
+
+// jitterCoord displaces a metro-centre coordinate by up to ~5km so that
+// facilities in one metro do not coincide exactly.
+func (b *builder) jitterCoord(c geo.Coord) geo.Coord {
+	out := geo.Coord{
+		Lat: c.Lat + (b.rng.Float64()-0.5)*0.09,
+		Lon: c.Lon + (b.rng.Float64()-0.5)*0.09,
+	}
+	if out.Lat > 90 {
+		out.Lat = 90
+	}
+	if out.Lat < -90 {
+		out.Lat = -90
+	}
+	return out
+}
+
+func (b *builder) genFacilities() {
+	sisterGroup := 0
+	for mi, m := range b.w.Metros {
+		weight := b.metroWeights[mi]
+		n := int(weight*b.cfg.FacilityDensity + 0.5)
+		// Mild jitter so same-weight metros differ.
+		if n > 2 {
+			n += b.rng.Intn(3) - 1
+		}
+		if n < 1 {
+			n = 1
+		}
+		// Per-operator counters within this metro for sister groups.
+		opCount := make(map[string][]FacilityID)
+		for i := 0; i < n; i++ {
+			op := colocationOperators[b.rng.Intn(len(colocationOperators))]
+			cityName := m.Name
+			if len(m.Aliases) > 0 && b.rng.Float64() < 0.3 {
+				cityName = m.Aliases[b.rng.Intn(len(m.Aliases))]
+			}
+			f := &Facility{
+				ID:             FacilityID(len(b.w.Facilities)),
+				Name:           fmt.Sprintf("%s %s %d", op, m.Name, len(opCount[op])+1),
+				Operator:       op,
+				Metro:          m.ID,
+				Coord:          b.jitterCoord(m.Center),
+				CityName:       cityName,
+				CarrierNeutral: b.rng.Float64() < 0.9,
+			}
+			b.w.Facilities = append(b.w.Facilities, f)
+			b.facsByMetro[m.ID] = append(b.facsByMetro[m.ID], f.ID)
+			opCount[op] = append(opCount[op], f.ID)
+		}
+		// Same-operator facilities in a metro are interconnected sisters.
+		for _, ids := range opCount {
+			if len(ids) > 1 {
+				sisterGroup++
+				for _, id := range ids {
+					b.w.Facilities[id].SisterGroup = sisterGroup
+				}
+			}
+		}
+	}
+}
+
+func (b *builder) genIXPs() {
+	type slot struct {
+		metro geo.MetroID
+		rank  int // 0 = the metro's main exchange
+	}
+	var slots []slot
+	seen := make(map[geo.MetroID]int)
+	// Big metros host their flagship exchange first, then extra exchanges
+	// are spread by weight.
+	order := make([]int, len(b.w.Metros))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return b.metroWeights[order[i]] > b.metroWeights[order[j]]
+	})
+	// Flagship exchanges go to the heaviest markets (about 60% of the
+	// budget); the rest concentrate in big hubs — London, Frankfurt and
+	// Amsterdam host several exchanges each, smaller markets none. The
+	// cubed weights steer extras to the top metros, giving the cross-IXP
+	// facilities behind §5's multi-IXP routers.
+	flagships := b.cfg.NumIXPs * 3 / 5
+	if flagships > len(order) {
+		flagships = len(order)
+	}
+	for len(slots) < flagships {
+		m := geo.MetroID(order[len(slots)])
+		slots = append(slots, slot{m, seen[m]})
+		seen[m]++
+	}
+	cubed := make([]float64, len(b.metroWeights))
+	total := 0.0
+	for i, w := range b.metroWeights {
+		cubed[i] = w * w * w
+		total += cubed[i]
+	}
+	for len(slots) < b.cfg.NumIXPs {
+		x := b.rng.Float64() * total
+		m := geo.MetroID(len(cubed) - 1)
+		for i, w := range cubed {
+			x -= w
+			if x <= 0 {
+				m = geo.MetroID(i)
+				break
+			}
+		}
+		slots = append(slots, slot{m, seen[m]})
+		seen[m]++
+	}
+	for i, s := range slots {
+		b.addIXP(s.metro, s.rank, false)
+		_ = i
+	}
+	for i := 0; i < b.cfg.InactiveIXPs; i++ {
+		b.addIXP(b.weightedMetro(-1), 100+i, true)
+	}
+}
+
+func (b *builder) addIXP(metro geo.MetroID, rank int, inactive bool) {
+	name := fmt.Sprintf("%s-IX", b.w.airports[metro])
+	if rank > 0 {
+		name = fmt.Sprintf("%s-IX%d", b.w.airports[metro], rank+1)
+	}
+	prefix, err := b.ixpPool.AllocPrefix(22)
+	if err != nil {
+		panic("world: IXP address pool exhausted: " + err.Error())
+	}
+	ix := &IXP{
+		ID:          IXPID(len(b.w.IXPs)),
+		Name:        name,
+		Operator:    name + " Operator",
+		Metro:       metro,
+		Prefix:      prefix,
+		RouteServer: b.rng.Float64() < 0.85,
+		Inactive:    inactive,
+	}
+	// Pick the facility spread. Flagship exchanges in heavy metros span
+	// many facilities (DE-CIX Frankfurt spans 18, §3.1.2).
+	metroFacs := b.facsByMetro[metro]
+	spread := 1
+	if !inactive {
+		w := b.metroWeights[metro]
+		maxSpread := len(metroFacs)
+		want := 1 + b.rng.Intn(2)
+		if rank == 0 {
+			want = 1 + int(w*float64(b.cfg.FacilityDensity)*0.8)
+		}
+		if want > maxSpread {
+			want = maxSpread
+		}
+		spread = want
+		if spread < 1 {
+			spread = 1
+		}
+	}
+	// Secondary exchanges in a metro colocate with the facilities the
+	// flagship already serves (carrier hotels host several IXPs), which
+	// is what lets one router reach multiple exchanges (§5: 11.9% of
+	// public-peering routers).
+	hosted := make(map[FacilityID]int)
+	var hub FacilityID = FacilityID(None)
+	for _, other := range b.w.IXPs {
+		for _, f := range other.Facilities {
+			hosted[f]++
+		}
+		// The metro's carrier hotel: the building with the flagship
+		// exchange's core switch. Later exchanges in the metro anchor
+		// there too (Telehouse-style), creating the cross-IXP
+		// facilities behind §5's multi-IXP routers.
+		if other.Metro == metro && len(other.Facilities) > 0 && hub == FacilityID(None) {
+			hub = other.Facilities[0]
+		}
+	}
+	order := append([]FacilityID(nil), metroFacs...)
+	perm := b.rng.Perm(len(order))
+	for i, j := range perm {
+		order[i] = metroFacs[j]
+	}
+	if rank > 0 {
+		sort.SliceStable(order, func(i, j int) bool {
+			hi, hj := hosted[order[i]], hosted[order[j]]
+			if (order[i] == hub) != (order[j] == hub) {
+				return order[i] == hub
+			}
+			return hi > hj
+		})
+	}
+	for i := 0; i < spread; i++ {
+		ix.Facilities = append(ix.Facilities, order[i])
+	}
+	sort.Slice(ix.Facilities, func(i, j int) bool { return ix.Facilities[i] < ix.Facilities[j] })
+
+	// Switch fabric: core in the first facility; every facility gets an
+	// access switch; with ≥5 facilities, access switches cluster under
+	// backhaul switches (Figure 6 topology).
+	addSwitch := func(role SwitchRole, fac FacilityID, parent SwitchID) SwitchID {
+		s := &Switch{
+			ID:       SwitchID(len(b.w.Switches)),
+			IXP:      ix.ID,
+			Role:     role,
+			Facility: fac,
+			Parent:   parent,
+		}
+		b.w.Switches = append(b.w.Switches, s)
+		ix.Switches = append(ix.Switches, s.ID)
+		return s.ID
+	}
+	core := addSwitch(CoreSwitch, ix.Facilities[0], None)
+	ix.Core = core
+	if len(ix.Facilities) >= 5 {
+		// Cluster facilities into backhaul groups of 2..4.
+		i := 0
+		for i < len(ix.Facilities) {
+			size := 2 + b.rng.Intn(3)
+			if i+size > len(ix.Facilities) {
+				size = len(ix.Facilities) - i
+			}
+			bh := addSwitch(BackhaulSwitch, ix.Facilities[i], core)
+			for j := i; j < i+size; j++ {
+				addSwitch(AccessSwitch, ix.Facilities[j], bh)
+			}
+			i += size
+		}
+	} else {
+		for _, f := range ix.Facilities {
+			addSwitch(AccessSwitch, f, core)
+		}
+	}
+	b.w.IXPs = append(b.w.IXPs, ix)
+}
+
+// accessSwitchAt returns the IXP's access switch in a facility, or None.
+func (b *builder) accessSwitchAt(ix *IXP, fac FacilityID) SwitchID {
+	for _, sid := range ix.Switches {
+		s := b.w.Switches[sid]
+		if s.Role == AccessSwitch && s.Facility == fac {
+			return sid
+		}
+	}
+	return None
+}

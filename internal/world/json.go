@@ -1,0 +1,403 @@
+package world
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+)
+
+// JSON interchange format for whole worlds: cmd/worldgen emits it, and
+// DecodeJSON loads it back, so custom topologies can be authored or
+// post-processed outside the generator and fed to the full pipeline.
+
+// MetroJSON mirrors geo.Metro.
+type MetroJSON struct {
+	ID      int      `json:"id"`
+	Name    string   `json:"name"`
+	Country string   `json:"country"`
+	Region  int      `json:"region"`
+	Lat     float64  `json:"lat"`
+	Lon     float64  `json:"lon"`
+	Aliases []string `json:"aliases,omitempty"`
+	Airport string   `json:"airport,omitempty"`
+}
+
+// FacilityJSON mirrors Facility.
+type FacilityJSON struct {
+	ID             int     `json:"id"`
+	Name           string  `json:"name"`
+	Operator       string  `json:"operator"`
+	Metro          int     `json:"metro"`
+	Lat            float64 `json:"lat"`
+	Lon            float64 `json:"lon"`
+	City           string  `json:"city"`
+	CarrierNeutral bool    `json:"carrier_neutral"`
+	SisterGroup    int     `json:"sister_group,omitempty"`
+}
+
+// SwitchJSON mirrors Switch.
+type SwitchJSON struct {
+	ID       int `json:"id"`
+	IXP      int `json:"ixp"`
+	Role     int `json:"role"`
+	Facility int `json:"facility"`
+	Parent   int `json:"parent"`
+}
+
+// IXPJSON mirrors IXP.
+type IXPJSON struct {
+	ID          int      `json:"id"`
+	Name        string   `json:"name"`
+	Operator    string   `json:"operator"`
+	Metro       int      `json:"metro"`
+	Prefix      string   `json:"prefix"`
+	Facilities  []int    `json:"facilities"`
+	Switches    []int    `json:"switches"`
+	Core        int      `json:"core"`
+	RouteServer bool     `json:"route_server"`
+	Resellers   []uint32 `json:"resellers,omitempty"`
+	Inactive    bool     `json:"inactive,omitempty"`
+}
+
+// ASJSON mirrors AS.
+type ASJSON struct {
+	ASN              uint32   `json:"asn"`
+	Name             string   `json:"name"`
+	Type             int      `json:"type"`
+	Region           int      `json:"region"`
+	Prefixes         []string `json:"prefixes"`
+	Facilities       []int    `json:"facilities"`
+	Routers          []int    `json:"routers"`
+	Providers        []uint32 `json:"providers,omitempty"`
+	Customers        []uint32 `json:"customers,omitempty"`
+	Peers            []uint32 `json:"peers,omitempty"`
+	DNSStyle         int      `json:"dns_style"`
+	TagsCommunities  bool     `json:"tags_communities"`
+	OpenPeering      bool     `json:"open_peering"`
+	RunsLookingGlass bool     `json:"runs_looking_glass"`
+	PublishesNOCPage bool     `json:"publishes_noc_page"`
+}
+
+// RouterJSON mirrors Router.
+type RouterJSON struct {
+	ID         int     `json:"id"`
+	AS         uint32  `json:"asn"`
+	Facility   int     `json:"facility"`
+	Metro      int     `json:"metro"`
+	Lat        float64 `json:"lat"`
+	Lon        float64 `json:"lon"`
+	Interfaces []int   `json:"interfaces"`
+	IPID       int     `json:"ipid"`
+	Responds   bool    `json:"responds"`
+}
+
+// InterfaceJSON mirrors Interface.
+type InterfaceJSON struct {
+	ID     int    `json:"id"`
+	IP     string `json:"ip"`
+	Router int    `json:"router"`
+	Kind   int    `json:"kind"`
+	IXP    int    `json:"ixp"`
+	Switch int    `json:"switch"`
+	Link   int    `json:"link"`
+}
+
+// LinkJSON mirrors Link.
+type LinkJSON struct {
+	ID           int  `json:"id"`
+	Kind         int  `json:"kind"`
+	Rel          int  `json:"rel"`
+	A            int  `json:"a"`
+	B            int  `json:"b"`
+	AIface       int  `json:"a_iface"`
+	BIface       int  `json:"b_iface"`
+	IXP          int  `json:"ixp"`
+	Multilateral bool `json:"multilateral,omitempty"`
+}
+
+// MembershipJSON mirrors Membership.
+type MembershipJSON struct {
+	ID           int    `json:"id"`
+	AS           uint32 `json:"asn"`
+	IXP          int    `json:"ixp"`
+	Router       int    `json:"router"`
+	Port         int    `json:"port"`
+	AccessSwitch int    `json:"access_switch"`
+	Remote       bool   `json:"remote,omitempty"`
+	Reseller     uint32 `json:"reseller,omitempty"`
+}
+
+// WorldJSON is the full serialised world.
+type WorldJSON struct {
+	Metros      []MetroJSON      `json:"metros"`
+	Facilities  []FacilityJSON   `json:"facilities"`
+	Switches    []SwitchJSON     `json:"switches"`
+	IXPs        []IXPJSON        `json:"ixps"`
+	ASes        []ASJSON         `json:"ases"`
+	Routers     []RouterJSON     `json:"routers"`
+	Interfaces  []InterfaceJSON  `json:"interfaces"`
+	Links       []LinkJSON       `json:"links"`
+	Memberships []MembershipJSON `json:"memberships"`
+}
+
+// EncodeJSON serialises the world.
+func (w *World) EncodeJSON(out io.Writer) error {
+	d := &WorldJSON{}
+	for _, m := range w.Metros {
+		d.Metros = append(d.Metros, MetroJSON{
+			ID: int(m.ID), Name: m.Name, Country: m.Country, Region: int(m.Region),
+			Lat: m.Center.Lat, Lon: m.Center.Lon, Aliases: m.Aliases,
+			Airport: w.MetroAirport(m.ID),
+		})
+	}
+	for _, f := range w.Facilities {
+		d.Facilities = append(d.Facilities, FacilityJSON{
+			ID: int(f.ID), Name: f.Name, Operator: f.Operator, Metro: int(f.Metro),
+			Lat: f.Coord.Lat, Lon: f.Coord.Lon, City: f.CityName,
+			CarrierNeutral: f.CarrierNeutral, SisterGroup: f.SisterGroup,
+		})
+	}
+	for _, s := range w.Switches {
+		d.Switches = append(d.Switches, SwitchJSON{
+			ID: int(s.ID), IXP: int(s.IXP), Role: int(s.Role),
+			Facility: int(s.Facility), Parent: int(s.Parent),
+		})
+	}
+	for _, ix := range w.IXPs {
+		j := IXPJSON{
+			ID: int(ix.ID), Name: ix.Name, Operator: ix.Operator, Metro: int(ix.Metro),
+			Prefix: ix.Prefix.String(), Core: int(ix.Core),
+			RouteServer: ix.RouteServer, Inactive: ix.Inactive,
+		}
+		for _, f := range ix.Facilities {
+			j.Facilities = append(j.Facilities, int(f))
+		}
+		for _, s := range ix.Switches {
+			j.Switches = append(j.Switches, int(s))
+		}
+		for _, r := range ix.Resellers {
+			j.Resellers = append(j.Resellers, uint32(r))
+		}
+		d.IXPs = append(d.IXPs, j)
+	}
+	for _, as := range w.ASes {
+		j := ASJSON{
+			ASN: uint32(as.ASN), Name: as.Name, Type: int(as.Type), Region: int(as.Region),
+			DNSStyle: int(as.DNSStyle), TagsCommunities: as.TagsCommunities,
+			OpenPeering: as.OpenPeering, RunsLookingGlass: as.RunsLookingGlass,
+			PublishesNOCPage: as.PublishesNOCPage,
+		}
+		for _, p := range as.Prefixes {
+			j.Prefixes = append(j.Prefixes, p.String())
+		}
+		for _, f := range as.Facilities {
+			j.Facilities = append(j.Facilities, int(f))
+		}
+		for _, r := range as.Routers {
+			j.Routers = append(j.Routers, int(r))
+		}
+		for _, p := range as.Providers {
+			j.Providers = append(j.Providers, uint32(p))
+		}
+		for _, c := range as.Customers {
+			j.Customers = append(j.Customers, uint32(c))
+		}
+		for _, p := range as.Peers {
+			j.Peers = append(j.Peers, uint32(p))
+		}
+		d.ASes = append(d.ASes, j)
+	}
+	for _, r := range w.Routers {
+		j := RouterJSON{
+			ID: int(r.ID), AS: uint32(r.AS), Facility: int(r.Facility), Metro: int(r.Metro),
+			Lat: r.Coord.Lat, Lon: r.Coord.Lon, IPID: int(r.IPID), Responds: r.RespondsToTraceroute,
+		}
+		for _, i := range r.Interfaces {
+			j.Interfaces = append(j.Interfaces, int(i))
+		}
+		d.Routers = append(d.Routers, j)
+	}
+	for _, ifc := range w.Interfaces {
+		d.Interfaces = append(d.Interfaces, InterfaceJSON{
+			ID: int(ifc.ID), IP: ifc.IP.String(), Router: int(ifc.Router),
+			Kind: int(ifc.Kind), IXP: int(ifc.IXP), Switch: int(ifc.Switch), Link: int(ifc.Link),
+		})
+	}
+	for _, l := range w.Links {
+		d.Links = append(d.Links, LinkJSON{
+			ID: int(l.ID), Kind: int(l.Kind), Rel: int(l.Rel),
+			A: int(l.A), B: int(l.B), AIface: int(l.AIface), BIface: int(l.BIface),
+			IXP: int(l.IXP), Multilateral: l.Multilateral,
+		})
+	}
+	for _, m := range w.Memberships {
+		d.Memberships = append(d.Memberships, MembershipJSON{
+			ID: int(m.ID), AS: uint32(m.AS), IXP: int(m.IXP), Router: int(m.Router),
+			Port: int(m.Port), AccessSwitch: int(m.AccessSwitch),
+			Remote: m.Remote, Reseller: uint32(m.Reseller),
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// DecodeJSON loads a serialised world and finalises its indexes.
+func DecodeJSON(in io.Reader) (*World, error) {
+	var d WorldJSON
+	if err := json.NewDecoder(in).Decode(&d); err != nil {
+		return nil, fmt.Errorf("world: decoding: %w", err)
+	}
+	w := &World{airports: make(map[geo.MetroID]string)}
+	for _, m := range d.Metros {
+		w.Metros = append(w.Metros, &geo.Metro{
+			ID: geo.MetroID(m.ID), Name: m.Name, Country: m.Country,
+			Region: geo.Region(m.Region), Center: geo.Coord{Lat: m.Lat, Lon: m.Lon},
+			Aliases: m.Aliases,
+		})
+		w.airports[geo.MetroID(m.ID)] = m.Airport
+	}
+	for _, f := range d.Facilities {
+		w.Facilities = append(w.Facilities, &Facility{
+			ID: FacilityID(f.ID), Name: f.Name, Operator: f.Operator,
+			Metro: geo.MetroID(f.Metro), Coord: geo.Coord{Lat: f.Lat, Lon: f.Lon},
+			CityName: f.City, CarrierNeutral: f.CarrierNeutral, SisterGroup: f.SisterGroup,
+		})
+	}
+	for _, s := range d.Switches {
+		w.Switches = append(w.Switches, &Switch{
+			ID: SwitchID(s.ID), IXP: IXPID(s.IXP), Role: SwitchRole(s.Role),
+			Facility: FacilityID(s.Facility), Parent: SwitchID(s.Parent),
+		})
+	}
+	for _, j := range d.IXPs {
+		prefix, err := netaddr.ParsePrefix(j.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("world: ixp %d prefix: %w", j.ID, err)
+		}
+		ix := &IXP{
+			ID: IXPID(j.ID), Name: j.Name, Operator: j.Operator, Metro: geo.MetroID(j.Metro),
+			Prefix: prefix, Core: SwitchID(j.Core), RouteServer: j.RouteServer, Inactive: j.Inactive,
+		}
+		for _, f := range j.Facilities {
+			ix.Facilities = append(ix.Facilities, FacilityID(f))
+		}
+		for _, s := range j.Switches {
+			ix.Switches = append(ix.Switches, SwitchID(s))
+		}
+		for _, r := range j.Resellers {
+			ix.Resellers = append(ix.Resellers, ASN(r))
+		}
+		w.IXPs = append(w.IXPs, ix)
+	}
+	for _, j := range d.ASes {
+		as := &AS{
+			ASN: ASN(j.ASN), Name: j.Name, Type: ASType(j.Type), Region: geo.Region(j.Region),
+			DNSStyle: DNSStyle(j.DNSStyle), TagsCommunities: j.TagsCommunities,
+			OpenPeering: j.OpenPeering, RunsLookingGlass: j.RunsLookingGlass,
+			PublishesNOCPage: j.PublishesNOCPage,
+		}
+		for _, p := range j.Prefixes {
+			prefix, err := netaddr.ParsePrefix(p)
+			if err != nil {
+				return nil, fmt.Errorf("world: AS%d prefix: %w", j.ASN, err)
+			}
+			as.Prefixes = append(as.Prefixes, prefix)
+		}
+		for _, f := range j.Facilities {
+			as.Facilities = append(as.Facilities, FacilityID(f))
+		}
+		for _, r := range j.Routers {
+			as.Routers = append(as.Routers, RouterID(r))
+		}
+		for _, p := range j.Providers {
+			as.Providers = append(as.Providers, ASN(p))
+		}
+		for _, c := range j.Customers {
+			as.Customers = append(as.Customers, ASN(c))
+		}
+		for _, p := range j.Peers {
+			as.Peers = append(as.Peers, ASN(p))
+		}
+		w.ASes = append(w.ASes, as)
+	}
+	for _, j := range d.Routers {
+		r := &Router{
+			ID: RouterID(j.ID), AS: ASN(j.AS), Facility: FacilityID(j.Facility),
+			Metro: geo.MetroID(j.Metro), Coord: geo.Coord{Lat: j.Lat, Lon: j.Lon},
+			IPID: IPIDBehavior(j.IPID), RespondsToTraceroute: j.Responds,
+		}
+		for _, i := range j.Interfaces {
+			r.Interfaces = append(r.Interfaces, InterfaceID(i))
+		}
+		w.Routers = append(w.Routers, r)
+	}
+	for _, j := range d.Interfaces {
+		ip, err := netaddr.ParseIP(j.IP)
+		if err != nil {
+			return nil, fmt.Errorf("world: interface %d: %w", j.ID, err)
+		}
+		w.Interfaces = append(w.Interfaces, &Interface{
+			ID: InterfaceID(j.ID), IP: ip, Router: RouterID(j.Router),
+			Kind: InterfaceKind(j.Kind), IXP: IXPID(j.IXP),
+			Switch: SwitchID(j.Switch), Link: LinkID(j.Link),
+		})
+	}
+	for _, j := range d.Links {
+		w.Links = append(w.Links, &Link{
+			ID: LinkID(j.ID), Kind: LinkKind(j.Kind), Rel: Relationship(j.Rel),
+			A: RouterID(j.A), B: RouterID(j.B),
+			AIface: InterfaceID(j.AIface), BIface: InterfaceID(j.BIface),
+			IXP: IXPID(j.IXP), Multilateral: j.Multilateral,
+		})
+	}
+	for _, j := range d.Memberships {
+		w.Memberships = append(w.Memberships, &Membership{
+			ID: MembershipID(j.ID), AS: ASN(j.AS), IXP: IXPID(j.IXP),
+			Router: RouterID(j.Router), Port: InterfaceID(j.Port),
+			AccessSwitch: SwitchID(j.AccessSwitch), Remote: j.Remote, Reseller: ASN(j.Reseller),
+		})
+	}
+	if err := w.validateRefs(); err != nil {
+		return nil, err
+	}
+	w.Finalize()
+	return w, nil
+}
+
+// validateRefs rejects out-of-range cross references so a corrupted dump
+// fails fast instead of panicking later.
+func (w *World) validateRefs() error {
+	inRange := func(i, n int) bool { return i >= 0 && i < n }
+	for _, ifc := range w.Interfaces {
+		if !inRange(int(ifc.Router), len(w.Routers)) {
+			return fmt.Errorf("world: interface %d references router %d", ifc.ID, ifc.Router)
+		}
+	}
+	for _, r := range w.Routers {
+		for _, i := range r.Interfaces {
+			if !inRange(int(i), len(w.Interfaces)) {
+				return fmt.Errorf("world: router %d references interface %d", r.ID, i)
+			}
+		}
+		if int(r.Facility) != None && !inRange(int(r.Facility), len(w.Facilities)) {
+			return fmt.Errorf("world: router %d references facility %d", r.ID, r.Facility)
+		}
+	}
+	for _, l := range w.Links {
+		if !inRange(int(l.A), len(w.Routers)) || !inRange(int(l.B), len(w.Routers)) ||
+			!inRange(int(l.AIface), len(w.Interfaces)) || !inRange(int(l.BIface), len(w.Interfaces)) {
+			return fmt.Errorf("world: link %d has dangling references", l.ID)
+		}
+	}
+	for _, m := range w.Memberships {
+		if !inRange(int(m.Router), len(w.Routers)) || !inRange(int(m.Port), len(w.Interfaces)) ||
+			!inRange(int(m.IXP), len(w.IXPs)) || !inRange(int(m.AccessSwitch), len(w.Switches)) {
+			return fmt.Errorf("world: membership %d has dangling references", m.ID)
+		}
+	}
+	return nil
+}

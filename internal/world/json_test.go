@@ -1,0 +1,103 @@
+package world
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"facilitymap/internal/netaddr"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Generate(Small())
+	var buf bytes.Buffer
+	if err := orig.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := DecodeJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Metros) != len(orig.Metros) ||
+		len(re.Facilities) != len(orig.Facilities) ||
+		len(re.IXPs) != len(orig.IXPs) ||
+		len(re.ASes) != len(orig.ASes) ||
+		len(re.Routers) != len(orig.Routers) ||
+		len(re.Interfaces) != len(orig.Interfaces) ||
+		len(re.Links) != len(orig.Links) ||
+		len(re.Memberships) != len(orig.Memberships) {
+		t.Fatal("entity counts changed across the round trip")
+	}
+	// Spot-check deep equality of load-bearing fields.
+	for i, ifc := range orig.Interfaces {
+		got := re.Interfaces[i]
+		if got.IP != ifc.IP || got.Router != ifc.Router || got.Kind != ifc.Kind {
+			t.Fatalf("interface %d diverged: %+v vs %+v", i, got, ifc)
+		}
+	}
+	for i, as := range orig.ASes {
+		got := re.ASes[i]
+		if got.ASN != as.ASN || got.Type != as.Type ||
+			len(got.Providers) != len(as.Providers) || len(got.Peers) != len(as.Peers) {
+			t.Fatalf("AS %v diverged", as.ASN)
+		}
+	}
+	// Indexes rebuilt: lookups work.
+	ip := orig.Interfaces[10].IP
+	if re.InterfaceByIP(ip) == nil {
+		t.Fatal("IP index broken after decode")
+	}
+	if re.MetroAirport(0) != orig.MetroAirport(0) {
+		t.Fatal("airport map lost")
+	}
+	// Locality works (switch topology intact).
+	for _, ix := range re.IXPs {
+		if len(ix.Switches) > 0 && re.Switches[ix.Core].Role != CoreSwitch {
+			t.Fatalf("%s core switch lost", ix.Name)
+		}
+	}
+}
+
+func TestDecodeJSONRejectsCorruptRefs(t *testing.T) {
+	orig := Generate(Small())
+	var buf bytes.Buffer
+	if err := orig.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Interface referencing a nonexistent router.
+	corrupted := strings.Replace(buf.String(),
+		`"router": 0,`, `"router": 99999,`, 1)
+	if _, err := DecodeJSON(strings.NewReader(corrupted)); err == nil {
+		t.Error("corrupt router reference accepted")
+	}
+	if _, err := DecodeJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	bad := `{"ixps": [{"id": 0, "prefix": "bad"}]}`
+	if _, err := DecodeJSON(strings.NewReader(bad)); err == nil {
+		t.Error("bad prefix accepted")
+	}
+}
+
+func TestDecodedWorldDrivesPipelinePieces(t *testing.T) {
+	orig := Generate(Small())
+	var buf bytes.Buffer
+	if err := orig.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := DecodeJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoded world supports the same queries the pipeline uses.
+	for _, m := range re.Memberships {
+		if re.MembershipOf(m.Router, m.IXP) == nil {
+			t.Fatalf("membership index broken for %d", m.ID)
+		}
+	}
+	a, b := re.ASes[0].ASN, re.ASes[1].ASN
+	_ = re.CommonFacilities(a, b)
+	if re.RouterOfIP(netaddr.MustParseIP("203.0.113.1")) != nil {
+		t.Error("phantom router")
+	}
+}

@@ -1,0 +1,123 @@
+package world
+
+import "facilitymap/internal/geo"
+
+// metroSeed is an embedded metropolitan area with a weight steering how
+// much interconnection infrastructure the generator places there. The
+// list leads with the metros of the paper's Figure 3 (cities with at
+// least 10 interconnection facilities, in the paper's order) so that the
+// generated facility ranking reproduces the figure's shape, followed by
+// smaller markets for long-tail realism.
+type metroSeed struct {
+	name    string
+	country string
+	region  geo.Region
+	lat     float64
+	lon     float64
+	weight  float64 // relative infrastructure mass; London = 1.0
+	aliases []string
+	airport string // IATA-style code used by DNS naming conventions
+}
+
+var metroSeeds = []metroSeed{
+	// Figure 3 metros, descending facility count.
+	{"London", "GB", geo.Europe, 51.5074, -0.1278, 1.00, []string{"Slough", "Docklands"}, "LHR"},
+	{"New York", "US", geo.NorthAmerica, 40.7128, -74.0060, 0.93, []string{"Jersey City", "Secaucus", "Newark"}, "JFK"},
+	{"Paris", "FR", geo.Europe, 48.8566, 2.3522, 0.80, []string{"Saint-Denis", "Aubervilliers"}, "CDG"},
+	{"Frankfurt", "DE", geo.Europe, 50.1109, 8.6821, 0.78, []string{"Offenbach"}, "FRA"},
+	{"Amsterdam", "NL", geo.Europe, 52.3676, 4.9041, 0.75, []string{"Haarlem", "Schiphol-Rijk"}, "AMS"},
+	{"San Jose", "US", geo.NorthAmerica, 37.3382, -121.8863, 0.68, []string{"Santa Clara", "Milpitas"}, "SJC"},
+	{"Moscow", "RU", geo.Europe, 55.7558, 37.6173, 0.62, nil, "SVO"},
+	{"Los Angeles", "US", geo.NorthAmerica, 34.0522, -118.2437, 0.60, []string{"El Segundo"}, "LAX"},
+	{"Stockholm", "SE", geo.Europe, 59.3293, 18.0686, 0.56, []string{"Kista"}, "ARN"},
+	{"Manchester", "GB", geo.Europe, 53.4808, -2.2426, 0.52, []string{"Salford"}, "MAN"},
+	{"Miami", "US", geo.NorthAmerica, 25.7617, -80.1918, 0.50, nil, "MIA"},
+	{"Berlin", "DE", geo.Europe, 52.5200, 13.4050, 0.48, nil, "BER"},
+	{"Tokyo", "JP", geo.Asia, 35.6762, 139.6503, 0.47, []string{"Otemachi"}, "NRT"},
+	{"Kiev", "UA", geo.Europe, 50.4501, 30.5234, 0.45, nil, "KBP"},
+	{"Sao Paulo", "BR", geo.SouthAmerica, -23.5505, -46.6333, 0.44, []string{"Barueri"}, "GRU"},
+	{"Vienna", "AT", geo.Europe, 48.2082, 16.3738, 0.42, nil, "VIE"},
+	{"Singapore", "SG", geo.Asia, 1.3521, 103.8198, 0.41, nil, "SIN"},
+	{"Auckland", "NZ", geo.Oceania, -36.8509, 174.7645, 0.40, nil, "AKL"},
+	{"Hong Kong", "HK", geo.Asia, 22.3193, 114.1694, 0.39, []string{"Kowloon"}, "HKG"},
+	{"Melbourne", "AU", geo.Oceania, -37.8136, 144.9631, 0.38, nil, "MEL"},
+	{"Montreal", "CA", geo.NorthAmerica, 45.5017, -73.5673, 0.37, nil, "YUL"},
+	{"Zurich", "CH", geo.Europe, 47.3769, 8.5417, 0.36, nil, "ZRH"},
+	{"Prague", "CZ", geo.Europe, 50.0755, 14.4378, 0.35, nil, "PRG"},
+	{"Seattle", "US", geo.NorthAmerica, 47.6062, -122.3321, 0.34, []string{"Tukwila"}, "SEA"},
+	{"Chicago", "US", geo.NorthAmerica, 41.8781, -87.6298, 0.33, []string{"Elk Grove Village"}, "ORD"},
+	{"Dallas", "US", geo.NorthAmerica, 32.7767, -96.7970, 0.32, []string{"Richardson"}, "DFW"},
+	{"Hamburg", "DE", geo.Europe, 53.5511, 9.9937, 0.31, nil, "HAM"},
+	{"Atlanta", "US", geo.NorthAmerica, 33.7490, -84.3880, 0.30, nil, "ATL"},
+	{"Bucharest", "RO", geo.Europe, 44.4268, 26.1025, 0.29, nil, "OTP"},
+	{"Madrid", "ES", geo.Europe, 40.4168, -3.7038, 0.28, nil, "MAD"},
+	{"Milan", "IT", geo.Europe, 45.4642, 9.1900, 0.27, nil, "MXP"},
+	{"Duesseldorf", "DE", geo.Europe, 51.2277, 6.7735, 0.26, nil, "DUS"},
+	{"Sofia", "BG", geo.Europe, 42.6977, 23.3219, 0.25, nil, "SOF"},
+	{"St. Petersburg", "RU", geo.Europe, 59.9311, 30.3609, 0.24, nil, "LED"},
+	// Long-tail metros beyond Figure 3's ≥10-facility cut.
+	{"Washington", "US", geo.NorthAmerica, 38.9072, -77.0369, 0.55, []string{"Ashburn", "Reston"}, "IAD"},
+	{"Toronto", "CA", geo.NorthAmerica, 43.6532, -79.3832, 0.30, nil, "YYZ"},
+	{"Sydney", "AU", geo.Oceania, -33.8688, 151.2093, 0.33, nil, "SYD"},
+	{"Mumbai", "IN", geo.Asia, 19.0760, 72.8777, 0.25, nil, "BOM"},
+	{"Seoul", "KR", geo.Asia, 37.5665, 126.9780, 0.28, nil, "ICN"},
+	{"Johannesburg", "ZA", geo.Africa, -26.2041, 28.0473, 0.22, nil, "JNB"},
+	{"Nairobi", "KE", geo.Africa, -1.2921, 36.8219, 0.12, nil, "NBO"},
+	{"Buenos Aires", "AR", geo.SouthAmerica, -34.6037, -58.3816, 0.18, nil, "EZE"},
+	{"Mexico City", "MX", geo.NorthAmerica, 19.4326, -99.1332, 0.16, nil, "MEX"},
+	{"Warsaw", "PL", geo.Europe, 52.2297, 21.0122, 0.21, nil, "WAW"},
+	{"Brussels", "BE", geo.Europe, 50.8503, 4.3517, 0.18, nil, "BRU"},
+	{"Copenhagen", "DK", geo.Europe, 55.6761, 12.5683, 0.19, nil, "CPH"},
+	{"Oslo", "NO", geo.Europe, 59.9139, 10.7522, 0.16, nil, "OSL"},
+	{"Helsinki", "FI", geo.Europe, 60.1699, 24.9384, 0.15, nil, "HEL"},
+	{"Dublin", "IE", geo.Europe, 53.3498, -6.2603, 0.20, nil, "DUB"},
+	{"Lisbon", "PT", geo.Europe, 38.7223, -9.1393, 0.13, nil, "LIS"},
+	{"Rome", "IT", geo.Europe, 41.9028, 12.4964, 0.14, nil, "FCO"},
+	{"Osaka", "JP", geo.Asia, 34.6937, 135.5023, 0.17, nil, "KIX"},
+	{"Jakarta", "ID", geo.Asia, -6.2088, 106.8456, 0.13, nil, "CGK"},
+	{"Santiago", "CL", geo.SouthAmerica, -33.4489, -70.6693, 0.12, nil, "SCL"},
+	// Additional markets used by the paper-scale profile only (the
+	// default profile pins NumMetros to the 54 above).
+	{"Denver", "US", geo.NorthAmerica, 39.7392, -104.9903, 0.15, nil, "DEN"},
+	{"Phoenix", "US", geo.NorthAmerica, 33.4484, -112.0740, 0.12, nil, "PHX"},
+	{"Boston", "US", geo.NorthAmerica, 42.3601, -71.0589, 0.14, nil, "BOS"},
+	{"Houston", "US", geo.NorthAmerica, 29.7604, -95.3698, 0.12, nil, "IAH"},
+	{"Minneapolis", "US", geo.NorthAmerica, 44.9778, -93.2650, 0.11, nil, "MSP"},
+	{"Vancouver", "CA", geo.NorthAmerica, 49.2827, -123.1207, 0.12, nil, "YVR"},
+	{"Munich", "DE", geo.Europe, 48.1351, 11.5820, 0.18, nil, "MUC"},
+	{"Barcelona", "ES", geo.Europe, 41.3874, 2.1686, 0.14, nil, "BCN"},
+	{"Lyon", "FR", geo.Europe, 45.7640, 4.8357, 0.10, nil, "LYS"},
+	{"Marseille", "FR", geo.Europe, 43.2965, 5.3698, 0.15, nil, "MRS"},
+	{"Geneva", "CH", geo.Europe, 46.2044, 6.1432, 0.10, nil, "GVA"},
+	{"Budapest", "HU", geo.Europe, 47.4979, 19.0402, 0.12, nil, "BUD"},
+	{"Athens", "GR", geo.Europe, 37.9838, 23.7275, 0.10, nil, "ATH"},
+	{"Istanbul", "TR", geo.Europe, 41.0082, 28.9784, 0.16, nil, "IST"},
+	{"Bratislava", "SK", geo.Europe, 48.1486, 17.1077, 0.08, nil, "BTS"},
+	{"Zagreb", "HR", geo.Europe, 45.8150, 15.9819, 0.08, nil, "ZAG"},
+	{"Riga", "LV", geo.Europe, 56.9496, 24.1052, 0.09, nil, "RIX"},
+	{"Tallinn", "EE", geo.Europe, 59.4370, 24.7536, 0.08, nil, "TLL"},
+	{"Taipei", "TW", geo.Asia, 25.0330, 121.5654, 0.14, nil, "TPE"},
+	{"Kuala Lumpur", "MY", geo.Asia, 3.1390, 101.6869, 0.12, nil, "KUL"},
+	{"Bangkok", "TH", geo.Asia, 13.7563, 100.5018, 0.12, nil, "BKK"},
+	{"Manila", "PH", geo.Asia, 14.5995, 120.9842, 0.10, nil, "MNL"},
+	{"Chennai", "IN", geo.Asia, 13.0827, 80.2707, 0.11, nil, "MAA"},
+	{"Dubai", "AE", geo.Asia, 25.2048, 55.2708, 0.14, nil, "DXB"},
+	{"Brisbane", "AU", geo.Oceania, -27.4698, 153.0251, 0.10, nil, "BNE"},
+	{"Perth", "AU", geo.Oceania, -31.9505, 115.8605, 0.09, nil, "PER"},
+	{"Wellington", "NZ", geo.Oceania, -41.2866, 174.7756, 0.07, nil, "WLG"},
+	{"Cape Town", "ZA", geo.Africa, -33.9249, 18.4241, 0.11, nil, "CPT"},
+	{"Lagos", "NG", geo.Africa, 6.5244, 3.3792, 0.10, nil, "LOS"},
+	{"Cairo", "EG", geo.Africa, 30.0444, 31.2357, 0.10, nil, "CAI"},
+	{"Rio de Janeiro", "BR", geo.SouthAmerica, -22.9068, -43.1729, 0.13, nil, "GIG"},
+	{"Bogota", "CO", geo.SouthAmerica, 4.7110, -74.0721, 0.10, nil, "BOG"},
+	{"Lima", "PE", geo.SouthAmerica, -12.0464, -77.0428, 0.09, nil, "LIM"},
+}
+
+// MaxMetros is the number of embedded metropolitan areas available.
+var MaxMetros = len(metroSeeds)
+
+// MetroAirport returns the IATA-style code the DNS naming substrate uses
+// for a metro.
+func (w *World) MetroAirport(id geo.MetroID) string {
+	return w.airports[id]
+}

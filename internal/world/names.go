@@ -1,0 +1,72 @@
+package world
+
+import "fmt"
+
+// Name pools for generated entities. All names are fictional; they are
+// styled after the kinds of operators the paper discusses (global colo
+// companies, Tier-1 carriers, CDNs, regional ISPs) so that reports and
+// examples read naturally.
+
+var colocationOperators = []string{
+	"ApexColo", "TransHub", "InterPoint", "MetroEdge", "Coreline",
+	"NordSite", "PacificDC", "CivicData", "HarborIX DC", "Stratum",
+}
+
+var tier1Names = []string{
+	"Meridian Backbone", "Cobalt Transit", "Global Route One",
+	"Atlantica Carrier", "Polaris Net", "Vertex International",
+	"Longline Communications", "Axiom Carrier", "Northlink Global",
+	"Terranova Transit", "Continuum Carrier", "Pangea Networks",
+}
+
+var contentNames = []string{
+	"Gigaserve CDN", "Streamfield", "Cachewave", "Edgefront",
+	"Mirrorpeak", "Swiftorigin", "Deltacache", "Pixelport",
+	"Fanoutly", "Origincloud", "Replicast", "Nearbyte",
+}
+
+var transitPrefixes = []string{
+	"Regio", "Inter", "Net", "Uni", "Euro", "Asia", "Pan", "Tele",
+	"Fiber", "Open", "Core", "Omni", "Alto", "Nova", "Lumen2", "Dash",
+}
+
+var transitSuffixes = []string{
+	"Net", "Com", "Link", "Carrier", "Transit", "Wave", "Path",
+	"Connect", "Backbone", "Route",
+}
+
+var accessSuffixes = []string{
+	"Broadband", "Telecom", "Cable", "DSL", "Fibre", "Wireless",
+	"Online", "ISP", "Access", "Home",
+}
+
+func tier1Name(i int) string {
+	return tier1Names[i%len(tier1Names)]
+}
+
+func contentName(i int) string {
+	return contentNames[i%len(contentNames)]
+}
+
+func transitName(i int) string {
+	p := transitPrefixes[i%len(transitPrefixes)]
+	s := transitSuffixes[(i/len(transitPrefixes))%len(transitSuffixes)]
+	n := i / (len(transitPrefixes) * len(transitSuffixes))
+	if n > 0 {
+		return fmt.Sprintf("%s%s %d", p, s, n+1)
+	}
+	return p + s
+}
+
+func accessName(metro string, i int) string {
+	s := accessSuffixes[i%len(accessSuffixes)]
+	n := i / len(accessSuffixes)
+	if n > 0 {
+		return fmt.Sprintf("%s %s %d", metro, s, n+1)
+	}
+	return metro + " " + s
+}
+
+func enterpriseName(i int) string {
+	return fmt.Sprintf("Enterprise %03d", i+1)
+}

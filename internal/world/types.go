@@ -1,0 +1,370 @@
+// Package world models the ground-truth synthetic Internet that every
+// other subsystem observes through noisy interfaces: metros, colocation
+// facilities, IXPs and their switch fabrics, ASes, routers, interfaces,
+// IXP memberships and interconnection links.
+//
+// The world is the *answer key*. The measurement substrates (registry,
+// traceroute, alias probing, BGP, DNS) each expose a partial, noisy view
+// of it; the CFS algorithm in internal/cfs consumes only those views, and
+// internal/validation scores CFS output against the withheld truth.
+package world
+
+import (
+	"fmt"
+
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// Identifiers for world entities. All are dense indices into the World's
+// slices, which keeps cross-references trivially serialisable.
+type (
+	FacilityID   int
+	IXPID        int
+	SwitchID     int
+	RouterID     int
+	InterfaceID  int
+	LinkID       int
+	MembershipID int
+)
+
+// None marks an absent optional reference for any of the ID types.
+const None = -1
+
+// ASType classifies networks the way the paper's evaluation does: content
+// providers (Google, Akamai, ...), large transit providers (NTT, Cogent,
+// ...), regional transit, access/eyeball networks and enterprise stubs.
+type ASType int
+
+const (
+	Tier1 ASType = iota
+	Transit
+	Content
+	Access
+	Enterprise
+)
+
+func (t ASType) String() string {
+	switch t {
+	case Tier1:
+		return "tier1"
+	case Transit:
+		return "transit"
+	case Content:
+		return "content"
+	case Access:
+		return "access"
+	case Enterprise:
+		return "enterprise"
+	default:
+		return fmt.Sprintf("ASType(%d)", int(t))
+	}
+}
+
+// DNSStyle is the hostname convention an operator uses for router
+// interface reverse DNS (see internal/dnsnames). Conventions vary per
+// operator exactly as §6/§7 of the paper describe: some encode facilities,
+// some airports, some nothing, some lie (stale records).
+type DNSStyle int
+
+const (
+	DNSNone     DNSStyle = iota // no PTR records at all (e.g. Google)
+	DNSAirport                  // IATA-style metro codes in hostnames
+	DNSCLLI                     // CLLI-style codes
+	DNSFacility                 // explicit facility short codes ("thn.lon")
+	DNSStale                    // has records but a fraction are outdated
+)
+
+func (s DNSStyle) String() string {
+	switch s {
+	case DNSNone:
+		return "none"
+	case DNSAirport:
+		return "airport"
+	case DNSCLLI:
+		return "clli"
+	case DNSFacility:
+		return "facility"
+	case DNSStale:
+		return "stale"
+	default:
+		return fmt.Sprintf("DNSStyle(%d)", int(s))
+	}
+}
+
+// IPIDBehavior controls how a router answers alias-resolution probes
+// (internal/alias). MIDAR-style inference needs a shared monotonic
+// counter; routers that randomise, zero, or drop probes defeat it,
+// producing the false negatives the paper reports (§4.1).
+type IPIDBehavior int
+
+const (
+	IPIDSharedCounter IPIDBehavior = iota // one monotonic counter per router
+	IPIDRandom                            // random per reply
+	IPIDConstant                          // always zero
+	IPIDUnresponsive                      // no replies to alias probes
+)
+
+func (b IPIDBehavior) String() string {
+	switch b {
+	case IPIDSharedCounter:
+		return "shared-counter"
+	case IPIDRandom:
+		return "random"
+	case IPIDConstant:
+		return "constant"
+	case IPIDUnresponsive:
+		return "unresponsive"
+	default:
+		return fmt.Sprintf("IPIDBehavior(%d)", int(b))
+	}
+}
+
+// Facility is an interconnection (colocation) facility: a building that
+// leases space, power and cross-connects to networks (§2).
+type Facility struct {
+	ID       FacilityID
+	Name     string
+	Operator string
+	Metro    geo.MetroID
+	Coord    geo.Coord
+	// CityName is the name the facility's street address uses; for some
+	// facilities this is a suburb of the metro ("Jersey City"), which is
+	// the naming discrepancy the registry normaliser must repair.
+	CityName string
+	// CarrierNeutral facilities admit any network; carrier-operated ones
+	// mostly host the carrier and its customers.
+	CarrierNeutral bool
+	// SisterGroup joins facilities of the same operator in the same metro
+	// that are interconnected, so cross-connects can span them. Zero
+	// means no group.
+	SisterGroup int
+}
+
+// SwitchRole is a switch's position in an IXP fabric (Figure 6).
+type SwitchRole int
+
+const (
+	CoreSwitch SwitchRole = iota
+	BackhaulSwitch
+	AccessSwitch
+)
+
+func (r SwitchRole) String() string {
+	switch r {
+	case CoreSwitch:
+		return "core"
+	case BackhaulSwitch:
+		return "backhaul"
+	case AccessSwitch:
+		return "access"
+	default:
+		return fmt.Sprintf("SwitchRole(%d)", int(r))
+	}
+}
+
+// Switch is one element of an IXP's layer-2 fabric. Access switches sit in
+// partner facilities; they uplink to a backhaul switch or directly to the
+// core. Members on the same access or backhaul switch exchange traffic
+// locally (the fact behind the switch-proximity heuristic, §4.4).
+type Switch struct {
+	ID       SwitchID
+	IXP      IXPID
+	Role     SwitchRole
+	Facility FacilityID // facility hosting the switch
+	Parent   SwitchID   // uplink switch; None for the core
+}
+
+// IXP is an Internet exchange point: a peering LAN spanning one or more
+// facilities, optionally with a route server for multilateral peering.
+type IXP struct {
+	ID          IXPID
+	Name        string
+	Operator    string
+	Metro       geo.MetroID // primary metro
+	Prefix      netaddr.Prefix
+	Facilities  []FacilityID // facilities with an access switch
+	Switches    []SwitchID
+	Core        SwitchID
+	RouteServer bool
+	// Resellers are transport ASes providing remote-peering ports (§2).
+	Resellers []ASN
+	// Inactive IXPs linger in stale registry sources and must be
+	// filtered by the multi-source confirmation rule (§3.1.2).
+	Inactive bool
+}
+
+// AS is an autonomous system.
+type AS struct {
+	ASN      ASN
+	Name     string
+	Type     ASType
+	Region   geo.Region
+	Prefixes []netaddr.Prefix
+	// Facilities where the AS has presence (racks + at least one router).
+	Facilities []FacilityID
+	Routers    []RouterID
+	// Relationships (Gao-Rexford roles) by neighbor ASN.
+	Providers []ASN
+	Customers []ASN
+	Peers     []ASN
+
+	DNSStyle DNSStyle
+	// TagsCommunities: the AS tags routes with ingress-point BGP
+	// communities (validation source, §6).
+	TagsCommunities bool
+	// OpenPeering ASes accept multilateral peering via route servers.
+	OpenPeering bool
+	// RunsLookingGlass: operates a public looking glass (internal/platform).
+	RunsLookingGlass bool
+	// PublishesNOCPage: full facility list available on the NOC website
+	// (registry augmentation source, Figure 2).
+	PublishesNOCPage bool
+}
+
+// InterfaceKind says what a router interface is for.
+type InterfaceKind int
+
+const (
+	// CoreIface is the router's backbone-facing interface; it sources
+	// replies when the previous hop is inside the same AS.
+	CoreIface InterfaceKind = iota
+	// IXPPort is a port on an IXP peering LAN, numbered from the IXP
+	// prefix (public peering, §2).
+	IXPPort
+	// PrivateSide is one end of a private interconnect /30 (cross-
+	// connect, tethering or long-haul private link).
+	PrivateSide
+)
+
+func (k InterfaceKind) String() string {
+	switch k {
+	case CoreIface:
+		return "core"
+	case IXPPort:
+		return "ixp-port"
+	case PrivateSide:
+		return "private-side"
+	default:
+		return fmt.Sprintf("InterfaceKind(%d)", int(k))
+	}
+}
+
+// Interface is a router interface with an IP address.
+type Interface struct {
+	ID     InterfaceID
+	IP     netaddr.IP
+	Router RouterID
+	Kind   InterfaceKind
+	// IXP and Switch are set for IXPPort interfaces.
+	IXP    IXPID
+	Switch SwitchID
+	// Link is set for PrivateSide interfaces.
+	Link LinkID
+}
+
+// Router is a layer-3 device owned by one AS.
+type Router struct {
+	ID RouterID
+	AS ASN
+	// Facility is the building housing the router, or None for routers
+	// at off-facility PoPs (remote-peering routers, access aggregation).
+	Facility FacilityID
+	Metro    geo.MetroID
+	Coord    geo.Coord
+	// Interfaces lists every interface on the router; index 0 is always
+	// the CoreIface.
+	Interfaces []InterfaceID
+
+	IPID IPIDBehavior
+	// RespondsToTraceroute: false models hops that appear as '*'.
+	RespondsToTraceroute bool
+}
+
+// Core returns the router's core interface ID.
+func (r *Router) Core() InterfaceID { return r.Interfaces[0] }
+
+// Membership records an AS's connection to an IXP: the router, the port
+// interface and the access switch it lands on. Remote memberships reach
+// the IXP through a reseller; their router can be anywhere (§2).
+type Membership struct {
+	ID           MembershipID
+	AS           ASN
+	IXP          IXPID
+	Router       RouterID
+	Port         InterfaceID
+	AccessSwitch SwitchID
+	Remote       bool
+	Reseller     ASN // reseller AS for remote memberships, else 0
+}
+
+// LinkKind is the engineering approach of an interconnection (§2).
+type LinkKind int
+
+const (
+	// PublicPeering is a BGP session across an IXP LAN.
+	PublicPeering LinkKind = iota
+	// CrossConnect is a physical private interconnect inside one
+	// facility (or a sister-facility pair).
+	CrossConnect
+	// Tethering is a private VLAN point-to-point carried over an IXP
+	// fabric between two members (§2 "Private Interconnects over IXP").
+	Tethering
+	// LongHaulPrivate is a private interconnect between routers in
+	// different metros (leased wave / dark fiber); it shows up in
+	// traceroutes like a cross-connect but has no common facility.
+	LongHaulPrivate
+)
+
+func (k LinkKind) String() string {
+	switch k {
+	case PublicPeering:
+		return "public-peering"
+	case CrossConnect:
+		return "cross-connect"
+	case Tethering:
+		return "tethering"
+	case LongHaulPrivate:
+		return "long-haul-private"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Relationship is the business relationship carried on a link.
+type Relationship int
+
+const (
+	PeerToPeer Relationship = iota
+	// CustomerToProvider: side A is the customer of side B.
+	CustomerToProvider
+)
+
+func (r Relationship) String() string {
+	if r == PeerToPeer {
+		return "p2p"
+	}
+	return "c2p"
+}
+
+// Link is one interconnection between two ASes.
+type Link struct {
+	ID   LinkID
+	Kind LinkKind
+	Rel  Relationship
+	// A and B are the two border routers; for CustomerToProvider, A is
+	// the customer side.
+	A, B RouterID
+	// AIface/BIface are the interfaces carrying the session: IXP ports
+	// for PublicPeering, /30 sides otherwise.
+	AIface, BIface InterfaceID
+	// IXP is set for PublicPeering and Tethering.
+	IXP IXPID
+	// Multilateral marks sessions learned via the IXP route server.
+	Multilateral bool
+}

@@ -1,0 +1,206 @@
+package world
+
+import (
+	"fmt"
+	"sort"
+
+	"facilitymap/internal/geo"
+	"facilitymap/internal/netaddr"
+)
+
+// World is the complete ground-truth model. All slices are indexed by the
+// corresponding dense ID type. A World is immutable after generation, so
+// it is safe for concurrent readers.
+type World struct {
+	Metros      []*geo.Metro
+	Facilities  []*Facility
+	IXPs        []*IXP
+	Switches    []*Switch
+	ASes        []*AS // sorted by ASN
+	Routers     []*Router
+	Interfaces  []*Interface
+	Links       []*Link
+	Memberships []*Membership
+
+	byASN      map[ASN]*AS
+	byIP       map[netaddr.IP]InterfaceID
+	airports   map[geo.MetroID]string
+	memberAt   map[IXPID][]*Membership            // IXP -> memberships
+	memberOf   map[ASN][]*Membership              // AS -> memberships
+	linksOfRtr map[RouterID][]*Link               // router -> links it terminates
+	membership map[RouterID]map[IXPID]*Membership // router+IXP -> membership
+}
+
+// Finalize builds the lookup indexes of a hand-assembled world. Generate
+// calls it automatically; tests and tools constructing custom topologies
+// must call it once after populating the entity slices.
+func (w *World) Finalize() { w.buildIndexes() }
+
+// buildIndexes populates the lookup maps after generation.
+func (w *World) buildIndexes() {
+	w.byASN = make(map[ASN]*AS, len(w.ASes))
+	for _, as := range w.ASes {
+		w.byASN[as.ASN] = as
+	}
+	w.byIP = make(map[netaddr.IP]InterfaceID, len(w.Interfaces))
+	for _, ifc := range w.Interfaces {
+		w.byIP[ifc.IP] = ifc.ID
+	}
+	w.memberAt = make(map[IXPID][]*Membership)
+	w.memberOf = make(map[ASN][]*Membership)
+	w.membership = make(map[RouterID]map[IXPID]*Membership)
+	for _, m := range w.Memberships {
+		w.memberAt[m.IXP] = append(w.memberAt[m.IXP], m)
+		w.memberOf[m.AS] = append(w.memberOf[m.AS], m)
+		rm := w.membership[m.Router]
+		if rm == nil {
+			rm = make(map[IXPID]*Membership)
+			w.membership[m.Router] = rm
+		}
+		rm[m.IXP] = m
+	}
+	w.linksOfRtr = make(map[RouterID][]*Link)
+	for _, l := range w.Links {
+		w.linksOfRtr[l.A] = append(w.linksOfRtr[l.A], l)
+		w.linksOfRtr[l.B] = append(w.linksOfRtr[l.B], l)
+	}
+}
+
+// ASByNumber returns the AS with the given ASN, or nil.
+func (w *World) ASByNumber(n ASN) *AS { return w.byASN[n] }
+
+// InterfaceByIP returns the interface owning ip, or nil.
+func (w *World) InterfaceByIP(ip netaddr.IP) *Interface {
+	id, ok := w.byIP[ip]
+	if !ok {
+		return nil
+	}
+	return w.Interfaces[id]
+}
+
+// RouterOfIP returns the router owning the interface with address ip.
+func (w *World) RouterOfIP(ip netaddr.IP) *Router {
+	ifc := w.InterfaceByIP(ip)
+	if ifc == nil {
+		return nil
+	}
+	return w.Routers[ifc.Router]
+}
+
+// MembersOf returns the memberships at an IXP.
+func (w *World) MembersOf(ix IXPID) []*Membership { return w.memberAt[ix] }
+
+// MembershipsOf returns the IXP memberships of an AS.
+func (w *World) MembershipsOf(as ASN) []*Membership { return w.memberOf[as] }
+
+// MembershipOf returns router r's membership at IXP ix, or nil.
+func (w *World) MembershipOf(r RouterID, ix IXPID) *Membership {
+	return w.membership[r][ix]
+}
+
+// LinksOf returns the interconnection links terminating at router r.
+func (w *World) LinksOf(r RouterID) []*Link { return w.linksOfRtr[r] }
+
+// FacilitySet returns the set of facilities where the AS is present.
+func (w *World) FacilitySet(as ASN) map[FacilityID]bool {
+	a := w.byASN[as]
+	if a == nil {
+		return nil
+	}
+	s := make(map[FacilityID]bool, len(a.Facilities))
+	for _, f := range a.Facilities {
+		s[f] = true
+	}
+	return s
+}
+
+// CommonFacilities returns the facilities shared by two ASes, sorted.
+func (w *World) CommonFacilities(a, b ASN) []FacilityID {
+	sa := w.FacilitySet(a)
+	var out []FacilityID
+	if bs := w.byASN[b]; bs != nil {
+		for _, f := range bs.Facilities {
+			if sa[f] {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SameSisterGroup reports whether two facilities are interconnected
+// buildings of one operator (cross-connects may span them).
+func (w *World) SameSisterGroup(a, b FacilityID) bool {
+	if a == b {
+		return true
+	}
+	fa, fb := w.Facilities[a], w.Facilities[b]
+	return fa.SisterGroup != 0 && fa.SisterGroup == fb.SisterGroup
+}
+
+// ActiveIXPs returns all IXPs that are not marked inactive.
+func (w *World) ActiveIXPs() []*IXP {
+	var out []*IXP
+	for _, ix := range w.IXPs {
+		if !ix.Inactive {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// OtherEnd returns the router and interface at the far end of link l from
+// router r. It panics if r does not terminate l.
+func (l *Link) OtherEnd(r RouterID) (RouterID, InterfaceID) {
+	switch r {
+	case l.A:
+		return l.B, l.BIface
+	case l.B:
+		return l.A, l.AIface
+	default:
+		panic(fmt.Sprintf("world: router %d not on link %d", r, l.ID))
+	}
+}
+
+// NearEnd returns r's own interface on link l.
+func (l *Link) NearEnd(r RouterID) InterfaceID {
+	switch r {
+	case l.A:
+		return l.AIface
+	case l.B:
+		return l.BIface
+	default:
+		panic(fmt.Sprintf("world: router %d not on link %d", r, l.ID))
+	}
+}
+
+// IsPrivate reports whether the link kind is one of the private
+// interconnect flavours (anything but public peering).
+func (l *Link) IsPrivate() bool { return l.Kind != PublicPeering }
+
+// SwitchPathLocality classifies how two access switches of one IXP reach
+// each other: directly (same switch), via a shared backhaul, or across
+// the core. The proximity heuristic's ground truth (§4.4) derives from
+// this.
+type SwitchPathLocality int
+
+const (
+	SameSwitch SwitchPathLocality = iota
+	SameBackhaul
+	ViaCore
+)
+
+// Locality returns the fabric locality between two access switches of the
+// same IXP.
+func (w *World) Locality(a, b SwitchID) SwitchPathLocality {
+	if a == b {
+		return SameSwitch
+	}
+	sa, sb := w.Switches[a], w.Switches[b]
+	if sa.Parent != None && sa.Parent == sb.Parent &&
+		w.Switches[sa.Parent].Role == BackhaulSwitch {
+		return SameBackhaul
+	}
+	return ViaCore
+}

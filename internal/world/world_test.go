@@ -1,0 +1,595 @@
+package world
+
+import (
+	"testing"
+
+	"facilitymap/internal/geo"
+)
+
+func small(t *testing.T) *World {
+	t.Helper()
+	return Generate(Small())
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Small())
+	b := Generate(Small())
+	if len(a.Routers) != len(b.Routers) || len(a.Links) != len(b.Links) ||
+		len(a.Interfaces) != len(b.Interfaces) {
+		t.Fatalf("same seed produced different worlds: %d/%d routers, %d/%d links",
+			len(a.Routers), len(b.Routers), len(a.Links), len(b.Links))
+	}
+	for i := range a.Interfaces {
+		if a.Interfaces[i].IP != b.Interfaces[i].IP {
+			t.Fatalf("interface %d differs: %v vs %v", i, a.Interfaces[i].IP, b.Interfaces[i].IP)
+		}
+	}
+	for i := range a.Links {
+		la, lb := a.Links[i], b.Links[i]
+		if la.Kind != lb.Kind || la.A != lb.A || la.B != lb.B || la.IXP != lb.IXP {
+			t.Fatalf("link %d differs: %+v vs %+v", i, la, lb)
+		}
+	}
+	for i := range a.Memberships {
+		ma, mb := a.Memberships[i], b.Memberships[i]
+		if ma.AS != mb.AS || ma.IXP != mb.IXP || ma.Router != mb.Router || ma.Remote != mb.Remote {
+			t.Fatalf("membership %d differs", i)
+		}
+	}
+	c := Generate(Config{Seed: 99, NumMetros: 10, FacilityDensity: 5, NumIXPs: 8,
+		NumTier1: 3, NumTransit: 8, NumContent: 3, NumAccess: 20, NumEnterprise: 8})
+	if len(c.Interfaces) == len(a.Interfaces) && len(c.Links) == len(a.Links) {
+		t.Log("different seed produced same world sizes (possible but suspicious)")
+	}
+}
+
+func TestWorldEntityIDsAreDense(t *testing.T) {
+	w := small(t)
+	for i, f := range w.Facilities {
+		if int(f.ID) != i {
+			t.Fatalf("facility %d has ID %d", i, f.ID)
+		}
+	}
+	for i, r := range w.Routers {
+		if int(r.ID) != i {
+			t.Fatalf("router %d has ID %d", i, r.ID)
+		}
+	}
+	for i, ifc := range w.Interfaces {
+		if int(ifc.ID) != i {
+			t.Fatalf("interface %d has ID %d", i, ifc.ID)
+		}
+	}
+	for i, l := range w.Links {
+		if int(l.ID) != i {
+			t.Fatalf("link %d has ID %d", i, l.ID)
+		}
+	}
+}
+
+func TestUniqueInterfaceIPs(t *testing.T) {
+	w := small(t)
+	seen := make(map[string]InterfaceID)
+	for _, ifc := range w.Interfaces {
+		key := ifc.IP.String()
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("duplicate IP %s on interfaces %d and %d", key, prev, ifc.ID)
+		}
+		seen[key] = ifc.ID
+	}
+}
+
+func TestInterfaceAddressingInvariants(t *testing.T) {
+	w := small(t)
+	for _, ifc := range w.Interfaces {
+		r := w.Routers[ifc.Router]
+		as := w.ASByNumber(r.AS)
+		switch ifc.Kind {
+		case CoreIface:
+			if !as.Prefixes[0].Contains(ifc.IP) {
+				t.Errorf("core interface %v of %v outside AS space %v", ifc.IP, as.ASN, as.Prefixes[0])
+			}
+		case IXPPort:
+			ix := w.IXPs[ifc.IXP]
+			if !ix.Prefix.Contains(ifc.IP) {
+				t.Errorf("IXP port %v not inside %s LAN %v", ifc.IP, ix.Name, ix.Prefix)
+			}
+			if ifc.Switch == None {
+				t.Errorf("IXP port %v has no switch", ifc.IP)
+			}
+		case PrivateSide:
+			if ifc.Link == None {
+				t.Errorf("private-side interface %v has no link", ifc.IP)
+			}
+		}
+	}
+}
+
+func TestRouterCoreIsFirstInterface(t *testing.T) {
+	w := small(t)
+	for _, r := range w.Routers {
+		if len(r.Interfaces) == 0 {
+			t.Fatalf("router %d has no interfaces", r.ID)
+		}
+		if w.Interfaces[r.Core()].Kind != CoreIface {
+			t.Fatalf("router %d interface 0 is %v, want core", r.ID, w.Interfaces[r.Core()].Kind)
+		}
+	}
+}
+
+func TestLinkEndpointsConsistent(t *testing.T) {
+	w := small(t)
+	for _, l := range w.Links {
+		ia, ib := w.Interfaces[l.AIface], w.Interfaces[l.BIface]
+		if ia.Router != l.A || ib.Router != l.B {
+			t.Fatalf("link %d interface/router mismatch", l.ID)
+		}
+		ra, rb := w.Routers[l.A], w.Routers[l.B]
+		if ra.AS == rb.AS {
+			t.Fatalf("link %d connects two routers of %v", l.ID, ra.AS)
+		}
+		switch l.Kind {
+		case PublicPeering:
+			if l.IXP == None {
+				t.Fatalf("public link %d without IXP", l.ID)
+			}
+			if ia.Kind != IXPPort || ib.Kind != IXPPort {
+				t.Fatalf("public link %d endpoints not IXP ports", l.ID)
+			}
+			if ia.IXP != l.IXP || ib.IXP != l.IXP {
+				t.Fatalf("public link %d port IXP mismatch", l.ID)
+			}
+		case CrossConnect:
+			fa, fb := ra.Facility, rb.Facility
+			if fa == None || fb == None {
+				t.Fatalf("cross-connect %d has off-facility endpoint", l.ID)
+			}
+			if !w.SameSisterGroup(FacilityID(fa), FacilityID(fb)) {
+				t.Fatalf("cross-connect %d spans unrelated facilities %d and %d", l.ID, fa, fb)
+			}
+		case Tethering:
+			if l.IXP == None {
+				t.Fatalf("tethering link %d without IXP", l.ID)
+			}
+			// Both routers must be members of that IXP.
+			if w.MembershipOf(l.A, l.IXP) == nil || w.MembershipOf(l.B, l.IXP) == nil {
+				t.Fatalf("tethering link %d endpoint not an IXP member", l.ID)
+			}
+		}
+	}
+}
+
+func TestMembershipInvariants(t *testing.T) {
+	w := small(t)
+	for _, m := range w.Memberships {
+		port := w.Interfaces[m.Port]
+		if port.Kind != IXPPort || port.IXP != m.IXP {
+			t.Fatalf("membership %d port not an IXP port of that IXP", m.ID)
+		}
+		if port.Router != m.Router {
+			t.Fatalf("membership %d port/router mismatch", m.ID)
+		}
+		ix := w.IXPs[m.IXP]
+		if ix.Inactive {
+			t.Fatalf("membership %d at inactive IXP %s", m.ID, ix.Name)
+		}
+		sw := w.Switches[m.AccessSwitch]
+		if sw.IXP != m.IXP || sw.Role != AccessSwitch {
+			t.Fatalf("membership %d access switch invalid", m.ID)
+		}
+		r := w.Routers[m.Router]
+		if m.Remote {
+			if m.Reseller == 0 {
+				t.Fatalf("remote membership %d has no reseller", m.ID)
+			}
+		} else {
+			// Local member routers must sit in an IXP partner facility.
+			found := false
+			for _, f := range ix.Facilities {
+				if r.Facility != None && FacilityID(r.Facility) == f {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("local membership %d router facility %d not an %s facility",
+					m.ID, r.Facility, ix.Name)
+			}
+			// And the AS must list the facility as a presence.
+			as := w.ASByNumber(m.AS)
+			has := false
+			for _, f := range as.Facilities {
+				if f == FacilityID(r.Facility) {
+					has = true
+					break
+				}
+			}
+			if !has {
+				t.Fatalf("membership %d: AS %v not present at its own port facility", m.ID, m.AS)
+			}
+		}
+	}
+}
+
+func TestSwitchFabricShape(t *testing.T) {
+	w := small(t)
+	for _, ix := range w.IXPs {
+		core := w.Switches[ix.Core]
+		if core.Role != CoreSwitch || core.Parent != None {
+			t.Fatalf("%s core switch malformed", ix.Name)
+		}
+		accessFacs := make(map[FacilityID]bool)
+		for _, sid := range ix.Switches {
+			s := w.Switches[sid]
+			if s.IXP != ix.ID {
+				t.Fatalf("switch %d not owned by %s", sid, ix.Name)
+			}
+			switch s.Role {
+			case AccessSwitch:
+				p := w.Switches[s.Parent]
+				if p.Role != BackhaulSwitch && p.Role != CoreSwitch {
+					t.Fatalf("access switch %d parent is %v", sid, p.Role)
+				}
+				accessFacs[s.Facility] = true
+			case BackhaulSwitch:
+				if w.Switches[s.Parent].Role != CoreSwitch {
+					t.Fatalf("backhaul switch %d parent is not core", sid)
+				}
+			}
+		}
+		for _, f := range ix.Facilities {
+			if !accessFacs[f] {
+				t.Fatalf("%s facility %d has no access switch", ix.Name, f)
+			}
+		}
+	}
+}
+
+func TestRelationshipsConsistent(t *testing.T) {
+	w := small(t)
+	for _, as := range w.ASes {
+		for _, p := range as.Providers {
+			prov := w.ASByNumber(p)
+			if prov == nil {
+				t.Fatalf("%v has unknown provider %v", as.ASN, p)
+			}
+			if !containsASN(prov.Customers, as.ASN) {
+				t.Fatalf("%v lists provider %v, but not vice versa", as.ASN, p)
+			}
+		}
+		for _, p := range as.Peers {
+			peer := w.ASByNumber(p)
+			if !containsASN(peer.Peers, as.ASN) {
+				t.Fatalf("peer relation %v-%v not symmetric", as.ASN, p)
+			}
+			if containsASN(as.Providers, p) || containsASN(as.Customers, p) {
+				t.Fatalf("%v and %v are both peers and transit partners", as.ASN, p)
+			}
+		}
+	}
+}
+
+// TestTransitConnectivity: every non-Tier1 AS must have at least one
+// provider so BGP reaches everyone through the Tier-1 mesh.
+func TestTransitConnectivity(t *testing.T) {
+	w := small(t)
+	for _, as := range w.ASes {
+		if as.Type == Tier1 {
+			if len(as.Providers) != 0 {
+				t.Errorf("tier1 %v has providers %v", as.ASN, as.Providers)
+			}
+			continue
+		}
+		if len(as.Providers) == 0 {
+			t.Errorf("%v (%v) has no providers", as.ASN, as.Type)
+		}
+	}
+	// Tier-1 mesh: every pair of tier1s peers.
+	var t1 []*AS
+	for _, as := range w.ASes {
+		if as.Type == Tier1 {
+			t1 = append(t1, as)
+		}
+	}
+	for i := range t1 {
+		for j := i + 1; j < len(t1); j++ {
+			if !containsASN(t1[i].Peers, t1[j].ASN) {
+				t.Errorf("tier1s %v and %v do not peer", t1[i].ASN, t1[j].ASN)
+			}
+		}
+	}
+}
+
+func TestFacilityPresenceHasRouter(t *testing.T) {
+	w := small(t)
+	for _, as := range w.ASes {
+		for _, f := range as.Facilities {
+			found := false
+			for _, rid := range as.Routers {
+				if w.Routers[rid].Facility != None && FacilityID(w.Routers[rid].Facility) == f {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%v present at facility %d without a router", as.ASN, f)
+			}
+		}
+		if len(as.Routers) == 0 {
+			t.Errorf("%v has no routers at all", as.ASN)
+		}
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	w := small(t)
+	for _, ifc := range w.Interfaces {
+		got := w.InterfaceByIP(ifc.IP)
+		if got == nil || got.ID != ifc.ID {
+			t.Fatalf("InterfaceByIP(%v) = %v", ifc.IP, got)
+		}
+		r := w.RouterOfIP(ifc.IP)
+		if r == nil || r.ID != ifc.Router {
+			t.Fatalf("RouterOfIP(%v) wrong", ifc.IP)
+		}
+	}
+	if w.InterfaceByIP(0) != nil {
+		t.Error("InterfaceByIP(0) should be nil")
+	}
+	for _, m := range w.Memberships {
+		if got := w.MembershipOf(m.Router, m.IXP); got != m {
+			t.Fatalf("MembershipOf(%d,%d) = %v, want %v", m.Router, m.IXP, got, m)
+		}
+	}
+}
+
+func TestCommonFacilities(t *testing.T) {
+	w := small(t)
+	// Find any private cross-connect; its two ASes must share a facility
+	// or sister group.
+	for _, l := range w.Links {
+		if l.Kind != CrossConnect {
+			continue
+		}
+		a, b := w.Routers[l.A].AS, w.Routers[l.B].AS
+		common := w.CommonFacilities(a, b)
+		fa := FacilityID(w.Routers[l.A].Facility)
+		fb := FacilityID(w.Routers[l.B].Facility)
+		if fa == fb && len(common) == 0 {
+			t.Fatalf("cross-connect in one facility but CommonFacilities empty for %v,%v", a, b)
+		}
+		_ = fb
+	}
+	if got := w.CommonFacilities(1, 2); got != nil {
+		t.Errorf("CommonFacilities of unknown ASes = %v, want nil", got)
+	}
+}
+
+func TestLocality(t *testing.T) {
+	w := Generate(Default())
+	// Find an IXP with backhaul switches.
+	var big *IXP
+	for _, ix := range w.IXPs {
+		if len(ix.Facilities) >= 5 {
+			big = ix
+			break
+		}
+	}
+	if big == nil {
+		t.Skip("no large IXP in default world")
+	}
+	var access []SwitchID
+	for _, sid := range big.Switches {
+		if w.Switches[sid].Role == AccessSwitch {
+			access = append(access, sid)
+		}
+	}
+	if w.Locality(access[0], access[0]) != SameSwitch {
+		t.Error("self locality should be SameSwitch")
+	}
+	// Two access switches with the same backhaul parent.
+	foundSame, foundCore := false, false
+	for i := 0; i < len(access); i++ {
+		for j := i + 1; j < len(access); j++ {
+			switch w.Locality(access[i], access[j]) {
+			case SameBackhaul:
+				foundSame = true
+			case ViaCore:
+				foundCore = true
+			}
+		}
+	}
+	if !foundSame || !foundCore {
+		t.Errorf("expected both SameBackhaul and ViaCore pairs, got same=%v core=%v", foundSame, foundCore)
+	}
+}
+
+func TestRegionalDistribution(t *testing.T) {
+	w := Generate(Default())
+	perRegion := make(map[geo.Region]int)
+	for _, f := range w.Facilities {
+		perRegion[w.Metros[f.Metro].Region]++
+	}
+	// Europe should lead, mirroring the paper's 860/1694 European share.
+	if perRegion[geo.Europe] <= perRegion[geo.NorthAmerica] {
+		t.Errorf("Europe (%d) should have more facilities than North America (%d)",
+			perRegion[geo.Europe], perRegion[geo.NorthAmerica])
+	}
+	if perRegion[geo.Africa] == 0 || perRegion[geo.Oceania] == 0 {
+		t.Error("every region should have some facilities")
+	}
+}
+
+func TestMultiIXPRoutersExist(t *testing.T) {
+	w := Generate(Default())
+	multi := 0
+	withPort := 0
+	for _, r := range w.Routers {
+		n := 0
+		seen := make(map[IXPID]bool)
+		for _, i := range r.Interfaces {
+			ifc := w.Interfaces[i]
+			if ifc.Kind == IXPPort && !seen[ifc.IXP] {
+				seen[ifc.IXP] = true
+				n++
+			}
+		}
+		if n > 0 {
+			withPort++
+		}
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-IXP routers generated; the paper observes 11.9%")
+	}
+	t.Logf("multi-IXP routers: %d/%d public-peering routers", multi, withPort)
+}
+
+func TestMultiRoleRoutersExist(t *testing.T) {
+	w := Generate(Default())
+	multiRole := 0
+	for _, r := range w.Routers {
+		pub, priv := false, false
+		for _, l := range w.LinksOf(r.ID) {
+			if l.Kind == PublicPeering {
+				pub = true
+			} else {
+				priv = true
+			}
+		}
+		if pub && priv {
+			multiRole++
+		}
+	}
+	if multiRole == 0 {
+		t.Error("no multi-role routers generated; the paper observes 39%")
+	}
+}
+
+func TestOtherEndPanicsOffLink(t *testing.T) {
+	w := small(t)
+	l := w.Links[0]
+	defer func() {
+		if recover() == nil {
+			t.Error("OtherEnd with foreign router should panic")
+		}
+	}()
+	// Find a router not on the link.
+	for _, r := range w.Routers {
+		if r.ID != l.A && r.ID != l.B {
+			l.OtherEnd(r.ID)
+			return
+		}
+	}
+}
+
+func containsASN(s []ASN, n ASN) bool {
+	for _, x := range s {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStringMethods(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Tier1.String(), "tier1"},
+		{Transit.String(), "transit"},
+		{Content.String(), "content"},
+		{Access.String(), "access"},
+		{Enterprise.String(), "enterprise"},
+		{ASType(99).String(), "ASType(99)"},
+		{DNSNone.String(), "none"},
+		{DNSAirport.String(), "airport"},
+		{DNSCLLI.String(), "clli"},
+		{DNSFacility.String(), "facility"},
+		{DNSStale.String(), "stale"},
+		{DNSStyle(99).String(), "DNSStyle(99)"},
+		{IPIDSharedCounter.String(), "shared-counter"},
+		{IPIDRandom.String(), "random"},
+		{IPIDConstant.String(), "constant"},
+		{IPIDUnresponsive.String(), "unresponsive"},
+		{IPIDBehavior(99).String(), "IPIDBehavior(99)"},
+		{CoreSwitch.String(), "core"},
+		{BackhaulSwitch.String(), "backhaul"},
+		{AccessSwitch.String(), "access"},
+		{SwitchRole(99).String(), "SwitchRole(99)"},
+		{CoreIface.String(), "core"},
+		{IXPPort.String(), "ixp-port"},
+		{PrivateSide.String(), "private-side"},
+		{InterfaceKind(99).String(), "InterfaceKind(99)"},
+		{PublicPeering.String(), "public-peering"},
+		{CrossConnect.String(), "cross-connect"},
+		{Tethering.String(), "tethering"},
+		{LongHaulPrivate.String(), "long-haul-private"},
+		{LinkKind(99).String(), "LinkKind(99)"},
+		{PeerToPeer.String(), "p2p"},
+		{CustomerToProvider.String(), "c2p"},
+		{ASN(64500).String(), "AS64500"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestPaperScaleGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale world generation")
+	}
+	w := Generate(PaperScale())
+	// The paper's dataset: 1,694 facilities, 368 IXPs; we approximate.
+	if len(w.Facilities) < 600 {
+		t.Errorf("paper-scale world has only %d facilities", len(w.Facilities))
+	}
+	if len(w.ActiveIXPs()) < 80 {
+		t.Errorf("paper-scale world has only %d active IXPs", len(w.ActiveIXPs()))
+	}
+	if len(w.ASes) < 500 {
+		t.Errorf("paper-scale world has only %d ASes", len(w.ASes))
+	}
+	// Invariants hold at scale: unique IPs.
+	seen := make(map[uint32]bool, len(w.Interfaces))
+	for _, ifc := range w.Interfaces {
+		if seen[uint32(ifc.IP)] {
+			t.Fatalf("duplicate IP %v at paper scale", ifc.IP)
+		}
+		seen[uint32(ifc.IP)] = true
+	}
+	t.Logf("paper scale: %d facilities, %d IXPs, %d ASes, %d routers, %d interfaces, %d links",
+		len(w.Facilities), len(w.IXPs), len(w.ASes), len(w.Routers), len(w.Interfaces), len(w.Links))
+}
+
+func TestDualPortMemberships(t *testing.T) {
+	w := Generate(Default())
+	dual := 0
+	byASIXP := make(map[[2]int][]*Membership)
+	for _, m := range w.Memberships {
+		k := [2]int{int(m.AS), int(m.IXP)}
+		byASIXP[k] = append(byASIXP[k], m)
+	}
+	for _, ms := range byASIXP {
+		if len(ms) >= 2 {
+			dual++
+			// Redundant ports sit on different routers in different
+			// facilities of the same exchange.
+			r1 := w.Routers[ms[0].Router]
+			r2 := w.Routers[ms[1].Router]
+			if r1.ID == r2.ID {
+				t.Fatalf("dual membership on one router: %+v", ms)
+			}
+			if r1.Facility == r2.Facility {
+				t.Fatalf("dual membership in one facility: %+v", ms)
+			}
+		}
+	}
+	if dual == 0 {
+		t.Error("no dual-homed memberships generated (needed for §4.4)")
+	}
+}
