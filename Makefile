@@ -1,0 +1,31 @@
+# Development targets. CI (.github/workflows/ci.yml) runs the same
+# sequence: vet, build, test, race.
+
+.PHONY: all vet build test race bench fuzz check
+
+all: check
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# The CFS engine fans pure phases out over a worker pool; run its tests
+# (and the trace simulator's) under the race detector.
+race:
+	go test -race ./internal/cfs/... ./internal/trace/...
+
+bench:
+	go test -bench . -benchtime 1x -run XXX .
+
+fuzz:
+	go test -fuzz FuzzParseIP -fuzztime 30s ./internal/netaddr/
+	go test -fuzz FuzzIPRoundTrip -fuzztime 30s ./internal/netaddr/
+	go test -fuzz FuzzParsePrefix -fuzztime 30s ./internal/netaddr/
+	go test -fuzz FuzzParse -fuzztime 30s ./internal/trace/
+
+check: vet build test race

@@ -9,6 +9,7 @@ package facilitymap
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"facilitymap/internal/alias"
 	"facilitymap/internal/bgp"
@@ -230,6 +231,71 @@ func BenchmarkCFSFullRun(b *testing.B) {
 	}
 	b.ReportMetric(100*res.ResolvedFraction(), "resolved_pct")
 	b.ReportMetric(float64(len(res.Interfaces)), "interfaces")
+}
+
+// ---- parallel execution -----------------------------------------------------
+
+// benchCFSWorkers runs the full default-world pipeline with a fixed
+// worker count. Every count produces the identical result (see
+// internal/cfs TestParallelMatchesSerial); the benches measure only the
+// wall-clock effect of fanning the pure phases out.
+func benchCFSWorkers(b *testing.B, workers int) {
+	e := benchEnv()
+	cfg := cfs.DefaultConfig()
+	cfg.Workers = workers
+	var res *cfs.Result
+	for i := 0; i < b.N; i++ {
+		res = e.RunCFS(cfg)
+	}
+	b.ReportMetric(100*res.ResolvedFraction(), "resolved_pct")
+}
+
+func BenchmarkCFSParallelWorkers1(b *testing.B)   { benchCFSWorkers(b, 1) }
+func BenchmarkCFSParallelWorkers2(b *testing.B)   { benchCFSWorkers(b, 2) }
+func BenchmarkCFSParallelWorkers4(b *testing.B)   { benchCFSWorkers(b, 4) }
+func BenchmarkCFSParallelWorkersMax(b *testing.B) { benchCFSWorkers(b, 0) }
+
+// BenchmarkCFSParallelSpeedup times a serial (Workers=1) and a
+// parallel (Workers=GOMAXPROCS) run back to back and reports the ratio
+// as speedup_x.
+func BenchmarkCFSParallelSpeedup(b *testing.B) {
+	e := benchEnv()
+	serial := cfs.DefaultConfig()
+	serial.MaxIterations = 10
+	serial.FollowUpBudget = 200
+	serial.AliasRounds = []int{1, 5}
+	parallel := serial
+	serial.Workers = 1
+	parallel.Workers = 0
+	var serialNS, parallelNS int64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		e.RunCFS(serial)
+		t1 := time.Now()
+		e.RunCFS(parallel)
+		t2 := time.Now()
+		serialNS += t1.Sub(t0).Nanoseconds()
+		parallelNS += t2.Sub(t1).Nanoseconds()
+	}
+	if parallelNS > 0 {
+		b.ReportMetric(float64(serialNS)/float64(parallelNS), "speedup_x")
+	}
+}
+
+// BenchmarkMergeParallel exercises the worker-pool incremental merge
+// over three runs of the small world.
+func BenchmarkMergeParallel(b *testing.B) {
+	e := benchSmallEnv()
+	results := []*cfs.Result{
+		e.RunCFS(fastCFS()), e.RunCFS(fastCFS()), e.RunCFS(fastCFS()),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := cfs.Merge(results...)
+		if len(out.Interfaces) == 0 {
+			b.Fatal("empty merge")
+		}
+	}
 }
 
 // ---- ablations (design choices from DESIGN.md) ------------------------------

@@ -5,7 +5,12 @@
 // Usage:
 //
 //	cfsmap [-profile small|default|paper] [-seed N] [-iterations N]
-//	       [-limit N] [-unresolved] [-validate] [-resilience]
+//	       [-workers N] [-limit N] [-unresolved] [-validate] [-resilience]
+//
+// -workers bounds the goroutines used for the parallel phases of the
+// search (0 = one per CPU, 1 = fully serial). Every worker count
+// produces the identical mapping; the flag only trades wall-clock time
+// for cores.
 //
 // Offline mode runs the same algorithm on real data instead of the
 // simulator: a PeeringDB-style JSON dump, a plain-text BGP table
@@ -32,6 +37,7 @@ func main() {
 		profile    = flag.String("profile", "default", "world profile: small, default or paper")
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		iterations = flag.Int("iterations", 100, "CFS iteration cap")
+		workers    = flag.Int("workers", 0, "worker goroutines for the parallel search phases (0 = one per CPU, 1 = serial)")
 		limit      = flag.Int("limit", 40, "rows of the mapping to print (0 = all)")
 		unresolved = flag.Bool("unresolved", false, "include unresolved interfaces in the listing")
 		validate   = flag.Bool("validate", true, "score the mapping against the ground-truth sources")
@@ -46,7 +52,7 @@ func main() {
 	flag.Parse()
 
 	if *pdbFile != "" || *tracesFile != "" {
-		if err := runOffline(*pdbFile, *bgpFile, *tracesFile, *iterations, *limit, *unresolved); err != nil {
+		if err := runOffline(*pdbFile, *bgpFile, *tracesFile, *iterations, *workers, *limit, *unresolved); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -57,6 +63,7 @@ func main() {
 		Profile:       *profile,
 		Seed:          *seed,
 		MaxIterations: *iterations,
+		Workers:       *workers,
 		Explain:       *why != "",
 	})
 	if err != nil {
@@ -149,7 +156,7 @@ func main() {
 // BGP table and traceroute transcripts. Alias resolution, remote-peering
 // detection and targeted follow-ups need live measurement access and are
 // disabled; steps 1-2 plus the §4.3/§4.4 placements still run.
-func runOffline(pdbFile, bgpFile, tracesFile string, iterations, limit int, unresolved bool) error {
+func runOffline(pdbFile, bgpFile, tracesFile string, iterations, workers, limit int, unresolved bool) error {
 	if pdbFile == "" || tracesFile == "" {
 		return fmt.Errorf("offline mode needs both -peeringdb and -traces")
 	}
@@ -191,6 +198,7 @@ func runOffline(pdbFile, bgpFile, tracesFile string, iterations, limit int, unre
 
 	cfg := cfs.DefaultConfig()
 	cfg.MaxIterations = iterations
+	cfg.Workers = workers
 	cfg.UseTargeted = false
 	cfg.UseAliasResolution = false
 	cfg.UseRemoteDetection = false

@@ -43,6 +43,10 @@ type Config struct {
 	Seed int64
 	// MaxIterations bounds the CFS loop (paper: 100).
 	MaxIterations int
+	// Workers bounds the goroutines used for the parallel phases of the
+	// search. 0 means one worker per available CPU; 1 runs fully
+	// serially. Every worker count produces the identical mapping.
+	Workers int
 	// Explain records, per interface, the constraints that produced its
 	// inference; Lookup then returns them as Evidence.
 	Explain bool
@@ -88,6 +92,7 @@ func (s *System) MapInterconnections() *Mapping {
 	if s.cfg.MaxIterations > 0 {
 		c.MaxIterations = s.cfg.MaxIterations
 	}
+	c.Workers = s.cfg.Workers
 	c.TraceProvenance = s.cfg.Explain
 	res := s.Env.RunCFS(c)
 	return &Mapping{sys: s, res: res}

@@ -53,6 +53,18 @@ type Config struct {
 	// resolution re-runs over the grown interface pool.
 	AliasRounds []int
 
+	// Workers bounds the goroutines used for the embarrassingly
+	// parallel phases of each iteration (path classification,
+	// per-adjacency constraint computation, follow-up target
+	// selection). 0 means runtime.GOMAXPROCS(0); 1 runs the exact
+	// serial code path with no goroutines. Results are bit-for-bit
+	// identical for every worker count: parallel phases are pure
+	// computations whose outputs merge on the coordinator in discovery
+	// order, and every measurement (traceroute, ping, alias probe) is
+	// issued from the coordinator in the serial order, so the
+	// simulator's probe-counter-derived randomness is untouched.
+	Workers int
+
 	// Ablation switches.
 	UseAliasResolution bool
 	UseTargeted        bool
@@ -77,6 +89,7 @@ func DefaultConfig() Config {
 		UseTargeted:         true,
 		UseRemoteDetection:  true,
 		UseProximity:        true,
+		Workers:             0, // auto: one worker per available CPU
 	}
 }
 

@@ -19,9 +19,23 @@ import (
 // run contributes a disjoint constraint. Runs that disagree outright —
 // an empty intersection — keep the earliest run's answer and increment
 // MergeConflicts. Links are unioned.
+//
+// Merge uses one worker per available CPU; MergeWorkers takes an
+// explicit count. The per-interface fold is independent across
+// addresses and conflict counts are summed, so every worker count
+// produces the identical result.
 func Merge(results ...*Result) *Result {
+	return MergeWorkers(0, results...)
+}
+
+// MergeWorkers is Merge with an explicit worker bound: 0 means one
+// worker per available CPU, 1 runs fully serially.
+func MergeWorkers(workers int, results ...*Result) *Result {
 	out := &Result{Interfaces: make(map[netaddr.IP]*InterfaceResult)}
 	seenLinks := make(map[adjKey]bool)
+	// Serial pass: global counters, link union (order-preserving), and
+	// the per-address fold lists in run order.
+	perIP := make(map[netaddr.IP][]*InterfaceResult)
 	for _, res := range results {
 		if res == nil {
 			continue
@@ -43,20 +57,49 @@ func Merge(results ...*Result) *Result {
 			}
 		}
 		for ip, ir := range res.Interfaces {
-			cur, ok := out.Interfaces[ip]
-			if !ok {
-				cp := *ir
-				cp.Candidates = append([]world.FacilityID(nil), ir.Candidates...)
-				out.Interfaces[ip] = &cp
-				continue
-			}
-			mergeInterface(out, cur, ir)
+			perIP[ip] = append(perIP[ip], ir)
 		}
+	}
+	// Parallel pass: fold each address's run sequence independently.
+	ips := make([]netaddr.IP, 0, len(perIP))
+	for ip := range perIP {
+		ips = append(ips, ip)
+	}
+	w := Config{Workers: workers}.workerCount()
+	if w > len(ips) {
+		w = len(ips)
+	}
+	if w < 1 {
+		w = 1
+	}
+	conflicts := make([]int, w)
+	merged := make([]*InterfaceResult, len(ips))
+	parallelRanges(len(ips), w, func(shard, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			runs := perIP[ips[i]]
+			cur := *runs[0]
+			cur.Candidates = append([]world.FacilityID(nil), runs[0].Candidates...)
+			for _, next := range runs[1:] {
+				if mergeInterface(&cur, next) {
+					conflicts[shard]++
+				}
+			}
+			merged[i] = &cur
+		}
+	})
+	for i, ip := range ips {
+		out.Interfaces[ip] = merged[i]
+	}
+	for _, n := range conflicts {
+		out.MergeConflicts += n
 	}
 	return out
 }
 
-func mergeInterface(out *Result, cur *InterfaceResult, next *InterfaceResult) {
+// mergeInterface folds one further run's inference into cur, reporting
+// whether the candidate sets disagreed outright (in which case cur
+// keeps the earlier answer).
+func mergeInterface(cur *InterfaceResult, next *InterfaceResult) (conflict bool) {
 	if cur.Owner == 0 {
 		cur.Owner = next.Owner
 	}
@@ -71,8 +114,7 @@ func mergeInterface(out *Result, cur *InterfaceResult, next *InterfaceResult) {
 	default:
 		inter := intersectSlices(cur.Candidates, next.Candidates)
 		if len(inter) == 0 {
-			out.MergeConflicts++
-			return // keep the earlier run's answer
+			return true // keep the earlier run's answer
 		}
 		cur.Candidates = inter
 	}
@@ -83,6 +125,7 @@ func mergeInterface(out *Result, cur *InterfaceResult, next *InterfaceResult) {
 	} else {
 		cur.Resolved = false
 	}
+	return false
 }
 
 func intersectSlices(a, b []world.FacilityID) []world.FacilityID {

@@ -17,9 +17,7 @@ func (p *Pipeline) Run(initial []trace.Path) *Result {
 
 func (p *Pipeline) run(obs Observations) *Result {
 	st := p.newState()
-	for _, path := range obs.Paths {
-		st.processPath(path)
-	}
+	st.ingestPaths(obs.Paths)
 	for _, s := range obs.Sessions {
 		st.processSession(s)
 	}
@@ -145,9 +143,48 @@ func (st *state) singleCluster(c facset) bool {
 	return first != -1
 }
 
+// targetPlan is the precomputed follow-up selection for one unresolved
+// interface: the outcome of the pure target-picking scan, decoupled
+// from probe issuing so the scan can fan out across workers.
+type targetPlan struct {
+	ok      bool
+	targets []world.ASN
+}
+
+// planTargets runs the pure half of Step 4 for one interface: resolve
+// its owner, look up the owner's footprint, and score candidate target
+// ASes. It reads only round-start state (candidate sets, queried IXPs
+// and used-target records are not mutated while planning), so plans
+// computed concurrently match the lazy serial computation exactly.
+func (st *state) planTargets(ip netaddr.IP, owner ownerFn) targetPlan {
+	ownerAS, ok := owner(ip)
+	if !ok {
+		return targetPlan{}
+	}
+	fa := st.p.db.FacilitiesOfAS(ownerAS)
+	if len(fa) == 0 {
+		return targetPlan{} // missing facility data: no constraint can help
+	}
+	cand := st.cand[ip]
+	if cand == nil {
+		cand = facsetOf(fa)
+	}
+	return targetPlan{ok: true, targets: st.pickTargets(ip, ownerAS, fa, cand)}
+}
+
 // targetedRound implements Step 4: for unresolved interfaces, pick
 // target ASes whose facility sets can shrink the candidates, and
 // traceroute toward them from vantage points that saw the interface.
+//
+// Target selection — the expensive scan over every origin AS — is a
+// pure function of round-start state, so with multiple workers it
+// precomputes for the whole unresolved pool in parallel. The probes
+// themselves always issue from this goroutine in pool order: the
+// simulated engine derives measurement randomness from its global
+// probe counter, and follow-up paths feed back into the pool that
+// later target-address picks consult, so issue order is semantics.
+// Workers=1 keeps the lazy serial scan and does no extra work beyond
+// the follow-up budget.
 func (st *state) targetedRound(iter int) (followUps, newAdjs int) {
 	cfg := st.p.cfg
 	budget := cfg.FollowUpBudget
@@ -155,24 +192,31 @@ func (st *state) targetedRound(iter int) (followUps, newAdjs int) {
 	for _, k := range cfg.Platforms {
 		allowed[k] = true
 	}
-	for _, ip := range st.unresolved() {
+	unresolved := st.unresolved()
+	var plans []targetPlan
+	if w := cfg.workerCount(); w > 1 && len(unresolved) >= minParallelPlans {
+		plans = make([]targetPlan, len(unresolved))
+		parallelRanges(len(unresolved), w, func(_, lo, hi int) {
+			owner := st.readOnlyOwner()
+			for i := lo; i < hi; i++ {
+				plans[i] = st.planTargets(unresolved[i], owner.ownerOf)
+			}
+		})
+	}
+	for i, ip := range unresolved {
 		if budget <= 0 {
 			break
 		}
-		ownerAS, ok := st.ownerOf(ip)
-		if !ok {
+		var plan targetPlan
+		if plans != nil {
+			plan = plans[i]
+		} else {
+			plan = st.planTargets(ip, st.ownerOf)
+		}
+		if !plan.ok {
 			continue
 		}
-		fa := st.p.db.FacilitiesOfAS(ownerAS)
-		if len(fa) == 0 {
-			continue // missing facility data: no constraint can help
-		}
-		cand := st.cand[ip]
-		if cand == nil {
-			cand = facsetOf(fa)
-		}
-		targets := st.pickTargets(ip, ownerAS, fa, cand)
-		for _, tgt := range targets {
+		for _, tgt := range plan.targets {
 			if budget <= 0 {
 				break
 			}
@@ -226,7 +270,7 @@ func (st *state) pickTargets(ip netaddr.IP, a world.ASN, fa []world.FacilityID, 
 		atQuery bool // colocated at an already-queried IXP
 	}
 	var cands []scored
-	for _, rec := range st.p.ipasn.AllASNs() {
+	for _, rec := range st.allASNs {
 		if rec == a || used[rec] {
 			continue
 		}

@@ -73,6 +73,10 @@ type state struct {
 	conflicts int
 	changed   bool
 
+	// allASNs caches the (static, sorted) origin-AS list the target
+	// scan walks, so concurrent planners don't re-sort it per call.
+	allASNs []world.ASN
+
 	// prov records constraint provenance per IP when tracing is on.
 	prov map[netaddr.IP][]string
 }
@@ -96,6 +100,7 @@ func (p *Pipeline) newState() *state {
 	if p.cfg.TraceProvenance {
 		st.prov = make(map[netaddr.IP][]string)
 	}
+	st.allASNs = p.ipasn.AllASNs()
 	// Offline mode (pre-collected traceroutes, no measurement service)
 	// runs without vantage-point bookkeeping; step 4 requires a service.
 	if p.svc != nil {
@@ -152,11 +157,24 @@ func (st *state) observe(ip netaddr.IP, vp *platform.VantagePoint) {
 	st.observedBy[ip] = append(st.observedBy[ip], vp)
 }
 
-// processPath classifies one traceroute into adjacencies (Step 1, §4.2).
-func (st *state) processPath(path trace.Path) int {
-	vp := st.vpsByRouter[path.SrcRouter]
+// adjEvent is one classified hop pair: the pure outcome of Step 1 for
+// a single adjacency, before any state mutation. `other` is the far
+// IXP port for public events and the far /30 side for private ones.
+type adjEvent struct {
+	near, other netaddr.IP
+	public      bool
+	ix          world.IXPID
+	portAS      world.ASN // far port's owner, for the portOf index
+	hasPortAS   bool
+}
+
+// classifyPath is the side-effect-free half of Step 1 (§4.2): it turns
+// one traceroute into adjacency events using only pure lookups (IXP
+// prefix trie, ownership resolution), appending to events. Workers run
+// it concurrently with a read-only ownerFn; the serial path passes
+// state.ownerOf.
+func (st *state) classifyPath(path trace.Path, owner ownerFn, events []adjEvent) []adjEvent {
 	hops := path.ResponsiveHops()
-	added := 0
 	for i := 0; i+1 < len(hops); i++ {
 		h1, h2 := hops[i], hops[i+1]
 		if ix, ok := st.p.db.IXPByIP(h2); ok {
@@ -166,47 +184,62 @@ func (st *state) processPath(path trace.Path) int {
 			if _, isIXP := st.p.db.IXPByIP(h1); isIXP {
 				continue // consecutive IXP hops: ambiguous, discard
 			}
-			if _, ok := st.ownerOf(h1); !ok {
+			if _, ok := owner(h1); !ok {
 				continue // unresolved interface: discard (§4.2 step 1)
 			}
-			key := adjKey{h1, h2}
-			if _, dup := st.adjs[key]; !dup {
-				a := &Adjacency{Near: h1, Public: true, IXP: ix, FarPort: h2}
-				st.adjs[key] = a
-				st.adjOrder = append(st.adjOrder, a)
-				added++
+			ev := adjEvent{near: h1, other: h2, public: true, ix: ix}
+			if b, ok := owner(h2); ok {
+				ev.portAS, ev.hasPortAS = b, true
 			}
-			st.addToPool(h1)
-			st.addToPool(h2)
-			st.observe(h1, vp)
-			st.observe(h2, vp)
-			if b, ok := st.ownerOf(h2); ok {
-				st.portOf[portKey{b, ix}] = h2
-			}
+			events = append(events, ev)
 			continue
 		}
 		// Private peering (IP_A, IP_B): both sides resolve to different
 		// ASes. Shared-/30 misattribution makes some of these look
 		// intra-AS until alias repair fixes the owners; adjacencies are
 		// re-derived from stored IPs each round, so repairs take effect.
-		a1, ok1 := st.ownerOf(h1)
-		a2, ok2 := st.ownerOf(h2)
+		a1, ok1 := owner(h1)
+		a2, ok2 := owner(h2)
 		if !ok1 || !ok2 || a1 == a2 {
 			continue
 		}
-		key := adjKey{h1, h2}
+		events = append(events, adjEvent{near: h1, other: h2})
+	}
+	return events
+}
+
+// applyPathEvents is the mutating half of Step 1: it folds classified
+// events into the adjacency state in hop order. Coordinator-only.
+func (st *state) applyPathEvents(path trace.Path, events []adjEvent) int {
+	vp := st.vpsByRouter[path.SrcRouter]
+	added := 0
+	for _, ev := range events {
+		key := adjKey{ev.near, ev.other}
 		if _, dup := st.adjs[key]; !dup {
-			a := &Adjacency{Near: h1, Far: h2}
+			a := &Adjacency{Near: ev.near}
+			if ev.public {
+				a.Public, a.IXP, a.FarPort = true, ev.ix, ev.other
+			} else {
+				a.Far = ev.other
+			}
 			st.adjs[key] = a
 			st.adjOrder = append(st.adjOrder, a)
 			added++
 		}
-		st.addToPool(h1)
-		st.addToPool(h2)
-		st.observe(h1, vp)
-		st.observe(h2, vp)
+		st.addToPool(ev.near)
+		st.addToPool(ev.other)
+		st.observe(ev.near, vp)
+		st.observe(ev.other, vp)
+		if ev.hasPortAS {
+			st.portOf[portKey{ev.portAS, ev.ix}] = ev.other
+		}
 	}
 	return added
+}
+
+// processPath classifies one traceroute into adjacencies (Step 1, §4.2).
+func (st *state) processPath(path trace.Path) int {
+	return st.applyPathEvents(path, st.classifyPath(path, st.ownerOf, nil))
 }
 
 // constrain intersects ip's candidate set with s (Step 2). Candidate
@@ -278,41 +311,114 @@ func (st *state) checkRemote(asn world.ASN, ix world.IXPID) int {
 	return st.remoteCache[key]
 }
 
-// applyConstraints runs Step 2 over every adjacency. Constraints are
-// monotone, so reprocessing is safe and picks up owner repairs and new
-// remote-detection verdicts.
-func (st *state) applyConstraints() {
-	db := st.p.db
-	for _, a := range st.adjOrder {
-		if a.Public {
-			st.applyPublic(a)
-		} else {
-			st.applyPrivate(a)
-		}
-	}
-	_ = db
+// adjProposal is the pure half of Step 2 for one adjacency: every
+// facility-set intersection the constraint step needs, computed from
+// registry and ownership lookups alone. It carries no verdicts that
+// require measurements — the empty-intersection remote-peering check
+// happens in the apply half, on the coordinator, so the detector's
+// fabric pings keep their serial issue order.
+type adjProposal struct {
+	nearAS, farAS world.ASN
+	nearOK, farOK bool
+	// nearSet is the near side's intersection: F_near ∩ F_ixp for
+	// public adjacencies, F_near ∩ F_far for private ones.
+	nearSet facset
+	// nearFoot is the near AS's full footprint — the fallback
+	// candidate set for a confirmed remote member (public only).
+	nearFoot facset
+	// farSet / farFoot are the far port's equivalents (public only).
+	farSet  facset
+	farFoot facset
+	// tethered marks a private pair with no shared facility but a
+	// shared IXP fabric (§4.2 outcome 3).
+	tethered bool
 }
 
-func (st *state) applyPublic(a *Adjacency) {
+// computeProposal evaluates the side-effect-free constraint sets for
+// one adjacency. Safe for concurrent use with a read-only ownerFn.
+func (st *state) computeProposal(a *Adjacency, owner ownerFn) adjProposal {
 	db := st.p.db
-	fixp := facsetOf(db.FacilitiesOfIXP(a.IXP))
+	var pr adjProposal
+	if a.Public {
+		fixp := facsetOf(db.FacilitiesOfIXP(a.IXP))
+		if nearAS, ok := owner(a.Near); ok {
+			pr.nearAS, pr.nearOK = nearAS, true
+			pr.nearFoot = facsetOf(db.FacilitiesOfAS(nearAS))
+			pr.nearSet = intersect(pr.nearFoot, fixp)
+		}
+		if farAS, ok := owner(a.FarPort); ok {
+			pr.farAS, pr.farOK = farAS, true
+			pr.farFoot = facsetOf(db.FacilitiesOfAS(farAS))
+			pr.farSet = intersect(pr.farFoot, fixp)
+		}
+		return pr
+	}
+	nearAS, ok1 := owner(a.Near)
+	farAS, ok2 := owner(a.Far)
+	if !ok1 || !ok2 || nearAS == farAS {
+		return pr // apply half leaves the adjacency untouched
+	}
+	pr.nearAS, pr.farAS, pr.nearOK, pr.farOK = nearAS, farAS, true, true
+	fa := facsetOf(db.FacilitiesOfAS(nearAS))
+	fb := facsetOf(db.FacilitiesOfAS(farAS))
+	pr.nearSet = intersect(fa, fb)
+	if len(pr.nearSet) == 0 {
+		pr.tethered = len(sharedIXPs(db.IXPsOfAS(nearAS), db.IXPsOfAS(farAS))) > 0
+	}
+	return pr
+}
+
+// applyConstraints runs Step 2 over every adjacency. Constraints are
+// monotone, so reprocessing is safe and picks up owner repairs and new
+// remote-detection verdicts. With multiple workers the proposal
+// computation shards over the adjacency list; the apply half always
+// walks adjOrder on the coordinator so candidate-set mutations,
+// conflict counts and remote-detection measurements happen in exactly
+// the serial order.
+func (st *state) applyConstraints() {
+	adjs := st.adjOrder
+	if w := st.p.cfg.workerCount(); w > 1 && len(adjs) >= minParallelAdjs {
+		proposals := make([]adjProposal, len(adjs))
+		parallelRanges(len(adjs), w, func(_, lo, hi int) {
+			owner := st.readOnlyOwner()
+			for i := lo; i < hi; i++ {
+				proposals[i] = st.computeProposal(adjs[i], owner.ownerOf)
+			}
+		})
+		for i, a := range adjs {
+			st.applyProposal(a, proposals[i])
+		}
+		return
+	}
+	for _, a := range adjs {
+		st.applyProposal(a, st.computeProposal(a, st.ownerOf))
+	}
+}
+
+func (st *state) applyProposal(a *Adjacency, pr adjProposal) {
+	if a.Public {
+		st.applyPublic(a, pr)
+	} else {
+		st.applyPrivate(a, pr)
+	}
+}
+
+func (st *state) applyPublic(a *Adjacency, pr adjProposal) {
 	// Near side.
-	if nearAS, ok := st.ownerOf(a.Near); ok {
-		a.NearAS = nearAS
-		fa := facsetOf(db.FacilitiesOfAS(nearAS))
-		s := intersect(fa, fixp)
+	if pr.nearOK {
+		a.NearAS = pr.nearAS
 		switch {
-		case len(s) > 0:
-			st.constrain(a.Near, s, fmt.Sprintf("public near %v x IXP%d", nearAS, a.IXP))
+		case len(pr.nearSet) > 0:
+			st.constrain(a.Near, pr.nearSet, fmt.Sprintf("public near %v x IXP%d", pr.nearAS, a.IXP))
 			st.markQueried(a.Near, a.IXP)
 			a.Type = PublicLocal
-		case len(fa) > 0:
+		case len(pr.nearFoot) > 0:
 			// No common facility: remote member, or missing data.
-			switch st.checkRemote(nearAS, a.IXP) {
+			switch st.checkRemote(pr.nearAS, a.IXP) {
 			case 1:
 				st.remoteIface[a.Near] = true
 				// Anywhere in the member's footprint.
-				st.constrain(a.Near, fa, fmt.Sprintf("remote member %v of IXP%d", nearAS, a.IXP))
+				st.constrain(a.Near, pr.nearFoot, fmt.Sprintf("remote member %v of IXP%d", pr.nearAS, a.IXP))
 				a.Type = PublicRemote
 			case 2:
 				st.conflicts++ // detector says local yet no common facility
@@ -323,49 +429,39 @@ func (st *state) applyPublic(a *Adjacency) {
 	// sit at a facility it shares with the IXP — the "reverse
 	// direction" constraint of §4.3, applied without needing a reverse
 	// traceroute because the port address itself pins the IXP.
-	farAS, ok := st.ownerOf(a.FarPort)
-	if !ok {
+	if !pr.farOK {
 		return
 	}
-	a.FarAS = farAS
-	fb := facsetOf(db.FacilitiesOfAS(farAS))
-	s := intersect(fb, fixp)
+	a.FarAS = pr.farAS
 	switch {
-	case len(s) > 0:
-		st.constrain(a.FarPort, s, fmt.Sprintf("public far %v x IXP%d", farAS, a.IXP))
+	case len(pr.farSet) > 0:
+		st.constrain(a.FarPort, pr.farSet, fmt.Sprintf("public far %v x IXP%d", pr.farAS, a.IXP))
 		st.markQueried(a.FarPort, a.IXP)
-	case len(fb) > 0:
-		if st.checkRemote(farAS, a.IXP) == 1 {
+	case len(pr.farFoot) > 0:
+		if st.checkRemote(pr.farAS, a.IXP) == 1 {
 			st.remoteIface[a.FarPort] = true
-			st.constrain(a.FarPort, fb, fmt.Sprintf("remote member %v of IXP%d", farAS, a.IXP))
+			st.constrain(a.FarPort, pr.farFoot, fmt.Sprintf("remote member %v of IXP%d", pr.farAS, a.IXP))
 		}
 	}
 }
 
-func (st *state) applyPrivate(a *Adjacency) {
-	db := st.p.db
-	nearAS, ok1 := st.ownerOf(a.Near)
-	farAS, ok2 := st.ownerOf(a.Far)
-	if !ok1 || !ok2 || nearAS == farAS {
-		return
+func (st *state) applyPrivate(a *Adjacency, pr adjProposal) {
+	if !pr.nearOK {
+		return // unresolvable or intra-AS pair: leave untouched
 	}
-	a.NearAS, a.FarAS = nearAS, farAS
-	fa := facsetOf(db.FacilitiesOfAS(nearAS))
-	fb := facsetOf(db.FacilitiesOfAS(farAS))
-	s := intersect(fa, fb)
-	if len(s) > 0 {
+	a.NearAS, a.FarAS = pr.nearAS, pr.farAS
+	if len(pr.nearSet) > 0 {
 		// Cross-connect: constrain the near end (§4.2). The candidate
 		// set is the pair's full co-presence list, never this single
 		// link's facility, because AS pairs interconnect in several
 		// metros and a narrower guess would collapse wrongly.
-		st.constrain(a.Near, s, fmt.Sprintf("private pair %v x %v (far %v)", nearAS, farAS, a.Far))
+		st.constrain(a.Near, pr.nearSet, fmt.Sprintf("private pair %v x %v (far %v)", pr.nearAS, pr.farAS, a.Far))
 		a.Type = PrivateCrossConnect
 		return
 	}
 	// No common facility: tethering over a shared IXP, or remote
 	// private peering / missing data (§4.2 outcome 3).
-	shared := sharedIXPs(db.IXPsOfAS(nearAS), db.IXPsOfAS(farAS))
-	if len(shared) == 0 {
+	if !pr.tethered {
 		a.Type = PrivateUnknown
 		return
 	}
@@ -392,31 +488,60 @@ func sharedIXPs(a, b []world.IXPID) []world.IXPID {
 	return out
 }
 
+// setIntersection computes the candidate intersection over one alias
+// set: nil when no member carries a constraint yet, empty (non-nil)
+// when members disagree outright. Pure — reads candidate sets only.
+func (st *state) setIntersection(set []netaddr.IP) facset {
+	var inter facset
+	for _, ip := range set {
+		c := st.cand[ip]
+		if c == nil {
+			continue
+		}
+		if inter == nil {
+			inter = make(facset, len(c))
+			for f := range c {
+				inter[f] = true
+			}
+			continue
+		}
+		inter = intersect(inter, c)
+	}
+	return inter
+}
+
 // aliasStep propagates constraints across alias sets (Step 3): all
 // interfaces of one router share a facility, so their candidate sets
-// intersect.
+// intersect. Alias sets partition the pool, so the per-set
+// intersections are independent: with multiple workers they precompute
+// sharded over the set list, and the constrain half applies them on
+// the coordinator in set order — identical to the serial interleaving
+// because no set's constraint can touch another set's members.
 func (st *state) aliasStep() {
 	if st.sets == nil {
 		return
 	}
-	for _, set := range st.sets.All() {
+	sets := st.sets.All()
+	var inters []facset
+	if w := st.p.cfg.workerCount(); w > 1 && len(sets) >= minParallelSets {
+		inters = make([]facset, len(sets))
+		parallelRanges(len(sets), w, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if len(sets[i]) >= 2 {
+					inters[i] = st.setIntersection(sets[i])
+				}
+			}
+		})
+	}
+	for i, set := range sets {
 		if len(set) < 2 {
 			continue
 		}
 		var inter facset
-		for _, ip := range set {
-			c := st.cand[ip]
-			if c == nil {
-				continue
-			}
-			if inter == nil {
-				inter = make(facset, len(c))
-				for f := range c {
-					inter[f] = true
-				}
-				continue
-			}
-			inter = intersect(inter, c)
+		if inters != nil {
+			inter = inters[i]
+		} else {
+			inter = st.setIntersection(set)
 		}
 		if len(inter) == 0 {
 			if inter != nil {

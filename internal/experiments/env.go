@@ -137,6 +137,18 @@ func (e *Env) RunCFS(cfg cfs.Config) *cfs.Result {
 	})
 }
 
+// FreshRunCFS builds a brand-new environment for the given world and
+// seed and runs the pipeline once. Use this — not two RunCFS calls on
+// one Env — when comparing runs for equivalence: the trace engine
+// derives measurement jitter from a global probe counter, so a second
+// run on a shared engine sees different RTT draws (and thus possibly
+// different remote-peering verdicts) than the first. A fresh
+// environment restarts the counter, making runs with equal (world,
+// seed, config) inputs bit-for-bit comparable.
+func FreshRunCFS(wcfg world.Config, seed int64, cfg cfs.Config) *cfs.Result {
+	return NewEnv(wcfg, seed).RunCFS(cfg)
+}
+
 // RunCFSOn executes the pipeline against a substitute registry database
 // (the Figure 8 knockout uses this).
 func (e *Env) RunCFSOn(cfg cfs.Config, db *registry.Database) *cfs.Result {

@@ -23,6 +23,31 @@ func FuzzParseIP(f *testing.F) {
 	})
 }
 
+// FuzzIPRoundTrip approaches the codec from the value side: every
+// uint32 is a valid IP, must render as dotted quad, and must survive
+// String → ParseIP unchanged. Together with FuzzParseIP (string side)
+// this pins the formatter and parser as exact inverses.
+func FuzzIPRoundTrip(f *testing.F) {
+	for _, seed := range []uint32{0, 1, 0xFFFFFFFF, 0x7F000001, 0x0A000001,
+		0xC0A80101, 0x08080808, 0x80000000, 0x00FFFF00} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw uint32) {
+		ip := IP(raw)
+		s := ip.String()
+		if s == "" {
+			t.Fatalf("IP(%#x) rendered empty", raw)
+		}
+		back, err := ParseIP(s)
+		if err != nil {
+			t.Fatalf("IP(%#x) rendered unparseable %q: %v", raw, s, err)
+		}
+		if back != ip {
+			t.Fatalf("round trip changed value: %#x -> %q -> %#x", raw, s, uint32(back))
+		}
+	})
+}
+
 // FuzzParsePrefix: no panic; valid prefixes have zero host bits and
 // round-trip.
 func FuzzParsePrefix(f *testing.F) {
