@@ -1,7 +1,8 @@
 # Development targets. CI (.github/workflows/ci.yml) runs the same
-# sequence: vet, build, test, race.
+# sequence — vet, build, test, race, the engine differential under
+# race — plus staticcheck (not vendored here; CI installs it).
 
-.PHONY: all vet build test race bench fuzz check
+.PHONY: all vet build test race bench fuzz experiments check
 
 all: check
 
@@ -21,6 +22,12 @@ race:
 
 bench:
 	go test -bench . -benchtime 1x -run XXX .
+
+# Regenerate the full experiments transcript (every table/figure of the
+# paper's evaluation) that EXPERIMENTS.md is written against. The output
+# is a build artifact and stays out of git (see .gitignore).
+experiments:
+	go run ./cmd/experiments > examples/experiments_output.txt
 
 fuzz:
 	go test -fuzz FuzzParseIP -fuzztime 30s ./internal/netaddr/

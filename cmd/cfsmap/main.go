@@ -5,12 +5,18 @@
 // Usage:
 //
 //	cfsmap [-profile small|default|paper] [-seed N] [-iterations N]
-//	       [-workers N] [-limit N] [-unresolved] [-validate] [-resilience]
+//	       [-workers N] [-engine worklist|rescan] [-v]
+//	       [-limit N] [-unresolved] [-validate] [-resilience]
 //
 // -workers bounds the goroutines used for the parallel phases of the
 // search (0 = one per CPU, 1 = fully serial). Every worker count
 // produces the identical mapping; the flag only trades wall-clock time
 // for cores.
+//
+// -engine picks the iteration core: the incremental worklist (default)
+// or the full-rescan escape hatch. Both produce the identical mapping;
+// -v prints the per-iteration convergence table (dirty adjacencies,
+// recomputed proposals, wall time) so the difference is observable.
 //
 // Offline mode runs the same algorithm on real data instead of the
 // simulator: a PeeringDB-style JSON dump, a plain-text BGP table
@@ -22,7 +28,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"facilitymap"
 	"facilitymap/internal/cfs"
@@ -38,6 +46,8 @@ func main() {
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		iterations = flag.Int("iterations", 100, "CFS iteration cap")
 		workers    = flag.Int("workers", 0, "worker goroutines for the parallel search phases (0 = one per CPU, 1 = serial)")
+		engine     = flag.String("engine", cfs.EngineWorklist, "CFS iteration core: worklist (incremental) or rescan (full)")
+		verbose    = flag.Bool("v", false, "print the per-iteration convergence table (work counters, wall time)")
 		limit      = flag.Int("limit", 40, "rows of the mapping to print (0 = all)")
 		unresolved = flag.Bool("unresolved", false, "include unresolved interfaces in the listing")
 		validate   = flag.Bool("validate", true, "score the mapping against the ground-truth sources")
@@ -51,8 +61,14 @@ func main() {
 	)
 	flag.Parse()
 
+	if *engine != cfs.EngineWorklist && *engine != cfs.EngineRescan {
+		fmt.Fprintf(os.Stderr, "cfsmap: unknown -engine %q (want %q or %q)\n",
+			*engine, cfs.EngineWorklist, cfs.EngineRescan)
+		os.Exit(2)
+	}
+
 	if *pdbFile != "" || *tracesFile != "" {
-		if err := runOffline(*pdbFile, *bgpFile, *tracesFile, *iterations, *workers, *limit, *unresolved); err != nil {
+		if err := runOffline(*pdbFile, *bgpFile, *tracesFile, *iterations, *workers, *engine, *limit, *unresolved, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -64,22 +80,30 @@ func main() {
 		Seed:          *seed,
 		MaxIterations: *iterations,
 		Workers:       *workers,
+		Engine:        *engine,
 		Explain:       *why != "",
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Printf("world: %d facilities, %d IXPs, %d ASes — running CFS...\n",
-		len(sys.Env.W.Facilities), len(sys.Env.W.IXPs), len(sys.Env.W.ASes))
+	fmt.Printf("world: %d facilities, %d IXPs, %d ASes — running CFS (%s engine)...\n",
+		len(sys.Env.W.Facilities), len(sys.Env.W.IXPs), len(sys.Env.W.ASes), *engine)
 
 	m := sys.MapInterconnections()
 	if *asJSON {
+		if *verbose {
+			printHistory(os.Stderr, m.Result().History) // keep stdout valid JSON
+		}
 		if err := m.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *verbose {
+		fmt.Println()
+		printHistory(os.Stdout, m.Result().History)
 	}
 	fmt.Println()
 	fmt.Println(m.Summary())
@@ -152,11 +176,24 @@ func main() {
 	}
 }
 
+// printHistory renders the per-iteration convergence table: resolution
+// progress plus the engine's work counters, so a rescan and a worklist
+// run can be compared without a profiler.
+func printHistory(w io.Writer, history []cfs.IterationStats) {
+	fmt.Fprintf(w, "%-5s %-9s %-9s %-8s %-8s %-7s %-10s %s\n",
+		"ITER", "OBSERVED", "RESOLVED", "FOLLOW", "NEWADJ", "DIRTY", "RECOMPUTED", "WALL")
+	for _, h := range history {
+		fmt.Fprintf(w, "%-5d %-9d %-9d %-8d %-8d %-7d %-10d %v\n",
+			h.Iteration, h.Observed, h.Resolved, h.FollowUps, h.NewAdjs,
+			h.DirtyAdjs, h.Recomputed, h.WallTime.Round(time.Microsecond))
+	}
+}
+
 // runOffline executes CFS over externally-supplied data: registry dump,
 // BGP table and traceroute transcripts. Alias resolution, remote-peering
 // detection and targeted follow-ups need live measurement access and are
 // disabled; steps 1-2 plus the §4.3/§4.4 placements still run.
-func runOffline(pdbFile, bgpFile, tracesFile string, iterations, workers, limit int, unresolved bool) error {
+func runOffline(pdbFile, bgpFile, tracesFile string, iterations, workers int, engine string, limit int, unresolved, verbose bool) error {
 	if pdbFile == "" || tracesFile == "" {
 		return fmt.Errorf("offline mode needs both -peeringdb and -traces")
 	}
@@ -199,11 +236,18 @@ func runOffline(pdbFile, bgpFile, tracesFile string, iterations, workers, limit 
 	cfg := cfs.DefaultConfig()
 	cfg.MaxIterations = iterations
 	cfg.Workers = workers
+	if engine != "" {
+		cfg.Engine = engine
+	}
 	cfg.UseTargeted = false
 	cfg.UseAliasResolution = false
 	cfg.UseRemoteDetection = false
 	res := cfs.New(cfg, db, svcIPASN, nil, nil, nil).Run(paths)
 
+	if verbose {
+		printHistory(os.Stdout, res.History)
+		fmt.Println()
+	}
 	fmt.Printf("interfaces observed: %d, resolved: %d (%.1f%%)\n\n",
 		len(res.Interfaces), res.Resolved(), 100*res.ResolvedFraction())
 	fmt.Printf("%-16s %-12s %-30s %s\n", "INTERFACE", "OWNER", "FACILITY", "CANDIDATES")

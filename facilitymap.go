@@ -47,6 +47,12 @@ type Config struct {
 	// search. 0 means one worker per available CPU; 1 runs fully
 	// serially. Every worker count produces the identical mapping.
 	Workers int
+	// Engine selects the CFS iteration core: "worklist" (incremental
+	// dirty-set propagation, the default — "" resolves to it) or
+	// "rescan" (reprocess everything each iteration). Both produce the
+	// identical mapping; the flag only trades engine bookkeeping for
+	// per-iteration work.
+	Engine string
 	// Explain records, per interface, the constraints that produced its
 	// inference; Lookup then returns them as Evidence.
 	Explain bool
@@ -79,6 +85,12 @@ func NewSystem(cfg Config) (*System, error) {
 	default:
 		return nil, fmt.Errorf("facilitymap: unknown profile %q", cfg.Profile)
 	}
+	switch cfg.Engine {
+	case "", cfs.EngineWorklist, cfs.EngineRescan:
+	default:
+		return nil, fmt.Errorf("facilitymap: unknown engine %q (want %q or %q)",
+			cfg.Engine, cfs.EngineWorklist, cfs.EngineRescan)
+	}
 	if cfg.Seed != 0 {
 		wcfg.Seed = cfg.Seed
 	}
@@ -93,6 +105,9 @@ func (s *System) MapInterconnections() *Mapping {
 		c.MaxIterations = s.cfg.MaxIterations
 	}
 	c.Workers = s.cfg.Workers
+	if s.cfg.Engine != "" {
+		c.Engine = s.cfg.Engine
+	}
 	c.TraceProvenance = s.cfg.Explain
 	res := s.Env.RunCFS(c)
 	return &Mapping{sys: s, res: res}

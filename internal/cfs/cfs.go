@@ -22,6 +22,8 @@
 package cfs
 
 import (
+	"time"
+
 	"facilitymap/internal/alias"
 	"facilitymap/internal/ip2asn"
 	"facilitymap/internal/netaddr"
@@ -29,6 +31,24 @@ import (
 	"facilitymap/internal/registry"
 	"facilitymap/internal/remote"
 	"facilitymap/internal/world"
+)
+
+// Engine selects the iteration-scheduling strategy of the CFS loop.
+// Both engines implement the same fixed-point semantics and produce
+// bit-for-bit identical results; they differ only in how much work each
+// iteration performs.
+const (
+	// EngineWorklist (the default) is the incremental core: a
+	// dependency index tracks which adjacencies and alias sets each
+	// interface feeds, and each iteration recomputes only the dirty
+	// ones — new adjacencies, adjacencies whose interface owners were
+	// repaired, and alias sets with a freshly-narrowed member.
+	EngineWorklist = "worklist"
+	// EngineRescan is the paper-literal loop: every iteration rescans
+	// every adjacency and every alias set. Kept as an escape hatch and
+	// as the reference the worklist engine is differentially tested
+	// against.
+	EngineRescan = "rescan"
 )
 
 // Config tunes the search and enables ablations.
@@ -65,6 +85,12 @@ type Config struct {
 	// simulator's probe-counter-derived randomness is untouched.
 	Workers int
 
+	// Engine selects the iteration core: EngineWorklist (incremental
+	// dirty-set propagation, the default — the empty string resolves to
+	// it) or EngineRescan (full rescan per iteration). Both produce the
+	// identical Result; see the engine differential test.
+	Engine string
+
 	// Ablation switches.
 	UseAliasResolution bool
 	UseTargeted        bool
@@ -90,6 +116,7 @@ func DefaultConfig() Config {
 		UseRemoteDetection:  true,
 		UseProximity:        true,
 		Workers:             0, // auto: one worker per available CPU
+		Engine:              EngineWorklist,
 	}
 }
 
@@ -101,13 +128,18 @@ type Pipeline struct {
 	svc    *platform.Service
 	det    *remote.Detector
 	prober *alias.Prober
+
+	// now supplies wall-clock readings for IterationStats.WallTime. It
+	// is the only clock in the package and never influences an
+	// inference; injectable so tests can pin it.
+	now func() time.Time
 }
 
 // New builds a pipeline. det and prober may be nil when the matching
 // config switches are off.
 func New(cfg Config, db *registry.Database, ipasn *ip2asn.Service,
 	svc *platform.Service, det *remote.Detector, prober *alias.Prober) *Pipeline {
-	return &Pipeline{cfg: cfg, db: db, ipasn: ipasn, svc: svc, det: det, prober: prober}
+	return &Pipeline{cfg: cfg, db: db, ipasn: ipasn, svc: svc, det: det, prober: prober, now: time.Now}
 }
 
 // LinkType is the inferred engineering approach of an interconnection.
@@ -198,8 +230,21 @@ type IterationStats struct {
 	CityOnly   int // constrained to one metro but not one facility
 	FollowUps  int // targeted traceroutes issued this iteration
 	NewAdjs    int // adjacencies added this iteration
-	Conflicts  int // empty-intersection constraint attempts
+	Conflicts  int // distinct conflicts discovered so far (cumulative)
 	RemoteSeen int // interfaces flagged remote so far
+
+	// DirtyAdjs counts the adjacencies the constraint step visited this
+	// iteration: the popped dirty set under EngineWorklist, the whole
+	// adjacency list under EngineRescan.
+	DirtyAdjs int
+	// Recomputed counts constraint proposals plus alias-set
+	// intersections actually recomputed this iteration — the engine's
+	// per-iteration work, and the number the worklist core shrinks.
+	Recomputed int
+	// WallTime is the wall-clock cost of the iteration, including any
+	// follow-up measurements. Purely observational: it never feeds an
+	// inference and is ignored by the equivalence tests.
+	WallTime time.Duration
 }
 
 // Result is the full outcome of one CFS run.

@@ -13,6 +13,11 @@ import (
 // possible to incrementally construct a more detailed map of
 // interconnections."
 //
+// Merge consumes finished Results, after an engine has run its loop to
+// the fixed point, so it is engine-agnostic: rescan-produced and
+// worklist-produced results (identical by the differential test) merge
+// identically.
+//
 // Per interface, candidate sets intersect across runs (each run's set is
 // a sound over-approximation, so the intersection is too); an interface
 // unresolved in one run may collapse to a single facility once another

@@ -26,6 +26,12 @@ import (
 // counter, so the coordinator issues every traceroute, fabric ping and
 // alias probe in exactly the serial order; only the surrounding pure
 // computation fans out.
+//
+// The split is engine-agnostic: the rescan engine shards the full
+// adjacency and alias-set lists, the worklist engine (worklist.go)
+// shards only its dirty subsets. Both reuse the same compute halves and
+// the same apply order (ascending index), so worker count and engine
+// choice compose freely without changing results.
 
 // Spawn thresholds: below these input sizes a phase runs serially even
 // when Workers > 1, because goroutine startup costs more than the work.

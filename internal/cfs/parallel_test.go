@@ -48,11 +48,43 @@ func freshRun(t testing.TB, wcfg world.Config, seed int64, cfg Config) *Result {
 	return p.RunObservations(Observations{Paths: s.initialCorpus(), Sessions: sessions})
 }
 
+// scrubHistory copies an iteration history with the observational
+// fields equivalence cannot cover zeroed out: WallTime always (wall
+// clocks are not deterministic), and the engine work counters when the
+// two runs used different engines (DirtyAdjs/Recomputed measure how
+// much work an engine did, which is exactly what the engines differ
+// in; everything else must still match bit for bit).
+func scrubHistory(h []IterationStats, dropEngineCounters bool) []IterationStats {
+	out := make([]IterationStats, len(h))
+	copy(out, h)
+	for i := range out {
+		out[i].WallTime = 0
+		if dropEngineCounters {
+			out[i].DirtyAdjs = 0
+			out[i].Recomputed = 0
+		}
+	}
+	return out
+}
+
 // requireEqualResults fails the test with a field-level diagnosis if two
 // results differ anywhere an exported field can differ. Result holds an
 // unexported func (aliasSetOf), so reflect.DeepEqual on the whole
 // struct is unusable; every other field is compared exhaustively.
 func requireEqualResults(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	requireResultsMatch(t, label, a, b, false)
+}
+
+// requireCrossEngineResults is requireEqualResults for runs made with
+// different engines: identical inferences, provenance and convergence
+// curve, with only the per-engine work counters exempt.
+func requireCrossEngineResults(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	requireResultsMatch(t, label, a, b, true)
+}
+
+func requireResultsMatch(t *testing.T, label string, a, b *Result, crossEngine bool) {
 	t.Helper()
 	if len(a.Interfaces) != len(b.Interfaces) {
 		t.Fatalf("%s: interface count %d vs %d", label, len(a.Interfaces), len(b.Interfaces))
@@ -74,8 +106,9 @@ func requireEqualResults(t *testing.T, label string, a, b *Result) {
 			t.Fatalf("%s: link %d differs:\n  a: %+v\n  b: %+v", label, i, *a.Links[i], *b.Links[i])
 		}
 	}
-	if !reflect.DeepEqual(a.History, b.History) {
-		t.Fatalf("%s: iteration histories differ:\n  a: %+v\n  b: %+v", label, a.History, b.History)
+	ah, bh := scrubHistory(a.History, crossEngine), scrubHistory(b.History, crossEngine)
+	if !reflect.DeepEqual(ah, bh) {
+		t.Fatalf("%s: iteration histories differ:\n  a: %+v\n  b: %+v", label, ah, bh)
 	}
 	if a.MissingFacilityData != b.MissingFacilityData ||
 		a.ProximityInferences != b.ProximityInferences ||

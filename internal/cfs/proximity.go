@@ -125,7 +125,9 @@ func (p *Pipeline) learnProximity(st *state, res *Result) *Proximity {
 // far-end ports that still carry multiple candidate facilities. The
 // placement pass stays on the coordinator: placing one far port flips
 // it to resolved, which later adjacencies sharing the port observe, so
-// adjacency order is semantics.
+// adjacency order is semantics. Like applyFarEnd it runs once, after
+// the iteration loop reached its fixed point, on the assembled Result —
+// outside any engine's dirty-set accounting.
 func (p *Pipeline) applyProximity(st *state, res *Result) {
 	px := p.learnProximity(st, res)
 	for _, a := range st.adjOrder {

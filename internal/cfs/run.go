@@ -15,8 +15,49 @@ func (p *Pipeline) Run(initial []trace.Path) *Result {
 	return p.run(Observations{Paths: initial})
 }
 
+// engine schedules the per-iteration work of the CFS loop. Both
+// implementations share all state-mutation code; they differ only in
+// which adjacencies and alias sets an iteration visits. The contract —
+// enforced by the engine differential test — is that every engine
+// produces the bit-for-bit identical Result.
+type engine interface {
+	// resolveAliases (re-)runs alias resolution before an iteration.
+	resolveAliases()
+	// constraintPass runs Step 2, returning how many adjacencies were
+	// visited and how many constraint proposals were recomputed.
+	constraintPass() (dirty, recomputed int)
+	// aliasPass runs Step 3, returning the alias-set intersections
+	// recomputed.
+	aliasPass() (recomputed int)
+}
+
+// rescanEngine is the paper-literal fixed-point loop: every iteration
+// reprocesses every adjacency and every alias set. Correct because all
+// constraints are monotone; wasteful because after the first pass only
+// state touched by new observations can still change.
+type rescanEngine struct{ st *state }
+
+func (e *rescanEngine) resolveAliases() { e.st.resolveAliases() }
+
+func (e *rescanEngine) constraintPass() (dirty, recomputed int) {
+	e.st.applyConstraints()
+	return len(e.st.adjOrder), len(e.st.adjOrder)
+}
+
+func (e *rescanEngine) aliasPass() (recomputed int) { return e.st.aliasStep() }
+
+// newEngine selects the iteration core for cfg. Anything other than
+// the explicit EngineRescan escape hatch gets the worklist core.
+func newEngine(cfg Config, st *state) engine {
+	if cfg.Engine == EngineRescan {
+		return &rescanEngine{st: st}
+	}
+	return newWorklist(st)
+}
+
 func (p *Pipeline) run(obs Observations) *Result {
 	st := p.newState()
+	eng := newEngine(p.cfg, st)
 	st.ingestPaths(obs.Paths)
 	for _, s := range obs.Sessions {
 		st.processSession(s)
@@ -29,20 +70,24 @@ func (p *Pipeline) run(obs Observations) *Result {
 
 	var history []IterationStats
 	for iter := 1; iter <= p.cfg.MaxIterations; iter++ {
+		start := p.now()
 		st.changed = false
 		if aliasAt[iter] {
-			st.resolveAliases()
+			eng.resolveAliases()
 		}
-		st.applyConstraints()
-		st.aliasStep()
+		dirty, recomputed := eng.constraintPass()
+		recomputed += eng.aliasPass()
 
 		stats := st.snapshot(iter)
+		stats.DirtyAdjs = dirty
+		stats.Recomputed = recomputed
 		followUps, newAdjs := 0, 0
 		if p.cfg.UseTargeted && p.svc != nil && iter < p.cfg.MaxIterations {
 			followUps, newAdjs = st.targetedRound(iter)
 		}
 		stats.FollowUps = followUps
 		stats.NewAdjs = newAdjs
+		stats.WallTime = p.now().Sub(start)
 		history = append(history, stats)
 
 		if stats.Resolved == stats.Observed {

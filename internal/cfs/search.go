@@ -70,8 +70,21 @@ type state struct {
 	// session listings; they outrank alias repair and prefix matching.
 	pinned map[netaddr.IP]world.ASN
 
-	conflicts int
-	changed   bool
+	// conflicts counts distinct conflicts. Counting is transition-based
+	// — a given adjacency side or alias set increments it at most once
+	// per cause (adjConflicts / setConflicts record what was already
+	// counted) — so the rescan engine, which keeps re-attempting the
+	// same doomed intersections, agrees with the worklist engine, which
+	// never revisits them.
+	conflicts    int
+	adjConflicts map[adjConflictKey]bool
+	setConflicts map[netaddr.IP]bool // keyed by the set's first member
+	changed      bool
+
+	// wl is the dirty-set tracker when the worklist engine drives this
+	// state; nil under the rescan engine. constrain reports every
+	// candidate-set narrowing to it so dependent alias sets re-enqueue.
+	wl *worklist
 
 	// allASNs caches the (static, sorted) origin-AS list the target
 	// scan walks, so concurrent planners don't re-sort it per call.
@@ -96,6 +109,9 @@ func (p *Pipeline) newState() *state {
 		portOf:      make(map[portKey]netaddr.IP),
 		remoteCache: make(map[portKey]int),
 		remoteIface: make(map[netaddr.IP]bool),
+
+		adjConflicts: make(map[adjConflictKey]bool),
+		setConflicts: make(map[netaddr.IP]bool),
 	}
 	if p.cfg.TraceProvenance {
 		st.prov = make(map[netaddr.IP][]string)
@@ -242,16 +258,32 @@ func (st *state) processPath(path trace.Path) int {
 	return st.applyPathEvents(path, st.classifyPath(path, st.ownerOf, nil))
 }
 
+// constrainOutcome reports what a constrain call did.
+type constrainOutcome int
+
+const (
+	constrainNoop constrainOutcome = iota
+	constrainNarrowed
+	constrainConflict
+)
+
+// adjConflictKey identifies one conflict cause of one adjacency: the
+// adjacency's position in adjOrder plus which constraint failed.
+type adjConflictKey struct {
+	idx  int
+	side uint8 // 'n' near set, 'f' far set, 'r' remote verdict vs facility data
+}
+
 // constrain intersects ip's candidate set with s (Step 2). Candidate
 // sets only ever shrink; an empty intersection signals inconsistent
-// data and leaves the previous set untouched. The reason string feeds
-// the provenance log when tracing is enabled.
-func (st *state) constrain(ip netaddr.IP, s facset, reason string) {
+// data and leaves the previous set untouched. Provenance records only
+// applications that change the set — re-deriving the same constraint
+// is a no-op, not new evidence — which also keeps the trace identical
+// whether or not an engine bothers to re-derive it. The caller decides
+// whether a conflict outcome is newly discovered.
+func (st *state) constrain(ip netaddr.IP, s facset, reason string) constrainOutcome {
 	if len(s) == 0 {
-		return
-	}
-	if st.prov != nil {
-		st.prov[ip] = append(st.prov[ip], fmt.Sprintf("%s -> %d candidates", reason, len(s)))
+		return constrainNoop
 	}
 	cur := st.cand[ip]
 	if cur == nil {
@@ -260,17 +292,39 @@ func (st *state) constrain(ip netaddr.IP, s facset, reason string) {
 			cp[f] = true
 		}
 		st.cand[ip] = cp
-		st.changed = true
-		return
+		st.noteNarrowed(ip, reason, len(cp))
+		return constrainNarrowed
 	}
 	inter := intersect(cur, s)
 	if len(inter) == 0 {
-		st.conflicts++
-		return
+		return constrainConflict
 	}
 	if len(inter) != len(cur) {
 		st.cand[ip] = inter
-		st.changed = true
+		st.noteNarrowed(ip, reason, len(inter))
+		return constrainNarrowed
+	}
+	return constrainNoop
+}
+
+// noteNarrowed records the bookkeeping of a candidate-set change:
+// provenance, the fixed-point flag, and the worklist's dirty marking.
+func (st *state) noteNarrowed(ip netaddr.IP, reason string, size int) {
+	st.changed = true
+	if st.prov != nil {
+		st.prov[ip] = append(st.prov[ip], fmt.Sprintf("%s -> %d candidates", reason, size))
+	}
+	if st.wl != nil {
+		st.wl.candChanged(ip)
+	}
+}
+
+// noteAdjConflict counts a conflict of one adjacency side exactly once.
+func (st *state) noteAdjConflict(idx int, side uint8) {
+	key := adjConflictKey{idx, side}
+	if !st.adjConflicts[key] {
+		st.adjConflicts[key] = true
+		st.conflicts++
 	}
 }
 
@@ -386,30 +440,32 @@ func (st *state) applyConstraints() {
 			}
 		})
 		for i, a := range adjs {
-			st.applyProposal(a, proposals[i])
+			st.applyProposal(i, a, proposals[i])
 		}
 		return
 	}
-	for _, a := range adjs {
-		st.applyProposal(a, st.computeProposal(a, st.ownerOf))
+	for i, a := range adjs {
+		st.applyProposal(i, a, st.computeProposal(a, st.ownerOf))
 	}
 }
 
-func (st *state) applyProposal(a *Adjacency, pr adjProposal) {
+func (st *state) applyProposal(idx int, a *Adjacency, pr adjProposal) {
 	if a.Public {
-		st.applyPublic(a, pr)
+		st.applyPublic(idx, a, pr)
 	} else {
-		st.applyPrivate(a, pr)
+		st.applyPrivate(idx, a, pr)
 	}
 }
 
-func (st *state) applyPublic(a *Adjacency, pr adjProposal) {
+func (st *state) applyPublic(idx int, a *Adjacency, pr adjProposal) {
 	// Near side.
 	if pr.nearOK {
 		a.NearAS = pr.nearAS
 		switch {
 		case len(pr.nearSet) > 0:
-			st.constrain(a.Near, pr.nearSet, fmt.Sprintf("public near %v x IXP%d", pr.nearAS, a.IXP))
+			if st.constrain(a.Near, pr.nearSet, fmt.Sprintf("public near %v x IXP%d", pr.nearAS, a.IXP)) == constrainConflict {
+				st.noteAdjConflict(idx, 'n')
+			}
 			st.markQueried(a.Near, a.IXP)
 			a.Type = PublicLocal
 		case len(pr.nearFoot) > 0:
@@ -418,10 +474,12 @@ func (st *state) applyPublic(a *Adjacency, pr adjProposal) {
 			case 1:
 				st.remoteIface[a.Near] = true
 				// Anywhere in the member's footprint.
-				st.constrain(a.Near, pr.nearFoot, fmt.Sprintf("remote member %v of IXP%d", pr.nearAS, a.IXP))
+				if st.constrain(a.Near, pr.nearFoot, fmt.Sprintf("remote member %v of IXP%d", pr.nearAS, a.IXP)) == constrainConflict {
+					st.noteAdjConflict(idx, 'n')
+				}
 				a.Type = PublicRemote
 			case 2:
-				st.conflicts++ // detector says local yet no common facility
+				st.noteAdjConflict(idx, 'r') // detector says local yet no common facility
 			}
 		}
 	}
@@ -435,17 +493,21 @@ func (st *state) applyPublic(a *Adjacency, pr adjProposal) {
 	a.FarAS = pr.farAS
 	switch {
 	case len(pr.farSet) > 0:
-		st.constrain(a.FarPort, pr.farSet, fmt.Sprintf("public far %v x IXP%d", pr.farAS, a.IXP))
+		if st.constrain(a.FarPort, pr.farSet, fmt.Sprintf("public far %v x IXP%d", pr.farAS, a.IXP)) == constrainConflict {
+			st.noteAdjConflict(idx, 'f')
+		}
 		st.markQueried(a.FarPort, a.IXP)
 	case len(pr.farFoot) > 0:
 		if st.checkRemote(pr.farAS, a.IXP) == 1 {
 			st.remoteIface[a.FarPort] = true
-			st.constrain(a.FarPort, pr.farFoot, fmt.Sprintf("remote member %v of IXP%d", pr.farAS, a.IXP))
+			if st.constrain(a.FarPort, pr.farFoot, fmt.Sprintf("remote member %v of IXP%d", pr.farAS, a.IXP)) == constrainConflict {
+				st.noteAdjConflict(idx, 'f')
+			}
 		}
 	}
 }
 
-func (st *state) applyPrivate(a *Adjacency, pr adjProposal) {
+func (st *state) applyPrivate(idx int, a *Adjacency, pr adjProposal) {
 	if !pr.nearOK {
 		return // unresolvable or intra-AS pair: leave untouched
 	}
@@ -455,7 +517,9 @@ func (st *state) applyPrivate(a *Adjacency, pr adjProposal) {
 		// set is the pair's full co-presence list, never this single
 		// link's facility, because AS pairs interconnect in several
 		// metros and a narrower guess would collapse wrongly.
-		st.constrain(a.Near, pr.nearSet, fmt.Sprintf("private pair %v x %v (far %v)", pr.nearAS, pr.farAS, a.Far))
+		if st.constrain(a.Near, pr.nearSet, fmt.Sprintf("private pair %v x %v (far %v)", pr.nearAS, pr.farAS, a.Far)) == constrainConflict {
+			st.noteAdjConflict(idx, 'n')
+		}
 		a.Type = PrivateCrossConnect
 		return
 	}
@@ -512,31 +576,42 @@ func (st *state) setIntersection(set []netaddr.IP) facset {
 
 // aliasStep propagates constraints across alias sets (Step 3): all
 // interfaces of one router share a facility, so their candidate sets
-// intersect. Alias sets partition the pool, so the per-set
-// intersections are independent: with multiple workers they precompute
-// sharded over the set list, and the constrain half applies them on
-// the coordinator in set order — identical to the serial interleaving
-// because no set's constraint can touch another set's members.
-func (st *state) aliasStep() {
+// intersect. The rescan engine revisits every set each iteration; the
+// worklist engine calls aliasStepSets with only the dirty ones.
+func (st *state) aliasStep() (recomputed int) {
 	if st.sets == nil {
-		return
+		return 0
 	}
 	sets := st.sets.All()
+	idxs := make([]int, 0, len(sets))
+	for i, set := range sets {
+		if len(set) >= 2 {
+			idxs = append(idxs, i)
+		}
+	}
+	return st.aliasStepSets(idxs)
+}
+
+// aliasStepSets runs Step 3 over the multi-member alias sets named by
+// ascending indices into Sets.All. Alias sets partition the pool, so
+// the per-set intersections are independent: with multiple workers they
+// precompute sharded over the index list, and the constrain half
+// applies them on the coordinator in set order — identical to the
+// serial interleaving because no set's constraint can touch another
+// set's members. Returns the number of intersections recomputed.
+func (st *state) aliasStepSets(idxs []int) (recomputed int) {
+	sets := st.sets.All()
 	var inters []facset
-	if w := st.p.cfg.workerCount(); w > 1 && len(sets) >= minParallelSets {
-		inters = make([]facset, len(sets))
-		parallelRanges(len(sets), w, func(_, lo, hi int) {
+	if w := st.p.cfg.workerCount(); w > 1 && len(idxs) >= minParallelSets {
+		inters = make([]facset, len(idxs))
+		parallelRanges(len(idxs), w, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				if len(sets[i]) >= 2 {
-					inters[i] = st.setIntersection(sets[i])
-				}
+				inters[i] = st.setIntersection(sets[idxs[i]])
 			}
 		})
 	}
-	for i, set := range sets {
-		if len(set) < 2 {
-			continue
-		}
+	for i, idx := range idxs {
+		set := sets[idx]
 		var inter facset
 		if inters != nil {
 			inter = inters[i]
@@ -545,13 +620,32 @@ func (st *state) aliasStep() {
 		}
 		if len(inter) == 0 {
 			if inter != nil {
-				st.conflicts++
+				st.noteSetConflict(set[0])
 			}
 			continue
+		}
+		// Applying the intersection brings every member to the set's
+		// fixed point; tell the worklist not to re-enqueue the set for
+		// its own narrowings.
+		if st.wl != nil {
+			st.wl.applyingSet = idx
 		}
 		for _, ip := range set {
 			st.constrain(ip, inter, fmt.Sprintf("alias set of %v", set[0]))
 		}
+		if st.wl != nil {
+			st.wl.applyingSet = -1
+		}
+	}
+	return len(idxs)
+}
+
+// noteSetConflict counts a disagreeing alias set once, keyed by its
+// first (smallest) member so the count survives set rebuilds.
+func (st *state) noteSetConflict(first netaddr.IP) {
+	if !st.setConflicts[first] {
+		st.setConflicts[first] = true
+		st.conflicts++
 	}
 }
 

@@ -21,7 +21,9 @@ type SessionObservation struct {
 }
 
 // Observations bundles everything a run can consume: traceroute paths
-// plus looking-glass session listings.
+// plus looking-glass session listings. Both fold into the state before
+// iteration 1, so every adjacency they create enters the worklist
+// engine's dirty set on the first constraint pass.
 type Observations struct {
 	Paths    []trace.Path
 	Sessions []SessionObservation

@@ -78,6 +78,97 @@ func TestSessionsImproveResolution(t *testing.T) {
 	}
 }
 
+// TestSessionZeroLocalIP covers LG rows whose local address is not
+// derivable, ingested through the worklist engine: a private peer on a
+// usable /30 slot derives its partner (pinned to the glass's AS), a
+// peer on a network/broadcast slot is dropped entirely, a peer on an
+// IXP LAN synthesises a far-side-only adjacency — and the rescan
+// engine ingests all three identically.
+func TestSessionZeroLocalIP(t *testing.T) {
+	s := buildStack(t, world.Small())
+
+	var privPeer netaddr.IP
+	var privAS world.ASN
+	for _, ifc := range s.w.Interfaces {
+		if ifc.Kind == world.IXPPort {
+			continue
+		}
+		if r := ifc.IP % 4; r != 1 && r != 2 {
+			continue
+		}
+		if _, onLAN := s.db.IXPByIP(ifc.IP); onLAN {
+			continue
+		}
+		privPeer, privAS = ifc.IP, s.w.Routers[ifc.Router].AS
+		break
+	}
+	if privPeer == 0 {
+		t.Fatal("no usable private /30 interface in small world")
+	}
+	droppedPeer := privPeer - privPeer%4 // network slot: no partner derivable
+
+	var pubPeer netaddr.IP
+	var pubAS world.ASN
+	for _, m := range s.w.Memberships {
+		if _, confirmed := s.db.IXPs[m.IXP]; confirmed {
+			pubPeer, pubAS = s.w.Interfaces[m.Port].IP, m.AS
+			break
+		}
+	}
+	if pubPeer == 0 {
+		t.Skip("no confirmed memberships in small world")
+	}
+
+	const lgAS = world.ASN(64499)
+	obs := Observations{Sessions: []SessionObservation{
+		{LGAS: lgAS, PeerIP: privPeer, PeerAS: privAS},
+		{LGAS: lgAS, PeerIP: droppedPeer, PeerAS: privAS},
+		{LGAS: lgAS, PeerIP: pubPeer, PeerAS: pubAS},
+	}}
+	runEngine := func(engine string) *Result {
+		cfg := DefaultConfig()
+		cfg.Engine = engine
+		cfg.Workers = 1
+		cfg.MaxIterations = 3
+		cfg.UseTargeted = false
+		cfg.UseAliasResolution = false
+		cfg.UseRemoteDetection = false
+		return New(cfg, s.db, s.ipasn, nil, nil, nil).RunObservations(obs)
+	}
+	res := runEngine(EngineWorklist)
+
+	near := P2PPartner(privPeer)
+	ir := res.Interfaces[near]
+	if ir == nil {
+		t.Fatalf("derived local side %v missing from pool", near)
+	}
+	if ir.Owner != lgAS {
+		t.Errorf("derived local side owned by %v, want pinned %v", ir.Owner, lgAS)
+	}
+	if peer := res.Interfaces[privPeer]; peer == nil || peer.Owner != privAS {
+		t.Errorf("private peer %v not pinned to %v: %+v", privPeer, privAS, peer)
+	}
+	if _, ok := res.Interfaces[droppedPeer]; ok {
+		t.Errorf("underivable session peer %v entered the pool", droppedPeer)
+	}
+	farOnly := false
+	for _, l := range res.Links {
+		if l.Public && l.Near == 0 && l.FarPort == pubPeer {
+			farOnly = true
+		}
+	}
+	if !farOnly {
+		t.Errorf("no far-side-only adjacency synthesised for %v", pubPeer)
+	}
+	if pub := res.Interfaces[pubPeer]; pub == nil || len(pub.Candidates) == 0 {
+		t.Errorf("far port %v gained no candidates from the listing", pubPeer)
+	}
+
+	// No measurements issue in this configuration, so a second run over
+	// the same stack is deterministic: both engines must agree exactly.
+	requireCrossEngineResults(t, "zero-LocalIP sessions", runEngine(EngineRescan), res)
+}
+
 // TestSessionPublicFarSide: a session whose peer sits on an IXP LAN
 // constrains the far port even without a local address.
 func TestSessionPublicFarSide(t *testing.T) {

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -131,6 +132,84 @@ func TestRender(t *testing.T) {
 	}
 	// Rendering more rows than facilities must not panic.
 	_ = f.an.Render(10000)
+}
+
+// TestSinglePointOfFailure builds a synthetic result in which one AS
+// pair's entire interconnection surface sits in a single facility and
+// asserts the single-point-of-failure report: the pair shows up in
+// SingleSitePairs, an outage of that facility severs it, and a pair
+// with a second site is only degraded.
+func TestSinglePointOfFailure(t *testing.T) {
+	f := fx(t)
+	var facs []world.FacilityID
+	for id := range f.db.Facilities {
+		facs = append(facs, id)
+	}
+	sort.Slice(facs, func(i, j int) bool { return facs[i] < facs[j] })
+	if len(facs) < 2 {
+		t.Fatalf("fixture registry has %d facilities; need 2", len(facs))
+	}
+	soleFac, otherFac := facs[0], facs[1]
+
+	mustIP := func(s string) netaddr.IP {
+		ip, err := netaddr.ParseIP(s)
+		if err != nil {
+			t.Fatalf("ParseIP(%q): %v", s, err)
+		}
+		return ip
+	}
+	iface := func(s string, owner world.ASN, fac world.FacilityID) (netaddr.IP, *cfs.InterfaceResult) {
+		ip := mustIP(s)
+		return ip, &cfs.InterfaceResult{
+			IP: ip, Owner: owner, Resolved: true,
+			Facility: fac, Candidates: []world.FacilityID{fac},
+		}
+	}
+	ip1, ir1 := iface("10.0.0.1", 100, soleFac) // AS100 at the sole site
+	ip2, ir2 := iface("10.0.0.2", 200, soleFac) // AS200, only peers with AS100 there
+	ip3, ir3 := iface("10.0.0.3", 100, otherFac)
+	res := &cfs.Result{
+		Interfaces: map[netaddr.IP]*cfs.InterfaceResult{ip1: ir1, ip2: ir2, ip3: ir3},
+		Links: []*cfs.Adjacency{
+			// Pair (100, 200): single known site.
+			{Near: ip1, NearAS: 100, Far: ip2, FarAS: 200},
+			// Pair (100, 300): two sites — degraded, never severed.
+			{Near: ip1, NearAS: 100, Far: mustIP("10.0.1.1"), FarAS: 300},
+			{Near: ip3, NearAS: 100, Far: mustIP("10.0.1.2"), FarAS: 300},
+		},
+	}
+	an := Analyze(f.db, res)
+
+	want := ASPair{100, 200}
+	if pairs := an.SingleSitePairs(); len(pairs) != 1 || pairs[0] != want {
+		t.Fatalf("SingleSitePairs = %+v, want exactly %+v", pairs, want)
+	}
+	for _, r := range an.Ranking() {
+		wantSole := 0
+		if r.Facility == soleFac {
+			wantSole = 1
+		}
+		if r.SolePairs != wantSole {
+			t.Errorf("facility %d: SolePairs = %d, want %d", r.Facility, r.SolePairs, wantSole)
+		}
+	}
+
+	out := an.SimulateOutage(soleFac)
+	if len(out.SeveredPairs) != 1 || out.SeveredPairs[0] != want {
+		t.Fatalf("outage severed %+v, want exactly %+v", out.SeveredPairs, want)
+	}
+	if out.DegradedPairs != 1 { // pair (100, 300) loses one of its two sites
+		t.Errorf("outage degraded %d pairs, want 1", out.DegradedPairs)
+	}
+	if out.LostInterfaces != 2 || out.LostLinks != 2 {
+		t.Errorf("outage lost %d interfaces / %d links, want 2/2",
+			out.LostInterfaces, out.LostLinks)
+	}
+	// The surviving site keeps pair (100, 300) alive: degraded only.
+	if other := an.SimulateOutage(otherFac); len(other.SeveredPairs) != 0 || other.DegradedPairs != 1 {
+		t.Errorf("other-site outage = severed %+v degraded %d, want none/1",
+			other.SeveredPairs, other.DegradedPairs)
+	}
 }
 
 func TestMetroOutage(t *testing.T) {
