@@ -2,7 +2,7 @@
 # sequence — vet, build, test, race, the engine differential under
 # race — plus staticcheck (not vendored here; CI installs it).
 
-.PHONY: all vet build test race bench fuzz experiments check
+.PHONY: all vet build test race bench bench-figures fuzz experiments check
 
 all: check
 
@@ -20,7 +20,18 @@ test:
 race:
 	go test -race ./internal/cfs/... ./internal/trace/...
 
+# Engine benchmark harness: times both CFS cores (observability off and
+# on) and writes machine-readable BENCH_cfs.json — ns/op, probes
+# issued, proposals recomputed, peak RSS. Override the knobs for a CI
+# smoke run: make bench BENCH_PROFILE=small BENCH_RUNS=1
+BENCH_PROFILE ?= default
+BENCH_RUNS ?= 3
+BENCH_FLAGS ?=
 bench:
+	go run ./cmd/cfsbench -profile $(BENCH_PROFILE) -runs $(BENCH_RUNS) $(BENCH_FLAGS) -out BENCH_cfs.json
+
+# The figure/table reproduction benchmarks (go test -bench).
+bench-figures:
 	go test -bench . -benchtime 1x -run XXX .
 
 # Regenerate the full experiments transcript (every table/figure of the

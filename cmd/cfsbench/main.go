@@ -1,0 +1,211 @@
+// Command cfsbench benchmarks both CFS iteration cores and writes a
+// machine-readable report (BENCH_cfs.json by default): wall time per
+// run, probes issued, proposals recomputed, candidate-set narrowings,
+// and the process's peak RSS. Each run rebuilds a fresh environment so
+// the engines see bit-for-bit identical inputs; the tool fails if the
+// two engines disagree on the resolved count.
+//
+// Every engine is timed twice — observability off and on — and the
+// ratio is reported as obs_overhead_x. -max-overhead N turns that into
+// a gate: exit nonzero when any engine's enabled/disabled ratio
+// exceeds N (0, the default, disables the gate). CI uses a generous
+// bound purely as a smoke check that the disabled path stays free.
+//
+// Usage:
+//
+//	cfsbench [-profile small|default|paper] [-seed N] [-runs N]
+//	         [-out FILE] [-max-overhead X]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+	"time"
+
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/experiments"
+	"facilitymap/internal/obs"
+	"facilitymap/internal/world"
+)
+
+// engineReport is one engine's measurements. ns_per_op is the mean
+// wall time of a full CFS run (campaigns included, world generation
+// excluded) with observability disabled; ns_per_op_observed is the
+// same with metrics and tracing attached.
+type engineReport struct {
+	Engine              string  `json:"engine"`
+	NsPerOp             int64   `json:"ns_per_op"`
+	NsPerOpObserved     int64   `json:"ns_per_op_observed"`
+	ObsOverheadX        float64 `json:"obs_overhead_x"`
+	ProbesIssued        int64   `json:"probes_issued"`
+	ProposalsRecomputed int64   `json:"proposals_recomputed"`
+	Narrowings          int64   `json:"narrowings"`
+	Iterations          int     `json:"iterations"`
+	Interfaces          int     `json:"interfaces"`
+	Resolved            int     `json:"resolved"`
+}
+
+type report struct {
+	Profile      string         `json:"profile"`
+	Seed         int64          `json:"seed"`
+	Runs         int            `json:"runs"`
+	GoMaxProcs   int            `json:"go_max_procs"`
+	PeakRSSBytes int64          `json:"peak_rss_bytes"`
+	Engines      []engineReport `json:"engines"`
+}
+
+func main() {
+	var (
+		profile     = flag.String("profile", "small", "world profile: small, default or paper")
+		seed        = flag.Int64("seed", 42, "simulation seed")
+		runs        = flag.Int("runs", 3, "timed runs per engine per mode (fresh environment each)")
+		out         = flag.String("out", "BENCH_cfs.json", "output file")
+		maxOverhead = flag.Float64("max-overhead", 0, "fail when obs-on/obs-off wall-time ratio exceeds this (0 = no gate)")
+	)
+	flag.Parse()
+
+	var wcfg world.Config
+	switch *profile {
+	case "small":
+		wcfg = world.Small()
+	case "default":
+		wcfg = world.Default()
+	case "paper":
+		wcfg = world.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "cfsbench: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	if *runs < 1 {
+		*runs = 1
+	}
+
+	rep := report{
+		Profile:    *profile,
+		Seed:       *seed,
+		Runs:       *runs,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, engine := range []string{cfs.EngineWorklist, cfs.EngineRescan} {
+		er, err := measure(wcfg, *seed, engine, *runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Engines = append(rep.Engines, er)
+		fmt.Printf("%-9s %12d ns/op  %12d ns/op(observed)  %8d probes  %8d recomputed  %6d narrowings\n",
+			engine, er.NsPerOp, er.NsPerOpObserved, er.ProbesIssued, er.ProposalsRecomputed, er.Narrowings)
+	}
+	if a, b := rep.Engines[0], rep.Engines[1]; a.Resolved != b.Resolved || a.Interfaces != b.Interfaces {
+		fmt.Fprintf(os.Stderr, "cfsbench: engines diverged: %s resolved %d/%d, %s resolved %d/%d\n",
+			a.Engine, a.Resolved, a.Interfaces, b.Engine, b.Resolved, b.Interfaces)
+		os.Exit(1)
+	}
+	rep.PeakRSSBytes = peakRSS()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfsbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fmt.Fprintf(os.Stderr, "cfsbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "cfsbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (peak RSS %.1f MiB)\n", *out, float64(rep.PeakRSSBytes)/(1<<20))
+
+	if *maxOverhead > 0 {
+		for _, er := range rep.Engines {
+			if er.ObsOverheadX > *maxOverhead {
+				fmt.Fprintf(os.Stderr, "cfsbench: %s engine obs overhead %.2fx exceeds gate %.2fx\n",
+					er.Engine, er.ObsOverheadX, *maxOverhead)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// measure times `runs` full CFS runs of one engine in both modes and
+// folds the work counters of the final observed run into the report.
+func measure(wcfg world.Config, seed int64, engine string, runs int) (engineReport, error) {
+	cfg := cfs.DefaultConfig()
+	cfg.Engine = engine
+	er := engineReport{Engine: engine}
+
+	plain, _, err := timedRuns(wcfg, seed, cfg, runs, false, &er)
+	if err != nil {
+		return er, err
+	}
+	observed, snap, err := timedRuns(wcfg, seed, cfg, runs, true, &er)
+	if err != nil {
+		return er, err
+	}
+	er.NsPerOp = plain.Nanoseconds() / int64(runs)
+	er.NsPerOpObserved = observed.Nanoseconds() / int64(runs)
+	if er.NsPerOp > 0 {
+		er.ObsOverheadX = float64(er.NsPerOpObserved) / float64(er.NsPerOp)
+	}
+	er.Narrowings = snap.Counters["cfs.narrowings"]
+	return er, nil
+}
+
+// timedRuns executes `runs` fresh-environment CFS runs, timing only the
+// pipeline (campaigns through convergence), and records the final run's
+// probe ledger and work counters in er.
+func timedRuns(wcfg world.Config, seed int64, cfg cfs.Config, runs int, observe bool, er *engineReport) (time.Duration, obs.Snapshot, error) {
+	var total time.Duration
+	var snap obs.Snapshot
+	for i := 0; i < runs; i++ {
+		env := experiments.NewEnv(wcfg, seed)
+		var o *obs.Obs
+		if observe {
+			o = obs.New(1 << 12)
+			env.Instrument(o)
+		}
+		t0 := time.Now()
+		res := env.RunCFS(cfg)
+		total += time.Since(t0)
+		if len(res.Interfaces) == 0 {
+			return 0, snap, fmt.Errorf("%s engine observed no interfaces", cfg.Engine)
+		}
+		er.ProbesIssued = int64(env.Engine.Probes())
+		er.Iterations = len(res.History)
+		er.Interfaces = len(res.Interfaces)
+		er.Resolved = res.Resolved()
+		recomputed := 0
+		for _, h := range res.History {
+			recomputed += h.Recomputed
+		}
+		er.ProposalsRecomputed = int64(recomputed)
+		if o != nil {
+			snap = o.Metrics.Snapshot()
+			if got := snap.Counters["trace.probes.traceroute"] +
+				snap.Counters["trace.probes.ping"] +
+				snap.Counters["trace.probes.fabric_ping"]; got != er.ProbesIssued {
+				return 0, snap, fmt.Errorf("%s engine: obs counters book %d probes, engine ledger %d",
+					cfg.Engine, got, er.ProbesIssued)
+			}
+		}
+	}
+	return total, snap, nil
+}
+
+// peakRSS reports the process's peak resident set in bytes (Linux
+// getrusage reports KiB).
+func peakRSS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
+}

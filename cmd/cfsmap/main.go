@@ -7,6 +7,7 @@
 //	cfsmap [-profile small|default|paper] [-seed N] [-iterations N]
 //	       [-workers N] [-engine worklist|rescan] [-v]
 //	       [-limit N] [-unresolved] [-validate] [-resilience]
+//	       [-metrics] [-trace-log FILE] [-pprof ADDR]
 //
 // -workers bounds the goroutines used for the parallel phases of the
 // search (0 = one per CPU, 1 = fully serial). Every worker count
@@ -17,6 +18,18 @@
 // or the full-rescan escape hatch. Both produce the identical mapping;
 // -v prints the per-iteration convergence table (dirty adjacencies,
 // recomputed proposals, wall time) so the difference is observable.
+//
+// Observability (strictly one-way: enabling any of these cannot change
+// the mapping):
+//
+//   - -metrics prints the full metric snapshot after the run — probes
+//     issued per kind, per-platform usage, CFS work counters and phase
+//     timing histograms — on stderr.
+//   - -trace-log FILE writes the structured event trace (one JSON
+//     object per line: iterations, constraint passes, measurements,
+//     campaigns) to FILE.
+//   - -pprof ADDR serves net/http/pprof on ADDR (e.g. localhost:6060)
+//     for CPU/heap profiling of long runs.
 //
 // Offline mode runs the same algorithm on real data instead of the
 // simulator: a PeeringDB-style JSON dump, a plain-text BGP table
@@ -29,16 +42,23 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"facilitymap"
 	"facilitymap/internal/cfs"
 	"facilitymap/internal/ip2asn"
+	"facilitymap/internal/obs"
 	"facilitymap/internal/registry"
 	"facilitymap/internal/resilience"
 	"facilitymap/internal/trace"
 )
+
+// traceLogCapacity bounds the event ring: enough to keep a full
+// default-profile run, cheap enough to sit idle when tracing is off.
+const traceLogCapacity = 1 << 17
 
 func main() {
 	var (
@@ -55,6 +75,10 @@ func main() {
 		why        = flag.String("why", "", "print the evidence behind the inference for one interface address")
 		asJSON     = flag.Bool("json", false, "emit the mapping as JSON instead of tables")
 
+		metrics   = flag.Bool("metrics", false, "print the metric snapshot (probe counts, work counters, phase timings) on stderr after the run")
+		traceLog  = flag.String("trace-log", "", "write the structured event trace (JSONL) to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
 		pdbFile    = flag.String("peeringdb", "", "offline: PeeringDB-style JSON dump")
 		bgpFile    = flag.String("bgp", "", "offline: BGP table, one \"prefix asn\" per line")
 		tracesFile = flag.String("traces", "", "offline: traceroute transcripts")
@@ -67,11 +91,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "cfsmap: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	var o *obs.Obs
+	if *metrics || *traceLog != "" {
+		o = obs.New(traceLogCapacity)
+	}
+
 	if *pdbFile != "" || *tracesFile != "" {
-		if err := runOffline(*pdbFile, *bgpFile, *tracesFile, *iterations, *workers, *engine, *limit, *unresolved, *verbose); err != nil {
+		if err := runOffline(*pdbFile, *bgpFile, *tracesFile, *iterations, *workers, *engine, *limit, *unresolved, *verbose, o); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		flushObservability(o, *metrics, *traceLog)
 		return
 	}
 
@@ -89,8 +128,12 @@ func main() {
 	}
 	fmt.Printf("world: %d facilities, %d IXPs, %d ASes — running CFS (%s engine)...\n",
 		len(sys.Env.W.Facilities), len(sys.Env.W.IXPs), len(sys.Env.W.ASes), *engine)
+	if o != nil {
+		sys.Env.Instrument(o)
+	}
 
 	m := sys.MapInterconnections()
+	defer flushObservability(o, *metrics, *traceLog)
 	if *asJSON {
 		if *verbose {
 			printHistory(os.Stderr, m.Result().History) // keep stdout valid JSON
@@ -176,6 +219,32 @@ func main() {
 	}
 }
 
+// flushObservability prints the metric snapshot (stderr, so stdout
+// stays a clean mapping or JSON document) and writes the event trace.
+func flushObservability(o *obs.Obs, metrics bool, traceLog string) {
+	if o == nil {
+		return
+	}
+	if metrics {
+		fmt.Fprint(os.Stderr, o.Metrics.Snapshot().Render())
+	}
+	if traceLog != "" {
+		f, err := os.Create(traceLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfsmap: trace log: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := o.Tracer.WriteJSONL(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cfsmap: trace log: %v\n", err)
+			return
+		}
+		if d := o.Tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "cfsmap: trace log: ring overflowed, oldest %d events dropped\n", d)
+		}
+	}
+}
+
 // printHistory renders the per-iteration convergence table: resolution
 // progress plus the engine's work counters, so a rescan and a worklist
 // run can be compared without a profiler.
@@ -193,7 +262,7 @@ func printHistory(w io.Writer, history []cfs.IterationStats) {
 // BGP table and traceroute transcripts. Alias resolution, remote-peering
 // detection and targeted follow-ups need live measurement access and are
 // disabled; steps 1-2 plus the §4.3/§4.4 placements still run.
-func runOffline(pdbFile, bgpFile, tracesFile string, iterations, workers int, engine string, limit int, unresolved, verbose bool) error {
+func runOffline(pdbFile, bgpFile, tracesFile string, iterations, workers int, engine string, limit int, unresolved, verbose bool, o *obs.Obs) error {
 	if pdbFile == "" || tracesFile == "" {
 		return fmt.Errorf("offline mode needs both -peeringdb and -traces")
 	}
@@ -242,7 +311,12 @@ func runOffline(pdbFile, bgpFile, tracesFile string, iterations, workers int, en
 	cfg.UseTargeted = false
 	cfg.UseAliasResolution = false
 	cfg.UseRemoteDetection = false
-	res := cfs.New(cfg, db, svcIPASN, nil, nil, nil).Run(paths)
+	cfg.Obs = o
+	p, err := cfs.New(cfg, db, svcIPASN, nil, nil, nil)
+	if err != nil {
+		return err
+	}
+	res := p.Run(paths)
 
 	if verbose {
 		printHistory(os.Stdout, res.History)

@@ -90,7 +90,11 @@ func Example_offline() {
 	cfg.UseTargeted = false
 	cfg.UseAliasResolution = false
 	cfg.UseRemoteDetection = false
-	res := cfs.New(cfg, db, ip2asn.FromTable(entries), nil, nil, nil).Run(paths)
+	p, err := cfs.New(cfg, db, ip2asn.FromTable(entries), nil, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := p.Run(paths)
 
 	ir := res.Interfaces[netaddr.MustParseIP("195.66.224.2")]
 	fmt.Println(ir.Resolved, db.Facilities[ir.Facility].Name)

@@ -15,7 +15,7 @@ func TestDefaultWorldAccuracy(t *testing.T) {
 		t.Skip("full-world run takes ~20s")
 	}
 	s := buildStack(t, world.Default())
-	p := New(DefaultConfig(), s.db, s.ipasn, s.svc, s.det, s.prober)
+	p := mustNew(t, DefaultConfig(), s.db, s.ipasn, s.svc, s.det, s.prober)
 	res := p.Run(s.initialCorpus())
 
 	right, wrong, offFac := 0, 0, 0
@@ -89,7 +89,7 @@ func TestDefaultWorldFollowUpYield(t *testing.T) {
 		t.Skip("full-world run takes ~20s")
 	}
 	s := buildStack(t, world.Default())
-	p := New(DefaultConfig(), s.db, s.ipasn, s.svc, s.det, s.prober)
+	p := mustNew(t, DefaultConfig(), s.db, s.ipasn, s.svc, s.det, s.prober)
 	res := p.Run(s.initialCorpus())
 	fu, na := 0, 0
 	for _, h := range res.History {

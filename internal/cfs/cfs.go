@@ -22,11 +22,13 @@
 package cfs
 
 import (
+	"fmt"
 	"time"
 
 	"facilitymap/internal/alias"
 	"facilitymap/internal/ip2asn"
 	"facilitymap/internal/netaddr"
+	"facilitymap/internal/obs"
 	"facilitymap/internal/platform"
 	"facilitymap/internal/registry"
 	"facilitymap/internal/remote"
@@ -100,6 +102,14 @@ type Config struct {
 	// TraceProvenance records, per interface, the constraints applied
 	// (for debugging and explainability; costs memory).
 	TraceProvenance bool
+
+	// Obs is the observability sink: metrics (iteration work counters,
+	// phase durations, narrowings) and structured events (iterations,
+	// constraint passes, alias rounds, follow-up planning). nil disables
+	// both at the cost of one nil test per update site. Observation is
+	// strictly one-way — no inference ever reads a metric — so runs with
+	// and without Obs produce bit-for-bit identical Results.
+	Obs *obs.Obs
 }
 
 // DefaultConfig mirrors the paper's operating point.
@@ -129,17 +139,90 @@ type Pipeline struct {
 	det    *remote.Detector
 	prober *alias.Prober
 
+	// m holds the pre-resolved observability handles (all nil-safe
+	// no-ops when cfg.Obs is nil).
+	m pipelineMetrics
+
 	// now supplies wall-clock readings for IterationStats.WallTime. It
 	// is the only clock in the package and never influences an
 	// inference; injectable so tests can pin it.
 	now func() time.Time
 }
 
+// pipelineMetrics are the CFS loop's observability handles, resolved
+// once at construction so the loop pays no registry lookups.
+type pipelineMetrics struct {
+	iterations  *obs.Counter // cfs.iterations
+	aliasRounds *obs.Counter // cfs.alias_rounds
+	dirtyAdjs   *obs.Counter // cfs.constraint.dirty_adjs
+	recomputed  *obs.Counter // cfs.recomputed (constraint + alias)
+	narrowings  *obs.Counter // cfs.narrowings
+	followUps   *obs.Counter // cfs.followups
+	newAdjs     *obs.Counter // cfs.new_adjacencies
+	conflicts   *obs.Gauge   // cfs.conflicts
+	resolved    *obs.Gauge   // cfs.resolved
+	observed    *obs.Gauge   // cfs.observed
+
+	phaseAliasResolve *obs.Histogram // cfs.phase.alias_resolve
+	phaseConstraint   *obs.Histogram // cfs.phase.constraint
+	phaseAlias        *obs.Histogram // cfs.phase.alias
+	phaseFollowUp     *obs.Histogram // cfs.phase.followup
+	iterWall          *obs.Histogram // cfs.iteration.wall
+
+	tracer *obs.Tracer
+}
+
+// emit forwards a structured event to the pipeline's tracer; a no-op
+// when observability is off. Events carry only structural quantities
+// (counts, iteration numbers), never wall-clock readings, so a trace
+// log replays identically across runs of the same seed.
+func (p *Pipeline) emit(kind string, fields ...obs.Field) {
+	p.m.tracer.Emit(kind, fields...)
+}
+
+func resolveMetrics(o *obs.Obs) pipelineMetrics {
+	m := pipelineMetrics{
+		iterations:        o.Counter("cfs.iterations"),
+		aliasRounds:       o.Counter("cfs.alias_rounds"),
+		dirtyAdjs:         o.Counter("cfs.constraint.dirty_adjs"),
+		recomputed:        o.Counter("cfs.recomputed"),
+		narrowings:        o.Counter("cfs.narrowings"),
+		followUps:         o.Counter("cfs.followups"),
+		newAdjs:           o.Counter("cfs.new_adjacencies"),
+		conflicts:         o.Gauge("cfs.conflicts"),
+		resolved:          o.Gauge("cfs.resolved"),
+		observed:          o.Gauge("cfs.observed"),
+		phaseAliasResolve: o.Histogram("cfs.phase.alias_resolve"),
+		phaseConstraint:   o.Histogram("cfs.phase.constraint"),
+		phaseAlias:        o.Histogram("cfs.phase.alias"),
+		phaseFollowUp:     o.Histogram("cfs.phase.followup"),
+		iterWall:          o.Histogram("cfs.iteration.wall"),
+	}
+	if o != nil {
+		m.tracer = o.Tracer
+	}
+	return m
+}
+
 // New builds a pipeline. det and prober may be nil when the matching
-// config switches are off.
+// config switches are off. It returns an error for configurations that
+// would otherwise mis-select silently — today that is an unknown
+// Config.Engine (the empty string still resolves to the worklist
+// default); a typo like "rescn" must fail loudly rather than run the
+// wrong core.
 func New(cfg Config, db *registry.Database, ipasn *ip2asn.Service,
-	svc *platform.Service, det *remote.Detector, prober *alias.Prober) *Pipeline {
-	return &Pipeline{cfg: cfg, db: db, ipasn: ipasn, svc: svc, det: det, prober: prober, now: time.Now}
+	svc *platform.Service, det *remote.Detector, prober *alias.Prober) (*Pipeline, error) {
+	switch cfg.Engine {
+	case "", EngineWorklist, EngineRescan:
+	default:
+		return nil, fmt.Errorf("cfs: unknown engine %q (want %q or %q)",
+			cfg.Engine, EngineWorklist, EngineRescan)
+	}
+	return &Pipeline{
+		cfg: cfg, db: db, ipasn: ipasn, svc: svc, det: det, prober: prober,
+		m:   resolveMetrics(cfg.Obs),
+		now: time.Now,
+	}, nil
 }
 
 // LinkType is the inferred engineering approach of an interconnection.

@@ -67,10 +67,36 @@ func (s *stack) initialCorpus() []trace.Path {
 	return paths
 }
 
+// mustNew is New for tests with known-good configs.
+func mustNew(tb testing.TB, cfg Config, db *registry.Database, ipasn *ip2asn.Service,
+	svc *platform.Service, det *remote.Detector, prober *alias.Prober) *Pipeline {
+	tb.Helper()
+	p, err := New(cfg, db, ipasn, svc, det, prober)
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	return p
+}
+
 func runSmall(t testing.TB, cfg Config) (*stack, *Result) {
 	s := buildStack(t, world.Small())
-	p := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober)
+	p := mustNew(t, cfg, s.db, s.ipasn, s.svc, s.det, s.prober)
 	return s, p.Run(s.initialCorpus())
+}
+
+func TestNewRejectsUnknownEngine(t *testing.T) {
+	s := buildStack(t, world.Small())
+	cfg := DefaultConfig()
+	cfg.Engine = "rescn" // typo'd escape hatch must not silently run worklist
+	if _, err := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober); err == nil {
+		t.Fatal("New accepted unknown engine name")
+	}
+	for _, ok := range []string{"", EngineWorklist, EngineRescan} {
+		cfg.Engine = ok
+		if _, err := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober); err != nil {
+			t.Fatalf("New rejected valid engine %q: %v", ok, err)
+		}
+	}
 }
 
 func TestEndToEndAccuracy(t *testing.T) {

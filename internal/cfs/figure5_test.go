@@ -123,7 +123,7 @@ func TestFigure5ToyExample(t *testing.T) {
 	cfg.UseRemoteDetection = false
 	cfg.UseProximity = false
 	cfg.MaxIterations = 5
-	p := New(cfg, db, ip2asn.New(w), svc, nil, alias.NewProber(w, 3))
+	p := mustNew(t, cfg, db, ip2asn.New(w), svc, nil, alias.NewProber(w, 3))
 
 	paths := []trace.Path{
 		{Hops: []trace.Hop{

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"facilitymap/internal/netaddr"
+	"facilitymap/internal/obs"
 	"facilitymap/internal/world"
 )
 
@@ -36,6 +37,14 @@ func Merge(results ...*Result) *Result {
 // MergeWorkers is Merge with an explicit worker bound: 0 means one
 // worker per available CPU, 1 runs fully serially.
 func MergeWorkers(workers int, results ...*Result) *Result {
+	return MergeObserved(nil, workers, results...)
+}
+
+// MergeObserved is MergeWorkers with observability: when o is non-nil
+// it books cfs.merge.* counters and emits one "merge" event describing
+// the fold. Observation is strictly one-way — the merged Result is
+// bit-for-bit identical whether or not o is supplied.
+func MergeObserved(o *obs.Obs, workers int, results ...*Result) *Result {
 	out := &Result{Interfaces: make(map[netaddr.IP]*InterfaceResult)}
 	seenLinks := make(map[adjKey]bool)
 	// Serial pass: global counters, link union (order-preserving), and
@@ -98,6 +107,17 @@ func MergeWorkers(workers int, results ...*Result) *Result {
 	for _, n := range conflicts {
 		out.MergeConflicts += n
 	}
+
+	o.Counter("cfs.merge.runs").Add(int64(len(results)))
+	o.Counter("cfs.merge.interfaces").Add(int64(len(out.Interfaces)))
+	o.Counter("cfs.merge.conflicts").Add(int64(out.MergeConflicts))
+	o.Counter("cfs.merge.links").Add(int64(len(out.Links)))
+	o.Emit("merge",
+		obs.F("runs", len(results)),
+		obs.F("interfaces", len(out.Interfaces)),
+		obs.F("links", len(out.Links)),
+		obs.F("conflicts", out.MergeConflicts),
+	)
 	return out
 }
 

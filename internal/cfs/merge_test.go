@@ -92,7 +92,7 @@ func TestMergeOfRealRuns(t *testing.T) {
 	s := buildStack(t, world.Small())
 	cfg := DefaultConfig()
 	cfg.MaxIterations = 20
-	run1 := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober).Run(s.initialCorpus())
+	run1 := mustNew(t, cfg, s.db, s.ipasn, s.svc, s.det, s.prober).Run(s.initialCorpus())
 	// Second campaign: different targets (wide scan only).
 	var wide []netaddr.IP
 	for _, as := range s.w.ASes {
@@ -103,7 +103,7 @@ func TestMergeOfRealRuns(t *testing.T) {
 			wide = append(wide, s.w.Interfaces[s.w.Routers[rid].Core()].IP)
 		}
 	}
-	run2 := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober).Run(
+	run2 := mustNew(t, cfg, s.db, s.ipasn, s.svc, s.det, s.prober).Run(
 		s.svc.Campaign(platform.Kinds(), wide))
 	merged := Merge(run1, run2)
 	if merged.Resolved() < run1.Resolved() || merged.Resolved() < run2.Resolved() {

@@ -82,7 +82,7 @@ traceroute to 20.2.0.1, 30 hops max
 	cfg.UseAliasResolution = false
 	cfg.UseRemoteDetection = false
 	cfg.MaxIterations = 5
-	p := New(cfg, db, ip2asn.FromTable(entries), nil, nil, nil)
+	p := mustNew(t, cfg, db, ip2asn.FromTable(entries), nil, nil, nil)
 	res := p.Run(paths)
 
 	// Trace 1: 20.0.0.1 (AS A) constrained by A ∩ TOY-IX = {F2, F5}.

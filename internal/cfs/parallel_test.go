@@ -44,7 +44,13 @@ func freshRun(t testing.TB, wcfg world.Config, seed int64, cfg Config) *Result {
 			})
 		}
 	}
-	p := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober)
+	if cfg.Obs != nil {
+		// Instrument the whole stack, not just the pipeline, so obs-on
+		// differential runs exercise every emission site.
+		engine.Instrument(cfg.Obs)
+		svc.Instrument(cfg.Obs)
+	}
+	p := mustNew(t, cfg, s.db, s.ipasn, s.svc, s.det, s.prober)
 	return p.RunObservations(Observations{Paths: s.initialCorpus(), Sessions: sessions})
 }
 

@@ -89,9 +89,9 @@ func TestRunDeterministic(t *testing.T) {
 	s1 := buildStack(t, world.Small())
 	cfg := DefaultConfig()
 	cfg.MaxIterations = 12
-	r1 := New(cfg, s1.db, s1.ipasn, s1.svc, s1.det, s1.prober).Run(s1.initialCorpus())
+	r1 := mustNew(t, cfg, s1.db, s1.ipasn, s1.svc, s1.det, s1.prober).Run(s1.initialCorpus())
 	s2 := buildStack(t, world.Small())
-	r2 := New(cfg, s2.db, s2.ipasn, s2.svc, s2.det, s2.prober).Run(s2.initialCorpus())
+	r2 := mustNew(t, cfg, s2.db, s2.ipasn, s2.svc, s2.det, s2.prober).Run(s2.initialCorpus())
 	if len(r1.Interfaces) != len(r2.Interfaces) || r1.Resolved() != r2.Resolved() {
 		t.Fatalf("non-deterministic run: %d/%d vs %d/%d",
 			r1.Resolved(), len(r1.Interfaces), r2.Resolved(), len(r2.Interfaces))

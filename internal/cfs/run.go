@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"facilitymap/internal/netaddr"
+	"facilitymap/internal/obs"
 	"facilitymap/internal/platform"
 	"facilitymap/internal/trace"
 	"facilitymap/internal/world"
@@ -46,8 +47,10 @@ func (e *rescanEngine) constraintPass() (dirty, recomputed int) {
 
 func (e *rescanEngine) aliasPass() (recomputed int) { return e.st.aliasStep() }
 
-// newEngine selects the iteration core for cfg. Anything other than
-// the explicit EngineRescan escape hatch gets the worklist core.
+// newEngine selects the iteration core for cfg. Unknown names are
+// rejected by New before a Pipeline exists, so by the time this runs
+// cfg.Engine is "", EngineWorklist, or EngineRescan; the empty string
+// resolves to the worklist default.
 func newEngine(cfg Config, st *state) engine {
 	if cfg.Engine == EngineRescan {
 		return &rescanEngine{st: st}
@@ -55,11 +58,11 @@ func newEngine(cfg Config, st *state) engine {
 	return newWorklist(st)
 }
 
-func (p *Pipeline) run(obs Observations) *Result {
+func (p *Pipeline) run(in Observations) *Result {
 	st := p.newState()
 	eng := newEngine(p.cfg, st)
-	st.ingestPaths(obs.Paths)
-	for _, s := range obs.Sessions {
+	st.ingestPaths(in.Paths)
+	for _, s := range in.Sessions {
 		st.processSession(s)
 	}
 
@@ -70,25 +73,83 @@ func (p *Pipeline) run(obs Observations) *Result {
 
 	var history []IterationStats
 	for iter := 1; iter <= p.cfg.MaxIterations; iter++ {
+		// WallTime clock boundaries are identical for both engines: the
+		// engine phases (alias resolve, constraint pass, alias pass) and
+		// the follow-up round are timed; the snapshot scan and all metric
+		// emission in between are excluded, so enabling observability
+		// does not inflate the reported per-iteration wall time.
 		start := p.now()
 		st.changed = false
 		if aliasAt[iter] {
 			eng.resolveAliases()
 		}
-		dirty, recomputed := eng.constraintPass()
-		recomputed += eng.aliasPass()
+		afterResolve := p.now()
+		dirty, constraintRecomputed := eng.constraintPass()
+		afterConstraint := p.now()
+		aliasRecomputed := eng.aliasPass()
+		engineEnd := p.now()
+		recomputed := constraintRecomputed + aliasRecomputed
 
 		stats := st.snapshot(iter)
 		stats.DirtyAdjs = dirty
 		stats.Recomputed = recomputed
+
+		if aliasAt[iter] {
+			p.m.aliasRounds.Inc()
+			p.m.phaseAliasResolve.Observe(afterResolve.Sub(start))
+			p.emit("alias_round", obs.F("iter", iter))
+		}
+		p.m.phaseConstraint.Observe(afterConstraint.Sub(afterResolve))
+		p.m.phaseAlias.Observe(engineEnd.Sub(afterConstraint))
+		p.m.dirtyAdjs.Add(int64(dirty))
+		p.m.recomputed.Add(int64(recomputed))
+		p.emit("constraint_pass",
+			obs.F("iter", iter),
+			obs.F("dirty", dirty),
+			obs.F("recomputed", constraintRecomputed),
+		)
+		p.emit("alias_pass",
+			obs.F("iter", iter),
+			obs.F("recomputed", aliasRecomputed),
+		)
+
 		followUps, newAdjs := 0, 0
+		followStart := p.now()
 		if p.cfg.UseTargeted && p.svc != nil && iter < p.cfg.MaxIterations {
 			followUps, newAdjs = st.targetedRound(iter)
 		}
+		followEnd := p.now()
 		stats.FollowUps = followUps
 		stats.NewAdjs = newAdjs
-		stats.WallTime = p.now().Sub(start)
+		stats.WallTime = engineEnd.Sub(start) + followEnd.Sub(followStart)
 		history = append(history, stats)
+
+		p.m.phaseFollowUp.Observe(followEnd.Sub(followStart))
+		p.m.iterWall.Observe(stats.WallTime)
+		p.m.iterations.Inc()
+		p.m.followUps.Add(int64(followUps))
+		p.m.newAdjs.Add(int64(newAdjs))
+		p.m.conflicts.Set(int64(stats.Conflicts))
+		p.m.resolved.Set(int64(stats.Resolved))
+		p.m.observed.Set(int64(stats.Observed))
+		if followUps > 0 {
+			p.emit("followup_plan",
+				obs.F("iter", iter),
+				obs.F("follow_ups", followUps),
+				obs.F("new_adjs", newAdjs),
+			)
+		}
+		p.emit("iteration",
+			obs.F("iter", iter),
+			obs.F("observed", stats.Observed),
+			obs.F("resolved", stats.Resolved),
+			obs.F("city_only", stats.CityOnly),
+			obs.F("conflicts", stats.Conflicts),
+			obs.F("dirty", dirty),
+			obs.F("recomputed", recomputed),
+			obs.F("follow_ups", followUps),
+			obs.F("new_adjs", newAdjs),
+		)
 
 		if stats.Resolved == stats.Observed {
 			break

@@ -311,6 +311,9 @@ func (st *state) constrain(ip netaddr.IP, s facset, reason string) constrainOutc
 // provenance, the fixed-point flag, and the worklist's dirty marking.
 func (st *state) noteNarrowed(ip netaddr.IP, reason string, size int) {
 	st.changed = true
+	if st.p != nil { // unit tests exercise bare states with no pipeline
+		st.p.m.narrowings.Inc()
+	}
 	if st.prov != nil {
 		st.prov[ip] = append(st.prov[ip], fmt.Sprintf("%s -> %d candidates", reason, size))
 	}

@@ -47,8 +47,8 @@ func TestSessionsImproveResolution(t *testing.T) {
 	if len(sessions) == 0 {
 		t.Skip("no BGP-capable LGs in small world")
 	}
-	without := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober).Run(paths)
-	with := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober).
+	without := mustNew(t, cfg, s.db, s.ipasn, s.svc, s.det, s.prober).Run(paths)
+	with := mustNew(t, cfg, s.db, s.ipasn, s.svc, s.det, s.prober).
 		RunObservations(Observations{Paths: paths, Sessions: sessions})
 
 	if len(with.Interfaces) < len(without.Interfaces) {
@@ -133,7 +133,7 @@ func TestSessionZeroLocalIP(t *testing.T) {
 		cfg.UseTargeted = false
 		cfg.UseAliasResolution = false
 		cfg.UseRemoteDetection = false
-		return New(cfg, s.db, s.ipasn, nil, nil, nil).RunObservations(obs)
+		return mustNew(t, cfg, s.db, s.ipasn, nil, nil, nil).RunObservations(obs)
 	}
 	res := runEngine(EngineWorklist)
 
@@ -192,7 +192,7 @@ func TestSessionPublicFarSide(t *testing.T) {
 	cfg.UseAliasResolution = false
 	cfg.UseRemoteDetection = false
 	cfg.MaxIterations = 3
-	res := New(cfg, s.db, s.ipasn, s.svc, nil, nil).
+	res := mustNew(t, cfg, s.db, s.ipasn, s.svc, nil, nil).
 		RunObservations(Observations{Sessions: obs})
 	ir := res.Interfaces[expectIP]
 	if ir == nil {

@@ -104,7 +104,7 @@ func TestWorklistInvalidation(t *testing.T) {
 	s := buildStack(t, world.Small())
 	cfg := DefaultConfig()
 	cfg.Workers = 1
-	p := New(cfg, s.db, s.ipasn, s.svc, s.det, s.prober)
+	p := mustNew(t, cfg, s.db, s.ipasn, s.svc, s.det, s.prober)
 	st := p.newState()
 	w := newWorklist(st)
 	st.ingestPaths(s.initialCorpus())

@@ -15,6 +15,7 @@ import (
 	"facilitymap/internal/geoloc"
 	"facilitymap/internal/ip2asn"
 	"facilitymap/internal/netaddr"
+	"facilitymap/internal/obs"
 	"facilitymap/internal/platform"
 	"facilitymap/internal/registry"
 	"facilitymap/internal/remote"
@@ -44,6 +45,17 @@ type Env struct {
 	Targets []world.ASN
 
 	seed int64
+	obs  *obs.Obs
+}
+
+// Instrument attaches an observability sink to the whole stack: the
+// trace engine, the platform scheduler, and every subsequent RunCFS /
+// RunCFSOn pipeline. Observation is one-way — instrumented and plain
+// environments produce bit-for-bit identical results.
+func (e *Env) Instrument(o *obs.Obs) {
+	e.obs = o
+	e.Engine.Instrument(o)
+	e.Svc.Instrument(o)
 }
 
 // NewEnv builds the stack for a world configuration.
@@ -130,7 +142,16 @@ func (e *Env) Sessions() []cfs.SessionObservation {
 // RunCFS executes the pipeline with the given configuration over a fresh
 // initial corpus plus the looking-glass session listings.
 func (e *Env) RunCFS(cfg cfs.Config) *cfs.Result {
-	p := cfs.New(cfg, e.DB, e.IPASN, e.Svc, e.Det, e.Prober)
+	if cfg.Obs == nil {
+		cfg.Obs = e.obs
+	}
+	p, err := cfs.New(cfg, e.DB, e.IPASN, e.Svc, e.Det, e.Prober)
+	if err != nil {
+		// Harness configs are built in code, not parsed from user input;
+		// an invalid engine name here is a programming error. User-facing
+		// validation lives in the facade and the CLI.
+		panic(err)
+	}
 	return p.RunObservations(cfs.Observations{
 		Paths:    e.InitialCorpus(),
 		Sessions: e.Sessions(),
@@ -152,8 +173,14 @@ func FreshRunCFS(wcfg world.Config, seed int64, cfg cfs.Config) *cfs.Result {
 // RunCFSOn executes the pipeline against a substitute registry database
 // (the Figure 8 knockout uses this).
 func (e *Env) RunCFSOn(cfg cfs.Config, db *registry.Database) *cfs.Result {
+	if cfg.Obs == nil {
+		cfg.Obs = e.obs
+	}
 	det := remote.NewDetector(e.Svc, db)
-	p := cfs.New(cfg, db, e.IPASN, e.Svc, det, e.Prober)
+	p, err := cfs.New(cfg, db, e.IPASN, e.Svc, det, e.Prober)
+	if err != nil {
+		panic(err) // see RunCFS
+	}
 	return p.RunObservations(cfs.Observations{
 		Paths:    e.InitialCorpus(),
 		Sessions: e.Sessions(),

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var o *Obs
+	// None of these may panic, and all reads must return zero values.
+	o.Counter("x").Add(5)
+	o.Counter("x").Inc()
+	o.Gauge("x").Set(7)
+	o.Histogram("x").Observe(time.Second)
+	o.Emit("kind", F("a", 1))
+	if got := o.Counter("x").Value(); got != 0 {
+		t.Errorf("nil counter value = %d, want 0", got)
+	}
+	if got := o.Gauge("x").Value(); got != 0 {
+		t.Errorf("nil gauge value = %d, want 0", got)
+	}
+	if s := o.Histogram("x").Stats(); s.Count != 0 {
+		t.Errorf("nil histogram count = %d, want 0", s.Count)
+	}
+
+	var r *Registry
+	r.Counter("y").Inc()
+	if snap := r.Snapshot(); len(snap.Counters) != 0 {
+		t.Errorf("nil registry snapshot has %d counters", len(snap.Counters))
+	}
+	var tr *Tracer
+	tr.Emit("kind")
+	if tr.Events() != nil || tr.Total() != 0 {
+		t.Error("nil tracer retained events")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil tracer WriteJSONL: %v", err)
+	}
+}
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Handles resolve per goroutine; all alias the same counter.
+			c := r.Counter("shared")
+			for j := 0; j < each; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*each {
+		t.Errorf("shared counter = %d, want %d", got, workers*each)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(1 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	s := h.Stats()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.Sum != 6*time.Millisecond {
+		t.Errorf("sum = %v, want 6ms", s.Sum)
+	}
+	if s.Mean != 2*time.Millisecond {
+		t.Errorf("mean = %v, want 2ms", s.Mean)
+	}
+	if s.Max != 3*time.Millisecond {
+		t.Errorf("max = %v, want 3ms", s.Max)
+	}
+	// Negative durations clamp to zero rather than corrupting buckets.
+	h.Observe(-time.Second)
+	if got := h.Stats().Sum; got != 6*time.Millisecond {
+		t.Errorf("sum after negative observe = %v, want 6ms", got)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 1; i <= 10; i++ {
+		tr.Emit("tick", F("i", i))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest-first, and the ring kept the tail of the stream.
+	for i, ev := range evs {
+		wantSeq := uint64(7 + i)
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit("iteration", F("iter", 1), F("resolved", 5))
+	tr.Emit("measurement", F("kind", "traceroute"), F("dst", "10.0.0.1"))
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	// Every line must be a self-contained JSON object with seq and kind.
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v (%s)", i, err, line)
+		}
+		if m["seq"] != float64(i+1) {
+			t.Errorf("line %d seq = %v", i, m["seq"])
+		}
+		if _, ok := m["kind"].(string); !ok {
+			t.Errorf("line %d has no kind", i)
+		}
+	}
+	// Attribute order is preserved (seq, kind first).
+	if !strings.HasPrefix(lines[0], `{"seq":1,"kind":"iteration","iter":1,"resolved":5}`) {
+		t.Errorf("unexpected field order: %s", lines[0])
+	}
+}
+
+func TestSnapshotRenderAndJSON(t *testing.T) {
+	o := New(16)
+	o.Counter("trace.probes.traceroute").Add(42)
+	o.Gauge("platform.simulated_cost_ns").Set(123)
+	o.Histogram("cfs.phase.constraint").Observe(time.Millisecond)
+	snap := o.Metrics.Snapshot()
+	text := snap.Render()
+	for _, want := range []string{"trace.probes.traceroute", "42", "platform.simulated_cost_ns", "cfs.phase.constraint"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["trace.probes.traceroute"] != 42 {
+		t.Errorf("round-tripped counter = %d", back.Counters["trace.probes.traceroute"])
+	}
+}
+
+func TestRegistryHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same name resolved to different counters")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("same name resolved to different histograms")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{time.Second, 20},
+		{time.Hour, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(int64(c.d)); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func ExampleTracer() {
+	tr := NewTracer(2)
+	tr.Emit("iteration", F("iter", 1))
+	var buf bytes.Buffer
+	_ = tr.WriteJSONL(&buf)
+	fmt.Print(buf.String())
+	// Output: {"seq":1,"kind":"iteration","iter":1}
+}

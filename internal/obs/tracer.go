@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Field is one key/value attribute of an event. Values must be
+// JSON-encodable; the pipeline only ever attaches numbers and short
+// strings.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Event is one structured span record: a monotonically increasing
+// sequence number, a kind ("iteration", "constraint_pass",
+// "alias_round", "followup_plan", "measurement", ...), and ordered
+// attributes. Events carry no wall-clock timestamp on purpose: the
+// tracer observes a deterministic pipeline, and the sequence number
+// already totally orders the stream.
+type Event struct {
+	Seq    uint64
+	Kind   string
+	Fields []Field
+}
+
+// MarshalJSON flattens the event into a single JSON object with "seq"
+// and "kind" first, then the attributes in emission order.
+func (e Event) MarshalJSON() ([]byte, error) {
+	buf := []byte(`{"seq":`)
+	buf, err := appendJSON(buf, e.Seq)
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, `,"kind":`...)
+	buf, err = appendJSON(buf, e.Kind)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range e.Fields {
+		buf = append(buf, ',')
+		buf, err = appendJSON(buf, f.Key)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, ':')
+		buf, err = appendJSON(buf, f.Value)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return append(buf, '}'), nil
+}
+
+func appendJSON(buf []byte, v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, b...), nil
+}
+
+// Tracer is a bounded ring buffer of events. When the ring is full the
+// oldest events are overwritten, so a long run keeps the trace's tail —
+// the iterations that actually converged — at a fixed memory cost. A
+// nil *Tracer discards events.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Event
+	seq   uint64 // total events ever emitted
+	start int    // ring index of the oldest retained event
+	n     int    // retained events
+}
+
+// NewTracer builds a tracer retaining at most capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// Emit appends one event.
+func (t *Tracer) Emit(kind string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev := Event{Seq: t.seq, Kind: kind, Fields: fields}
+	if t.n < len(t.ring) {
+		t.ring[(t.start+t.n)%len(t.ring)] = ev
+		t.n++
+		return
+	}
+	t.ring[t.start] = ev
+	t.start = (t.start + 1) % len(t.ring)
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.ring[(t.start+i)%len(t.ring)]
+	}
+	return out
+}
+
+// Total returns how many events were emitted over the tracer's
+// lifetime, including ones the ring has since overwritten.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Dropped returns how many events the ring overwrote.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq - uint64(t.n)
+}
+
+// WriteJSONL streams the retained events as one JSON object per line
+// (the schema downstream monitoring pipelines ingest).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

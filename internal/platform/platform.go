@@ -16,6 +16,7 @@ import (
 	"facilitymap/internal/bgp"
 	"facilitymap/internal/geo"
 	"facilitymap/internal/netaddr"
+	"facilitymap/internal/obs"
 	"facilitymap/internal/trace"
 	"facilitymap/internal/world"
 )
@@ -41,6 +42,23 @@ func (k Kind) String() string {
 		return "iPlane"
 	case Ark:
 		return "Ark"
+	default:
+		return "unknown"
+	}
+}
+
+// Slug is the machine-readable platform name used in metric names and
+// trace events (String() is the human-readable Table 1 label).
+func (k Kind) Slug() string {
+	switch k {
+	case Atlas:
+		return "atlas"
+	case LookingGlass:
+		return "looking_glass"
+	case IPlane:
+		return "iplane"
+	case Ark:
+		return "ark"
 	default:
 		return "unknown"
 	}
@@ -231,11 +249,48 @@ type Service struct {
 	SimulatedCost time.Duration
 	// Traceroutes counts issued traceroutes.
 	Traceroutes int
+
+	m serviceMetrics
+}
+
+// serviceMetrics holds the scheduler's pre-resolved observability
+// handles: per-platform probe usage (the running Table 1 view), vantage
+// points exercised, and the simulated campaign cost.
+type serviceMetrics struct {
+	probesByKind       [numKinds]*obs.Counter // platform.probes.<slug>
+	measurementsByKind [numKinds]*obs.Counter // platform.measurements.<slug>
+	campaigns          *obs.Counter           // platform.campaigns
+	cost               *obs.Gauge             // platform.simulated_cost_ns
+	tracer             *obs.Tracer
 }
 
 // NewService wires a fleet to the data-plane engine.
 func NewService(w *world.World, fleet *Fleet, engine *trace.Engine, rt *bgp.Routing) *Service {
 	return &Service{w: w, fleet: fleet, engine: engine, rt: rt}
+}
+
+// Instrument attaches an observability sink to the scheduler (and is
+// usually paired with instrumenting the underlying trace engine).
+// Purely observational; scheduling decisions never read a metric.
+func (s *Service) Instrument(o *obs.Obs) {
+	for _, k := range Kinds() {
+		s.m.probesByKind[k] = o.Counter("platform.probes." + k.Slug())
+		s.m.measurementsByKind[k] = o.Counter("platform.measurements." + k.Slug())
+	}
+	s.m.campaigns = o.Counter("platform.campaigns")
+	s.m.cost = o.Gauge("platform.simulated_cost_ns")
+	if o != nil {
+		s.m.tracer = o.Tracer
+	}
+}
+
+// note books one measurement of n probes from a vantage point of kind k.
+func (s *Service) note(k Kind, n int) {
+	if k >= 0 && k < numKinds {
+		s.m.probesByKind[k].Add(int64(n))
+		s.m.measurementsByKind[k].Inc()
+	}
+	s.m.cost.Set(int64(s.SimulatedCost))
 }
 
 // Fleet returns the underlying fleet.
@@ -268,8 +323,14 @@ func (s *Service) Campaign(kinds []Kind, dsts []netaddr.IP) []trace.Path {
 			for _, vp := range vps {
 				out = append(out, s.engine.Traceroute(vp.Router, dst))
 				s.Traceroutes++
+				s.note(k, 1)
 			}
 		}
+		s.m.campaigns.Inc()
+		s.m.tracer.Emit("campaign",
+			obs.F("platform", k.Slug()),
+			obs.F("vps", len(vps)),
+			obs.F("targets", len(dsts)))
 	}
 	return out
 }
@@ -283,6 +344,7 @@ func (s *Service) TracerouteFrom(vp *VantagePoint, dst netaddr.IP) trace.Path {
 		s.SimulatedCost += lgProbeGap
 	}
 	s.Traceroutes++
+	s.note(vp.Kind, 1)
 	return s.engine.Traceroute(vp.Router, dst)
 }
 
@@ -297,6 +359,7 @@ func (s *Service) MDAFrom(vp *VantagePoint, dst netaddr.IP, flows int) []trace.P
 		s.SimulatedCost += time.Duration(flows) * lgProbeGap
 	}
 	s.Traceroutes += flows
+	s.note(vp.Kind, flows)
 	return s.engine.TracerouteMDA(vp.Router, dst, flows)
 }
 

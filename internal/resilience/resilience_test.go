@@ -48,7 +48,11 @@ func fx(t *testing.T) *fixture {
 	paths = append(paths, svc.Campaign([]platform.Kind{platform.IPlane, platform.Ark}, targets)...)
 	cfg := cfs.DefaultConfig()
 	cfg.MaxIterations = 25
-	res := cfs.New(cfg, db, ip2asn.New(w), svc, det, prober).Run(paths)
+	p, err := cfs.New(cfg, db, ip2asn.New(w), svc, det, prober)
+	if err != nil {
+		t.Fatalf("cfs.New: %v", err)
+	}
+	res := p.Run(paths)
 	cached = &fixture{w, db, res, Analyze(db, res)}
 	return cached
 }

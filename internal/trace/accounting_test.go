@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"testing"
+
+	"facilitymap/internal/bgp"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/obs"
+	"facilitymap/internal/world"
+)
+
+// TestProbeAccountingExact pins the issued-probe contract of Probes():
+// one per traceroute, count per ping even when the destination is
+// unreachable, count per launched fabric ping, zero for fabric pings
+// that can never leave the source.
+func TestProbeAccountingExact(t *testing.T) {
+	w := world.Generate(world.Small())
+	rt := bgp.Compute(w)
+	e := New(w, rt, 99)
+	src := w.ASes[0].Routers[0]
+	dst := w.Interfaces[w.Routers[w.ASes[1].Routers[0]].Core()].IP
+
+	e.Traceroute(src, dst)
+	if got := e.Probes(); got != 1 {
+		t.Fatalf("after one traceroute Probes() = %d, want 1", got)
+	}
+
+	if _, ok := e.Ping(src, dst, 4); !ok {
+		t.Fatal("ping to a live core interface should answer")
+	}
+	if got := e.Probes(); got != 5 {
+		t.Fatalf("after 4 answered pings Probes() = %d, want 5", got)
+	}
+
+	// Unreachable ping: 6 echo requests leave the source and time out.
+	// They were issued, so they count — the pre-fix accounting dropped
+	// them entirely.
+	if _, ok := e.Ping(src, netaddr.MustParseIP("203.0.113.250"), 6); ok {
+		t.Fatal("ping to an unrouted address should not answer")
+	}
+	if got := e.Probes(); got != 11 {
+		t.Fatalf("after 6 unreachable pings Probes() = %d, want 11", got)
+	}
+
+	// MDA: exactly one probe per flow, no double counting of the
+	// distinct-path dedup.
+	flows := 5
+	e.TracerouteMDA(src, dst, flows)
+	if got := e.Probes(); got != 11+flows {
+		t.Fatalf("after %d-flow MDA Probes() = %d, want %d", flows, got, 11+flows)
+	}
+
+	// Fabric ping that cannot be launched (core interface is not an IXP
+	// port): no frame leaves the source, so nothing is booked.
+	before := e.Probes()
+	if _, ok := e.FabricPing(src, dst, 3); ok {
+		t.Fatal("fabric ping to a core interface should be untestable")
+	}
+	if got := e.Probes(); got != before {
+		t.Fatalf("unlaunchable fabric ping moved Probes() from %d to %d", before, got)
+	}
+
+	// Launched fabric ping: count probes, exactly once each.
+	var member *world.Membership
+	for _, m := range w.Memberships {
+		member = m
+		break
+	}
+	if member == nil {
+		t.Skip("world has no IXP memberships")
+	}
+	port := w.Interfaces[member.Port].IP
+	if _, ok := e.FabricPing(member.Router, port, 3); !ok {
+		t.Fatal("member fabric ping should answer")
+	}
+	if got := e.Probes(); got != before+3 {
+		t.Fatalf("after 3 fabric pings Probes() = %d, want %d", got, before+3)
+	}
+}
+
+// TestProbeAccountingMatchesObsCounters: the obs layer must be a second
+// view of the same ledger, never a second ledger.
+func TestProbeAccountingMatchesObsCounters(t *testing.T) {
+	w := world.Generate(world.Small())
+	rt := bgp.Compute(w)
+	e := New(w, rt, 7)
+	o := obs.New(0)
+	e.Instrument(o)
+
+	src := w.ASes[0].Routers[0]
+	dst := w.Interfaces[w.Routers[w.ASes[1].Routers[0]].Core()].IP
+	e.Traceroute(src, dst)
+	e.TracerouteMDA(src, dst, 3)
+	e.Ping(src, dst, 5)
+	e.Ping(src, netaddr.MustParseIP("203.0.113.250"), 2)
+	for _, m := range w.Memberships {
+		e.FabricPing(m.Router, w.Interfaces[m.Port].IP, 2)
+		break
+	}
+
+	snap := o.Metrics.Snapshot()
+	sum := snap.Counters["trace.probes.traceroute"] +
+		snap.Counters["trace.probes.ping"] +
+		snap.Counters["trace.probes.fabric_ping"]
+	if sum != int64(e.Probes()) {
+		t.Errorf("obs probe counters sum to %d, Probes() = %d\n%s", sum, e.Probes(), snap.Render())
+	}
+}
+
+// TestAccountingDoesNotPerturbMeasurements: fixing the probe ledger must
+// not move the jitter stream. Two engines over the same world and seed,
+// one of which issues extra unreachable pings between measurements, must
+// still draw identical RTTs for the measurements they share.
+func TestAccountingDoesNotPerturbMeasurements(t *testing.T) {
+	build := func() (*Engine, *world.World) {
+		w := world.Generate(world.Small())
+		return New(w, bgp.Compute(w), 42), w
+	}
+	a, w := build()
+	b, _ := build()
+	src := w.ASes[0].Routers[0]
+	dst := w.Interfaces[w.Routers[w.ASes[1].Routers[0]].Core()].IP
+	bogus := netaddr.MustParseIP("203.0.113.251")
+
+	pa := a.Traceroute(src, dst)
+	b.Ping(src, bogus, 7) // counted, but draws nothing
+	pb := b.Traceroute(src, dst)
+	if len(pa.Hops) != len(pb.Hops) {
+		t.Fatalf("hop counts diverged: %d vs %d", len(pa.Hops), len(pb.Hops))
+	}
+	for i := range pa.Hops {
+		if pa.Hops[i] != pb.Hops[i] {
+			t.Fatalf("hop %d diverged after unreachable pings: %+v vs %+v", i, pa.Hops[i], pb.Hops[i])
+		}
+	}
+	if a.Probes() == b.Probes() {
+		t.Error("engines issued different probe loads but report equal Probes()")
+	}
+}
+
+// TestResponsiveHopsEdgeCases: classification consumes ResponsiveHops,
+// so its contract — only genuinely observed, nonzero addresses — is
+// what keeps malformed paths out of the adjacency pool.
+func TestResponsiveHopsEdgeCases(t *testing.T) {
+	allSilent := Path{Hops: []Hop{{}, {}, {}}}
+	if got := allSilent.ResponsiveHops(); len(got) != 0 {
+		t.Errorf("all-silent path yielded %v", got)
+	}
+
+	// Unresponsive destination: Reached stays false and the dst address
+	// never appears as an observed hop.
+	unreached := Path{
+		Dst:     netaddr.MustParseIP("10.0.0.9"),
+		Reached: false,
+		Hops: []Hop{
+			{IP: netaddr.MustParseIP("10.0.0.1"), Responded: true},
+			{}, // silent router
+		},
+	}
+	hops := unreached.ResponsiveHops()
+	if len(hops) != 1 || hops[0] != netaddr.MustParseIP("10.0.0.1") {
+		t.Errorf("unreached path hops = %v, want [10.0.0.1]", hops)
+	}
+
+	// A hop marked Responded with the zero address is malformed input
+	// (e.g. a bad transcript line); it must be dropped, not forwarded to
+	// adjacency classification as address 0.
+	malformed := Path{Hops: []Hop{
+		{IP: netaddr.MustParseIP("10.0.0.1"), Responded: true},
+		{IP: 0, Responded: true},
+		{IP: netaddr.MustParseIP("10.0.0.2"), Responded: true},
+	}}
+	hops = malformed.ResponsiveHops()
+	if len(hops) != 2 {
+		t.Fatalf("zero-IP responded hop leaked: %v", hops)
+	}
+	for _, h := range hops {
+		if h == 0 {
+			t.Fatalf("zero address in responsive hops: %v", hops)
+		}
+	}
+}
+
+// TestEngineNeverEmitsZeroIPRespondedHops: the simulator itself must
+// uphold the invariant the defensive filter exists for.
+func TestEngineNeverEmitsZeroIPRespondedHops(t *testing.T) {
+	w := world.Generate(world.Small())
+	rt := bgp.Compute(w)
+	e := New(w, rt, 5)
+	checked := 0
+	for i := 0; i < len(w.ASes) && checked < 300; i++ {
+		for j := 0; j < len(w.ASes) && checked < 300; j += 2 {
+			if i == j {
+				continue
+			}
+			dst := w.Interfaces[w.Routers[w.ASes[j].Routers[0]].Core()].IP
+			p := e.Traceroute(w.ASes[i].Routers[0], dst)
+			for _, h := range p.Hops {
+				if h.Responded && h.IP == 0 {
+					t.Fatalf("engine emitted responded hop with zero IP on path to %v", dst)
+				}
+			}
+			checked++
+		}
+	}
+}

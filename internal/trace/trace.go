@@ -22,6 +22,7 @@ import (
 	"facilitymap/internal/bgp"
 	"facilitymap/internal/geo"
 	"facilitymap/internal/netaddr"
+	"facilitymap/internal/obs"
 	"facilitymap/internal/world"
 )
 
@@ -40,11 +41,14 @@ type Path struct {
 	Reached   bool // the destination itself replied
 }
 
-// ResponsiveHops returns the hop addresses that replied, in order.
+// ResponsiveHops returns the hop addresses that replied, in order. A
+// hop marked Responded but carrying the zero address (malformed input,
+// e.g. a hand-written transcript) is treated as silent: the zero IP is
+// not an observation and must never reach adjacency classification.
 func (p Path) ResponsiveHops() []netaddr.IP {
 	var out []netaddr.IP
 	for _, h := range p.Hops {
-		if h.Responded {
+		if h.Responded && h.IP != 0 {
 			out = append(out, h.IP)
 		}
 	}
@@ -58,8 +62,56 @@ type Engine struct {
 	seed int64
 
 	linksBetween map[asnPair][]*world.Link
-	// probeCount tallies issued measurements (engine-wide budget view).
+	// probeCount tallies issued measurements (engine-wide budget view):
+	// every probe that leaves a source, including pings whose target
+	// never answers. It is pure accounting and feeds no randomness.
 	probeCount int
+	// rngSeq drives per-measurement jitter (measurementRNG's attempt
+	// counter). It is deliberately separate from probeCount: accounting
+	// fixes (e.g. counting unreachable pings) must not shift the RNG
+	// stream, or every downstream inference would change with them.
+	rngSeq int
+
+	m engineMetrics
+}
+
+// engineMetrics holds the engine's pre-resolved observability handles.
+// All fields are nil-safe no-ops until Instrument installs a registry.
+type engineMetrics struct {
+	traceroutes    *obs.Counter // trace.probes.traceroute
+	pings          *obs.Counter // trace.probes.ping
+	fabricPings    *obs.Counter // trace.probes.fabric_ping
+	unreachable    *obs.Counter // trace.probes.unreachable
+	silentHops     *obs.Counter // trace.hops.silent
+	responsiveHops *obs.Counter // trace.hops.responsive
+	ecmpDivergent  *obs.Counter // trace.ecmp.divergent_paths
+	tracer         *obs.Tracer
+}
+
+// Instrument attaches an observability sink to the engine. Counter
+// handles resolve once here, so the per-probe cost is one atomic add
+// when enabled and one nil test when not. Instrumentation is purely
+// observational: it never changes a path, an RTT draw or a verdict.
+func (e *Engine) Instrument(o *obs.Obs) {
+	e.m = engineMetrics{
+		traceroutes:    o.Counter("trace.probes.traceroute"),
+		pings:          o.Counter("trace.probes.ping"),
+		fabricPings:    o.Counter("trace.probes.fabric_ping"),
+		unreachable:    o.Counter("trace.probes.unreachable"),
+		silentHops:     o.Counter("trace.hops.silent"),
+		responsiveHops: o.Counter("trace.hops.responsive"),
+		ecmpDivergent:  o.Counter("trace.ecmp.divergent_paths"),
+	}
+	if o != nil {
+		e.m.tracer = o.Tracer
+	}
+}
+
+// countProbes books n issued probes of one kind into the engine-wide
+// budget and the matching obs counter.
+func (e *Engine) countProbes(n int, kind *obs.Counter) {
+	e.probeCount += n
+	kind.Add(int64(n))
 }
 
 type asnPair struct{ a, b world.ASN }
@@ -84,7 +136,13 @@ func New(w *world.World, rt *bgp.Routing, seed int64) *Engine {
 	return e
 }
 
-// Probes returns the number of measurements issued so far.
+// Probes returns the number of probes issued so far: one per
+// traceroute (any flow label, so an MDA exploration of n flows counts
+// n), and one per echo request of a Ping or FabricPing — including
+// probes toward unreachable or unrouted destinations, which leave the
+// source and time out just like answered ones. Measurements that can
+// never be launched (a fabric ping from a router with no port on that
+// fabric) count zero.
 func (e *Engine) Probes() int { return e.probeCount }
 
 // measurementRNG derives a deterministic RNG for one measurement so that
@@ -229,9 +287,11 @@ func (e *Engine) Traceroute(srcRouter world.RouterID, dst netaddr.IP) Path {
 // Different labels may take different equal-cost links, which is what
 // MDA-style exploration exploits.
 func (e *Engine) TracerouteFlow(srcRouter world.RouterID, dst netaddr.IP, flow uint32) Path {
-	e.probeCount++
-	rng := e.measurementRNG(srcRouter, dst, e.probeCount)
+	e.rngSeq++
+	e.countProbes(1, e.m.traceroutes)
+	rng := e.measurementRNG(srcRouter, dst, e.rngSeq)
 	p := Path{SrcRouter: srcRouter, Dst: dst}
+	defer e.recordTraceroute(&p, flow)
 
 	dstRtr, reachable := e.resolveDst(dst)
 	if dstRtr == world.RouterID(world.None) {
@@ -322,18 +382,60 @@ func (e *Engine) TracerouteFlow(srcRouter world.RouterID, dst netaddr.IP, flow u
 	return p
 }
 
+// recordTraceroute books a finished traceroute's hop mix into the obs
+// counters and the event trace.
+func (e *Engine) recordTraceroute(p *Path, flow uint32) {
+	silent, responsive := 0, 0
+	for _, h := range p.Hops {
+		if h.Responded {
+			responsive++
+		} else {
+			silent++
+		}
+	}
+	e.m.silentHops.Add(int64(silent))
+	e.m.responsiveHops.Add(int64(responsive))
+	if !p.Reached {
+		e.m.unreachable.Inc()
+	}
+	e.m.tracer.Emit("measurement",
+		obs.F("probe", "traceroute"),
+		obs.F("src_router", int(p.SrcRouter)),
+		obs.F("dst", p.Dst.String()),
+		obs.F("flow", flow),
+		obs.F("hops", len(p.Hops)),
+		obs.F("silent", silent),
+		obs.F("reached", p.Reached))
+}
+
 // Ping measures the RTT to dst, returning the minimum over count probes
 // (the paper's remote-peering method uses repeated measurements at
 // different times to shed transient congestion, §4.2).
-func (e *Engine) Ping(srcRouter world.RouterID, dst netaddr.IP, count int) (time.Duration, bool) {
+//
+// All count echo requests leave the source regardless of whether dst
+// resolves or routes, so they always land in Probes(); only answered
+// probes contribute RNG draws (keeping the jitter stream independent of
+// accounting).
+func (e *Engine) Ping(srcRouter world.RouterID, dst netaddr.IP, count int) (rtt time.Duration, ok bool) {
+	e.countProbes(count, e.m.pings)
+	defer func() {
+		e.m.tracer.Emit("measurement",
+			obs.F("probe", "ping"),
+			obs.F("src_router", int(srcRouter)),
+			obs.F("dst", dst.String()),
+			obs.F("count", count),
+			obs.F("answered", ok))
+	}()
 	dstRtr, reachable := e.resolveDst(dst)
 	if !reachable {
+		e.m.unreachable.Add(int64(count))
 		return 0, false
 	}
 	srcAS := e.w.Routers[srcRouter].AS
 	dstAS := e.w.Routers[dstRtr].AS
-	asPath, ok := e.rt.ASPath(srcAS, dstAS)
-	if !ok {
+	asPath, haveRoute := e.rt.ASPath(srcAS, dstAS)
+	if !haveRoute {
+		e.m.unreachable.Add(int64(count))
 		return 0, false
 	}
 	// Propagation along the router-level path.
@@ -343,6 +445,7 @@ func (e *Engine) Ping(srcRouter world.RouterID, dst netaddr.IP, count int) (time
 	for i := 0; i+1 < len(asPath); i++ {
 		l := e.selectLink(cur, asPath[i], asPath[i+1], 0)
 		if l == nil {
+			e.m.unreachable.Add(int64(count))
 			return 0, false
 		}
 		near := l.A
@@ -367,14 +470,14 @@ func (e *Engine) Ping(srcRouter world.RouterID, dst netaddr.IP, count int) (time
 	}
 	best := time.Duration(-1)
 	for i := 0; i < count; i++ {
-		e.probeCount++
-		rng := e.measurementRNG(srcRouter, dst, e.probeCount)
-		rtt := 2*oneWay + hopJitter(rng)
+		e.rngSeq++
+		rng := e.measurementRNG(srcRouter, dst, e.rngSeq)
+		r := 2*oneWay + hopJitter(rng)
 		if rng.Float64() < congestionProb {
-			rtt += congestionSpike(rng)
+			r += congestionSpike(rng)
 		}
-		if best < 0 || rtt < best {
-			best = rtt
+		if best < 0 || r < best {
+			best = r
 		}
 	}
 	return best, true
@@ -385,6 +488,10 @@ func (e *Engine) Ping(srcRouter world.RouterID, dst netaddr.IP, count int) (time
 // are layer-2 adjacent, so this bypasses BGP entirely — the measurement
 // setup remote-peering inference needs (§4.2). ok is false unless src
 // holds a port on the same IXP as the probed address.
+// A fabric ping needs layer-2 adjacency before anything can leave the
+// source: when the probed address is not a port on an IXP LAN the
+// source belongs to, no frame is ever sent, so nothing is booked into
+// Probes().
 func (e *Engine) FabricPing(src world.RouterID, port netaddr.IP, count int) (time.Duration, bool) {
 	ifc := e.w.InterfaceByIP(port)
 	if ifc == nil || ifc.Kind != world.IXPPort {
@@ -393,13 +500,19 @@ func (e *Engine) FabricPing(src world.RouterID, port netaddr.IP, count int) (tim
 	if e.w.MembershipOf(src, ifc.IXP) == nil {
 		return 0, false
 	}
+	e.countProbes(count, e.m.fabricPings)
+	e.m.tracer.Emit("measurement",
+		obs.F("probe", "fabric_ping"),
+		obs.F("src_router", int(src)),
+		obs.F("dst", port.String()),
+		obs.F("count", count))
 	// Transport over the fabric: reseller circuits for remote members
 	// stretch roughly the geographic distance between the routers.
 	oneWay := geo.PropagationDelay(e.w.Routers[src].Coord, e.w.Routers[ifc.Router].Coord)
 	best := time.Duration(-1)
 	for i := 0; i < count; i++ {
-		e.probeCount++
-		rng := e.measurementRNG(src, port, e.probeCount)
+		e.rngSeq++
+		rng := e.measurementRNG(src, port, e.rngSeq)
 		rtt := 2*oneWay + hopJitter(rng)
 		if rng.Float64() < congestionProb {
 			rtt += congestionSpike(rng)
@@ -442,6 +555,11 @@ func (e *Engine) TracerouteMDA(srcRouter world.RouterID, dst netaddr.IP, flows i
 			seen[key] = true
 			out = append(out, p)
 		}
+	}
+	// Every distinct hop sequence beyond the first is an equal-cost
+	// divergence the fixed Paris flow would have hidden.
+	if len(out) > 1 {
+		e.m.ecmpDivergent.Add(int64(len(out) - 1))
 	}
 	return out
 }

@@ -52,7 +52,10 @@ func fx(t *testing.T) *fixture {
 	}
 	paths = append(paths, svc.Campaign([]platform.Kind{platform.IPlane, platform.Ark}, wide)...)
 
-	p := cfs.New(cfs.DefaultConfig(), db, ipasn, svc, det, prober)
+	p, err := cfs.New(cfs.DefaultConfig(), db, ipasn, svc, det, prober)
+	if err != nil {
+		t.Fatalf("cfs.New: %v", err)
+	}
 	res := p.Run(paths)
 
 	resolver := dnsnames.NewResolver(w, 13)
