@@ -5,16 +5,25 @@
 // the engines see bit-for-bit identical inputs; the tool fails if the
 // two engines disagree on the resolved count.
 //
-// Every engine is timed twice — observability off and on — and the
-// ratio is reported as obs_overhead_x. -max-overhead N turns that into
-// a gate: exit nonzero when any engine's enabled/disabled ratio
-// exceeds N (0, the default, disables the gate). CI uses a generous
-// bound purely as a smoke check that the disabled path stays free.
+// Every engine is timed in both modes — observability off and on — and
+// the ratio is reported as obs_overhead_x. Each engine gets one untimed
+// warmup run per mode, and the timed runs interleave the two modes so
+// slow drift (thermal throttling, background GC debt) lands on both
+// equally rather than on whichever mode runs last. -max-overhead N
+// turns the ratio into a gate: exit nonzero when any engine's
+// enabled/disabled ratio exceeds N (0, the default, disables the
+// gate). CI uses a generous bound purely as a smoke check that the
+// disabled path stays free.
+//
+// -baseline FILE compares the fresh numbers against a previous report
+// (typically the committed BENCH_cfs.json, read before it is
+// overwritten): with -max-regress R, the run fails when the worklist
+// engine's ns_per_op exceeds the baseline by more than the fraction R.
 //
 // Usage:
 //
-//	cfsbench [-profile small|default|paper] [-seed N] [-runs N]
-//	         [-out FILE] [-max-overhead X]
+//	cfsbench [-profile small|medium|default|paper] [-seed N] [-runs N]
+//	         [-out FILE] [-max-overhead X] [-baseline FILE] [-max-regress R]
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -35,12 +45,16 @@ import (
 // engineReport is one engine's measurements. ns_per_op is the mean
 // wall time of a full CFS run (campaigns included, world generation
 // excluded) with observability disabled; ns_per_op_observed is the
-// same with metrics and tracing attached.
+// same with metrics and tracing attached. allocs_per_op and
+// bytes_per_op are the mean heap allocation count and volume of one
+// unobserved run (runtime.MemStats deltas around the timed region).
 type engineReport struct {
 	Engine              string  `json:"engine"`
 	NsPerOp             int64   `json:"ns_per_op"`
 	NsPerOpObserved     int64   `json:"ns_per_op_observed"`
 	ObsOverheadX        float64 `json:"obs_overhead_x"`
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	BytesPerOp          int64   `json:"bytes_per_op"`
 	ProbesIssued        int64   `json:"probes_issued"`
 	ProposalsRecomputed int64   `json:"proposals_recomputed"`
 	Narrowings          int64   `json:"narrowings"`
@@ -60,18 +74,36 @@ type report struct {
 
 func main() {
 	var (
-		profile     = flag.String("profile", "small", "world profile: small, default or paper")
+		profile     = flag.String("profile", "small", "world profile: small, medium, default or paper")
 		seed        = flag.Int64("seed", 42, "simulation seed")
 		runs        = flag.Int("runs", 3, "timed runs per engine per mode (fresh environment each)")
 		out         = flag.String("out", "BENCH_cfs.json", "output file")
 		maxOverhead = flag.Float64("max-overhead", 0, "fail when obs-on/obs-off wall-time ratio exceeds this (0 = no gate)")
+		baseline    = flag.String("baseline", "", "previous report to compare against (read before -out is overwritten)")
+		maxRegress  = flag.Float64("max-regress", 0, "fail when worklist ns_per_op regresses by more than this fraction vs -baseline (0 = no gate)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfsbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cfsbench: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var wcfg world.Config
 	switch *profile {
 	case "small":
 		wcfg = world.Small()
+	case "medium":
+		wcfg = world.Medium()
 	case "default":
 		wcfg = world.Default()
 	case "paper":
@@ -82,6 +114,18 @@ func main() {
 	}
 	if *runs < 1 {
 		*runs = 1
+	}
+
+	// Read the baseline before any chance of -out clobbering it (the
+	// common CI invocation points both at the committed BENCH_cfs.json).
+	var base *report
+	if *baseline != "" {
+		b, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfsbench: baseline: %v\n", err)
+			os.Exit(2)
+		}
+		base = b
 	}
 
 	rep := report{
@@ -97,8 +141,9 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Engines = append(rep.Engines, er)
-		fmt.Printf("%-9s %12d ns/op  %12d ns/op(observed)  %8d probes  %8d recomputed  %6d narrowings\n",
-			engine, er.NsPerOp, er.NsPerOpObserved, er.ProbesIssued, er.ProposalsRecomputed, er.Narrowings)
+		fmt.Printf("%-9s %12d ns/op  %12d ns/op(observed)  %9d allocs/op  %10d B/op  %8d probes  %8d recomputed  %6d narrowings\n",
+			engine, er.NsPerOp, er.NsPerOpObserved, er.AllocsPerOp, er.BytesPerOp,
+			er.ProbesIssued, er.ProposalsRecomputed, er.Narrowings)
 	}
 	if a, b := rep.Engines[0], rep.Engines[1]; a.Resolved != b.Resolved || a.Interfaces != b.Interfaces {
 		fmt.Fprintf(os.Stderr, "cfsbench: engines diverged: %s resolved %d/%d, %s resolved %d/%d\n",
@@ -133,71 +178,158 @@ func main() {
 			}
 		}
 	}
+	if *maxRegress > 0 && base != nil {
+		if err := checkRegression(base, &rep, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "cfsbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-// measure times `runs` full CFS runs of one engine in both modes and
-// folds the work counters of the final observed run into the report.
+// loadReport reads a previously written report.
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// checkRegression gates the worklist engine's ns_per_op against the
+// baseline report: new > old*(1+frac) fails. It runs after the fresh
+// report is written, so the artifact always reflects the measured run
+// even when the gate trips.
+func checkRegression(base, fresh *report, frac float64) error {
+	find := func(rep *report) *engineReport {
+		for i := range rep.Engines {
+			if rep.Engines[i].Engine == cfs.EngineWorklist {
+				return &rep.Engines[i]
+			}
+		}
+		return nil
+	}
+	b, f := find(base), find(fresh)
+	if b == nil || b.NsPerOp <= 0 {
+		return fmt.Errorf("baseline report has no usable worklist entry")
+	}
+	if f == nil {
+		return fmt.Errorf("fresh report has no worklist entry")
+	}
+	ratio := float64(f.NsPerOp) / float64(b.NsPerOp)
+	fmt.Printf("worklist ns/op vs baseline: %d -> %d (%.2fx)\n", b.NsPerOp, f.NsPerOp, ratio)
+	if ratio > 1+frac {
+		return fmt.Errorf("worklist ns_per_op regressed %.0f%% (gate %.0f%%): %d -> %d",
+			(ratio-1)*100, frac*100, b.NsPerOp, f.NsPerOp)
+	}
+	return nil
+}
+
+// measure times full CFS runs of one engine in both modes and folds the
+// work counters of the final observed run into the report.
+//
+// Scheduling matters for obs_overhead_x: timing all obs-off runs then
+// all obs-on runs lets any monotone drift (first-touch page faults,
+// thermal throttling, accumulated GC debt) land entirely on one mode,
+// which is how an earlier report measured the *observed* engine as
+// faster than the unobserved one (overhead 0.94x — pure noise). One
+// untimed warmup per mode followed by strict off/on interleaving makes
+// the two series sample the same machine conditions.
 func measure(wcfg world.Config, seed int64, engine string, runs int) (engineReport, error) {
 	cfg := cfs.DefaultConfig()
 	cfg.Engine = engine
 	er := engineReport{Engine: engine}
 
-	plain, _, err := timedRuns(wcfg, seed, cfg, runs, false, &er)
-	if err != nil {
-		return er, err
+	for _, observe := range []bool{false, true} {
+		if _, err := oneRun(wcfg, seed, cfg, observe, &er); err != nil {
+			return er, err
+		}
 	}
-	observed, snap, err := timedRuns(wcfg, seed, cfg, runs, true, &er)
-	if err != nil {
-		return er, err
+
+	var plain, observed time.Duration
+	var allocs, bytes int64
+	var snap obs.Snapshot
+	for i := 0; i < runs; i++ {
+		p, err := oneRun(wcfg, seed, cfg, false, &er)
+		if err != nil {
+			return er, err
+		}
+		plain += p.wall
+		allocs += p.allocs
+		bytes += p.bytes
+		o, err := oneRun(wcfg, seed, cfg, true, &er)
+		if err != nil {
+			return er, err
+		}
+		observed += o.wall
+		snap = o.snap
 	}
 	er.NsPerOp = plain.Nanoseconds() / int64(runs)
 	er.NsPerOpObserved = observed.Nanoseconds() / int64(runs)
 	if er.NsPerOp > 0 {
 		er.ObsOverheadX = float64(er.NsPerOpObserved) / float64(er.NsPerOp)
 	}
+	er.AllocsPerOp = allocs / int64(runs)
+	er.BytesPerOp = bytes / int64(runs)
 	er.Narrowings = snap.Counters["cfs.narrowings"]
 	return er, nil
 }
 
-// timedRuns executes `runs` fresh-environment CFS runs, timing only the
-// pipeline (campaigns through convergence), and records the final run's
-// probe ledger and work counters in er.
-func timedRuns(wcfg world.Config, seed int64, cfg cfs.Config, runs int, observe bool, er *engineReport) (time.Duration, obs.Snapshot, error) {
-	var total time.Duration
-	var snap obs.Snapshot
-	for i := 0; i < runs; i++ {
-		env := experiments.NewEnv(wcfg, seed)
-		var o *obs.Obs
-		if observe {
-			o = obs.New(1 << 12)
-			env.Instrument(o)
-		}
-		t0 := time.Now()
-		res := env.RunCFS(cfg)
-		total += time.Since(t0)
-		if len(res.Interfaces) == 0 {
-			return 0, snap, fmt.Errorf("%s engine observed no interfaces", cfg.Engine)
-		}
-		er.ProbesIssued = int64(env.Engine.Probes())
-		er.Iterations = len(res.History)
-		er.Interfaces = len(res.Interfaces)
-		er.Resolved = res.Resolved()
-		recomputed := 0
-		for _, h := range res.History {
-			recomputed += h.Recomputed
-		}
-		er.ProposalsRecomputed = int64(recomputed)
-		if o != nil {
-			snap = o.Metrics.Snapshot()
-			if got := snap.Counters["trace.probes.traceroute"] +
-				snap.Counters["trace.probes.ping"] +
-				snap.Counters["trace.probes.fabric_ping"]; got != er.ProbesIssued {
-				return 0, snap, fmt.Errorf("%s engine: obs counters book %d probes, engine ledger %d",
-					cfg.Engine, got, er.ProbesIssued)
-			}
+// runSample is the measurement of one fresh-environment CFS run.
+type runSample struct {
+	wall   time.Duration
+	allocs int64 // heap allocations inside the timed region
+	bytes  int64 // heap bytes allocated inside the timed region
+	snap   obs.Snapshot
+}
+
+// oneRun executes one fresh-environment CFS run, timing only the
+// pipeline (campaigns through convergence), and records the run's probe
+// ledger and work counters in er. Environment construction happens
+// before the MemStats baseline, so allocs/bytes cover the measured
+// region alone.
+func oneRun(wcfg world.Config, seed int64, cfg cfs.Config, observe bool, er *engineReport) (runSample, error) {
+	var s runSample
+	env := experiments.NewEnv(wcfg, seed)
+	var o *obs.Obs
+	if observe {
+		o = obs.New(1 << 12)
+		env.Instrument(o)
+	}
+	runtime.GC() // drain garbage from env construction off the timed region
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	res := env.RunCFS(cfg)
+	s.wall = time.Since(t0)
+	runtime.ReadMemStats(&after)
+	s.allocs = int64(after.Mallocs - before.Mallocs)
+	s.bytes = int64(after.TotalAlloc - before.TotalAlloc)
+	if len(res.Interfaces) == 0 {
+		return s, fmt.Errorf("%s engine observed no interfaces", cfg.Engine)
+	}
+	er.ProbesIssued = int64(env.Engine.Probes())
+	er.Iterations = len(res.History)
+	er.Interfaces = len(res.Interfaces)
+	er.Resolved = res.Resolved()
+	recomputed := 0
+	for _, h := range res.History {
+		recomputed += h.Recomputed
+	}
+	er.ProposalsRecomputed = int64(recomputed)
+	if o != nil {
+		s.snap = o.Metrics.Snapshot()
+		if got := s.snap.Counters["trace.probes.traceroute"] +
+			s.snap.Counters["trace.probes.ping"] +
+			s.snap.Counters["trace.probes.fabric_ping"]; got != er.ProbesIssued {
+			return s, fmt.Errorf("%s engine: obs counters book %d probes, engine ledger %d",
+				cfg.Engine, got, er.ProbesIssued)
 		}
 	}
-	return total, snap, nil
+	return s, nil
 }
 
 // peakRSS reports the process's peak resident set in bytes (Linux

@@ -12,6 +12,7 @@ package bgp
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"facilitymap/internal/world"
 )
@@ -52,7 +53,17 @@ type Routing struct {
 	next [][]int32         // next[a][o]: dense index of next AS from a toward origin o; -1 unreachable
 	hops [][]int16         // AS-path length (number of AS hops; 0 at origin)
 	typ  [][]RouteType     // route class at a for origin o
+
+	// pathMu guards pathCache, the lazily-filled AS-path store. Routing
+	// tables are immutable after Compute, so a path computed once holds
+	// for the world's lifetime; measurement loops re-request the same
+	// (from, origin) pairs constantly.
+	pathMu    sync.Mutex
+	pathCache map[pathKey][]world.ASN
 }
+
+// pathKey addresses one cached AS path by dense endpoint indices.
+type pathKey struct{ from, origin int32 }
 
 // Compute converges routing for the world. Deterministic: ties break on
 // lowest neighbor ASN.
@@ -262,13 +273,24 @@ func (r *Routing) PathLength(from, origin world.ASN) (int, bool) {
 }
 
 // ASPath returns the full AS-level path from `from` to `origin`,
-// inclusive of both ends.
+// inclusive of both ends. Paths are cached per endpoint pair: the
+// returned slice is shared with future calls and MUST NOT be mutated or
+// appended to by the caller (copy first when handing it outward).
 func (r *Routing) ASPath(from, origin world.ASN) ([]world.ASN, bool) {
 	fi, oi := r.indexOf(from), r.indexOf(origin)
 	if fi < 0 || oi < 0 || r.next[fi][oi] < 0 {
 		return nil, false
 	}
-	path := []world.ASN{from}
+	key := pathKey{int32(fi), int32(oi)}
+	r.pathMu.Lock()
+	if p, ok := r.pathCache[key]; ok {
+		r.pathMu.Unlock()
+		return p, true
+	}
+	r.pathMu.Unlock()
+
+	path := make([]world.ASN, 1, int(r.hops[fi][oi])+1)
+	path[0] = from
 	cur := fi
 	for cur != oi {
 		nxt := int(r.next[cur][oi])
@@ -281,6 +303,12 @@ func (r *Routing) ASPath(from, origin world.ASN) ([]world.ASN, bool) {
 			panic("bgp: forwarding loop")
 		}
 	}
+	r.pathMu.Lock()
+	if r.pathCache == nil {
+		r.pathCache = make(map[pathKey][]world.ASN)
+	}
+	r.pathCache[key] = path
+	r.pathMu.Unlock()
 	return path, true
 }
 

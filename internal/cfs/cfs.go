@@ -139,6 +139,12 @@ type Pipeline struct {
 	det    *remote.Detector
 	prober *alias.Prober
 
+	// fs interns the facility-set universe: the dense bit-slot index
+	// plus per-AS and per-IXP bitsets. Built once here (the registry is
+	// immutable within a run) and shared read-only by every state and
+	// worker goroutine.
+	fs *facsets
+
 	// m holds the pre-resolved observability handles (all nil-safe
 	// no-ops when cfg.Obs is nil).
 	m pipelineMetrics
@@ -220,6 +226,7 @@ func New(cfg Config, db *registry.Database, ipasn *ip2asn.Service,
 	}
 	return &Pipeline{
 		cfg: cfg, db: db, ipasn: ipasn, svc: svc, det: det, prober: prober,
+		fs:  newFacsets(db),
 		m:   resolveMetrics(cfg.Obs),
 		now: time.Now,
 	}, nil

@@ -1,8 +1,6 @@
 package cfs
 
 import (
-	"sort"
-
 	"facilitymap/internal/netaddr"
 	"facilitymap/internal/obs"
 	"facilitymap/internal/world"
@@ -153,17 +151,24 @@ func mergeInterface(cur *InterfaceResult, next *InterfaceResult) (conflict bool)
 	return false
 }
 
+// intersectSlices merges two ascending candidate lists linearly. Both
+// inputs are sorted by construction: assemble emits candidates in index
+// order and mergeInterface only ever stores intersectSlices output or
+// copies of such lists.
 func intersectSlices(a, b []world.FacilityID) []world.FacilityID {
-	set := make(map[world.FacilityID]bool, len(a))
-	for _, f := range a {
-		set[f] = true
-	}
 	var out []world.FacilityID
-	for _, f := range b {
-		if set[f] {
-			out = append(out, f)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

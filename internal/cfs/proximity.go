@@ -1,8 +1,6 @@
 package cfs
 
 import (
-	"sort"
-
 	"facilitymap/internal/netaddr"
 	"facilitymap/internal/world"
 )
@@ -48,10 +46,11 @@ func (px *Proximity) Pick(ix world.IXPID, near world.FacilityID, cands []world.F
 	if m == nil || len(cands) == 0 {
 		return 0, false
 	}
-	sorted := append([]world.FacilityID(nil), cands...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// No defensive copy-and-sort: the winner is the unique maximum count
+	// and the tie check trips whenever the maximum recurs, so the answer
+	// is the same for any candidate order.
 	best, bestN, tie := world.FacilityID(0), 0, false
-	for _, c := range sorted {
+	for _, c := range cands {
 		n := m[[2]world.FacilityID{near, c}]
 		switch {
 		case n > bestN:

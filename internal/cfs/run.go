@@ -218,10 +218,10 @@ func (st *state) snapshot(iter int) IterationStats {
 	s := IterationStats{Iteration: iter, Observed: len(st.pool), Conflicts: st.conflicts}
 	for _, ip := range st.pool {
 		c := st.cand[ip]
-		switch {
-		case len(c) == 1:
+		switch n := c.count(); {
+		case n == 1:
 			s.Resolved++
-		case len(c) > 1 && st.singleCluster(c):
+		case n > 1 && st.singleCluster(c):
 			s.CityOnly++
 		}
 		if st.remoteIface[ip] {
@@ -234,19 +234,24 @@ func (st *state) snapshot(iter int) IterationStats {
 // singleCluster reports whether every candidate facility normalises to
 // one metro cluster.
 func (st *state) singleCluster(c facset) bool {
-	first := -1
-	for f := range c {
-		cl, ok := st.p.db.MetroClusterOf(f)
-		if !ok {
+	first, ok := -1, true
+	st.p.fs.fx.each(c, func(f world.FacilityID) bool {
+		cl, known := st.p.db.MetroClusterOf(f)
+		if !known {
+			ok = false
 			return false
 		}
 		if first == -1 {
 			first = cl
-		} else if cl != first {
+			return true
+		}
+		if cl != first {
+			ok = false
 			return false
 		}
-	}
-	return first != -1
+		return true
+	})
+	return ok && first != -1
 }
 
 // targetPlan is the precomputed follow-up selection for one unresolved
@@ -273,7 +278,7 @@ func (st *state) planTargets(ip netaddr.IP, owner ownerFn) targetPlan {
 	}
 	cand := st.cand[ip]
 	if cand == nil {
-		cand = facsetOf(fa)
+		cand = st.p.fs.ofAS(st.p.db, ownerAS)
 	}
 	return targetPlan{ok: true, targets: st.pickTargets(ip, ownerAS, fa, cand)}
 }
@@ -365,7 +370,9 @@ func (st *state) targetedRound(iter int) (followUps, newAdjs int) {
 // current candidate set, smallest overlap first, preferring targets not
 // colocated at IXPs already used to constrain this interface.
 func (st *state) pickTargets(ip netaddr.IP, a world.ASN, fa []world.FacilityID, cand facset) []world.ASN {
-	faSet := facsetOf(fa)
+	fs := st.p.fs
+	faSet := fs.ofAS(st.p.db, a)
+	candN := cand.count()
 	queried := st.queriedIXPs[ip]
 	used := st.usedTargets[ip]
 
@@ -380,21 +387,13 @@ func (st *state) pickTargets(ip netaddr.IP, a world.ASN, fa []world.FacilityID, 
 		if rec == a || used[rec] {
 			continue
 		}
-		ft := st.p.db.FacilitiesOfAS(rec)
-		if len(ft) == 0 {
+		ftSet := fs.ofAS(st.p.db, rec)
+		if ftSet.count() == 0 {
 			continue
 		}
-		subset := len(ft) < len(fa)
-		overlap := 0
-		for _, f := range ft {
-			if !faSet[f] {
-				subset = false
-			}
-			if cand[f] {
-				overlap++
-			}
-		}
-		if overlap == 0 || overlap == len(cand) {
+		subset := ftSet.count() < len(fa) && subsetOf(ftSet, faSet)
+		overlap := overlapCount(ftSet, cand)
+		if overlap == 0 || overlap == candN {
 			continue
 		}
 		atQuery := false
@@ -489,11 +488,10 @@ func (st *state) assemble(history []IterationStats) *Result {
 			ir.Owner = asn
 		}
 		if c := st.cand[ip]; c != nil {
-			for f := range c {
-				ir.Candidates = append(ir.Candidates, f)
-			}
-			sort.Slice(ir.Candidates, func(i, j int) bool { return ir.Candidates[i] < ir.Candidates[j] })
-			if len(c) == 1 {
+			// appendIDs walks bit slots in order, which the index assigned
+			// by ascending FacilityID — no sort needed.
+			ir.Candidates = st.p.fs.fx.appendIDs(c, nil)
+			if len(ir.Candidates) == 1 {
 				ir.Resolved = true
 				ir.Facility = ir.Candidates[0]
 			} else if st.singleCluster(c) {

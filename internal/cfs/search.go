@@ -11,29 +11,8 @@ import (
 	"facilitymap/internal/world"
 )
 
-// facset is a candidate facility set.
-type facset map[world.FacilityID]bool
-
-func facsetOf(ids []world.FacilityID) facset {
-	s := make(facset, len(ids))
-	for _, f := range ids {
-		s[f] = true
-	}
-	return s
-}
-
-func intersect(a, b facset) facset {
-	if len(b) < len(a) {
-		a, b = b, a
-	}
-	out := make(facset)
-	for f := range a {
-		if b[f] {
-			out[f] = true
-		}
-	}
-	return out
-}
+// facset (see facset.go) is a candidate facility set: a dense bitset
+// over the pipeline's interned facility index.
 
 type portKey struct {
 	as world.ASN
@@ -282,26 +261,25 @@ type adjConflictKey struct {
 // whether or not an engine bothers to re-derive it. The caller decides
 // whether a conflict outcome is newly discovered.
 func (st *state) constrain(ip netaddr.IP, s facset, reason string) constrainOutcome {
-	if len(s) == 0 {
+	n := s.count()
+	if n == 0 {
 		return constrainNoop
 	}
 	cur := st.cand[ip]
 	if cur == nil {
-		cp := make(facset, len(s))
-		for f := range s {
-			cp[f] = true
-		}
-		st.cand[ip] = cp
-		st.noteNarrowed(ip, reason, len(cp))
+		// Clone: s may be an interned footprint shared across the run.
+		st.cand[ip] = s.clone()
+		st.noteNarrowed(ip, reason, n)
 		return constrainNarrowed
 	}
 	inter := intersect(cur, s)
-	if len(inter) == 0 {
+	in := inter.count()
+	if in == 0 {
 		return constrainConflict
 	}
-	if len(inter) != len(cur) {
+	if in != cur.count() {
 		st.cand[ip] = inter
-		st.noteNarrowed(ip, reason, len(inter))
+		st.noteNarrowed(ip, reason, in)
 		return constrainNarrowed
 	}
 	return constrainNoop
@@ -394,18 +372,18 @@ type adjProposal struct {
 // computeProposal evaluates the side-effect-free constraint sets for
 // one adjacency. Safe for concurrent use with a read-only ownerFn.
 func (st *state) computeProposal(a *Adjacency, owner ownerFn) adjProposal {
-	db := st.p.db
+	db, fs := st.p.db, st.p.fs
 	var pr adjProposal
 	if a.Public {
-		fixp := facsetOf(db.FacilitiesOfIXP(a.IXP))
+		fixp := fs.ofIXP(db, a.IXP)
 		if nearAS, ok := owner(a.Near); ok {
 			pr.nearAS, pr.nearOK = nearAS, true
-			pr.nearFoot = facsetOf(db.FacilitiesOfAS(nearAS))
+			pr.nearFoot = fs.ofAS(db, nearAS)
 			pr.nearSet = intersect(pr.nearFoot, fixp)
 		}
 		if farAS, ok := owner(a.FarPort); ok {
 			pr.farAS, pr.farOK = farAS, true
-			pr.farFoot = facsetOf(db.FacilitiesOfAS(farAS))
+			pr.farFoot = fs.ofAS(db, farAS)
 			pr.farSet = intersect(pr.farFoot, fixp)
 		}
 		return pr
@@ -416,10 +394,8 @@ func (st *state) computeProposal(a *Adjacency, owner ownerFn) adjProposal {
 		return pr // apply half leaves the adjacency untouched
 	}
 	pr.nearAS, pr.farAS, pr.nearOK, pr.farOK = nearAS, farAS, true, true
-	fa := facsetOf(db.FacilitiesOfAS(nearAS))
-	fb := facsetOf(db.FacilitiesOfAS(farAS))
-	pr.nearSet = intersect(fa, fb)
-	if len(pr.nearSet) == 0 {
+	pr.nearSet = intersect(fs.ofAS(db, nearAS), fs.ofAS(db, farAS))
+	if pr.nearSet.count() == 0 {
 		pr.tethered = len(sharedIXPs(db.IXPsOfAS(nearAS), db.IXPsOfAS(farAS))) > 0
 	}
 	return pr
@@ -465,13 +441,13 @@ func (st *state) applyPublic(idx int, a *Adjacency, pr adjProposal) {
 	if pr.nearOK {
 		a.NearAS = pr.nearAS
 		switch {
-		case len(pr.nearSet) > 0:
+		case pr.nearSet.count() > 0:
 			if st.constrain(a.Near, pr.nearSet, fmt.Sprintf("public near %v x IXP%d", pr.nearAS, a.IXP)) == constrainConflict {
 				st.noteAdjConflict(idx, 'n')
 			}
 			st.markQueried(a.Near, a.IXP)
 			a.Type = PublicLocal
-		case len(pr.nearFoot) > 0:
+		case pr.nearFoot.count() > 0:
 			// No common facility: remote member, or missing data.
 			switch st.checkRemote(pr.nearAS, a.IXP) {
 			case 1:
@@ -495,12 +471,12 @@ func (st *state) applyPublic(idx int, a *Adjacency, pr adjProposal) {
 	}
 	a.FarAS = pr.farAS
 	switch {
-	case len(pr.farSet) > 0:
+	case pr.farSet.count() > 0:
 		if st.constrain(a.FarPort, pr.farSet, fmt.Sprintf("public far %v x IXP%d", pr.farAS, a.IXP)) == constrainConflict {
 			st.noteAdjConflict(idx, 'f')
 		}
 		st.markQueried(a.FarPort, a.IXP)
-	case len(pr.farFoot) > 0:
+	case pr.farFoot.count() > 0:
 		if st.checkRemote(pr.farAS, a.IXP) == 1 {
 			st.remoteIface[a.FarPort] = true
 			if st.constrain(a.FarPort, pr.farFoot, fmt.Sprintf("remote member %v of IXP%d", pr.farAS, a.IXP)) == constrainConflict {
@@ -515,7 +491,7 @@ func (st *state) applyPrivate(idx int, a *Adjacency, pr adjProposal) {
 		return // unresolvable or intra-AS pair: leave untouched
 	}
 	a.NearAS, a.FarAS = pr.nearAS, pr.farAS
-	if len(pr.nearSet) > 0 {
+	if pr.nearSet.count() > 0 {
 		// Cross-connect: constrain the near end (§4.2). The candidate
 		// set is the pair's full co-presence list, never this single
 		// link's facility, because AS pairs interconnect in several
@@ -566,13 +542,10 @@ func (st *state) setIntersection(set []netaddr.IP) facset {
 			continue
 		}
 		if inter == nil {
-			inter = make(facset, len(c))
-			for f := range c {
-				inter[f] = true
-			}
+			inter = c.clone()
 			continue
 		}
-		inter = intersect(inter, c)
+		inter.intersectWith(c)
 	}
 	return inter
 }
@@ -621,7 +594,7 @@ func (st *state) aliasStepSets(idxs []int) (recomputed int) {
 		} else {
 			inter = st.setIntersection(set)
 		}
-		if len(inter) == 0 {
+		if inter.count() == 0 {
 			if inter != nil {
 				st.noteSetConflict(set[0])
 			}
@@ -671,7 +644,7 @@ func (st *state) resolveAliases() {
 func (st *state) unresolved() []netaddr.IP {
 	var out []netaddr.IP
 	for _, ip := range st.pool {
-		if c := st.cand[ip]; c == nil || len(c) > 1 {
+		if c := st.cand[ip]; c == nil || c.count() > 1 {
 			out = append(out, ip)
 		}
 	}

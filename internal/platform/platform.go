@@ -391,7 +391,9 @@ func (s *Service) LookingGlassBGP(vp *VantagePoint, dst netaddr.IP) (BGPRoute, b
 	if !ok {
 		return BGPRoute{}, false
 	}
-	route := BGPRoute{ASPath: path}
+	// ASPath returns a cached slice shared across callers; BGPRoute is
+	// handed outward, so copy before exposing it.
+	route := BGPRoute{ASPath: append([]world.ASN(nil), path...)}
 	if len(path) >= 2 {
 		_, near := s.engine.ExitRouter(vp.Router, path[1])
 		if near != world.RouterID(world.None) {

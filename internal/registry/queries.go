@@ -30,6 +30,57 @@ func (db *Database) IXPsOfAS(asn world.ASN) []world.IXPID {
 	return db.asIXPs[asn]
 }
 
+// AllASNs returns every AS the registry holds any record for —
+// facility associations, IXP memberships or just a name — sorted.
+// Consumers that intern per-AS derived data (the CFS facility-set
+// index) size and key their caches off this universe.
+func (db *Database) AllASNs() []world.ASN {
+	seen := make(map[world.ASN]bool, len(db.asNames))
+	add := func(asn world.ASN) { seen[asn] = true }
+	for asn := range db.asNames {
+		add(asn)
+	}
+	for asn := range db.asFacilities {
+		add(asn)
+	}
+	for asn := range db.asIXPs {
+		add(asn)
+	}
+	out := make([]world.ASN, 0, len(seen))
+	for asn := range seen {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllFacilityIDs returns the database's facility universe, sorted:
+// every facility record plus any ID referenced by an AS or IXP
+// association (hand-assembled databases may reference facilities they
+// carry no record for).
+func (db *Database) AllFacilityIDs() []world.FacilityID {
+	seen := make(map[world.FacilityID]bool, len(db.Facilities))
+	for id := range db.Facilities {
+		seen[id] = true
+	}
+	for _, facs := range db.asFacilities {
+		for _, f := range facs {
+			seen[f] = true
+		}
+	}
+	for _, rec := range db.IXPs {
+		for _, f := range rec.Facilities {
+			seen[f] = true
+		}
+	}
+	out := make([]world.FacilityID, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // FacilitiesOfIXP returns the partner facilities known for an IXP.
 func (db *Database) FacilitiesOfIXP(ix world.IXPID) []world.FacilityID {
 	rec, ok := db.IXPs[ix]

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"unsafe"
+)
+
+// The engine derives a fresh deterministic RNG per measurement from
+// (seed, src, dst, attempt), which pins the jitter stream to the
+// measurement and nothing else — see measurementRNG. The catch:
+// math/rand's generator is an additive lagged-Fibonacci over a 607-word
+// state vector, and rand.NewSource eagerly seeds all 607 words (~1800
+// Lehmer LCG steps) even though a traceroute draws a couple of dozen
+// values and a ping echo exactly two. Profiling put ~60% of a full CFS
+// benchmark run inside that seeding loop.
+//
+// mrand is a bit-identical, lazily-seeded reimplementation. It exploits
+// two facts about the stdlib algorithm:
+//
+//   - state word i is built from three values of a Lehmer chain
+//     x_{n+1} = 48271·x_n mod (2³¹−1), XORed with a fixed mixing table
+//     (rngCooked). The chain is linear, so x_n = x₀·48271ⁿ mod p: any
+//     position costs one modular multiply against a precomputed power
+//     table instead of n sequential steps;
+//   - the generator's read pattern touches state words in descending
+//     order from both taps, so a measurement that draws k values only
+//     ever needs ~2k of the 607 words.
+//
+// The mixing table is not exported by math/rand; init() recovers it
+// once from a real seeded source and then *verifies* several full draw
+// sequences (both taps wrapping, Intn and Float64 paths) against the
+// stdlib. If the layout or algorithm ever changes, verification fails
+// and every mrand transparently falls back to wrapping rand.New — the
+// jitter stream is identical either way, only the seeding cost differs.
+
+const (
+	lfLen    = 607 // lagged-Fibonacci state length
+	lfTap    = 273 // distance to the second tap
+	lfMask   = 1<<63 - 1
+	lcgMod   = 1<<31 - 1 // Lehmer modulus (Mersenne prime)
+	lcgMul   = 48271     // Lehmer multiplier
+	seedZero = 89482311  // stdlib's replacement for a zero seed
+)
+
+var (
+	// lcgPow[n] = 48271ⁿ mod (2³¹−1); positions 21+3i, 22+3i, 23+3i
+	// feed state word i, so the table spans 23+3·606 steps.
+	lcgPow [24 + 3*lfLen]uint64
+	// lfCooked is the recovered mixing table.
+	lfCooked [lfLen]uint64
+	// lfOK reports whether recovery + verification succeeded; when
+	// false, mrand delegates to math/rand.
+	lfOK bool
+)
+
+func init() {
+	lcgPow[0] = 1
+	for i := 1; i < len(lcgPow); i++ {
+		lcgPow[i] = lcgPow[i-1] * lcgMul % lcgMod
+	}
+	lfOK = recoverCooked() && verifyAgainstStdlib()
+}
+
+// lcgAt returns the Lehmer chain value n steps after x0.
+func lcgAt(x0 uint64, n int) uint64 { return x0 * lcgPow[n] % lcgMod }
+
+// adjustSeed maps an int64 seed to the chain start the stdlib uses.
+func adjustSeed(seed int64) uint64 {
+	seed %= lcgMod
+	if seed < 0 {
+		seed += lcgMod
+	}
+	if seed == 0 {
+		seed = seedZero
+	}
+	return uint64(seed)
+}
+
+// rawWord computes state word i for chain start x0, without the mixing
+// table: the stdlib packs three consecutive chain values into 64 bits.
+func rawWord(x0 uint64, i int) uint64 {
+	u := lcgAt(x0, 21+3*i) << 40
+	u ^= lcgAt(x0, 22+3*i) << 20
+	u ^= lcgAt(x0, 23+3*i)
+	return u
+}
+
+// recoverCooked extracts the stdlib's mixing table by seeding a real
+// source and XORing our own raw chain back out of its state vector.
+// The state is an unexported field, read via reflect+unsafe; math/rand
+// (v1) is frozen, and verifyAgainstStdlib guards the assumption anyway.
+func recoverCooked() (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	src := rand.NewSource(1)
+	v := reflect.ValueOf(src)
+	if v.Kind() != reflect.Ptr {
+		return false
+	}
+	f := v.Elem().FieldByName("vec")
+	if !f.IsValid() || f.Kind() != reflect.Array || f.Len() != lfLen {
+		return false
+	}
+	vec := (*[lfLen]int64)(unsafe.Pointer(f.UnsafeAddr()))
+	x0 := adjustSeed(1)
+	for i := 0; i < lfLen; i++ {
+		lfCooked[i] = uint64(vec[i]) ^ rawWord(x0, i)
+	}
+	return true
+}
+
+// verifyAgainstStdlib replays full draw sequences for several seeds —
+// long enough to wrap both taps through the lazily-seeded region — and
+// compares every value against math/rand. Any mismatch disables the
+// fast path.
+func verifyAgainstStdlib() bool {
+	for _, seed := range []int64{0, 1, -7, 42, 1 << 40, -(1 << 50), 1099511628211} {
+		var m mrand
+		m.reset(seed)
+		ref := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2*lfLen; i++ {
+			switch i % 3 {
+			case 0:
+				if m.Intn(900) != ref.Intn(900) {
+					return false
+				}
+			case 1:
+				if m.Intn(90) != ref.Intn(90) {
+					return false
+				}
+			default:
+				if m.Float64() != ref.Float64() {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// mrand yields the identical value stream to rand.New(rand.NewSource(s))
+// while seeding state words only as draws touch them. The zero value is
+// unusable; call reset first. Not safe for concurrent use — the engine
+// is single-goroutine by design (see Engine).
+type mrand struct {
+	x0        uint64 // chain start for lazy word computation
+	tap, feed int
+	vec       [lfLen]int64
+	have      [(lfLen + 63) / 64]uint64 // which vec words are materialized
+	std       *rand.Rand                // fallback when lfOK is false
+}
+
+// reset re-seeds in O(1): subsequent draws match a fresh
+// rand.New(rand.NewSource(seed)).
+func (m *mrand) reset(seed int64) {
+	if !lfOK {
+		m.std = rand.New(rand.NewSource(seed))
+		return
+	}
+	m.x0 = adjustSeed(seed)
+	m.tap, m.feed = 0, lfLen-lfTap
+	m.have = [(lfLen + 63) / 64]uint64{}
+}
+
+// word returns state word i, materializing it on first touch.
+func (m *mrand) word(i int) int64 {
+	if m.have[i>>6]&(1<<(i&63)) == 0 {
+		m.vec[i] = int64(rawWord(m.x0, i) ^ lfCooked[i])
+		m.have[i>>6] |= 1 << (i & 63)
+	}
+	return m.vec[i]
+}
+
+func (m *mrand) uint64() uint64 {
+	m.tap--
+	if m.tap < 0 {
+		m.tap += lfLen
+	}
+	m.feed--
+	if m.feed < 0 {
+		m.feed += lfLen
+	}
+	x := m.word(m.feed) + m.word(m.tap)
+	m.vec[m.feed] = x // feed word is materialized by the read above
+	return uint64(x)
+}
+
+// The draw methods below mirror math/rand.Rand exactly (including the
+// resampling loops) so the consumed positions — and therefore every
+// subsequent value — line up with the stdlib stream.
+
+func (m *mrand) int63() int64 {
+	if m.std != nil {
+		return m.std.Int63()
+	}
+	return int64(m.uint64() & lfMask)
+}
+
+func (m *mrand) int31() int32 { return int32(m.int63() >> 32) }
+
+// Intn matches rand.Rand.Intn for the small positive bounds the engine
+// uses (jitter and spike ranges, far below 1<<31).
+func (m *mrand) Intn(n int) int {
+	if m.std != nil {
+		return m.std.Intn(n)
+	}
+	if n <= 0 {
+		panic("trace: Intn bound must be positive")
+	}
+	n32 := int32(n)
+	if n32&(n32-1) == 0 {
+		return int(m.int31() & (n32 - 1))
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n32))
+	v := m.int31()
+	for v > max {
+		v = m.int31()
+	}
+	return int(v % n32)
+}
+
+// Float64 matches rand.Rand.Float64, resampling the (never-taken in
+// practice) rounding-to-1.0 case like the stdlib does.
+func (m *mrand) Float64() float64 {
+	if m.std != nil {
+		return m.std.Float64()
+	}
+	for {
+		f := float64(m.int63()) / (1 << 63)
+		if f != 1 {
+			return f
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastRNGFastPathEnabled pins that the init-time recovery of the
+// stdlib mixing table succeeded. The fallback keeps results correct, but
+// it silently gives back the per-measurement seeding cost this path
+// exists to remove — fail loudly instead.
+func TestFastRNGFastPathEnabled(t *testing.T) {
+	if !lfOK {
+		t.Fatal("mrand fast path disabled: stdlib table recovery or stream verification failed")
+	}
+}
+
+// TestFastRNGMatchesStdlib drives one reused mrand through many short
+// re-seeded sessions — the engine's actual usage pattern — and a few
+// long sessions that wrap both lagged-Fibonacci taps, comparing every
+// draw against a fresh math/rand generator.
+func TestFastRNGMatchesStdlib(t *testing.T) {
+	seeds := rand.New(rand.NewSource(7))
+	var m mrand
+
+	check := func(seed int64, draws int) {
+		t.Helper()
+		m.reset(seed)
+		ref := rand.New(rand.NewSource(seed))
+		for i := 0; i < draws; i++ {
+			switch i % 4 {
+			case 0:
+				if got, want := m.Intn(900), ref.Intn(900); got != want {
+					t.Fatalf("seed %d draw %d: Intn(900) = %d, want %d", seed, i, got, want)
+				}
+			case 1:
+				if got, want := m.Float64(), ref.Float64(); got != want {
+					t.Fatalf("seed %d draw %d: Float64() = %v, want %v", seed, i, got, want)
+				}
+			case 2:
+				if got, want := m.Intn(90), ref.Intn(90); got != want {
+					t.Fatalf("seed %d draw %d: Intn(90) = %d, want %d", seed, i, got, want)
+				}
+			default:
+				// Power-of-two bound exercises the masked Int31n branch.
+				if got, want := m.Intn(64), ref.Intn(64); got != want {
+					t.Fatalf("seed %d draw %d: Intn(64) = %d, want %d", seed, i, got, want)
+				}
+			}
+		}
+	}
+
+	// Short sessions: a traceroute draws a couple of dozen values, a
+	// ping echo two. Re-seeding the same instance must leave no residue.
+	for i := 0; i < 300; i++ {
+		check(seeds.Int63()-seeds.Int63(), 2+i%40)
+	}
+	// Long sessions: past 607 draws the feed tap overwrites words the
+	// lazy path seeded, and past 2×607 everything is recurrence-fed.
+	for _, seed := range []int64{0, 1, -1, 42, 1 << 62} {
+		check(seed, 3*lfLen)
+	}
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"testing"
+
+	"facilitymap/internal/bgp"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// resolveDstWorld hand-assembles the smallest topology that exercises
+// every resolveDst edge: an AS with a router and an announced prefix
+// (one address of which sits on an interface, the rest on none), and a
+// second AS announcing a prefix while owning no routers at all.
+func resolveDstWorld(t *testing.T) *Engine {
+	t.Helper()
+	routed := netaddr.MustParsePrefix("10.0.0.0/24")
+	empty := netaddr.MustParsePrefix("10.1.0.0/24")
+	w := &world.World{
+		ASes: []*world.AS{
+			{ASN: 100, Prefixes: []netaddr.Prefix{routed}, Routers: []world.RouterID{0}},
+			{ASN: 200, Prefixes: []netaddr.Prefix{empty}},
+		},
+		Routers: []*world.Router{
+			{ID: 0, AS: 100, Interfaces: []world.InterfaceID{0}, RespondsToTraceroute: true},
+		},
+		Interfaces: []*world.Interface{
+			{ID: 0, IP: netaddr.MustParseIP("10.0.0.1"), Router: 0, Kind: world.CoreIface},
+		},
+	}
+	w.Finalize()
+	return New(w, bgp.Compute(w), 1)
+}
+
+func TestResolveDstEdgeCases(t *testing.T) {
+	e := resolveDstWorld(t)
+	none := world.RouterID(world.None)
+
+	tests := []struct {
+		name      string
+		dst       string
+		wantRtr   world.RouterID
+		reachable bool
+	}{
+		// An exact interface match answers and shadows the covering
+		// prefix: the verdict comes from the interface's router, marked
+		// reachable, not from the prefix fallback.
+		{"interface match shadows covering prefix", "10.0.0.1", 0, true},
+		// Inside an announced block but on no interface: the probe is
+		// routed to the AS's first router yet never answered.
+		{"prefix-covered, no interface", "10.0.0.42", 0, false},
+		// Announced by an AS that owns zero routers: nowhere to route.
+		{"prefix-covered AS with zero routers", "10.1.0.5", none, false},
+		// Outside every announced prefix and every interface.
+		{"IP in no prefix", "192.0.2.1", none, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			// Resolve twice: the first call fills the memo, the second
+			// must serve the identical verdict from it.
+			for pass := 0; pass < 2; pass++ {
+				rtr, reachable := e.resolveDst(netaddr.MustParseIP(tt.dst))
+				if rtr != tt.wantRtr || reachable != tt.reachable {
+					t.Fatalf("pass %d: resolveDst(%s) = (%v, %v), want (%v, %v)",
+						pass, tt.dst, rtr, reachable, tt.wantRtr, tt.reachable)
+				}
+			}
+		})
+	}
+}
+
+// TestResolveDstMatchesLinearScan pins the trie-backed resolution to
+// the retired linear scan over a full generated world: every interface
+// address, a non-interface address inside each AS block, and addresses
+// outside all blocks must resolve identically.
+func TestResolveDstMatchesLinearScan(t *testing.T) {
+	f := fx(t)
+	e := f.e
+
+	// The retired implementation, kept as the reference model.
+	linear := func(dst netaddr.IP) (world.RouterID, bool) {
+		if ifc := e.w.InterfaceByIP(dst); ifc != nil {
+			return ifc.Router, true
+		}
+		for _, as := range e.w.ASes {
+			for _, p := range as.Prefixes {
+				if p.Contains(dst) {
+					if len(as.Routers) == 0 {
+						return world.RouterID(world.None), false
+					}
+					return as.Routers[0], false
+				}
+			}
+		}
+		return world.RouterID(world.None), false
+	}
+
+	var probes []netaddr.IP
+	for _, ifc := range e.w.Interfaces {
+		probes = append(probes, ifc.IP)
+	}
+	for _, as := range e.w.ASes {
+		for _, p := range as.Prefixes {
+			probes = append(probes, p.Addr+3, p.Addr+200)
+		}
+	}
+	probes = append(probes,
+		netaddr.MustParseIP("203.0.113.7"),
+		netaddr.MustParseIP("8.8.8.8"))
+
+	for _, dst := range probes {
+		wantRtr, wantReach := linear(dst)
+		gotRtr, gotReach := e.resolveDst(dst)
+		if gotRtr != wantRtr || gotReach != wantReach {
+			t.Fatalf("resolveDst(%v) = (%v, %v), linear scan says (%v, %v)",
+				dst, gotRtr, gotReach, wantRtr, wantReach)
+		}
+	}
+}

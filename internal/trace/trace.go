@@ -16,7 +16,6 @@
 package trace
 
 import (
-	"math/rand"
 	"time"
 
 	"facilitymap/internal/bgp"
@@ -56,12 +55,31 @@ func (p Path) ResponsiveHops() []netaddr.IP {
 }
 
 // Engine simulates the data plane of one world.
+//
+// The engine is single-goroutine by design: probeCount and rngSeq are
+// unsynchronized because probe issue order is semantics (the RNG stream
+// derives from it), and the hot-path caches below share that property.
 type Engine struct {
 	w    *world.World
 	rt   *bgp.Routing
 	seed int64
 
 	linksBetween map[asnPair][]*world.Link
+	// prefixOwner maps announced prefixes to their AS, replacing
+	// resolveDst's linear scan over every AS × prefix with one
+	// longest-prefix lookup. Built once in New; duplicate prefixes keep
+	// the first announcing AS, matching the retired scan's first-match
+	// order.
+	prefixOwner netaddr.Trie[*world.AS]
+	// dstMemo caches resolveDst verdicts. The world is immutable for the
+	// engine's lifetime, so a destination's resolution never changes —
+	// and CFS re-probes the same targets across iterations.
+	dstMemo map[netaddr.IP]dstRes
+	// selCache holds the flow-independent half of selectLink: per
+	// (current router, AS pair), each candidate link's exit distance and
+	// fabric locality. The flow-dependent ECMP tie-break stays outside
+	// the cache so per-flow path diversity is untouched.
+	selCache map[selKey][]linkRank
 	// probeCount tallies issued measurements (engine-wide budget view):
 	// every probe that leaves a source, including pings whose target
 	// never answers. It is pure accounting and feeds no randomness.
@@ -71,6 +89,12 @@ type Engine struct {
 	// fixes (e.g. counting unreachable pings) must not shift the RNG
 	// stream, or every downstream inference would change with them.
 	rngSeq int
+	// mr is the engine's reusable per-measurement RNG. measurementRNG
+	// re-seeds it in O(1) instead of paying math/rand's full 607-word
+	// state initialization per probe; the value stream is bit-identical
+	// (see fastrng.go). Reuse is safe because measurements never
+	// interleave on the single-goroutine engine.
+	mr mrand
 
 	m engineMetrics
 }
@@ -114,6 +138,27 @@ func (e *Engine) countProbes(n int, kind *obs.Counter) {
 	kind.Add(int64(n))
 }
 
+// dstRes is a memoized resolveDst verdict.
+type dstRes struct {
+	rtr       world.RouterID
+	reachable bool
+}
+
+// selKey identifies one hot-potato exit decision up to its flow label.
+type selKey struct {
+	cur           world.RouterID
+	curAS, nextAS world.ASN
+}
+
+// linkRank is the precomputed, flow-independent score of one candidate
+// exit link: distance from the current router to the near end, and the
+// far port's fabric locality.
+type linkRank struct {
+	l   *world.Link
+	km  float64
+	loc int
+}
+
 type asnPair struct{ a, b world.ASN }
 
 func pairOf(a, b world.ASN) asnPair {
@@ -127,11 +172,21 @@ func pairOf(a, b world.ASN) asnPair {
 // paths themselves are deterministic functions of (src, dst).
 func New(w *world.World, rt *bgp.Routing, seed int64) *Engine {
 	e := &Engine{w: w, rt: rt, seed: seed,
-		linksBetween: make(map[asnPair][]*world.Link)}
+		linksBetween: make(map[asnPair][]*world.Link),
+		dstMemo:      make(map[netaddr.IP]dstRes),
+		selCache:     make(map[selKey][]linkRank),
+	}
 	for _, l := range w.Links {
 		a := w.Routers[l.A].AS
 		b := w.Routers[l.B].AS
 		e.linksBetween[pairOf(a, b)] = append(e.linksBetween[pairOf(a, b)], l)
+	}
+	for _, as := range w.ASes {
+		for _, p := range as.Prefixes {
+			if _, ok := e.prefixOwner.Exact(p); !ok {
+				e.prefixOwner.Insert(p, as)
+			}
+		}
 	}
 	return e
 }
@@ -147,31 +202,45 @@ func (e *Engine) Probes() int { return e.probeCount }
 
 // measurementRNG derives a deterministic RNG for one measurement so that
 // repeated identical calls still see fresh jitter (the attempt counter
-// feeds the seed).
-func (e *Engine) measurementRNG(src world.RouterID, dst netaddr.IP, attempt int) *rand.Rand {
+// feeds the seed). It hands back the engine's single mrand, re-seeded:
+// each measurement finishes its draws before the next one starts, so
+// the previous borrower is always done.
+func (e *Engine) measurementRNG(src world.RouterID, dst netaddr.IP, attempt int) *mrand {
 	h := uint64(e.seed)
 	h = h*1099511628211 + uint64(src)
 	h = h*1099511628211 + uint64(dst)
 	h = h*1099511628211 + uint64(attempt)
-	return rand.New(rand.NewSource(int64(h)))
+	e.mr.reset(int64(h))
+	return &e.mr
 }
 
 // resolveDst finds the router hosting the probed address. When the
 // address is inside an AS block but on no interface, the probe is routed
-// to the AS's first router and never answered.
+// to the AS's first router and never answered. Verdicts are memoized —
+// the world never changes under a live engine.
 func (e *Engine) resolveDst(dst netaddr.IP) (rtr world.RouterID, reachable bool) {
+	if r, ok := e.dstMemo[dst]; ok {
+		return r.rtr, r.reachable
+	}
+	rtr, reachable = e.lookupDst(dst)
+	e.dstMemo[dst] = dstRes{rtr, reachable}
+	return rtr, reachable
+}
+
+// lookupDst is the uncached resolution: an exact interface match first
+// (it always outranks a merely covering prefix), then the longest
+// announced prefix containing the address. Generated worlds announce
+// disjoint per-AS blocks, so longest-prefix and the retired first-match
+// scan pick the same AS.
+func (e *Engine) lookupDst(dst netaddr.IP) (world.RouterID, bool) {
 	if ifc := e.w.InterfaceByIP(dst); ifc != nil {
 		return ifc.Router, true
 	}
-	for _, as := range e.w.ASes {
-		for _, p := range as.Prefixes {
-			if p.Contains(dst) {
-				if len(as.Routers) == 0 {
-					return world.RouterID(world.None), false
-				}
-				return as.Routers[0], false
-			}
+	if as, _, ok := e.prefixOwner.Lookup(dst); ok {
+		if len(as.Routers) == 0 {
+			return world.RouterID(world.None), false
 		}
+		return as.Routers[0], false
 	}
 	return world.RouterID(world.None), false
 }
@@ -183,47 +252,66 @@ func (e *Engine) resolveDst(dst netaddr.IP) (rtr world.RouterID, reachable bool)
 // flow 0 — Paris traceroute's fixed flow — always picks the lowest link
 // ID. Returns nil when the ASes share no link.
 func (e *Engine) selectLink(cur world.RouterID, curAS, nextAS world.ASN, flow uint32) *world.Link {
-	links := e.linksBetween[pairOf(curAS, nextAS)]
-	if len(links) == 0 {
-		return nil
-	}
-	at := e.w.Routers[cur].Coord
+	ranks := e.linkRanks(cur, curAS, nextAS)
 	var best *world.Link
 	bestKm := 0.0
 	bestLoc := 0
-	for _, l := range links {
-		near := l.A
-		if e.w.Routers[l.A].AS != curAS {
-			near = l.B
-		}
-		km := geo.DistanceKm(at, e.w.Routers[near].Coord)
-		loc := e.locality(l, near)
+	for _, r := range ranks {
 		better := false
 		switch {
-		case best == nil, km < bestKm-1e-9:
+		case best == nil, r.km < bestKm-1e-9:
 			better = true
-		case km < bestKm+1e-9 && flow == 0:
+		case r.km < bestKm+1e-9 && flow == 0:
 			// Flow 0 (the dominant share of traffic, and Paris
 			// traceroute's fixed flow): IXP fabrics keep traffic local
 			// to an access or backhaul switch (Figure 6), so among
 			// redundant public links prefer the fabric-proximate far
 			// port, then the lowest link ID.
-			if loc < bestLoc || (loc == bestLoc && l.ID < best.ID) {
+			if r.loc < bestLoc || (r.loc == bestLoc && r.l.ID < best.ID) {
 				better = true
 			}
-		case km < bestKm+1e-9:
+		case r.km < bestKm+1e-9:
 			// Non-zero flows: BGP multipath hashes flows across every
 			// equal-cost session, including a dual-homed peer's second
 			// port — what MDA exploration relies on to see redundancy.
-			if ecmpRank(l.ID, flow) < ecmpRank(best.ID, flow) {
+			if ecmpRank(r.l.ID, flow) < ecmpRank(best.ID, flow) {
 				better = true
 			}
 		}
 		if better {
-			best, bestKm, bestLoc = l, km, loc
+			best, bestKm, bestLoc = r.l, r.km, r.loc
 		}
 	}
 	return best
+}
+
+// linkRanks returns the memoized flow-independent scores for one exit
+// decision, in the same candidate order the uncached path evaluated, so
+// the selection loop above replays the identical comparison sequence.
+func (e *Engine) linkRanks(cur world.RouterID, curAS, nextAS world.ASN) []linkRank {
+	key := selKey{cur, curAS, nextAS}
+	if r, ok := e.selCache[key]; ok {
+		return r
+	}
+	links := e.linksBetween[pairOf(curAS, nextAS)]
+	var ranks []linkRank
+	if len(links) > 0 {
+		at := e.w.Routers[cur].Coord
+		ranks = make([]linkRank, 0, len(links))
+		for _, l := range links {
+			near := l.A
+			if e.w.Routers[l.A].AS != curAS {
+				near = l.B
+			}
+			ranks = append(ranks, linkRank{
+				l:   l,
+				km:  geo.DistanceKm(at, e.w.Routers[near].Coord),
+				loc: e.locality(l, near),
+			})
+		}
+	}
+	e.selCache[key] = ranks
+	return ranks
 }
 
 // ecmpRank orders equal-cost links for one flow label. Flow 0 keeps the
@@ -526,11 +614,11 @@ func (e *Engine) FabricPing(src world.RouterID, port netaddr.IP, count int) (tim
 
 const congestionProb = 0.03
 
-func hopJitter(rng *rand.Rand) time.Duration {
+func hopJitter(rng *mrand) time.Duration {
 	return time.Duration(100+rng.Intn(900)) * time.Microsecond
 }
 
-func congestionSpike(rng *rand.Rand) time.Duration {
+func congestionSpike(rng *mrand) time.Duration {
 	return time.Duration(10+rng.Intn(90)) * time.Millisecond
 }
 

@@ -48,6 +48,25 @@ func Small() Config {
 	}
 }
 
+// Medium returns a world between Small and Default: big enough that
+// engine hot paths dominate wall time, small enough for a CI bench run.
+func Medium() Config {
+	return Config{
+		Seed:            7,
+		NumMetros:       24,
+		FacilityDensity: 8,
+		NumIXPs:         24,
+		InactiveIXPs:    3,
+		NumTier1:        6,
+		NumTransit:      24,
+		NumContent:      6,
+		NumAccess:       70,
+		NumEnterprise:   30,
+		RemotePeerFrac:  0.22,
+		TetheringFrac:   0.13,
+	}
+}
+
 // Default returns the standard experiment world: a few hundred facilities,
 // ~60 IXPs and ~300 ASes.
 func Default() Config {
