@@ -1,13 +1,21 @@
 # Development targets. CI (.github/workflows/ci.yml) runs the same
-# sequence — vet, build, test, race, the engine differential under
-# race — plus staticcheck (not vendored here; CI installs it).
+# sequence — vet, lint, build, test, race, the engine differential
+# under race — plus staticcheck (not vendored here; CI installs it).
 
-.PHONY: all vet build test race bench bench-figures fuzz experiments check
+.PHONY: all vet lint build test race bench bench-figures fuzz experiments check
 
 all: check
 
 vet:
 	go vet ./...
+
+# The repo's own invariant suite (internal/analysis, driven by
+# cmd/cfslint): deterministic map iteration, sanctioned clocks/RNG,
+# single-source probe accounting, nil-safe observability, fenced facset
+# algebra. Also runs as a vet tool:
+#   go vet -vettool=$$(go env GOPATH)/bin/cfslint ./...
+lint:
+	go run ./cmd/cfslint ./...
 
 build:
 	go build ./...
@@ -46,4 +54,4 @@ fuzz:
 	go test -fuzz FuzzParsePrefix -fuzztime 30s ./internal/netaddr/
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/trace/
 
-check: vet build test race
+check: vet lint build test race

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the cfslint binary once into a temp dir.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cfslint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building cfslint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestStandaloneFindsPlantedBugs runs the binary over the fixture
+// module, which reintroduces the two bug classes the suite exists to
+// catch: a wall-clock read in an engine package and an unsorted
+// map-keyed emission.
+func TestStandaloneFindsPlantedBugs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the cfslint binary")
+	}
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = "testdata/badmod"
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("cfslint exited 0 over the planted-bug module:\n%s", out)
+	}
+	text := string(out)
+	for _, wantFrag := range []string{
+		"noclock: time.Now",
+		"nomapiter: range over map",
+	} {
+		if !strings.Contains(text, wantFrag) {
+			t.Errorf("standalone output missing %q:\n%s", wantFrag, text)
+		}
+	}
+}
+
+// TestStandaloneCleanOwnRepo is the self-test: the repository this
+// linter ships in must lint clean, with every real finding fixed or
+// carrying a justified annotation.
+func TestStandaloneCleanOwnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the cfslint binary")
+	}
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("cfslint found violations in its own repository:\n%s", out)
+	}
+}
+
+// TestVettoolProtocol drives the binary through cmd/go's vet harness,
+// exercising the -V=full/-flags handshakes and the unit-config path.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the cfslint binary under go vet")
+	}
+	bin := buildLint(t)
+	abs, err := filepath.Abs(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+abs, "./...")
+	cmd.Dir = "testdata/badmod"
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool exited 0 over the planted-bug module:\n%s", out)
+	}
+	text := string(out)
+	for _, wantFrag := range []string{
+		"noclock: time.Now",
+		"nomapiter: range over map",
+	} {
+		if !strings.Contains(text, wantFrag) {
+			t.Errorf("vettool output missing %q:\n%s", wantFrag, text)
+		}
+	}
+}
+
+// TestVersionHandshake checks the -V=full line cmd/go fingerprints.
+func TestVersionHandshake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the cfslint binary")
+	}
+	bin := buildLint(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 3 || fields[0] != "cfslint" || fields[1] != "version" {
+		t.Errorf("-V=full output %q; want \"cfslint version ...\"", string(out))
+	}
+}

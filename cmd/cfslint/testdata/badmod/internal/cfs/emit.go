@@ -1,0 +1,12 @@
+// Package cfs deliberately violates the nomapiter invariant: an
+// unsorted map-keyed emission, the search.go bug class.
+package cfs
+
+// Keys leaks map iteration order into its result.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package trace deliberately violates the noclock invariant so the
+// integration test can watch cfslint fail — standalone and under
+// go vet -vettool.
+package trace
+
+import "time"
+
+// Stamp reads the wall clock in an engine package.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,3 +1,6 @@
 module facilitymap
 
-go 1.22
+// Kept in lockstep with CI's setup-go version and its staticcheck pin
+// (2025.1.1, the release line supporting Go 1.24); bump all three
+// together.
+go 1.24

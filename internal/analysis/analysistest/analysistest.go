@@ -1,0 +1,217 @@
+// Package analysistest runs a framework.Analyzer over a testdata
+// package and checks its diagnostics against `// want` comments, the
+// same convention as golang.org/x/tools/go/analysis/analysistest:
+//
+//	for k := range m { // want `range over map`
+//
+// Each string after `// want` is a regular expression; every
+// diagnostic on that line must match one expectation and every
+// expectation must be matched by exactly one diagnostic. Lines without
+// a want comment must produce no diagnostics — so testdata encodes the
+// clean cases and the flagged cases side by side, and a suppressed
+// finding is asserted simply by carrying a cfslint directive and no
+// want.
+//
+// Testdata lives under <dir>/src/<pkg>/ (GOPATH-shaped, like the
+// original harness). Imports resolve first against sibling testdata
+// packages — so a test can model a dependency like a fake "obs" — and
+// then against the real build cache via `go list -export`.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"facilitymap/internal/analysis/framework"
+)
+
+// Run analyzes the testdata package named pkg under dir/src and
+// reports mismatches between diagnostics and want comments on t.
+func Run(t *testing.T, dir string, a *framework.Analyzer, pkg string) {
+	t.Helper()
+	pr, err := loadTestdata(dir, pkg)
+	if err != nil {
+		t.Fatalf("loading testdata %s: %v", pkg, err)
+	}
+	diags, err := framework.RunAnalyzers(pr, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, pr.Fset, pr.Files, diags)
+}
+
+// Load type-checks the testdata package named pkg under dir/src and
+// returns it without running any analyzer — for tests that drive
+// framework.RunAnalyzers directly and assert on raw diagnostics.
+func Load(dir, pkg string) (*framework.PackageResult, error) {
+	return loadTestdata(dir, pkg)
+}
+
+// want is one expectation parsed from a comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRx = regexp.MustCompile("(?:`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []framework.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRx.FindAllStringSubmatch(text[idx+len("// want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// loadTestdata type-checks dir/src/<pkg> with imports resolved against
+// sibling testdata packages first, then the real build cache.
+func loadTestdata(dir, pkg string) (*framework.PackageResult, error) {
+	fset := token.NewFileSet()
+	ld := &testdataLoader{
+		root:    filepath.Join(dir, "src"),
+		fset:    fset,
+		checked: make(map[string]*framework.PackageResult),
+	}
+	return ld.check(pkg)
+}
+
+type testdataLoader struct {
+	root    string
+	fset    *token.FileSet
+	checked map[string]*framework.PackageResult
+}
+
+func (ld *testdataLoader) check(pkg string) (*framework.PackageResult, error) {
+	if pr, ok := ld.checked[pkg]; ok {
+		return pr, nil
+	}
+	src := filepath.Join(ld.root, pkg)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(src, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", src)
+	}
+	info := framework.NewInfo()
+	conf := types.Config{Importer: &testdataImporter{ld: ld}}
+	tpkg, err := conf.Check(pkg, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type checking %s: %v", pkg, err)
+	}
+	pr := &framework.PackageResult{
+		PkgPath:   pkg,
+		Fset:      ld.fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+	}
+	ld.checked[pkg] = pr
+	return pr, nil
+}
+
+type testdataImporter struct {
+	ld *testdataLoader
+}
+
+func (ti *testdataImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if st, err := os.Stat(filepath.Join(ti.ld.root, path)); err == nil && st.IsDir() {
+		pr, err := ti.ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pr.Pkg, nil
+	}
+	return stdImport(path)
+}
+
+// stdImport resolves a real (typically standard-library) package from
+// the build cache. The export map is built lazily, once per process,
+// over the whole standard library — `go list -export std` is a cache
+// hit after the first CI run.
+var (
+	stdOnce sync.Once
+	stdErr  error
+	stdImp  types.Importer
+)
+
+func stdImport(path string) (*types.Package, error) {
+	stdOnce.Do(func() {
+		stdImp, stdErr = framework.ExportImporter(".", "std")
+	})
+	if stdErr != nil {
+		return nil, stdErr
+	}
+	return stdImp.Import(path)
+}

@@ -1,0 +1,123 @@
+// Package facsetmix keeps facility-bitset algebra inside facset.go.
+//
+// A facset's bit layout is only meaningful relative to the facIndex
+// that assigned its slots. The sanctioned combining operations
+// (intersect, intersectWith, overlapCount, subsetOf, clone) live in the
+// file that declares the type, carry the min-length guards that keep a
+// mixed-index mistake from reading out of bounds, and document the
+// aliasing rules (interned sets are read-only; intersectWith only on
+// owned clones). A word-wise `a[i] & b[i]` written anywhere else
+// bypasses those guards — it compiles, it usually even works, and it
+// quietly produces a set whose bits mean nothing the moment the two
+// operands came from different indices.
+//
+// The pass therefore flags any expression combining two facset-typed
+// values — bitwise binary ops on their words, compound bitwise
+// assignments, or copy between two facsets — in any file of
+// internal/cfs other than the one declaring the type.
+package facsetmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"facilitymap/internal/analysis/framework"
+)
+
+const setType = "facset"
+
+// Analyzer is the facsetmix pass.
+var Analyzer = &framework.Analyzer{
+	Name: "facsetmix",
+	Doc: "facility bitsets may only be combined by the facIndex-checked operations " +
+		"in the file declaring facset; word-level bit algebra elsewhere bypasses " +
+		"the length guards and the interning aliasing rules",
+	Packages: []string{"internal/cfs"},
+	Run:      run,
+}
+
+var bitwiseOps = map[token.Token]bool{
+	token.AND: true, token.OR: true, token.XOR: true, token.AND_NOT: true,
+	token.AND_ASSIGN: true, token.OR_ASSIGN: true, token.XOR_ASSIGN: true,
+	token.AND_NOT_ASSIGN: true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if declaresFacset(f) {
+			continue // the sanctioned home of the algebra
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if bitwiseOps[n.Op] && isFacsetWord(pass, n.X) && isFacsetWord(pass, n.Y) {
+					pass.Reportf(n.OpPos,
+						"word-level %s of two facsets outside facset.go: use intersect/intersectWith/overlapCount/subsetOf, which carry the facIndex length guards",
+						n.Op)
+				}
+			case *ast.AssignStmt:
+				if bitwiseOps[n.Tok] && len(n.Lhs) == 1 && len(n.Rhs) == 1 &&
+					isFacsetWord(pass, n.Lhs[0]) && isFacsetWord(pass, n.Rhs[0]) {
+					pass.Reportf(n.TokPos,
+						"word-level %s of two facsets outside facset.go: use intersect/intersectWith/overlapCount/subsetOf, which carry the facIndex length guards",
+						n.Tok)
+				}
+			case *ast.CallExpr:
+				if isBuiltinCopy(pass, n) && len(n.Args) == 2 &&
+					isFacset(pass, n.Args[0]) && isFacset(pass, n.Args[1]) {
+					pass.Reportf(n.Pos(),
+						"copy between two facsets outside facset.go: use clone(), which preserves the nil/empty distinction")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declaresFacset reports whether the file contains `type facset ...`.
+func declaresFacset(f *ast.File) bool {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == setType {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isFacsetWord reports whether e indexes into a facset (`s[i]`), i.e.
+// is one word of a facility bitset.
+func isFacsetWord(pass *framework.Pass, e ast.Expr) bool {
+	idx, ok := ast.Unparen(e).(*ast.IndexExpr)
+	return ok && isFacset(pass, idx.X)
+}
+
+// isFacset reports whether e's type is the named type facset.
+func isFacset(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == setType
+}
+
+func isBuiltinCopy(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "copy" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,12 @@
+package facsetmix_test
+
+import (
+	"testing"
+
+	"facilitymap/internal/analysis/analysistest"
+	"facilitymap/internal/analysis/facsetmix"
+)
+
+func TestFacsetmix(t *testing.T) {
+	analysistest.Run(t, "testdata", facsetmix.Analyzer, "cfs")
+}

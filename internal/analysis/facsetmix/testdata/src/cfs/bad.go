@@ -1,0 +1,55 @@
+// Any other file combining two facsets word-by-word bypasses the
+// length guards and aliasing rules the sanctioned ops carry.
+package cfs
+
+// Flagged: inline intersection test.
+func overlap(a, b facset) int {
+	c := 0
+	for i := range a {
+		if a[i]&b[i] != 0 { // want `word-level & of two facsets`
+			c++
+		}
+	}
+	return c
+}
+
+// Flagged: in-place narrowing via compound assignment.
+func narrow(a, b facset) {
+	for i := range a {
+		a[i] &= b[i] // want `word-level &= of two facsets`
+	}
+}
+
+// Flagged: union, same class of mistake.
+func union(a, b facset) facset {
+	out := make(facset, len(a))
+	for i := range a {
+		out[i] = a[i] | b[i] // want `word-level \| of two facsets`
+	}
+	return out
+}
+
+// Flagged: raw copy loses the nil/empty distinction clone preserves.
+func dup(a facset) facset {
+	out := make(facset, len(a))
+	copy(out, a) // want `copy between two facsets`
+	return out
+}
+
+// Clean: masking with a plain word is not set algebra.
+func mask(a facset, m uint64) {
+	for i := range a {
+		a[i] &= m
+	}
+}
+
+// Clean: delegating to the sanctioned operations.
+func viaSanctioned(a, b facset) facset {
+	return intersect(a, b.clone())
+}
+
+// Suppressed: a justified annotation.
+func annotated(a, b facset) uint64 {
+	//cfslint:ignore facsetmix fixture boundary: single-word sets built by the same constructor
+	return a[0] & b[0]
+}

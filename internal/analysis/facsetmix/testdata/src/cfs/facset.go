@@ -1,0 +1,27 @@
+// Package cfs is facsetmix's fixture. This file declares the facset
+// type, making it the fixture's facset.go: the sanctioned home where
+// word-level algebra is allowed.
+package cfs
+
+type facset []uint64
+
+func intersect(a, b facset) facset {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make(facset, n)
+	for i := 0; i < n; i++ {
+		out[i] = a[i] & b[i]
+	}
+	return out
+}
+
+func (s facset) clone() facset {
+	if s == nil {
+		return nil
+	}
+	out := make(facset, len(s))
+	copy(out, s)
+	return out
+}

@@ -1,0 +1,49 @@
+package framework
+
+// DirectivesAnalyzer validates the suppression mechanism itself: a
+// cfslint directive with a missing reason, a missing or unknown
+// analyzer name, or an unknown verb is a diagnostic. This closes the
+// obvious loophole — without it, an unexplained `//cfslint:ordered`
+// would silently disable the determinism check it was supposed to
+// justify, and the suppression would rot into an escape hatch.
+func DirectivesAnalyzer(knownAnalyzers []string) *Analyzer {
+	known := make(map[string]bool, len(knownAnalyzers)+1)
+	for _, n := range knownAnalyzers {
+		known[n] = true
+	}
+	known["directives"] = true
+	a := &Analyzer{
+		Name: "directives",
+		Doc: "check that every cfslint suppression directive names a known " +
+			"analyzer and carries a justification",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseDirective(c.Text, pass.Fset.Position(c.Pos()))
+					if !ok {
+						continue
+					}
+					switch {
+					case d.verb != "ordered" && d.verb != "ignore" && d.verb != "file-ignore":
+						pass.Reportf(c.Pos(),
+							"unknown cfslint directive %q (want ordered, ignore or file-ignore)", d.verb)
+					case d.analyzer == "":
+						pass.Reportf(c.Pos(),
+							"cfslint:%s needs an analyzer name and a reason", d.verb)
+					case !known[d.analyzer]:
+						pass.Reportf(c.Pos(),
+							"cfslint:%s names unknown analyzer %q", d.verb, d.analyzer)
+					case d.reason == "":
+						pass.Reportf(c.Pos(),
+							"cfslint:%s %s is missing its reason: a suppression must say why the finding is safe",
+							d.verb, d.analyzer)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}

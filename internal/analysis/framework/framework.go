@@ -1,0 +1,175 @@
+// Package framework is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis driver model, built on the
+// standard library alone (go/ast, go/types, go/importer). It exists
+// because the repo's invariants — deterministic iteration feeding
+// output, single-source probe accounting, nil-safe observability —
+// are properties a compiler pass can enforce for *every* path, where
+// the differential tests only catch violations a seed happens to
+// exercise.
+//
+// The model mirrors go/analysis deliberately: an Analyzer carries a
+// name, a doc string and a Run function over a Pass; the Pass exposes
+// the parsed files, the type-checked package and the types.Info maps;
+// diagnostics are reported through the Pass. Should the x/tools
+// dependency ever become available, each analyzer's Run body ports
+// verbatim.
+//
+// Two driver-level services sit on top:
+//
+//   - suppression: a diagnostic is dropped when the offending line (or
+//     the line above it, or the whole file) carries a cfslint directive
+//     naming the analyzer and a justification; see suppress.go. Reasons
+//     are mandatory — a bare directive is itself a diagnostic.
+//   - scoping: an Analyzer may restrict itself to packages whose import
+//     path ends in one of its Packages suffixes, so e.g. the ledger
+//     invariants only run over internal/trace.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //cfslint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc states the invariant the analyzer enforces and which bug
+	// class it pins down.
+	Doc string
+	// Packages restricts the analyzer to packages whose import path
+	// ends with one of these suffixes. A path equal to a suffix's last
+	// element also matches, which is how analysistest packages (named
+	// plain "cfs", "trace", "obs") stand in for the real ones. Nil
+	// means every package.
+	Packages []string
+	// Run reports the analyzer's diagnostics for one package.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer runs over the package path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, suf := range a.Packages {
+		if pkgPath == suf || strings.HasSuffix(pkgPath, "/"+suf) {
+			return true
+		}
+		if i := strings.LastIndexByte(suf, '/'); i >= 0 && pkgPath == suf[i+1:] {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	suppress *suppressions
+	sink     func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos unless a cfslint directive
+// suppresses this analyzer on that line, the line above, or the file.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppress.suppresses(p.Analyzer.Name, position) {
+		return
+	}
+	p.sink(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PackageResult is one loaded, type-checked package ready for
+// analysis. Produced by Load (load.go) or assembled directly by the
+// analysistest harness and the vettool driver.
+type PackageResult struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// RunAnalyzers applies every applicable analyzer to the package and
+// returns the surviving diagnostics sorted by position.
+func RunAnalyzers(pkg *PackageResult, analyzers []*Analyzer) ([]Diagnostic, error) {
+	supp := parseSuppressions(pkg.Fset, pkg.Files, analyzerNames(analyzers))
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if !a.AppliesTo(pkg.PkgPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			suppress:  supp,
+			sink:      func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+func analyzerNames(analyzers []*Analyzer) map[string]bool {
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// NewInfo allocates a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,200 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader. `go list -export -deps -json` hands us, offline and with
+// no dependency beyond the toolchain itself, everything a type checker
+// needs: per-package source file lists plus compiler export data for
+// every dependency (standard library included) out of the build cache.
+// Only the package under analysis is checked from source; every import
+// — module-internal or stdlib — resolves through its export data, the
+// same split go vet's unitchecker makes.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// Load lists patterns in dir (a module root or below), type-checks
+// every non-standard-library match from source, and returns them ready
+// for analysis. Test files are excluded: the invariants guard the
+// shipped pipeline, and tests deliberately construct degenerate states.
+func Load(dir string, patterns []string) ([]*PackageResult, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Export,Dir,GoFiles,Imports,ImportMap,Standard,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	res := newResolver(fset, exports)
+	var results []*PackageResult
+	for _, t := range targets {
+		pr, err := checkFromSource(fset, t.ImportPath, t.Dir, t.GoFiles, res.importerFor(t.ImportMap))
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, pr)
+	}
+	return results, nil
+}
+
+// checkFromSource parses and type-checks one package. Files ending in
+// _test.go are skipped (callers pass GoFiles, which already excludes
+// them for `go list`; the vettool config does not).
+func checkFromSource(fset *token.FileSet, pkgPath, dir string, goFiles []string, imp types.Importer) (*PackageResult, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", pkgPath, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: type checking: %v", pkgPath, err)
+	}
+	return &PackageResult{
+		PkgPath:   pkgPath,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// CheckWithExports type-checks one package from source against
+// caller-supplied export data: exports maps canonical import paths to
+// export-data files, importMap translates source import spellings to
+// canonical paths. This is the entry point for the go vet -vettool
+// protocol, whose unit config hands over exactly these two maps.
+func CheckWithExports(pkgPath, dir string, goFiles []string, exports, importMap map[string]string) (*PackageResult, error) {
+	fset := token.NewFileSet()
+	imp := newResolver(fset, exports).importerFor(importMap)
+	return checkFromSource(fset, pkgPath, dir, goFiles, imp)
+}
+
+// ExportImporter returns a types.Importer over the compiler export
+// data of every package matched by patterns plus their dependencies,
+// as listed from dir. Used by the analysistest harness to resolve
+// standard-library imports of testdata packages.
+func ExportImporter(dir string, patterns ...string) (types.Importer, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Export,Standard"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return newResolver(token.NewFileSet(), exports).importerFor(nil), nil
+}
+
+// resolver adapts the gc export-data importer to per-package import
+// maps (vendored std paths appear under their vendor/ name in export
+// data, but under the source spelling in import declarations).
+type resolver struct {
+	gc types.Importer
+}
+
+func newResolver(fset *token.FileSet, exports map[string]string) *resolver {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &resolver{gc: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+// mappedImporter is the per-package view: source import path ->
+// ImportMap translation -> shared gc importer.
+type mappedImporter struct {
+	res *resolver
+	m   map[string]string
+}
+
+func (r *resolver) importerFor(importMap map[string]string) types.Importer {
+	return &mappedImporter{res: r, m: importMap}
+}
+
+func (mi *mappedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	return mi.res.gc.Import(path)
+}

@@ -1,0 +1,133 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression mechanism. A finding is acknowledged in source with
+// a cfslint directive carrying a mandatory justification:
+//
+//	//cfslint:ordered <reason>
+//	    suppresses nomapiter on the same line or the line below
+//	    (sugar for "ignore nomapiter" — it names the one directive
+//	    PR 2's provenance rework made common enough to deserve a verb)
+//	//cfslint:ignore <analyzer> <reason>
+//	    suppresses the named analyzer on the same line or the line below
+//	//cfslint:file-ignore <analyzer> <reason>
+//	    suppresses the named analyzer for the whole file (used by the
+//	    sanctioned boundaries themselves, e.g. fastrng.go wrapping
+//	    math/rand)
+//
+// A directive with a missing reason, an unknown verb, or an unknown
+// analyzer name is not silently inert: the directives analyzer
+// (directives.go) turns it into a diagnostic, so a suppression can
+// never rot into an unexplained escape hatch.
+
+const directivePrefix = "//cfslint:"
+
+// orderedAnalyzer is the analyzer the "ordered" verb is sugar for.
+const orderedAnalyzer = "nomapiter"
+
+// directive is one parsed cfslint comment.
+type directive struct {
+	verb     string // "ordered", "ignore", "file-ignore"
+	analyzer string // target analyzer name ("" when missing)
+	reason   string // justification ("" when missing)
+	pos      token.Position
+}
+
+// parseDirective splits one comment's text, returning ok=false for
+// comments that are not cfslint directives at all.
+func parseDirective(text string, pos token.Position) (directive, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return directive{}, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	verb, tail, _ := strings.Cut(rest, " ")
+	d := directive{verb: verb, pos: pos}
+	switch verb {
+	case "ordered":
+		d.analyzer = orderedAnalyzer
+		d.reason = strings.TrimSpace(tail)
+	case "ignore", "file-ignore":
+		d.analyzer, d.reason, _ = strings.Cut(strings.TrimSpace(tail), " ")
+		d.reason = strings.TrimSpace(d.reason)
+	}
+	return d, true
+}
+
+// collectDirectives parses every cfslint directive in the files.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, ok := parseDirective(c.Text, fset.Position(c.Pos())); ok {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// suppressions indexes the well-formed directives of one package for
+// the Reportf check. Malformed directives (missing reason, unknown
+// analyzer) never suppress anything — they surface through the
+// directives analyzer instead.
+type suppressions struct {
+	// byLine maps file -> line -> analyzer names suppressed at that
+	// line. A directive covers its own line and the one below it, so
+	// both inline and stacked-above comments work.
+	byLine map[string]map[int]map[string]bool
+	// byFile maps file -> analyzer names suppressed file-wide.
+	byFile map[string]map[string]bool
+}
+
+func parseSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) *suppressions {
+	s := &suppressions{
+		byLine: make(map[string]map[int]map[string]bool),
+		byFile: make(map[string]map[string]bool),
+	}
+	for _, d := range collectDirectives(fset, files) {
+		if d.reason == "" || !known[d.analyzer] {
+			continue // malformed: reported by the directives analyzer
+		}
+		switch d.verb {
+		case "ordered", "ignore":
+			lines := s.byLine[d.pos.Filename]
+			if lines == nil {
+				lines = make(map[int]map[string]bool)
+				s.byLine[d.pos.Filename] = lines
+			}
+			for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+				set := lines[line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[line] = set
+				}
+				set[d.analyzer] = true
+			}
+		case "file-ignore":
+			set := s.byFile[d.pos.Filename]
+			if set == nil {
+				set = make(map[string]bool)
+				s.byFile[d.pos.Filename] = set
+			}
+			set[d.analyzer] = true
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppresses(analyzer string, pos token.Position) bool {
+	if s == nil {
+		return false
+	}
+	if s.byFile[pos.Filename][analyzer] {
+		return true
+	}
+	return s.byLine[pos.Filename][pos.Line][analyzer]
+}

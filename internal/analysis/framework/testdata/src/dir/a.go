@@ -1,0 +1,24 @@
+// Package dir exercises the directives analyzer: every way a cfslint
+// suppression can be malformed, next to two well-formed ones.
+package dir
+
+//cfslint:ordered
+var missingOrderedReason int
+
+//cfslint:ignore nomapiter
+var missingIgnoreReason int
+
+//cfslint:ignore
+var missingAnalyzer int
+
+//cfslint:ignore bogus because reasons
+var unknownAnalyzer int
+
+//cfslint:frobnicate stuff
+var unknownVerb int
+
+//cfslint:ordered keys drain into a sorted accumulator
+var wellFormedOrdered int
+
+//cfslint:file-ignore noclock fixture-wide suppression carrying its justification
+var wellFormedFileIgnore int

@@ -1,0 +1,214 @@
+// Package ledger enforces single-source probe accounting in
+// internal/trace. PR 2 fixed a double-booked FabricPing — the probe
+// counter incremented once up front and again per attempt — which
+// silently skewed every per-probe cost figure the evaluation reports.
+// The fix concentrated all accounting in one place; this pass keeps it
+// there.
+//
+// The invariants, stated over the names the package actually uses:
+//
+//  1. The ledger fields probeCount and rngSeq exist only on the
+//     probeLedger struct, and only probeLedger's own methods touch
+//     them. Everything else goes through book / probes / nextSeq.
+//  2. A function that draws measurement randomness (calls
+//     measurementRNG or nextSeq) must also book — otherwise the RNG
+//     sequence advances without the probe count following, and runs
+//     stop being comparable by probe budget.
+//  3. A function books at most once, and never inside a loop. Booking
+//     is "this measurement call costs n probes", decided once at the
+//     top; a book inside a retry loop is exactly the double-count bug.
+package ledger
+
+import (
+	"go/ast"
+	"go/types"
+
+	"facilitymap/internal/analysis/framework"
+)
+
+const ledgerType = "probeLedger"
+
+var ledgerFields = map[string]bool{"probeCount": true, "rngSeq": true}
+
+// drawFuncs are the RNG-stream entry points: calling one advances the
+// measurement sequence.
+var drawFuncs = map[string]bool{"measurementRNG": true, "nextSeq": true}
+
+// Analyzer is the ledger pass.
+var Analyzer = &framework.Analyzer{
+	Name: "ledger",
+	Doc: "probe accounting flows through probeLedger alone: no outside access to " +
+		"probeCount/rngSeq, every RNG draw is booked, and booking happens exactly " +
+		"once per measurement function, never in a loop",
+	Packages: []string{"internal/trace"},
+	Run:      run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkFieldDecls(pass, d)
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFieldDecls flags struct types other than probeLedger declaring
+// the ledger fields (rule 1, declaration half).
+func checkFieldDecls(pass *framework.Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok || ts.Name.Name == ledgerType {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			for _, name := range field.Names {
+				if ledgerFields[name.Name] {
+					pass.Reportf(name.Pos(),
+						"ledger field %s declared on %s: probe accounting state lives on %s only",
+						name.Name, ts.Name.Name, ledgerType)
+				}
+			}
+		}
+	}
+}
+
+// receiverType returns the name of fn's receiver base type, or "".
+func receiverType(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	isLedgerMethod := receiverType(fn) == ledgerType
+
+	var (
+		bookCalls []*ast.CallExpr
+		draws     bool
+	)
+	// loopDepth tracks for/range nesting so rule 3 can tell a booking
+	// at the top of a measurement from one inside a retry loop.
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+		case *ast.FuncLit:
+			// A closure is its own accounting scope; don't attribute
+			// its books/draws to the enclosing function.
+			return
+		case *ast.SelectorExpr:
+			checkFieldAccess(pass, n, isLedgerMethod)
+		case *ast.CallExpr:
+			if name, ok := calleeName(n); ok {
+				switch {
+				case name == "book":
+					bookCalls = append(bookCalls, n)
+					if loopDepth > 0 {
+						pass.Reportf(n.Pos(),
+							"ledger.book inside a loop: booking is once per measurement call, up front; a book per attempt double-counts probes")
+					}
+				case drawFuncs[name]:
+					draws = true
+				}
+			}
+		}
+		for _, c := range children(n) {
+			walk(c, loopDepth)
+		}
+	}
+	walk(fn.Body, 0)
+
+	if !isLedgerMethod && fn.Name.Name != "measurementRNG" {
+		if draws && len(bookCalls) == 0 {
+			pass.Reportf(fn.Pos(),
+				"%s draws measurement randomness but never books: the RNG sequence advances without the probe count, breaking probe-budget comparability",
+				fn.Name.Name)
+		}
+		if len(bookCalls) > 1 {
+			pass.Reportf(bookCalls[1].Pos(),
+				"%s books more than once: a measurement's cost is booked exactly once (this is the double-counted-FabricPing bug class)",
+				fn.Name.Name)
+		}
+	}
+}
+
+// checkFieldAccess flags selections of the ledger fields outside
+// probeLedger's own methods (rule 1, access half).
+func checkFieldAccess(pass *framework.Pass, sel *ast.SelectorExpr, inLedgerMethod bool) {
+	if inLedgerMethod || !ledgerFields[sel.Sel.Name] {
+		return
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	// Only the fields on probeLedger (or a struct embedding it) count;
+	// an unrelated type's probeCount in testdata shouldn't trip this.
+	if named, ok := derefNamed(s.Recv()); !ok || named.Obj().Name() != ledgerType {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"direct access to %s.%s outside its methods: go through book/probes/nextSeq so accounting stays single-source",
+		ledgerType, sel.Sel.Name)
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name, true
+	case *ast.SelectorExpr:
+		return f.Sel.Name, true
+	}
+	return "", false
+}
+
+// children returns n's direct AST children. ast.Inspect can't thread
+// the loop depth, so the walker recurses manually.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			out = append(out, m)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package ledger_test
+
+import (
+	"testing"
+
+	"facilitymap/internal/analysis/analysistest"
+	"facilitymap/internal/analysis/ledger"
+)
+
+func TestLedger(t *testing.T) {
+	analysistest.Run(t, "testdata", ledger.Analyzer, "trace")
+}

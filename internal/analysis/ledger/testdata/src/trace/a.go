@@ -1,0 +1,91 @@
+// Package trace is the ledger fixture: a miniature of the real
+// internal/trace accounting surface — probeLedger with its three
+// methods, an engine drawing measurement randomness — plus every way
+// the invariant has been (or could be) broken.
+package trace
+
+type counter struct{}
+
+func (c *counter) Add(n int64) {}
+
+type probeLedger struct {
+	probeCount int
+	rngSeq     int
+}
+
+func (l *probeLedger) book(n int, kind *counter) {
+	l.probeCount += n
+	kind.Add(int64(n))
+}
+
+func (l *probeLedger) probes() int { return l.probeCount }
+
+func (l *probeLedger) nextSeq() int {
+	l.rngSeq++
+	return l.rngSeq
+}
+
+// Flagged: ledger state declared off the ledger.
+type rogue struct {
+	probeCount int // want `ledger field probeCount declared on rogue`
+	attempts   int
+}
+
+type engine struct {
+	ledger probeLedger
+	pings  *counter
+}
+
+func (e *engine) measurementRNG(src, dst, attempt int) int {
+	return src ^ dst ^ attempt
+}
+
+// Clean: the canonical shape — book once up front, draw per attempt.
+func (e *engine) ping(dst, count int) int {
+	e.ledger.book(count, e.pings)
+	best := 0
+	for i := 0; i < count; i++ {
+		best += e.measurementRNG(1, dst, e.ledger.nextSeq())
+	}
+	return best
+}
+
+// Clean: pure accounting reads go through the method.
+func (e *engine) total() int {
+	return e.ledger.probes()
+}
+
+// Flagged: drawing randomness without booking desynchronises the
+// probe budget from the RNG stream.
+func (e *engine) silentDraw(dst int) int { // want `draws measurement randomness but never books`
+	return e.measurementRNG(1, dst, e.ledger.nextSeq())
+}
+
+// Flagged: booking twice is the double-counted measurement bug.
+func (e *engine) doubleBook(dst, count int) {
+	e.ledger.book(count, e.pings)
+	e.ledger.book(count, e.pings) // want `books more than once`
+}
+
+// Flagged: booking per attempt is how FabricPing double-counted.
+func (e *engine) perAttempt(dst, count int) {
+	for i := 0; i < count; i++ {
+		e.ledger.book(1, e.pings) // want `ledger.book inside a loop`
+	}
+}
+
+// Flagged: reaching around the methods into ledger state.
+func (e *engine) cheat() int {
+	return e.ledger.probeCount // want `direct access to probeLedger.probeCount`
+}
+
+// Clean: a closure is its own accounting scope; its book neither
+// counts against the outer function nor books the outer draw... but
+// the outer function still has its own book.
+func (e *engine) deferred(dst, count int) func() {
+	e.ledger.book(count, e.pings)
+	_ = e.measurementRNG(1, dst, e.ledger.nextSeq())
+	return func() {
+		e.ledger.book(1, e.pings)
+	}
+}

@@ -1,0 +1,12 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"facilitymap/internal/analysis/analysistest"
+	"facilitymap/internal/analysis/noclock"
+)
+
+func TestNoclock(t *testing.T) {
+	analysistest.Run(t, "testdata", noclock.Analyzer, "trace")
+}

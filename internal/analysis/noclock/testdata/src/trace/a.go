@@ -1,0 +1,46 @@
+// Package trace is noclock's fixture; its base name matches the real
+// internal/trace, so the analyzer runs over it.
+package trace
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged: wall-clock reads.
+func stamp() time.Time {
+	return time.Now() // want `time.Now in an engine package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in an engine package`
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want `time.Sleep in an engine package`
+}
+
+// Flagged: ambient randomness, in every form the package exports.
+func jitter() time.Duration {
+	return time.Duration(rand.Intn(100)) // want `math/rand.Intn in an engine package`
+}
+
+func seeded() *rand.Rand { // want `math/rand.Rand in an engine package`
+	return rand.New(rand.NewSource(1)) // want `math/rand.New in an engine package` `math/rand.NewSource in an engine package`
+}
+
+// Clean: time's types, constants and arithmetic are not clock reads.
+func scale(d time.Duration) time.Duration {
+	return d * time.Millisecond
+}
+
+// Clean: a deadline handed in from outside is data, not a clock.
+func remaining(deadline time.Time, now time.Time) time.Duration {
+	return deadline.Sub(now)
+}
+
+// Suppressed: an explicit, justified boundary.
+func bootClock() time.Time {
+	//cfslint:ignore noclock fixture's sanctioned boundary, mirroring Pipeline.now
+	return time.Now()
+}

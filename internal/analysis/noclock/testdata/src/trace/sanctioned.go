@@ -1,0 +1,11 @@
+//cfslint:file-ignore noclock fixture stand-in for fastrng.go, the one file allowed to touch math/rand
+
+// No want comments in this file: the file-ignore swallows every
+// noclock finding, which is exactly what fastrng.go relies on.
+package trace
+
+import "math/rand"
+
+func sanctionedDraw(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

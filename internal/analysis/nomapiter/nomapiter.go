@@ -1,0 +1,269 @@
+// Package nomapiter flags range statements over maps whose bodies feed
+// ordered output — appending to a slice, writing a struct field, or
+// issuing a measurement. Go randomises map iteration order, so any such
+// loop makes results (or the probe stream, which is semantics: the
+// simulator's RNG derives from probe order) depend on hash seeding.
+// This is exactly the nondeterminism class that forced PR 2's
+// transition-based conflict/provenance rework, and the class MIDAR-
+// style measurement systems eliminate so their inferences stay
+// auditable.
+//
+// The analyzer recognises the codebase's canonical healing idiom — keys
+// collected then sorted before use — and stays quiet for it: a loop
+// whose only offence is appending is clean when every appended slice is
+// later passed to a sort call in the same function. Anything else needs
+// either sorting or a `//cfslint:ordered <reason>` annotation.
+package nomapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"facilitymap/internal/analysis/framework"
+)
+
+// measurementCalls is the repo's probe-issuing surface: methods of
+// trace.Engine and platform.Service that put packets on the (simulated)
+// wire. Matching is by method name — the invariant suite is pinned to
+// this codebase, not a general-purpose linter.
+var measurementCalls = map[string]bool{
+	"Traceroute": true, "TracerouteFlow": true, "TracerouteMDA": true,
+	"Ping": true, "FabricPing": true,
+	"TracerouteFrom": true, "MDAFrom": true, "Campaign": true,
+	"LookingGlassBGP": true, "LookingGlassSessions": true,
+}
+
+// Analyzer is the nomapiter pass.
+var Analyzer = &framework.Analyzer{
+	Name: "nomapiter",
+	Doc: "flag map iteration feeding ordered output (slice appends, struct field " +
+		"writes, measurements) unless the keys are sorted or the loop carries a " +
+		"//cfslint:ordered annotation",
+	Packages: []string{"internal/cfs", "internal/trace", "internal/world", "internal/registry"},
+	Run:      run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !rangesOverMap(pass, rs) {
+			return true
+		}
+		checkRange(pass, fn, rs)
+		return true
+	})
+}
+
+func rangesOverMap(pass *framework.Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkRange classifies the loop body's side effects and reports when
+// map order can leak into output.
+func checkRange(pass *framework.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
+	var (
+		appendTargets []types.Object // roots of slices appended to
+		unsortable    bool           // append target too complex to heal
+		fieldWrite    string         // first struct field written
+		measurement   string         // first measurement method called
+	)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass, n) && len(n.Args) > 0 {
+				switch obj := rootObject(pass, n.Args[0]); {
+				case keyedByRangeKey(pass, rs, n.Args[0]):
+					// m[k] = append(m[k], ...) with k the range key:
+					// one slice per key, so iteration order commutes.
+				case obj != nil:
+					appendTargets = append(appendTargets, obj)
+				default:
+					unsortable = true
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && measurementCalls[sel.Sel.Name] {
+				if measurement == "" {
+					measurement = sel.Sel.Name
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if name := writtenField(pass, rs, lhs); name != "" && fieldWrite == "" {
+					fieldWrite = name
+				}
+			}
+		case *ast.IncDecStmt:
+			if name := writtenField(pass, rs, n.X); name != "" && fieldWrite == "" {
+				fieldWrite = name
+			}
+		}
+		return true
+	})
+
+	mapExpr := types.ExprString(rs.X)
+	switch {
+	case measurement != "":
+		pass.Reportf(rs.Pos(),
+			"range over map %s issues measurement %s: probe order is semantics (the RNG stream derives from it); iterate sorted keys or annotate //cfslint:ordered <reason>",
+			mapExpr, measurement)
+	case fieldWrite != "":
+		pass.Reportf(rs.Pos(),
+			"range over map %s writes field %s in map order; iterate sorted keys or annotate //cfslint:ordered <reason>",
+			mapExpr, fieldWrite)
+	case unsortable || (len(appendTargets) > 0 && !healedBySort(pass, fn, rs, appendTargets)):
+		pass.Reportf(rs.Pos(),
+			"range over map %s appends in map order and the result is never sorted; sort it afterwards or annotate //cfslint:ordered <reason>",
+			mapExpr)
+	}
+}
+
+func isBuiltinAppend(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// rootObject resolves the variable at the base of an lvalue-ish
+// expression: out -> out, m[k] -> m, s.f -> s. Returns nil for
+// expressions with no identifiable root.
+func rootObject(pass *framework.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// keyedByRangeKey reports whether target is an index expression whose
+// index is exactly the loop's key variable — the per-key-bucket idiom,
+// which commutes because map keys are unique.
+func keyedByRangeKey(pass *framework.Pass, rs *ast.RangeStmt, target ast.Expr) bool {
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[keyID]
+	if keyObj == nil {
+		keyObj = pass.TypesInfo.Uses[keyID]
+	}
+	if keyObj == nil {
+		return false
+	}
+	idx, ok := target.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := idx.Index.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == keyObj
+}
+
+// writtenField returns the field name when lhs writes a struct field
+// through a selector (result structs, counters); "" otherwise. Map and
+// slice element writes (m[k] = v) are not field writes — they commute.
+// Writes through a variable declared inside the loop body (the
+// per-element copy idiom, `cp := *rec; cp.F = ...; out[k] = &cp`) also
+// commute: each iteration's state is its own.
+func writtenField(pass *framework.Pass, rs *ast.RangeStmt, lhs ast.Expr) string {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	if obj := rootObject(pass, sel.X); obj != nil &&
+		rs.Body.Pos() <= obj.Pos() && obj.Pos() < rs.Body.End() {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// healedBySort reports whether every appended slice flows into a sort
+// call after the loop, the collect-then-sort idiom. "A sort call" is a
+// call into package sort or slices, or to a function whose name
+// contains "sort" (covering local helpers like sortASNs).
+func healedBySort(pass *framework.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, targets []types.Object) bool {
+	for _, obj := range targets {
+		if !sortedAfter(pass, fn, rs.End(), obj) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedAfter(pass *framework.Pass, fn *ast.FuncDecl, after token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after || !isSortish(pass, call.Fun) {
+			return true
+		}
+		for _, arg := range call.Args {
+			used := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if used {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortish(pass *framework.Pass, fun ast.Expr) bool {
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				p := pn.Imported().Path()
+				return p == "sort" || p == "slices"
+			}
+		}
+		return strings.Contains(strings.ToLower(f.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(f.Name), "sort")
+	}
+	return false
+}

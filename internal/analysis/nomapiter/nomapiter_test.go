@@ -1,0 +1,12 @@
+package nomapiter_test
+
+import (
+	"testing"
+
+	"facilitymap/internal/analysis/analysistest"
+	"facilitymap/internal/analysis/nomapiter"
+)
+
+func TestNomapiter(t *testing.T) {
+	analysistest.Run(t, "testdata", nomapiter.Analyzer, "cfs")
+}

@@ -1,0 +1,107 @@
+// Package cfs is nomapiter's fixture: its base name matches the real
+// internal/cfs, so the analyzer runs over it. Flagged and clean cases
+// sit side by side; a line without a want comment asserts silence.
+package cfs
+
+import "sort"
+
+type engine struct{}
+
+func (engine) Ping(dst string, n int) {}
+
+type census struct {
+	Public int
+}
+
+// Flagged: keys leak out in map order and are never sorted.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends in map order and the result is never sorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Clean: the canonical collect-then-sort heal.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clean: a local helper whose name marks it as a sort.
+func keysHelperSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(s []string) { sort.Strings(s) }
+
+// Clean: per-key buckets — one slice per key commutes.
+func regroup(m map[string][]int) map[string][]int {
+	out := make(map[string][]int)
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// Flagged: a struct field accumulates in map order.
+func tally(m map[string]bool) census {
+	var c census
+	for _, v := range m { // want `writes field Public in map order`
+		if v {
+			c.Public++
+		}
+	}
+	return c
+}
+
+// Clean: writes through a per-iteration copy commute.
+func copies(m map[string]*census) map[string]census {
+	out := make(map[string]census)
+	for k, v := range m {
+		cp := *v
+		cp.Public++
+		out[k] = cp
+	}
+	return out
+}
+
+// Flagged: probes leave in map order, which shifts the RNG stream.
+func probeAll(e engine, targets map[string]int) {
+	for dst := range targets { // want `issues measurement Ping`
+		e.Ping(dst, 3)
+	}
+}
+
+// Suppressed: a well-formed annotation with a reason keeps this quiet.
+func tallyAnnotated(m map[string]bool) census {
+	var c census
+	//cfslint:ordered commutative integer tally, order cannot reach the result
+	for _, v := range m {
+		if v {
+			c.Public++
+		}
+	}
+	return c
+}
+
+// Flagged anyway: a reasonless directive never suppresses.
+func tallyBadAnnotation(m map[string]bool) census {
+	var c census
+	//cfslint:ordered
+	for _, v := range m { // want `writes field Public in map order`
+		if v {
+			c.Public++
+		}
+	}
+	return c
+}

@@ -1,0 +1,295 @@
+// Package obsnil enforces the observability layer's "disabled means
+// free" contract from both sides:
+//
+//  1. Inside internal/obs, every exported pointer-receiver method must
+//     open with a nil-receiver guard (`if recv == nil { return ... }`).
+//     The whole package rests on nil handles being no-ops; one missing
+//     guard turns an uninstrumented run into a panic.
+//  2. Outside internal/obs, code may not select the registry fields
+//     Obs.Metrics / Obs.Tracer unless a dominating `if o != nil` guard
+//     is in scope. The nil-safety lives on *methods*; a raw field read
+//     through a nil *Obs dereferences it. Callers either go through
+//     Counter/Gauge/Histogram/Emit or guard explicitly.
+package obsnil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"facilitymap/internal/analysis/framework"
+)
+
+// obsFields are the raw registry fields on obs.Obs that rule 2 fences.
+var obsFields = map[string]bool{"Metrics": true, "Tracer": true}
+
+// Analyzer is the obsnil pass. Unlike the other passes it runs over
+// every package: rule 1 fires inside obs-like packages, rule 2
+// everywhere else.
+var Analyzer = &framework.Analyzer{
+	Name: "obsnil",
+	Doc: "exported pointer-receiver methods in internal/obs must open with a " +
+		"nil-receiver guard; callers outside obs must not dereference Obs.Metrics/" +
+		"Obs.Tracer without a nil check",
+	Run: run,
+}
+
+func isObsPackage(path string) bool {
+	return path == "obs" || path == "internal/obs" ||
+		len(path) > len("/internal/obs") && path[len(path)-len("/internal/obs"):] == "/internal/obs"
+}
+
+func run(pass *framework.Pass) error {
+	if isObsPackage(pass.Pkg.Path()) {
+		checkGuards(pass)
+		return nil
+	}
+	checkCallers(pass)
+	return nil
+}
+
+// --- rule 1: nil-receiver guards inside obs ---
+
+func checkGuards(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			recv := pointerReceiverName(fn)
+			if recv == "" {
+				continue // value receiver: can't be nil
+			}
+			if len(fn.Body.List) == 0 || opensWithNilGuard(fn.Body.List[0], recv) {
+				continue
+			}
+			// A one-line delegation to a guarded sibling (`c.Add(1)`)
+			// still panics only if the sibling forgets its guard — but
+			// the contract is local and auditable, so require the guard
+			// here too rather than chase the call graph.
+			pass.Reportf(fn.Pos(),
+				"exported method (%s) %s does not open with a nil-receiver guard; the obs contract is that nil handles are no-ops",
+				recv, fn.Name.Name)
+		}
+	}
+}
+
+// pointerReceiverName returns the receiver identifier when fn has a
+// pointer receiver, "" otherwise (value receivers and no receiver).
+func pointerReceiverName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	field := fn.Recv.List[0]
+	if _, ok := field.Type.(*ast.StarExpr); !ok {
+		return ""
+	}
+	if len(field.Names) == 0 {
+		return "_"
+	}
+	return field.Names[0].Name
+}
+
+// opensWithNilGuard reports whether stmt is `if recv == nil { ... }`
+// (or `nil == recv`) whose body unconditionally returns.
+func opensWithNilGuard(stmt ast.Stmt, recv string) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return false
+	}
+	if !isIdentNilPair(bin.X, bin.Y, recv) && !isIdentNilPair(bin.Y, bin.X, recv) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, ret := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return ret
+}
+
+func isIdentNilPair(a, b ast.Expr, recv string) bool {
+	id, ok := a.(*ast.Ident)
+	if !ok || id.Name != recv {
+		return false
+	}
+	nb, ok := b.(*ast.Ident)
+	return ok && nb.Name == "nil"
+}
+
+// --- rule 2: guarded field access outside obs ---
+
+// checkCallers walks each function keeping a stack of enclosing if
+// conditions; a selection of Obs.Metrics/Obs.Tracer is clean only when
+// some enclosing `if` tests the same base expression against nil.
+func checkCallers(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			walkGuarded(pass, fn.Body, nil)
+		}
+	}
+}
+
+// walkGuarded recurses through n carrying the set of expressions known
+// non-nil on this path (rendered via types.ExprString).
+func walkGuarded(pass *framework.Pass, n ast.Node, guarded []string) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		// Early-exit guards: after `if o == nil { return }` the rest of
+		// the block sees o non-nil.
+		for _, st := range n.List {
+			walkGuarded(pass, st, guarded)
+			if ifs, ok := st.(*ast.IfStmt); ok && ifs.Else == nil && terminates(ifs.Body) {
+				guarded = append(guarded, nilTestedFacts(ifs.Cond)...)
+			}
+		}
+		return
+	case *ast.IfStmt:
+		if n.Init != nil {
+			walkGuarded(pass, n.Init, guarded)
+		}
+		walkGuarded(pass, n.Cond, guarded)
+		walkGuarded(pass, n.Body, append(guarded, nonNilFacts(n.Cond)...))
+		walkGuarded(pass, n.Else, guarded)
+		return
+	case *ast.BinaryExpr:
+		// Short-circuit: in `o != nil && o.Metrics...` the right side
+		// only evaluates under the left's facts.
+		if n.Op == token.LAND {
+			walkGuarded(pass, n.X, guarded)
+			walkGuarded(pass, n.Y, append(guarded, nonNilFacts(n.X)...))
+			return
+		}
+	case *ast.SelectorExpr:
+		checkSelection(pass, n, guarded)
+		// keep walking: x.Metrics.Counter has a nested selector base
+	}
+	for _, c := range directChildren(n) {
+		walkGuarded(pass, c, guarded)
+	}
+}
+
+// nonNilFacts extracts expressions proven non-nil when cond is true:
+// `x != nil` conjuncts (across &&).
+func nonNilFacts(cond ast.Expr) []string {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch bin.Op {
+	case token.LAND:
+		return append(nonNilFacts(bin.X), nonNilFacts(bin.Y)...)
+	case token.NEQ:
+		if isNil(bin.Y) {
+			return []string{types.ExprString(bin.X)}
+		}
+		if isNil(bin.X) {
+			return []string{types.ExprString(bin.Y)}
+		}
+	}
+	return nil
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// nilTestedFacts extracts expressions proven non-nil when cond is
+// FALSE: `x == nil` disjuncts (across ||), the early-exit-guard dual of
+// nonNilFacts.
+func nilTestedFacts(cond ast.Expr) []string {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch bin.Op {
+	case token.LOR:
+		return append(nilTestedFacts(bin.X), nilTestedFacts(bin.Y)...)
+	case token.EQL:
+		if isNil(bin.Y) {
+			return []string{types.ExprString(bin.X)}
+		}
+		if isNil(bin.X) {
+			return []string{types.ExprString(bin.Y)}
+		}
+	}
+	return nil
+}
+
+// terminates reports whether a guard body unconditionally leaves the
+// enclosing scope: return, break/continue/goto, or a panic call.
+func terminates(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkSelection(pass *framework.Pass, sel *ast.SelectorExpr, guarded []string) {
+	if !obsFields[sel.Sel.Name] {
+		return
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	recv := s.Recv()
+	ptr, ok := recv.(*types.Pointer)
+	if !ok {
+		return
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Obs" || named.Obj().Pkg() == nil ||
+		!isObsPackage(named.Obj().Pkg().Path()) {
+		return
+	}
+	base := types.ExprString(sel.X)
+	for _, g := range guarded {
+		if g == base {
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(),
+		"%s.%s dereferences a possibly-nil *obs.Obs: guard with `if %s != nil` or use the nil-safe methods (Counter/Gauge/Histogram/Emit)",
+		base, sel.Sel.Name, base)
+}
+
+// directChildren returns n's immediate AST children; the guard walker
+// recurses manually because ast.Inspect cannot thread the guard set.
+func directChildren(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			out = append(out, m)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,16 @@
+package obsnil_test
+
+import (
+	"testing"
+
+	"facilitymap/internal/analysis/analysistest"
+	"facilitymap/internal/analysis/obsnil"
+)
+
+func TestProviderGuards(t *testing.T) {
+	analysistest.Run(t, "testdata", obsnil.Analyzer, "obs")
+}
+
+func TestCallerDerefs(t *testing.T) {
+	analysistest.Run(t, "testdata", obsnil.Analyzer, "client")
+}

@@ -1,0 +1,69 @@
+// Package client is obsnil's caller-side fixture: rule 2 (no raw
+// Obs.Metrics/Obs.Tracer dereference without a dominating nil check)
+// applies outside obs packages.
+package client
+
+import "obs"
+
+// Flagged: raw dereference of a possibly-nil *obs.Obs.
+func direct(o *obs.Obs) *obs.Registry {
+	return o.Metrics // want `o.Metrics dereferences a possibly-nil`
+}
+
+// Flagged: both fields, both flagged.
+func both(o *obs.Obs) {
+	_ = o.Metrics // want `o.Metrics dereferences a possibly-nil`
+	_ = o.Tracer  // want `o.Tracer dereferences a possibly-nil`
+}
+
+// Clean: a guard block dominates the access.
+func guarded(o *obs.Obs) *obs.Registry {
+	if o != nil {
+		return o.Metrics
+	}
+	return nil
+}
+
+// Clean: the early-exit idiom dominates the rest of the function.
+func earlyExit(o *obs.Obs) *obs.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// Clean: short-circuit evaluation guards the right-hand side.
+func shortCircuit(o *obs.Obs) bool {
+	return o != nil && o.Metrics != nil
+}
+
+// Clean: a disjunctive early exit guards both operands after it.
+func disjoint(o *obs.Obs, p *obs.Obs) bool {
+	if o == nil || p == nil {
+		return false
+	}
+	return o.Metrics == p.Metrics
+}
+
+// Flagged: the guard names a different expression.
+func wrongGuard(o *obs.Obs, p *obs.Obs) *obs.Registry {
+	if p != nil {
+		return o.Metrics // want `o.Metrics dereferences a possibly-nil`
+	}
+	return nil
+}
+
+// Flagged: an else branch sees the guard's negation, not the guard.
+func elseBranch(o *obs.Obs) *obs.Registry {
+	if o != nil {
+		return nil
+	} else {
+		return o.Metrics // want `o.Metrics dereferences a possibly-nil`
+	}
+}
+
+// Suppressed: a justified annotation keeps this quiet.
+func annotated(o *obs.Obs) *obs.Registry {
+	//cfslint:ignore obsnil fixture boundary: caller guarantees instrumentation is always on here
+	return o.Metrics
+}

@@ -1,0 +1,68 @@
+// Package obs is obsnil's provider-side fixture: its path matches the
+// real internal/obs, so rule 1 (exported pointer-receiver methods open
+// with a nil guard) applies here.
+package obs
+
+type Registry struct{ n int }
+
+type Tracer struct{ n int }
+
+// Clean: the canonical guard.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.n = 0
+}
+
+// Clean: reversed operands still guard.
+func (t *Tracer) Clear() {
+	if nil == t {
+		return
+	}
+	t.n = 0
+}
+
+// Clean: a guard returning a value.
+func (r *Registry) Count() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Flagged: no guard at all.
+func (t *Tracer) Emit(kind string) { // want `does not open with a nil-receiver guard`
+	t.n++
+}
+
+// Flagged: the guard must come first, before any dereference.
+func (t *Tracer) Bump() { // want `does not open with a nil-receiver guard`
+	t.n++
+	if t == nil {
+		return
+	}
+}
+
+// Clean: a value receiver cannot be nil.
+func (t Tracer) Len() int { return t.n }
+
+// Clean: unexported methods are the package's own business.
+func (t *Tracer) emit() { t.n++ }
+
+// Clean: an empty body dereferences nothing.
+func (t *Tracer) Flush() {}
+
+// Obs is the handle bundle callers must not dereference raw.
+type Obs struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// Clean: guarded accessor, the pattern callers should use.
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}

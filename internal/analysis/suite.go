@@ -1,0 +1,40 @@
+// Package analysis assembles the repo's invariant suite: the five
+// codebase-specific passes plus the directive validator that keeps the
+// suppression mechanism honest. cmd/cfslint drives the suite both
+// standalone and as a `go vet -vettool`; the analysistest harness
+// drives each pass over its testdata.
+//
+// The passes encode, as compiler checks, the invariants this codebase
+// earned the hard way:
+//
+//	nomapiter  map-order nondeterminism feeding output (the PR 2 class)
+//	noclock    ambient time/rand in engine packages (the PR 3/4 class)
+//	ledger     single-source probe accounting (the double-booked-ping class)
+//	obsnil     nil-safe observability from both sides of the API
+//	facsetmix  facility-bitset algebra stays behind its facIndex guards
+package analysis
+
+import (
+	"facilitymap/internal/analysis/facsetmix"
+	"facilitymap/internal/analysis/framework"
+	"facilitymap/internal/analysis/ledger"
+	"facilitymap/internal/analysis/noclock"
+	"facilitymap/internal/analysis/nomapiter"
+	"facilitymap/internal/analysis/obsnil"
+)
+
+// Suite returns the full analyzer set in reporting order.
+func Suite() []*framework.Analyzer {
+	core := []*framework.Analyzer{
+		nomapiter.Analyzer,
+		noclock.Analyzer,
+		ledger.Analyzer,
+		obsnil.Analyzer,
+		facsetmix.Analyzer,
+	}
+	names := make([]string, len(core))
+	for i, a := range core {
+		names[i] = a.Name
+	}
+	return append(core, framework.DirectivesAnalyzer(names))
+}

@@ -226,8 +226,9 @@ func New(cfg Config, db *registry.Database, ipasn *ip2asn.Service,
 	}
 	return &Pipeline{
 		cfg: cfg, db: db, ipasn: ipasn, svc: svc, det: det, prober: prober,
-		fs:  newFacsets(db),
-		m:   resolveMetrics(cfg.Obs),
+		fs: newFacsets(db),
+		m:  resolveMetrics(cfg.Obs),
+		//cfslint:ignore noclock the injected-clock boundary itself: wall time enters the pipeline only here, feeds IterationStats.WallTime, and never an inference; tests swap it out
 		now: time.Now,
 	}, nil
 }

@@ -83,6 +83,7 @@ func (r *Result) Census() RouterCensus {
 	}
 	var c RouterCensus
 	c.Routers = next
+	//cfslint:ordered integer tallies only: every branch is a commutative += on the census, so iteration order cannot reach the result
 	for _, rl := range roles {
 		if rl.public {
 			c.PublicRouters++

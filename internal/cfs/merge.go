@@ -1,6 +1,8 @@
 package cfs
 
 import (
+	"sort"
+
 	"facilitymap/internal/netaddr"
 	"facilitymap/internal/obs"
 	"facilitymap/internal/world"
@@ -77,6 +79,9 @@ func MergeObserved(o *obs.Obs, workers int, results ...*Result) *Result {
 	for ip := range perIP {
 		ips = append(ips, ip)
 	}
+	// Sorted fold order: the merged Interfaces slice (and the order
+	// conflicts surface in) must not depend on map iteration.
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
 	w := Config{Workers: workers}.workerCount()
 	if w > len(ips) {
 		w = len(ips)

@@ -128,6 +128,7 @@ func (w *worklist) dep(ip netaddr.IP, idx int) {
 // stable across a rebuild — every multi-member set re-intersects.
 func (w *worklist) resolveAliases() {
 	w.st.resolveAliases()
+	//cfslint:ordered writes only the dirtyAdj/asAdjs accumulator sets, keyed independently per entry; the drain sorts before processing, so map order never reaches an inference
 	for ip, idxs := range w.ifaceAdjs {
 		asn, _ := w.st.ownerOf(ip)
 		if asn == w.lastOwner[ip] {

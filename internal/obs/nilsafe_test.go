@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestNilReceiversAreNoOps is the regression test behind the obsnil
+// analyzer's rule 1: every exported pointer-receiver method in this
+// package must be callable on a nil receiver without panicking, and
+// accessors must return their documented zero answers. "Disabled means
+// free" holds only if this list stays exhaustive — add every new
+// exported method here.
+func TestNilReceiversAreNoOps(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("a nil receiver panicked: %v", r)
+		}
+	}()
+
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 0 {
+		t.Errorf("nil Counter.Value() = %d, want 0", got)
+	}
+
+	var g *Gauge
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 0 {
+		t.Errorf("nil Gauge.Value() = %d, want 0", got)
+	}
+
+	var h *Histogram
+	h.Observe(time.Second)
+	if got := h.Stats(); got != (HistogramStats{}) {
+		t.Errorf("nil Histogram.Stats() = %+v, want zero", got)
+	}
+
+	var r *Registry
+	if got := r.Counter("x"); got != nil {
+		t.Errorf("nil Registry.Counter() = %v, want nil handle", got)
+	}
+	if got := r.Gauge("x"); got != nil {
+		t.Errorf("nil Registry.Gauge() = %v, want nil handle", got)
+	}
+	if got := r.Histogram("x"); got != nil {
+		t.Errorf("nil Registry.Histogram() = %v, want nil handle", got)
+	}
+	snap := r.Snapshot()
+	if snap.Counters == nil || snap.Gauges == nil || snap.Histograms == nil {
+		t.Errorf("nil Registry.Snapshot() has nil maps: %+v", snap)
+	}
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Errorf("nil Registry.Snapshot() not empty: %+v", snap)
+	}
+
+	var tr *Tracer
+	tr.Emit("kind", F("k", 1))
+	if got := tr.Events(); got != nil {
+		t.Errorf("nil Tracer.Events() = %v, want nil", got)
+	}
+	if got := tr.Total(); got != 0 {
+		t.Errorf("nil Tracer.Total() = %d, want 0", got)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Errorf("nil Tracer.Dropped() = %d, want 0", got)
+	}
+	if err := tr.WriteJSONL(io.Discard); err != nil {
+		t.Errorf("nil Tracer.WriteJSONL() = %v, want nil error", err)
+	}
+
+	var o *Obs
+	if got := o.Counter("x"); got != nil {
+		t.Errorf("nil Obs.Counter() = %v, want nil handle", got)
+	}
+	if got := o.Gauge("x"); got != nil {
+		t.Errorf("nil Obs.Gauge() = %v, want nil handle", got)
+	}
+	if got := o.Histogram("x"); got != nil {
+		t.Errorf("nil Obs.Histogram() = %v, want nil handle", got)
+	}
+	o.Emit("kind", F("k", 1))
+}

@@ -53,7 +53,12 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.Add(1)
+}
 
 // Value returns the current count (0 for a nil counter).
 func (c *Counter) Value() int64 {
@@ -232,16 +237,20 @@ type Snapshot struct {
 	Histograms map[string]HistogramStats `json:"histograms"`
 }
 
-// Snapshot copies the current metric values (empty snapshot for nil).
-func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{
+func emptySnapshot() Snapshot {
+	return Snapshot{
 		Counters:   make(map[string]int64),
 		Gauges:     make(map[string]int64),
 		Histograms: make(map[string]HistogramStats),
 	}
+}
+
+// Snapshot copies the current metric values (empty snapshot for nil).
+func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
-		return s
+		return emptySnapshot()
 	}
+	s := emptySnapshot()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for name, c := range r.counters {

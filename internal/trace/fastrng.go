@@ -1,3 +1,5 @@
+//cfslint:file-ignore noclock this file IS the sanctioned math/rand access: it reimplements the stdlib stream bit-for-bit from engine-derived seeds, and its tests cross-check against math/rand itself
+
 package trace
 
 import (

@@ -1,0 +1,44 @@
+package trace
+
+import "facilitymap/internal/obs"
+
+// probeLedger is the engine's single source of probe accounting. Both
+// counters once lived directly on Engine, and the split-brain that
+// invited — FabricPing booking its probes twice, once up front and once
+// per attempt — skewed every per-probe budget figure until PR 2 caught
+// it. Concentrating the state here and fencing it behind three methods
+// makes the invariant mechanical, and the ledger analyzer
+// (internal/analysis/ledger) enforces it: nothing outside these methods
+// reads or writes the fields, every RNG draw is booked, and a function
+// books at most once, never inside a loop.
+type probeLedger struct {
+	// probeCount tallies issued measurements (engine-wide budget view):
+	// every probe that leaves a source, including pings whose target
+	// never answers. It is pure accounting and feeds no randomness.
+	probeCount int
+	// rngSeq drives per-measurement jitter (measurementRNG's attempt
+	// counter). It is deliberately separate from probeCount: accounting
+	// fixes (e.g. counting unreachable pings) must not shift the RNG
+	// stream, or every downstream inference would change with them.
+	rngSeq int
+}
+
+// book records n issued probes of one kind into the engine-wide budget
+// and the matching obs counter. Called exactly once per measurement,
+// before any attempt runs: a measurement's cost is its request count,
+// decided up front, not a tally of retries.
+func (l *probeLedger) book(n int, kind *obs.Counter) {
+	l.probeCount += n
+	kind.Add(int64(n))
+}
+
+// probes returns the booked probe total.
+func (l *probeLedger) probes() int { return l.probeCount }
+
+// nextSeq advances the jitter sequence and returns its new value — the
+// attempt number fed to measurementRNG. One call per RNG derivation
+// keeps the value stream a pure function of the measurement order.
+func (l *probeLedger) nextSeq() int {
+	l.rngSeq++
+	return l.rngSeq
+}

@@ -56,7 +56,7 @@ func (p Path) ResponsiveHops() []netaddr.IP {
 
 // Engine simulates the data plane of one world.
 //
-// The engine is single-goroutine by design: probeCount and rngSeq are
+// The engine is single-goroutine by design: the probe ledger is
 // unsynchronized because probe issue order is semantics (the RNG stream
 // derives from it), and the hot-path caches below share that property.
 type Engine struct {
@@ -80,15 +80,9 @@ type Engine struct {
 	// fabric locality. The flow-dependent ECMP tie-break stays outside
 	// the cache so per-flow path diversity is untouched.
 	selCache map[selKey][]linkRank
-	// probeCount tallies issued measurements (engine-wide budget view):
-	// every probe that leaves a source, including pings whose target
-	// never answers. It is pure accounting and feeds no randomness.
-	probeCount int
-	// rngSeq drives per-measurement jitter (measurementRNG's attempt
-	// counter). It is deliberately separate from probeCount: accounting
-	// fixes (e.g. counting unreachable pings) must not shift the RNG
-	// stream, or every downstream inference would change with them.
-	rngSeq int
+	// ledger is the single source of probe accounting (budget tally and
+	// jitter sequence); see ledger.go for the invariants it carries.
+	ledger probeLedger
 	// mr is the engine's reusable per-measurement RNG. measurementRNG
 	// re-seeds it in O(1) instead of paying math/rand's full 607-word
 	// state initialization per probe; the value stream is bit-identical
@@ -129,13 +123,6 @@ func (e *Engine) Instrument(o *obs.Obs) {
 	if o != nil {
 		e.m.tracer = o.Tracer
 	}
-}
-
-// countProbes books n issued probes of one kind into the engine-wide
-// budget and the matching obs counter.
-func (e *Engine) countProbes(n int, kind *obs.Counter) {
-	e.probeCount += n
-	kind.Add(int64(n))
 }
 
 // dstRes is a memoized resolveDst verdict.
@@ -198,7 +185,7 @@ func New(w *world.World, rt *bgp.Routing, seed int64) *Engine {
 // source and time out just like answered ones. Measurements that can
 // never be launched (a fabric ping from a router with no port on that
 // fabric) count zero.
-func (e *Engine) Probes() int { return e.probeCount }
+func (e *Engine) Probes() int { return e.ledger.probes() }
 
 // measurementRNG derives a deterministic RNG for one measurement so that
 // repeated identical calls still see fresh jitter (the attempt counter
@@ -375,9 +362,8 @@ func (e *Engine) Traceroute(srcRouter world.RouterID, dst netaddr.IP) Path {
 // Different labels may take different equal-cost links, which is what
 // MDA-style exploration exploits.
 func (e *Engine) TracerouteFlow(srcRouter world.RouterID, dst netaddr.IP, flow uint32) Path {
-	e.rngSeq++
-	e.countProbes(1, e.m.traceroutes)
-	rng := e.measurementRNG(srcRouter, dst, e.rngSeq)
+	e.ledger.book(1, e.m.traceroutes)
+	rng := e.measurementRNG(srcRouter, dst, e.ledger.nextSeq())
 	p := Path{SrcRouter: srcRouter, Dst: dst}
 	defer e.recordTraceroute(&p, flow)
 
@@ -505,7 +491,7 @@ func (e *Engine) recordTraceroute(p *Path, flow uint32) {
 // probes contribute RNG draws (keeping the jitter stream independent of
 // accounting).
 func (e *Engine) Ping(srcRouter world.RouterID, dst netaddr.IP, count int) (rtt time.Duration, ok bool) {
-	e.countProbes(count, e.m.pings)
+	e.ledger.book(count, e.m.pings)
 	defer func() {
 		e.m.tracer.Emit("measurement",
 			obs.F("probe", "ping"),
@@ -558,8 +544,7 @@ func (e *Engine) Ping(srcRouter world.RouterID, dst netaddr.IP, count int) (rtt 
 	}
 	best := time.Duration(-1)
 	for i := 0; i < count; i++ {
-		e.rngSeq++
-		rng := e.measurementRNG(srcRouter, dst, e.rngSeq)
+		rng := e.measurementRNG(srcRouter, dst, e.ledger.nextSeq())
 		r := 2*oneWay + hopJitter(rng)
 		if rng.Float64() < congestionProb {
 			r += congestionSpike(rng)
@@ -588,7 +573,7 @@ func (e *Engine) FabricPing(src world.RouterID, port netaddr.IP, count int) (tim
 	if e.w.MembershipOf(src, ifc.IXP) == nil {
 		return 0, false
 	}
-	e.countProbes(count, e.m.fabricPings)
+	e.ledger.book(count, e.m.fabricPings)
 	e.m.tracer.Emit("measurement",
 		obs.F("probe", "fabric_ping"),
 		obs.F("src_router", int(src)),
@@ -599,8 +584,7 @@ func (e *Engine) FabricPing(src world.RouterID, port netaddr.IP, count int) (tim
 	oneWay := geo.PropagationDelay(e.w.Routers[src].Coord, e.w.Routers[ifc.Router].Coord)
 	best := time.Duration(-1)
 	for i := 0; i < count; i++ {
-		e.rngSeq++
-		rng := e.measurementRNG(src, port, e.rngSeq)
+		rng := e.measurementRNG(src, port, e.ledger.nextSeq())
 		rtt := 2*oneWay + hopJitter(rng)
 		if rng.Float64() < congestionProb {
 			rtt += congestionSpike(rng)

@@ -171,7 +171,16 @@ func (b *builder) genFacilities() {
 			opCount[op] = append(opCount[op], f.ID)
 		}
 		// Same-operator facilities in a metro are interconnected sisters.
-		for _, ids := range opCount {
+		// Assign group numbers in sorted operator order: the numbering
+		// consumes sisterGroup, so map order here would make the generated
+		// world differ between runs of the same seed.
+		ops := make([]string, 0, len(opCount))
+		for op := range opCount {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			ids := opCount[op]
 			if len(ids) > 1 {
 				sisterGroup++
 				for _, id := range ids {
