@@ -2,7 +2,7 @@
 # sequence — vet, lint, build, test, race, the engine differential
 # under race — plus staticcheck (not vendored here; CI installs it).
 
-.PHONY: all vet lint build test race bench bench-figures fuzz experiments check
+.PHONY: all vet lint build test race bench bench-large bench-figures fuzz experiments check
 
 all: check
 
@@ -37,6 +37,13 @@ BENCH_RUNS ?= 3
 BENCH_FLAGS ?=
 bench:
 	go run ./cmd/cfsbench -profile $(BENCH_PROFILE) -runs $(BENCH_RUNS) $(BENCH_FLAGS) -out BENCH_cfs.json
+
+# Internet-scale benchmark: the Large world under a budgeted iteration
+# count, unsharded worklist vs the metro-sharded scheduler. Minutes of
+# wall clock; the nightly CI job runs it and tracks shard_speedup_x.
+BENCH_SHARDS ?= 8
+bench-large:
+	go run ./cmd/cfsbench -profile large -shards $(BENCH_SHARDS) -runs 1 -out BENCH_cfs_large.json
 
 # The figure/table reproduction benchmarks (go test -bench).
 bench-figures:

@@ -1,9 +1,18 @@
-// Command cfsbench benchmarks both CFS iteration cores and writes a
+// Command cfsbench benchmarks the CFS iteration cores and writes a
 // machine-readable report (BENCH_cfs.json by default): wall time per
 // run, probes issued, proposals recomputed, candidate-set narrowings,
 // and the process's peak RSS. Each run rebuilds a fresh environment so
-// the engines see bit-for-bit identical inputs; the tool fails if the
+// the engines see bit-for-bit identical inputs; the tool fails if any
 // two engines disagree on the resolved count.
+//
+// -shards N adds a third entry, "sharded": the worklist core under the
+// metro-sharded converge/exchange scheduler with N shards. The report
+// then also carries shard_speedup_x, the worklist-to-sharded wall-time
+// ratio. -profile large benchmarks the internet-scale world under a
+// tight iteration budget (worklist vs sharded only — a paper-literal
+// full rescan is pointless at that scale); its report belongs in
+// BENCH_cfs_large.json, separate from the small-world artifact CI
+// gates on.
 //
 // Every engine is timed in both modes — observability off and on — and
 // the ratio is reported as obs_overhead_x. Each engine gets one untimed
@@ -22,8 +31,9 @@
 //
 // Usage:
 //
-//	cfsbench [-profile small|medium|default|paper] [-seed N] [-runs N]
-//	         [-out FILE] [-max-overhead X] [-baseline FILE] [-max-regress R]
+//	cfsbench [-profile small|medium|default|paper|large] [-seed N] [-runs N]
+//	         [-shards N] [-out FILE] [-max-overhead X] [-baseline FILE]
+//	         [-max-regress R]
 package main
 
 import (
@@ -69,14 +79,58 @@ type report struct {
 	Runs         int            `json:"runs"`
 	GoMaxProcs   int            `json:"go_max_procs"`
 	PeakRSSBytes int64          `json:"peak_rss_bytes"`
-	Engines      []engineReport `json:"engines"`
+	// Shards is the -shards setting of the "sharded" entry (0 when the
+	// sharded engine was not benchmarked); ShardSpeedupX is the
+	// unsharded worklist's ns_per_op over the sharded engine's.
+	Shards        int            `json:"shards,omitempty"`
+	ShardSpeedupX float64        `json:"shard_speedup_x,omitempty"`
+	Engines       []engineReport `json:"engines"`
+}
+
+// engineSpec names one benchmark entry: the report label plus the full
+// CFS configuration it runs under.
+type engineSpec struct {
+	label string
+	cfg   cfs.Config
+}
+
+// benchSpecs builds the entry list for a profile: worklist and rescan
+// for the curated profiles, worklist only for the internet-scale one,
+// plus a "sharded" entry when -shards is set.
+func benchSpecs(profile string, shards int) []engineSpec {
+	base := cfs.DefaultConfig()
+	if profile == "large" {
+		// The budgeted internet-scale operating point: every subsystem
+		// on, iteration/follow-up/alias budgets tight enough that a run
+		// finishes in minutes.
+		base.MaxIterations = 3
+		base.FollowUpBudget = 50
+		base.TargetsPerInterface = 2
+		base.VPsPerTarget = 1
+		base.AliasRounds = []int{1}
+	}
+	withEngine := func(engine string, shards int) cfs.Config {
+		c := base
+		c.Engine = engine
+		c.Shards = shards
+		return c
+	}
+	specs := []engineSpec{{cfs.EngineWorklist, withEngine(cfs.EngineWorklist, 0)}}
+	if profile != "large" {
+		specs = append(specs, engineSpec{cfs.EngineRescan, withEngine(cfs.EngineRescan, 0)})
+	}
+	if shards > 0 {
+		specs = append(specs, engineSpec{"sharded", withEngine(cfs.EngineWorklist, shards)})
+	}
+	return specs
 }
 
 func main() {
 	var (
-		profile     = flag.String("profile", "small", "world profile: small, medium, default or paper")
+		profile     = flag.String("profile", "small", "world profile: small, medium, default, paper or large")
 		seed        = flag.Int64("seed", 42, "simulation seed")
 		runs        = flag.Int("runs", 3, "timed runs per engine per mode (fresh environment each)")
+		shards      = flag.Int("shards", 0, "also benchmark the metro-sharded scheduler with this many shards (0 = skip)")
 		out         = flag.String("out", "BENCH_cfs.json", "output file")
 		maxOverhead = flag.Float64("max-overhead", 0, "fail when obs-on/obs-off wall-time ratio exceeds this (0 = no gate)")
 		baseline    = flag.String("baseline", "", "previous report to compare against (read before -out is overwritten)")
@@ -108,6 +162,8 @@ func main() {
 		wcfg = world.Default()
 	case "paper":
 		wcfg = world.PaperScale()
+	case "large":
+		wcfg = world.Large()
 	default:
 		fmt.Fprintf(os.Stderr, "cfsbench: unknown profile %q\n", *profile)
 		os.Exit(2)
@@ -134,21 +190,41 @@ func main() {
 		Runs:       *runs,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
-	for _, engine := range []string{cfs.EngineWorklist, cfs.EngineRescan} {
-		er, err := measure(wcfg, *seed, engine, *runs)
+	for _, spec := range benchSpecs(*profile, *shards) {
+		er, err := measure(wcfg, *seed, spec, *runs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cfsbench: %v\n", err)
 			os.Exit(1)
 		}
 		rep.Engines = append(rep.Engines, er)
 		fmt.Printf("%-9s %12d ns/op  %12d ns/op(observed)  %9d allocs/op  %10d B/op  %8d probes  %8d recomputed  %6d narrowings\n",
-			engine, er.NsPerOp, er.NsPerOpObserved, er.AllocsPerOp, er.BytesPerOp,
+			spec.label, er.NsPerOp, er.NsPerOpObserved, er.AllocsPerOp, er.BytesPerOp,
 			er.ProbesIssued, er.ProposalsRecomputed, er.Narrowings)
 	}
-	if a, b := rep.Engines[0], rep.Engines[1]; a.Resolved != b.Resolved || a.Interfaces != b.Interfaces {
-		fmt.Fprintf(os.Stderr, "cfsbench: engines diverged: %s resolved %d/%d, %s resolved %d/%d\n",
-			a.Engine, a.Resolved, a.Interfaces, b.Engine, b.Resolved, b.Interfaces)
-		os.Exit(1)
+	for i, a := range rep.Engines {
+		for _, b := range rep.Engines[i+1:] {
+			if a.Resolved != b.Resolved || a.Interfaces != b.Interfaces {
+				fmt.Fprintf(os.Stderr, "cfsbench: engines diverged: %s resolved %d/%d, %s resolved %d/%d\n",
+					a.Engine, a.Resolved, a.Interfaces, b.Engine, b.Resolved, b.Interfaces)
+				os.Exit(1)
+			}
+		}
+	}
+	if *shards > 0 {
+		rep.Shards = *shards
+		var wl, sh *engineReport
+		for i := range rep.Engines {
+			switch rep.Engines[i].Engine {
+			case cfs.EngineWorklist:
+				wl = &rep.Engines[i]
+			case "sharded":
+				sh = &rep.Engines[i]
+			}
+		}
+		if wl != nil && sh != nil && sh.NsPerOp > 0 {
+			rep.ShardSpeedupX = float64(wl.NsPerOp) / float64(sh.NsPerOp)
+			fmt.Printf("shard speedup (%d shards): %.2fx\n", *shards, rep.ShardSpeedupX)
+		}
 	}
 	rep.PeakRSSBytes = peakRSS()
 
@@ -238,10 +314,9 @@ func checkRegression(base, fresh *report, frac float64) error {
 // faster than the unobserved one (overhead 0.94x — pure noise). One
 // untimed warmup per mode followed by strict off/on interleaving makes
 // the two series sample the same machine conditions.
-func measure(wcfg world.Config, seed int64, engine string, runs int) (engineReport, error) {
-	cfg := cfs.DefaultConfig()
-	cfg.Engine = engine
-	er := engineReport{Engine: engine}
+func measure(wcfg world.Config, seed int64, spec engineSpec, runs int) (engineReport, error) {
+	cfg := spec.cfg
+	er := engineReport{Engine: spec.label}
 
 	for _, observe := range []bool{false, true} {
 		if _, err := oneRun(wcfg, seed, cfg, observe, &er); err != nil {

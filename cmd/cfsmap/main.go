@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	cfsmap [-profile small|default|paper] [-seed N] [-iterations N]
-//	       [-workers N] [-engine worklist|rescan] [-v]
-//	       [-limit N] [-unresolved] [-validate] [-resilience]
-//	       [-metrics] [-trace-log FILE] [-pprof ADDR]
+//	cfsmap [-profile small|medium|default|paper|large] [-seed N]
+//	       [-iterations N] [-workers N] [-engine worklist|rescan]
+//	       [-shards N] [-v] [-limit N] [-unresolved] [-validate]
+//	       [-resilience] [-metrics] [-trace-log FILE] [-pprof ADDR]
 //
 // -workers bounds the goroutines used for the parallel phases of the
 // search (0 = one per CPU, 1 = fully serial). Every worker count
@@ -18,6 +18,14 @@
 // or the full-rescan escape hatch. Both produce the identical mapping;
 // -v prints the per-iteration convergence table (dirty adjacencies,
 // recomputed proposals, wall time) so the difference is observable.
+//
+// -shards N layers the metro-sharded converge/exchange scheduler on
+// top of the worklist engine: the dirty frontier is partitioned by
+// metro cluster and each shard converges concurrently, with a
+// deterministic exchange round for cross-shard constraints. Every
+// shard count produces the identical mapping; the flag matters on the
+// large profile, where per-metro parallelism is the only way a full
+// convergence run fits in reasonable wall-clock time.
 //
 // Observability (strictly one-way: enabling any of these cannot change
 // the mapping):
@@ -62,11 +70,12 @@ const traceLogCapacity = 1 << 17
 
 func main() {
 	var (
-		profile    = flag.String("profile", "default", "world profile: small, default or paper")
+		profile    = flag.String("profile", "default", "world profile: small, medium, default, paper or large")
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		iterations = flag.Int("iterations", 100, "CFS iteration cap")
 		workers    = flag.Int("workers", 0, "worker goroutines for the parallel search phases (0 = one per CPU, 1 = serial)")
 		engine     = flag.String("engine", cfs.EngineWorklist, "CFS iteration core: worklist (incremental) or rescan (full)")
+		shards     = flag.Int("shards", 0, "metro-cluster shards for the worklist engine (0 = unsharded)")
 		verbose    = flag.Bool("v", false, "print the per-iteration convergence table (work counters, wall time)")
 		limit      = flag.Int("limit", 40, "rows of the mapping to print (0 = all)")
 		unresolved = flag.Bool("unresolved", false, "include unresolved interfaces in the listing")
@@ -120,6 +129,7 @@ func main() {
 		MaxIterations: *iterations,
 		Workers:       *workers,
 		Engine:        *engine,
+		Shards:        *shards,
 		Explain:       *why != "",
 	})
 	if err != nil {

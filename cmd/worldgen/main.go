@@ -6,8 +6,15 @@
 //
 // Usage:
 //
-//	worldgen [-profile small|default|paper] [-seed N] [-summary]
+//	worldgen [-profile small|medium|default|paper|large] [-seed N] [-summary]
+//	worldgen -partition N ...   # also print the N-shard metro partition
 //	worldgen -check dump.json   # validate + summarise an existing dump
+//
+// -partition N splits the world into N metro-keyed shards (the
+// decomposition the sharded CFS engine mirrors) and prints each shard's
+// interface count plus the cross-shard exchange load — the links and
+// IXP memberships that span shards. Useful for judging how balanced a
+// shard count is before running cfsmap -shards N.
 package main
 
 import (
@@ -20,10 +27,11 @@ import (
 
 func main() {
 	var (
-		profile = flag.String("profile", "default", "world profile: small, default or paper")
-		seed    = flag.Int64("seed", 42, "generation seed")
-		summary = flag.Bool("summary", false, "print counts instead of the full JSON dump")
-		check   = flag.String("check", "", "load a dump, validate it and print its summary")
+		profile   = flag.String("profile", "default", "world profile: small, medium, default, paper or large")
+		seed      = flag.Int64("seed", 42, "generation seed")
+		summary   = flag.Bool("summary", false, "print counts instead of the full JSON dump")
+		partition = flag.Int("partition", 0, "print the N-shard metro partition (shard sizes, cross-shard load)")
+		check     = flag.String("check", "", "load a dump, validate it and print its summary")
 	)
 	flag.Parse()
 
@@ -39,6 +47,9 @@ func main() {
 			fatal(err)
 		}
 		printSummary(w)
+		if *partition > 0 {
+			printPartition(w, *partition)
+		}
 		return
 	}
 
@@ -46,23 +57,49 @@ func main() {
 	switch *profile {
 	case "small":
 		cfg = world.Small()
+	case "medium":
+		cfg = world.Medium()
 	case "default":
 		cfg = world.Default()
 	case "paper":
 		cfg = world.PaperScale()
+	case "large":
+		cfg = world.Large()
 	default:
 		fatal(fmt.Errorf("unknown profile %q", *profile))
 	}
 	cfg.Seed = *seed
 	w = world.Generate(cfg)
 
-	if *summary {
-		printSummary(w)
+	if *summary || *partition > 0 {
+		if *summary {
+			printSummary(w)
+		}
+		if *partition > 0 {
+			printPartition(w, *partition)
+		}
 		return
 	}
 	if err := w.EncodeJSON(os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+// printPartition renders the metro-keyed shard split: per-shard metro
+// and interface counts, plus the exchange load the sharded CFS engine
+// would carry across shards.
+func printPartition(w *world.World, n int) {
+	p := world.PartitionByMetro(w, n)
+	fmt.Printf("partition   %d shards over %d metros\n", p.N, len(w.Metros))
+	metros := make([]int, p.N)
+	for _, s := range p.ShardOfMetro {
+		metros[s]++
+	}
+	for s := 0; s < p.N; s++ {
+		fmt.Printf("  shard %-3d %4d metros  %7d interfaces\n", s, metros[s], len(p.Interfaces[s]))
+	}
+	fmt.Printf("  exchange  %d cross-shard links, %d cross-shard memberships\n",
+		len(p.ExchangeLinks), len(p.ExchangeMemberships))
 }
 
 func printSummary(w *world.World) {

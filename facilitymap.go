@@ -36,7 +36,10 @@ import (
 
 // Config selects the world profile and search parameters.
 type Config struct {
-	// Profile is "small", "default" or "paper" (dataset scale).
+	// Profile is "small", "medium", "default", "paper" or "large"
+	// (dataset scale; "large" is the internet-scale world — expect
+	// generation alone to take seconds and the default iteration budget
+	// to run for a long time).
 	Profile string
 	// Seed drives every random choice; equal seeds give equal worlds
 	// and equal inferences.
@@ -53,6 +56,12 @@ type Config struct {
 	// identical mapping; the flag only trades engine bookkeeping for
 	// per-iteration work.
 	Engine string
+	// Shards > 0 layers the metro-sharded converge/exchange scheduler
+	// on top of the worklist engine: the dirty frontier is partitioned
+	// by metro cluster and converged concurrently, with a deterministic
+	// exchange round for cross-shard constraints. Every shard count
+	// produces the identical mapping. Requires the worklist engine.
+	Shards int
 	// Explain records, per interface, the constraints that produced its
 	// inference; Lookup then returns them as Evidence.
 	Explain bool
@@ -80,8 +89,12 @@ func NewSystem(cfg Config) (*System, error) {
 		wcfg = world.Default()
 	case "small":
 		wcfg = world.Small()
+	case "medium":
+		wcfg = world.Medium()
 	case "paper":
 		wcfg = world.PaperScale()
+	case "large":
+		wcfg = world.Large()
 	default:
 		return nil, fmt.Errorf("facilitymap: unknown profile %q", cfg.Profile)
 	}
@@ -90,6 +103,9 @@ func NewSystem(cfg Config) (*System, error) {
 	default:
 		return nil, fmt.Errorf("facilitymap: unknown engine %q (want %q or %q)",
 			cfg.Engine, cfs.EngineWorklist, cfs.EngineRescan)
+	}
+	if cfg.Shards > 0 && cfg.Engine == cfs.EngineRescan {
+		return nil, fmt.Errorf("facilitymap: Shards requires the worklist engine, not %q", cfg.Engine)
 	}
 	if cfg.Seed != 0 {
 		wcfg.Seed = cfg.Seed
@@ -108,6 +124,7 @@ func (s *System) MapInterconnections() *Mapping {
 	if s.cfg.Engine != "" {
 		c.Engine = s.cfg.Engine
 	}
+	c.Shards = s.cfg.Shards
 	c.TraceProvenance = s.cfg.Explain
 	res := s.Env.RunCFS(c)
 	return &Mapping{sys: s, res: res}

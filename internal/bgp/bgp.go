@@ -10,6 +10,7 @@
 package bgp
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"sync"
@@ -45,17 +46,52 @@ func (t RouteType) String() string {
 	}
 }
 
+// lazyThreshold is the AS population above which Compute switches from
+// eager all-pairs convergence to lazy per-origin columns. The eager
+// tables cost ~7·n² bytes — fine for every profile up to PaperScale
+// (n ≤ ~1000), hopeless at internet scale (6+ GB at n = 30000) — while
+// a measurement run only ever routes toward the origins it targets.
+const lazyThreshold = 4096
+
+// maxCachedColumns bounds the lazy column cache (LRU eviction). At
+// n = 30000 a column is ~210 KB, so the cap holds the cache near 200 MB
+// worst-case while covering every origin a campaign plausibly touches.
+// A var so the differential test can shrink it to force evictions.
+var maxCachedColumns = 1024
+
+// column holds converged best routes toward ONE origin, indexed by the
+// dense index of the viewpoint AS. Per-origin convergence is
+// independent of every other origin, which is what makes the lazy mode
+// bit-identical to the eager one.
+type column struct {
+	next []int32 // dense index of next AS toward the origin; -1 unreachable
+	hops []int16 // AS-path length (number of AS hops; 0 at origin)
+	typ  []RouteType
+}
+
 // Routing holds the converged best-route tables for one world.
 type Routing struct {
 	w    *world.World
 	asns []world.ASN       // dense index -> ASN, sorted
 	idx  map[world.ASN]int // ASN -> dense index
-	next [][]int32         // next[a][o]: dense index of next AS from a toward origin o; -1 unreachable
-	hops [][]int16         // AS-path length (number of AS hops; 0 at origin)
-	typ  [][]RouteType     // route class at a for origin o
+
+	// Sorted adjacency lists (dense indices) for deterministic ties.
+	providers [][]int32
+	customers [][]int32
+	peers     [][]int32
+
+	// lazy mode: columns converge on first use and live in an LRU-
+	// bounded cache. Eager mode (small worlds) fills cols up front and
+	// never evicts. colMu guards cols/lru in lazy mode; in eager mode
+	// cols is immutable after Compute and read lock-free.
+	lazy  bool
+	colMu sync.Mutex
+	cols  []*column // origin-indexed; nil = not yet converged (lazy)
+	lru   *list.List
+	lruOf []*list.Element
 
 	// pathMu guards pathCache, the lazily-filled AS-path store. Routing
-	// tables are immutable after Compute, so a path computed once holds
+	// tables are immutable once converged, so a path computed once holds
 	// for the world's lifetime; measurement loops re-request the same
 	// (from, origin) pairs constantly.
 	pathMu    sync.Mutex
@@ -66,53 +102,80 @@ type Routing struct {
 type pathKey struct{ from, origin int32 }
 
 // Compute converges routing for the world. Deterministic: ties break on
-// lowest neighbor ASN.
+// lowest neighbor ASN. Worlds above lazyThreshold ASes converge origins
+// lazily on first query — query results are bit-identical to the eager
+// tables, only the wall-clock/memory profile differs.
 func Compute(w *world.World) *Routing {
 	n := len(w.ASes)
 	r := &Routing{
 		w:    w,
 		asns: make([]world.ASN, n),
 		idx:  make(map[world.ASN]int, n),
-		next: make([][]int32, n),
-		hops: make([][]int16, n),
-		typ:  make([][]RouteType, n),
+		cols: make([]*column, n),
+		lazy: n >= lazyThreshold,
 	}
 	for i, as := range w.ASes {
 		r.asns[i] = as.ASN
 		r.idx[as.ASN] = i
 	}
-	for i := 0; i < n; i++ {
-		r.next[i] = make([]int32, n)
-		r.hops[i] = make([]int16, n)
-		r.typ[i] = make([]RouteType, n)
-		for j := 0; j < n; j++ {
-			r.next[i][j] = -1
-		}
-	}
-
-	// Sorted adjacency lists (dense indices) for deterministic ties.
-	providers := make([][]int, n) // providers[a]: a's providers
-	customers := make([][]int, n)
-	peers := make([][]int, n)
+	r.providers = make([][]int32, n)
+	r.customers = make([][]int32, n)
+	r.peers = make([][]int32, n)
 	for i, as := range w.ASes {
 		for _, p := range as.Providers {
-			providers[i] = append(providers[i], r.idx[p])
+			r.providers[i] = append(r.providers[i], int32(r.idx[p]))
 		}
 		for _, c := range as.Customers {
-			customers[i] = append(customers[i], r.idx[c])
+			r.customers[i] = append(r.customers[i], int32(r.idx[c]))
 		}
 		for _, p := range as.Peers {
-			peers[i] = append(peers[i], r.idx[p])
+			r.peers[i] = append(r.peers[i], int32(r.idx[p]))
 		}
-		sort.Ints(providers[i])
-		sort.Ints(customers[i])
-		sort.Ints(peers[i])
+		sortInt32s(r.providers[i])
+		sortInt32s(r.customers[i])
+		sortInt32s(r.peers[i])
 	}
-
-	for o := 0; o < n; o++ {
-		r.converge(o, providers, customers, peers)
+	if r.lazy {
+		r.lru = list.New()
+		r.lruOf = make([]*list.Element, n)
+	} else {
+		for o := 0; o < n; o++ {
+			r.cols[o] = r.converge(o)
+		}
 	}
 	return r
+}
+
+func sortInt32s(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// Lazy reports whether the routing operates in lazy per-origin mode.
+func (r *Routing) Lazy() bool { return r.lazy }
+
+// col returns the converged column for origin index oi, converging it on
+// first use in lazy mode.
+func (r *Routing) col(oi int) *column {
+	if !r.lazy {
+		return r.cols[oi]
+	}
+	r.colMu.Lock()
+	defer r.colMu.Unlock()
+	if c := r.cols[oi]; c != nil {
+		r.lru.MoveToFront(r.lruOf[oi])
+		return c
+	}
+	c := r.converge(oi)
+	r.cols[oi] = c
+	r.lruOf[oi] = r.lru.PushFront(oi)
+	if r.lru.Len() > maxCachedColumns {
+		old := r.lru.Back()
+		evict := old.Value.(int)
+		r.lru.Remove(old)
+		r.cols[evict] = nil
+		r.lruOf[evict] = nil
+	}
+	return c
 }
 
 // converge computes best routes toward one origin for every AS.
@@ -121,9 +184,17 @@ func Compute(w *world.World) *Routing {
 // are exported to everyone; peer- and provider-learned routes only to
 // customers. Selection: customer > peer > provider; then shortest AS path;
 // then lowest neighbor ASN (enforced by sorted adjacency + stable BFS).
-func (r *Routing) converge(o int, providers, customers, peers [][]int) {
+func (r *Routing) converge(o int) *column {
 	n := len(r.asns)
 	const inf = int16(1) << 14
+	c := &column{
+		next: make([]int32, n),
+		hops: make([]int16, n),
+		typ:  make([]RouteType, n),
+	}
+	for i := range c.next {
+		c.next[i] = -1
+	}
 
 	// Phase 1 (uphill): customer routes propagate from the origin up
 	// through provider edges. upDist[a] = shortest customer-route length.
@@ -137,11 +208,11 @@ func (r *Routing) converge(o int, providers, customers, peers [][]int) {
 	for len(queue) > 0 {
 		a := queue[0]
 		queue = queue[1:]
-		for _, p := range providers[a] {
+		for _, p := range r.providers[a] {
 			if upDist[p] > upDist[a]+1 {
 				upDist[p] = upDist[a] + 1
 				upNext[p] = int32(a)
-				queue = append(queue, p)
+				queue = append(queue, int(p))
 			}
 		}
 	}
@@ -151,13 +222,13 @@ func (r *Routing) converge(o int, providers, customers, peers [][]int) {
 		if upDist[a] >= inf {
 			continue
 		}
-		r.hops[a][o] = upDist[a]
-		r.next[a][o] = upNext[a]
+		c.hops[a] = upDist[a]
+		c.next[a] = upNext[a]
 		if a == o {
-			r.typ[a][o] = Self
-			r.next[a][o] = int32(a)
+			c.typ[a] = Self
+			c.next[a] = int32(a)
 		} else {
-			r.typ[a][o] = ViaCustomer
+			c.typ[a] = ViaCustomer
 		}
 	}
 
@@ -167,21 +238,20 @@ func (r *Routing) converge(o int, providers, customers, peers [][]int) {
 		dist int16
 		via  int32
 	}
-	peerBest := make([]peerRoute, n)
 	for a := 0; a < n; a++ {
-		peerBest[a] = peerRoute{inf, -1}
-		if r.typ[a][o] == ViaCustomer || r.typ[a][o] == Self {
+		if c.typ[a] == ViaCustomer || c.typ[a] == Self {
 			continue
 		}
-		for _, p := range peers[a] {
-			if upDist[p] < inf && upDist[p]+1 < peerBest[a].dist {
-				peerBest[a] = peerRoute{upDist[p] + 1, int32(p)}
+		best := peerRoute{inf, -1}
+		for _, p := range r.peers[a] {
+			if upDist[p] < inf && upDist[p]+1 < best.dist {
+				best = peerRoute{upDist[p] + 1, p}
 			}
 		}
-		if peerBest[a].via >= 0 {
-			r.typ[a][o] = ViaPeer
-			r.hops[a][o] = peerBest[a].dist
-			r.next[a][o] = peerBest[a].via
+		if best.via >= 0 {
+			c.typ[a] = ViaPeer
+			c.hops[a] = best.dist
+			c.next[a] = best.via
 		}
 	}
 
@@ -195,8 +265,8 @@ func (r *Routing) converge(o int, providers, customers, peers [][]int) {
 	}
 	var frontier []item
 	for a := 0; a < n; a++ {
-		if r.typ[a][o] != Unreachable {
-			frontier = append(frontier, item{a, r.hops[a][o]})
+		if c.typ[a] != Unreachable {
+			frontier = append(frontier, item{a, c.hops[a]})
 		}
 	}
 	sort.Slice(frontier, func(i, j int) bool {
@@ -215,16 +285,17 @@ func (r *Routing) converge(o int, providers, customers, peers [][]int) {
 	// first route to reach a customer is a shortest one.
 	for head := 0; head < len(frontier); head++ {
 		it := frontier[head]
-		for _, c := range customers[it.a] {
-			if r.typ[c][o] != Unreachable {
+		for _, ci := range r.customers[it.a] {
+			cc := int(ci)
+			if c.typ[cc] != Unreachable {
 				continue // already has customer/peer route: preferred
 			}
-			if it.dist+1 < downDist[c] {
-				downDist[c] = it.dist + 1
-				r.typ[c][o] = ViaProvider
-				r.hops[c][o] = it.dist + 1
-				r.next[c][o] = int32(it.a)
-				frontier = append(frontier, item{c, it.dist + 1})
+			if it.dist+1 < downDist[cc] {
+				downDist[cc] = it.dist + 1
+				c.typ[cc] = ViaProvider
+				c.hops[cc] = it.dist + 1
+				c.next[cc] = int32(it.a)
+				frontier = append(frontier, item{cc, it.dist + 1})
 			}
 		}
 	}
@@ -232,6 +303,7 @@ func (r *Routing) converge(o int, providers, customers, peers [][]int) {
 	// reached by multiple providers kept the shortest/lowest one because
 	// the frontier is processed in (dist, asn) order and a routed AS is
 	// never revisited.
+	return c
 }
 
 // indexOf returns the dense index of an ASN, or -1.
@@ -248,10 +320,14 @@ func (r *Routing) indexOf(a world.ASN) int {
 // it returns origin itself.
 func (r *Routing) NextAS(from, origin world.ASN) (world.ASN, bool) {
 	fi, oi := r.indexOf(from), r.indexOf(origin)
-	if fi < 0 || oi < 0 || r.next[fi][oi] < 0 {
+	if fi < 0 || oi < 0 {
 		return 0, false
 	}
-	return r.asns[r.next[fi][oi]], true
+	c := r.col(oi)
+	if c.next[fi] < 0 {
+		return 0, false
+	}
+	return r.asns[c.next[fi]], true
 }
 
 // RouteClass returns the local-pref class of from's best route to origin.
@@ -260,16 +336,20 @@ func (r *Routing) RouteClass(from, origin world.ASN) RouteType {
 	if fi < 0 || oi < 0 {
 		return Unreachable
 	}
-	return r.typ[fi][oi]
+	return r.col(oi).typ[fi]
 }
 
 // PathLength returns the AS-path hop count of from's best route to origin.
 func (r *Routing) PathLength(from, origin world.ASN) (int, bool) {
 	fi, oi := r.indexOf(from), r.indexOf(origin)
-	if fi < 0 || oi < 0 || r.next[fi][oi] < 0 {
+	if fi < 0 || oi < 0 {
 		return 0, false
 	}
-	return int(r.hops[fi][oi]), true
+	c := r.col(oi)
+	if c.next[fi] < 0 {
+		return 0, false
+	}
+	return int(c.hops[fi]), true
 }
 
 // ASPath returns the full AS-level path from `from` to `origin`,
@@ -278,7 +358,11 @@ func (r *Routing) PathLength(from, origin world.ASN) (int, bool) {
 // appended to by the caller (copy first when handing it outward).
 func (r *Routing) ASPath(from, origin world.ASN) ([]world.ASN, bool) {
 	fi, oi := r.indexOf(from), r.indexOf(origin)
-	if fi < 0 || oi < 0 || r.next[fi][oi] < 0 {
+	if fi < 0 || oi < 0 {
+		return nil, false
+	}
+	c := r.col(oi)
+	if c.next[fi] < 0 {
 		return nil, false
 	}
 	key := pathKey{int32(fi), int32(oi)}
@@ -289,11 +373,13 @@ func (r *Routing) ASPath(from, origin world.ASN) ([]world.ASN, bool) {
 	}
 	r.pathMu.Unlock()
 
-	path := make([]world.ASN, 1, int(r.hops[fi][oi])+1)
+	// The whole walk happens inside origin oi's column: every hop asks
+	// "next toward oi", so one column fetch covers it.
+	path := make([]world.ASN, 1, int(c.hops[fi])+1)
 	path[0] = from
 	cur := fi
 	for cur != oi {
-		nxt := int(r.next[cur][oi])
+		nxt := int(c.next[cur])
 		if nxt < 0 {
 			return nil, false
 		}

@@ -1,0 +1,162 @@
+package bgp
+
+import (
+	"container/list"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"facilitymap/internal/world"
+)
+
+// forceLazy rebuilds a routing in lazy per-origin mode regardless of
+// world size, so small deterministic worlds can drive the lazy path.
+func forceLazy(r *Routing) *Routing {
+	lz := &Routing{
+		w:         r.w,
+		asns:      r.asns,
+		idx:       r.idx,
+		providers: r.providers,
+		customers: r.customers,
+		peers:     r.peers,
+		lazy:      true,
+		cols:      make([]*column, len(r.asns)),
+		lru:       list.New(),
+		lruOf:     make([]*list.Element, len(r.asns)),
+	}
+	return lz
+}
+
+// TestLazyMatchesEager is the lazy-vs-eager differential: every accessor
+// must return bit-identical answers from the lazily-converged columns,
+// including after LRU evictions force re-convergence of hot origins.
+func TestLazyMatchesEager(t *testing.T) {
+	defer func(old int) { maxCachedColumns = old }(maxCachedColumns)
+	maxCachedColumns = 4 // evict aggressively: every origin re-converges repeatedly
+
+	for _, tc := range []struct {
+		name string
+		cfg  world.Config
+	}{
+		{"small", world.Small()},
+		{"medium", world.Medium()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := world.Generate(tc.cfg)
+			eager := Compute(w)
+			if eager.Lazy() {
+				t.Fatalf("%s world unexpectedly crossed the lazy threshold", tc.name)
+			}
+			lazy := forceLazy(eager)
+
+			for _, a := range w.ASes {
+				for _, b := range w.ASes {
+					en, eok := eager.NextAS(a.ASN, b.ASN)
+					ln, lok := lazy.NextAS(a.ASN, b.ASN)
+					if en != ln || eok != lok {
+						t.Fatalf("NextAS(%v,%v): eager %v,%v lazy %v,%v", a.ASN, b.ASN, en, eok, ln, lok)
+					}
+					if ec, lc := eager.RouteClass(a.ASN, b.ASN), lazy.RouteClass(a.ASN, b.ASN); ec != lc {
+						t.Fatalf("RouteClass(%v,%v): eager %v lazy %v", a.ASN, b.ASN, ec, lc)
+					}
+					eh, eok := eager.PathLength(a.ASN, b.ASN)
+					lh, lok := lazy.PathLength(a.ASN, b.ASN)
+					if eh != lh || eok != lok {
+						t.Fatalf("PathLength(%v,%v): eager %d,%v lazy %d,%v", a.ASN, b.ASN, eh, eok, lh, lok)
+					}
+					ep, eok := eager.ASPath(a.ASN, b.ASN)
+					lp, lok := lazy.ASPath(a.ASN, b.ASN)
+					if eok != lok || len(ep) != len(lp) {
+						t.Fatalf("ASPath(%v,%v): eager %v,%v lazy %v,%v", a.ASN, b.ASN, ep, eok, lp, lok)
+					}
+					for i := range ep {
+						if ep[i] != lp[i] {
+							t.Fatalf("ASPath(%v,%v) diverges at %d: eager %v lazy %v", a.ASN, b.ASN, i, ep, lp)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLazyConcurrentAccess hammers a lazy routing from many goroutines
+// (run under -race in CI) to check the column cache's locking: every
+// answer must still match the eager table no matter the interleaving.
+func TestLazyConcurrentAccess(t *testing.T) {
+	defer func(old int) { maxCachedColumns = old }(maxCachedColumns)
+	maxCachedColumns = 3
+
+	w := world.Generate(world.Small())
+	eager := Compute(w)
+	lazy := forceLazy(eager)
+
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				a := w.ASes[rng.Intn(len(w.ASes))].ASN
+				b := w.ASes[rng.Intn(len(w.ASes))].ASN
+				en, eok := eager.NextAS(a, b)
+				ln, lok := lazy.NextAS(a, b)
+				if en != ln || eok != lok {
+					select {
+					case errs <- "NextAS divergence under concurrency":
+					default:
+					}
+					return
+				}
+				ep, _ := eager.ASPath(a, b)
+				lp, _ := lazy.ASPath(a, b)
+				if len(ep) != len(lp) {
+					select {
+					case errs <- "ASPath divergence under concurrency":
+					default:
+					}
+					return
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestLazyCacheEviction checks the LRU bookkeeping directly: the cache
+// never exceeds its cap and evicted columns transparently re-converge.
+func TestLazyCacheEviction(t *testing.T) {
+	defer func(old int) { maxCachedColumns = old }(maxCachedColumns)
+	maxCachedColumns = 2
+
+	w := world.Generate(world.Small())
+	lazy := forceLazy(Compute(w))
+	for round := 0; round < 3; round++ {
+		for _, o := range w.ASes {
+			lazy.col(lazy.idx[o.ASN])
+			if lazy.lru.Len() > maxCachedColumns {
+				t.Fatalf("cache holds %d columns, cap %d", lazy.lru.Len(), maxCachedColumns)
+			}
+		}
+	}
+	cached := 0
+	for _, c := range lazy.cols {
+		if c != nil {
+			cached++
+		}
+	}
+	if cached != maxCachedColumns {
+		t.Fatalf("%d resident columns after sweep, want %d", cached, maxCachedColumns)
+	}
+}

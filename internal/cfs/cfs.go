@@ -93,6 +93,21 @@ type Config struct {
 	// identical Result; see the engine differential test.
 	Engine string
 
+	// Shards > 0 layers metro-cluster sharding on top of the worklist
+	// engine: the dirty work of every iteration is partitioned by the
+	// facility cluster each adjacency is anchored to, each shard
+	// converges its partition concurrently with a persistent per-shard
+	// ownership memo, and a coordinator exchange round applies the
+	// results in ascending global order and routes cross-shard
+	// invalidations (remote peering, tethering, alias sets spanning
+	// metros) to the shards they dirty. Results are bit-for-bit
+	// identical to the unsharded worklist engine — same resolved set,
+	// narrowings, conflicts and provenance; see the sharded
+	// differential test. 0 (the default) keeps the unsharded engine;
+	// combining Shards with EngineRescan is rejected by New, since the
+	// rescan engine has no dirty sets to partition.
+	Shards int
+
 	// Ablation switches.
 	UseAliasResolution bool
 	UseTargeted        bool
@@ -223,6 +238,10 @@ func New(cfg Config, db *registry.Database, ipasn *ip2asn.Service,
 	default:
 		return nil, fmt.Errorf("cfs: unknown engine %q (want %q or %q)",
 			cfg.Engine, EngineWorklist, EngineRescan)
+	}
+	if cfg.Shards > 0 && cfg.Engine == EngineRescan {
+		return nil, fmt.Errorf("cfs: Shards=%d requires the worklist engine, not %q (the rescan engine has no dirty sets to partition)",
+			cfg.Shards, cfg.Engine)
 	}
 	return &Pipeline{
 		cfg: cfg, db: db, ipasn: ipasn, svc: svc, det: det, prober: prober,

@@ -47,13 +47,18 @@ func (e *rescanEngine) constraintPass() (dirty, recomputed int) {
 
 func (e *rescanEngine) aliasPass() (recomputed int) { return e.st.aliasStep() }
 
-// newEngine selects the iteration core for cfg. Unknown names are
-// rejected by New before a Pipeline exists, so by the time this runs
-// cfg.Engine is "", EngineWorklist, or EngineRescan; the empty string
-// resolves to the worklist default.
+// newEngine selects the iteration core for cfg. Unknown names and the
+// Shards+rescan combination are rejected by New before a Pipeline
+// exists, so by the time this runs cfg.Engine is "", EngineWorklist, or
+// EngineRescan; the empty string resolves to the worklist default, and
+// Shards > 0 layers the metro-sharded converge/exchange scheduler on
+// top of the worklist core.
 func newEngine(cfg Config, st *state) engine {
 	if cfg.Engine == EngineRescan {
 		return &rescanEngine{st: st}
+	}
+	if cfg.Shards > 0 {
+		return newSharded(st, cfg.Shards)
 	}
 	return newWorklist(st)
 }

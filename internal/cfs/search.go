@@ -577,23 +577,32 @@ func (st *state) aliasStep() (recomputed int) {
 // set's members. Returns the number of intersections recomputed.
 func (st *state) aliasStepSets(idxs []int) (recomputed int) {
 	sets := st.sets.All()
-	var inters []facset
+	inters := make([]facset, len(idxs))
 	if w := st.p.cfg.workerCount(); w > 1 && len(idxs) >= minParallelSets {
-		inters = make([]facset, len(idxs))
 		parallelRanges(len(idxs), w, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				inters[i] = st.setIntersection(sets[idxs[i]])
 			}
 		})
+	} else {
+		for i, idx := range idxs {
+			inters[i] = st.setIntersection(sets[idx])
+		}
 	}
+	return st.aliasApplySets(idxs, inters)
+}
+
+// aliasApplySets is the mutating half of Step 3: it applies precomputed
+// per-set intersections (position-matched to idxs) on the coordinator
+// in ascending set order. Split from the compute half so the sharded
+// engine can fan the intersections out by shard while keeping this
+// apply order — which is identical to the fully serial interleaving,
+// because no set's constraint can touch another set's members.
+func (st *state) aliasApplySets(idxs []int, inters []facset) (recomputed int) {
+	sets := st.sets.All()
 	for i, idx := range idxs {
 		set := sets[idx]
-		var inter facset
-		if inters != nil {
-			inter = inters[i]
-		} else {
-			inter = st.setIntersection(set)
-		}
+		inter := inters[i]
 		if inter.count() == 0 {
 			if inter != nil {
 				st.noteSetConflict(set[0])

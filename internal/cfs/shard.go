@@ -1,0 +1,347 @@
+package cfs
+
+// The metro-sharded engine. The worklist engine already shrinks each
+// iteration to its dirty frontier; at internet scale that frontier is
+// still dominated by pure constraint computation, and the natural way
+// to cut its wall-clock is the same decomposition the underlying
+// problem has: interconnections anchor to facilities, facilities to
+// metro clusters, and almost every constraint is local to one cluster.
+// This engine partitions the dirty work by that anchor —
+//
+//	public adjacency  → the IXP's first facility's metro cluster
+//	private adjacency → the owners' first common facility's cluster
+//	alias set         → its first member's owner's cluster
+//
+// (registry-only data, with deterministic fallbacks for entities the
+// registry cannot place) — and runs each iteration as
+//
+//	shard-converge:  every shard computes the proposals/intersections
+//	                 of its partition concurrently, each with a
+//	                 persistent per-shard ownership memo;
+//	exchange:        the coordinator applies all shard outputs in
+//	                 ascending global index order and routes the
+//	                 invalidations that cross a shard boundary —
+//	                 remote-peering constraints, tethering pairs,
+//	                 alias sets spanning metros — back into the dirty
+//	                 buckets of the shards they land in;
+//	re-dirty:        the run loop re-enters until globally quiescent.
+//
+// Bit-for-bit equivalence with the unsharded worklist engine is an
+// invariant, enforced by the sharded differential test. It holds
+// because sharding changes scheduling only:
+//
+//  1. the dirty sets are the worklist's own (this engine wraps one);
+//     the union of the per-shard buckets is exactly the worklist's
+//     popped frontier, so DirtyAdjs/Recomputed match too;
+//  2. the compute halves (computeProposal, setIntersection) are pure,
+//     so which goroutine computes them cannot change their value, and
+//     the persistent per-shard memos cache only pure lookups below the
+//     live repair precedence;
+//  3. every mutation — constrain, conflict notes, remote-detection
+//     measurements — happens on the coordinator in ascending global
+//     index order, the exact order the unsharded engine uses.
+//
+// The per-shard and exchange counters are observational (obs) only and
+// never feed back into scheduling.
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/obs"
+	"facilitymap/internal/world"
+)
+
+type sharded struct {
+	wl *worklist
+	st *state
+	n  int
+
+	// shardOfAdj is parallel to state.adjOrder: the shard each
+	// adjacency was assigned at registration. Assignments are frozen at
+	// registration (they are scheduling hints, not semantics), so later
+	// owner repairs never re-balance in the middle of a pass.
+	shardOfAdj []int
+	// shardOfSet is parallel to Sets.All, rebuilt after every alias
+	// resolution (set indices are not stable across rebuilds).
+	shardOfSet []int
+
+	// owners holds one persistent read-only ownership memo per shard.
+	// Each is touched only by its shard's goroutine during converge;
+	// the coordinator never writes them. Entries cache pure lookups
+	// that live below the pinned/repaired precedence, so they cannot go
+	// stale when alias repair lands.
+	owners []*ownerLookup
+
+	// applyShard is the shard whose output the coordinator is currently
+	// applying (-1 outside the exchange), used to attribute cross-shard
+	// invalidations.
+	applyShard int
+
+	// Observability: per-shard converge volume and the exchange
+	// traffic crossing shard boundaries. All nil-safe when obs is off.
+	shardAdjs []*obs.Counter // cfs.shard.<i>.adjs
+	shardSets []*obs.Counter // cfs.shard.<i>.sets
+	exchSets  *obs.Counter   // cfs.shard.exchange.sets
+	exchAdjs  *obs.Counter   // cfs.shard.exchange.adjs
+}
+
+// newSharded wraps a worklist engine with n-way metro-cluster sharding.
+func newSharded(st *state, n int) *sharded {
+	if n < 1 {
+		n = 1
+	}
+	e := &sharded{
+		wl:         newWorklist(st),
+		st:         st,
+		n:          n,
+		applyShard: -1,
+		owners:     make([]*ownerLookup, n),
+		shardAdjs:  make([]*obs.Counter, n),
+		shardSets:  make([]*obs.Counter, n),
+	}
+	o := st.p.cfg.Obs
+	for s := 0; s < n; s++ {
+		e.owners[s] = st.readOnlyOwner()
+		e.shardAdjs[s] = o.Counter(fmt.Sprintf("cfs.shard.%d.adjs", s))
+		e.shardSets[s] = o.Counter(fmt.Sprintf("cfs.shard.%d.sets", s))
+	}
+	e.exchSets = o.Counter("cfs.shard.exchange.sets")
+	e.exchAdjs = o.Counter("cfs.shard.exchange.adjs")
+	e.wl.onDirtySet = e.noteDirtySet
+	e.wl.onOwnerRedirty = e.noteOwnerRedirty
+	return e
+}
+
+// noteDirtySet attributes an alias-set invalidation: a narrowing
+// applied on behalf of one shard dirtying a set anchored to another is
+// exchange traffic.
+func (e *sharded) noteDirtySet(setIdx int) {
+	if e.applyShard >= 0 && setIdx < len(e.shardOfSet) && e.shardOfSet[setIdx] != e.applyShard {
+		e.exchSets.Inc()
+	}
+}
+
+// noteOwnerRedirty attributes the adjacency invalidations of one owner
+// repair: dependents living outside the repaired interface's own shard
+// are exchange traffic.
+func (e *sharded) noteOwnerRedirty(ip netaddr.IP, idxs []int) {
+	home := e.ifaceShard(ip)
+	for _, idx := range idxs {
+		if e.shardOfAdj[idx] != home {
+			e.exchAdjs.Inc()
+		}
+	}
+}
+
+// resolveAliases delegates to the worklist (owner repair + full set
+// re-dirty) and then re-derives the set→shard map, because Sets.All
+// indices are not stable across a rebuild.
+func (e *sharded) resolveAliases() {
+	e.wl.resolveAliases()
+	e.shardOfSet = e.shardOfSet[:0]
+	if e.st.sets == nil {
+		return
+	}
+	for _, set := range e.st.sets.All() {
+		s := 0
+		if len(set) >= 2 {
+			s = e.ifaceShard(set[0])
+		}
+		e.shardOfSet = append(e.shardOfSet, s)
+	}
+}
+
+// register indexes new adjacencies through the worklist and assigns
+// each its shard.
+func (e *sharded) register() {
+	from := e.wl.indexed
+	e.wl.register()
+	for idx := from; idx < len(e.st.adjOrder); idx++ {
+		e.shardOfAdj = append(e.shardOfAdj, e.shardOfAdjacency(e.st.adjOrder[idx]))
+	}
+}
+
+// shardItem addresses one unit of dirty work: its global index and its
+// position in the sorted frontier (where the compute result goes).
+type shardItem struct{ idx, pos int }
+
+// bucketize splits a sorted frontier into per-shard buckets, keeping
+// ascending order within each.
+func (e *sharded) bucketize(idxs []int, shardOf func(int) int) [][]shardItem {
+	items := make([][]shardItem, e.n)
+	for p, idx := range idxs {
+		s := shardOf(idx)
+		items[s] = append(items[s], shardItem{idx, p})
+	}
+	return items
+}
+
+// constraintPass runs Step 2 as shard-converge + exchange: per-shard
+// concurrent proposal computation, then a coordinator apply in
+// ascending global order — the unsharded engine's exact mutation order.
+func (e *sharded) constraintPass() (dirty, recomputed int) {
+	st := e.st
+	e.register()
+	if len(e.wl.dirtyAdj) == 0 {
+		return 0, 0
+	}
+	idxs := make([]int, 0, len(e.wl.dirtyAdj))
+	for idx := range e.wl.dirtyAdj {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	e.wl.dirtyAdj = make(map[int]bool)
+
+	items := e.bucketize(idxs, func(idx int) int { return e.shardOfAdj[idx] })
+	proposals := make([]adjProposal, len(idxs))
+	var wg sync.WaitGroup
+	for s := range items {
+		if len(items[s]) == 0 {
+			continue
+		}
+		e.shardAdjs[s].Add(int64(len(items[s])))
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			owner := e.owners[s]
+			for _, it := range items[s] {
+				proposals[it.pos] = st.computeProposal(st.adjOrder[it.idx], owner.ownerOf)
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// Exchange: apply every shard's output in ascending global order.
+	for p, idx := range idxs {
+		e.applyShard = e.shardOfAdj[idx]
+		st.applyProposal(idx, st.adjOrder[idx], proposals[p])
+	}
+	e.applyShard = -1
+	return len(idxs), len(idxs)
+}
+
+// aliasPass runs Step 3 the same way: per-shard concurrent set
+// intersections, coordinator apply in ascending set order. Alias sets
+// partition the pool, so a set's apply can only dirty itself (which is
+// suppressed) — the exchange here is the cross-metro membership itself,
+// already attributed when the set was dirtied.
+func (e *sharded) aliasPass() (recomputed int) {
+	st := e.st
+	if st.sets == nil || len(e.wl.dirtySets) == 0 {
+		return 0
+	}
+	idxs := make([]int, 0, len(e.wl.dirtySets))
+	for idx := range e.wl.dirtySets {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	e.wl.dirtySets = make(map[int]bool)
+
+	sets := st.sets.All()
+	items := e.bucketize(idxs, func(idx int) int {
+		if idx < len(e.shardOfSet) {
+			return e.shardOfSet[idx]
+		}
+		return 0
+	})
+	inters := make([]facset, len(idxs))
+	var wg sync.WaitGroup
+	for s := range items {
+		if len(items[s]) == 0 {
+			continue
+		}
+		e.shardSets[s].Add(int64(len(items[s])))
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for _, it := range items[s] {
+				inters[it.pos] = st.setIntersection(sets[it.idx])
+			}
+		}(s)
+	}
+	wg.Wait()
+	return st.aliasApplySets(idxs, inters)
+}
+
+// shardOfAdjacency anchors an adjacency to a metro cluster using
+// registry data only: the constraint an adjacency applies is an
+// intersection with facility lists, and the first facility of that
+// list names the cluster where the work is local. Owner resolution
+// runs on the coordinator at registration, so assignments are
+// deterministic for a given run.
+func (e *sharded) shardOfAdjacency(a *Adjacency) int {
+	if e.n == 1 {
+		return 0
+	}
+	st, db, fs := e.st, e.st.p.db, e.st.p.fs
+	if a.Public {
+		if fids := db.FacilitiesOfIXP(a.IXP); len(fids) > 0 {
+			if cl, ok := db.MetroClusterOf(fids[0]); ok {
+				return cl % e.n
+			}
+		}
+		return int(a.IXP) % e.n
+	}
+	nearAS, ok1 := st.ownerOf(a.Near)
+	farAS, ok2 := st.ownerOf(a.Far)
+	if ok1 && ok2 {
+		common := intersect(fs.ofAS(db, nearAS), fs.ofAS(db, farAS))
+		if f, ok := firstFacility(fs.fx, common); ok {
+			if cl, ok := db.MetroClusterOf(f); ok {
+				return cl % e.n
+			}
+		}
+	}
+	if ok1 {
+		if fids := db.FacilitiesOfAS(nearAS); len(fids) > 0 {
+			if cl, ok := db.MetroClusterOf(fids[0]); ok {
+				return cl % e.n
+			}
+		}
+	}
+	return ipShard(a.Near, e.n)
+}
+
+// ifaceShard anchors an interface to its owner's first facility's
+// cluster, falling back to an address hash for owners the registry
+// cannot place.
+func (e *sharded) ifaceShard(ip netaddr.IP) int {
+	if e.n == 1 {
+		return 0
+	}
+	if asn, ok := e.st.ownerOf(ip); ok {
+		if fids := e.st.p.db.FacilitiesOfAS(asn); len(fids) > 0 {
+			if cl, ok := e.st.p.db.MetroClusterOf(fids[0]); ok {
+				return cl % e.n
+			}
+		}
+	}
+	return ipShard(ip, e.n)
+}
+
+// firstFacility returns the lowest-ID member of a facset.
+func firstFacility(fx *facIndex, s facset) (world.FacilityID, bool) {
+	for w, word := range s {
+		if word != 0 {
+			return fx.ids[w<<6|bits.TrailingZeros64(word)], true
+		}
+	}
+	return 0, false
+}
+
+// ipShard is the deterministic last-resort assignment: FNV-1a over the
+// address bytes, mod n.
+func ipShard(ip netaddr.IP, n int) int {
+	h := uint32(2166136261)
+	v := uint32(ip)
+	for i := 0; i < 4; i++ {
+		h ^= v & 0xff
+		h *= 16777619
+		v >>= 8
+	}
+	return int(h % uint32(n))
+}

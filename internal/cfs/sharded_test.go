@@ -1,0 +1,145 @@
+package cfs
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"facilitymap/internal/obs"
+	"facilitymap/internal/world"
+)
+
+func shardedConfig(shards, workers int) Config {
+	cfg := DefaultConfig()
+	cfg.Shards = shards
+	cfg.Workers = workers
+	return cfg
+}
+
+// mediumWorldConfig trims a medium-world run the same way
+// defaultWorldConfig trims the default world: every subsystem stays on,
+// the iteration and follow-up budgets shrink so the differential matrix
+// stays affordable.
+func mediumWorldConfig(shards, workers int) Config {
+	cfg := shardedConfig(shards, workers)
+	cfg.MaxIterations = 8
+	cfg.FollowUpBudget = 150
+	cfg.AliasRounds = []int{1, 4}
+	return cfg
+}
+
+// TestShardedMatchesWorklist is the sharded-vs-unsharded differential
+// harness, the lockdown for the metro-sharded engine: the same (world,
+// seed) run unsharded and with Shards ∈ {1, 4, 8} must produce
+// bit-for-bit identical results — same inferences, links, convergence
+// curve, conflict counts, provenance, and even the same DirtyAdjs /
+// Recomputed work counters, because the union of the per-shard buckets
+// is exactly the unsharded worklist's dirty frontier.
+func TestShardedMatchesWorklist(t *testing.T) {
+	for _, seed := range []int64{23, 101, 7777} {
+		seed := seed
+		t.Run(fmt.Sprintf("small/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			base := freshRun(t, world.Small(), seed, engineConfig(EngineWorklist, 1))
+			for _, shards := range []int{1, 4, 8} {
+				got := freshRun(t, world.Small(), seed, shardedConfig(shards, 1))
+				requireEqualResults(t, fmt.Sprintf("small seed=%d shards=%d", seed, shards), base, got)
+			}
+		})
+		t.Run(fmt.Sprintf("medium/seed=%d", seed), func(t *testing.T) {
+			if testing.Short() {
+				t.Skip("medium-world differential runs are slow")
+			}
+			t.Parallel()
+			base := freshRun(t, world.Medium(), seed, mediumWorldConfig(0, 0))
+			for _, shards := range []int{1, 4, 8} {
+				got := freshRun(t, world.Medium(), seed, mediumWorldConfig(shards, 0))
+				requireEqualResults(t, fmt.Sprintf("medium seed=%d shards=%d", seed, shards), base, got)
+			}
+		})
+	}
+}
+
+// TestShardedProvenanceMatchesWorklist pins the most ordering-sensitive
+// output under sharding: the per-interface constraint trace records
+// every set-changing application in order, so the coordinator's
+// ascending-index exchange must interleave exactly like the unsharded
+// engine's apply loop.
+func TestShardedProvenanceMatchesWorklist(t *testing.T) {
+	base := engineConfig(EngineWorklist, 1)
+	base.TraceProvenance = true
+	sh := base
+	sh.Shards = 4
+	a := freshRun(t, world.Small(), 23, base)
+	b := freshRun(t, world.Small(), 23, sh)
+	requireEqualResults(t, "provenance", a, b)
+}
+
+// TestShardedWorkersCompose: sharding and the Workers pool must compose
+// without changing results (shard-converge fans out per shard; the
+// surrounding phases — path ingestion, follow-up planning — still use
+// the worker pool).
+func TestShardedWorkersCompose(t *testing.T) {
+	base := freshRun(t, world.Small(), 101, engineConfig(EngineWorklist, 1))
+	got := freshRun(t, world.Small(), 101, shardedConfig(4, 8))
+	requireEqualResults(t, "shards=4 workers=8", base, got)
+}
+
+// TestShardedDeterministic runs the sharded engine twice per GOMAXPROCS
+// setting (1, 2, 8) and demands every run be identical: the exchange
+// round must be deterministic no matter how the per-shard goroutines
+// are scheduled.
+func TestShardedDeterministic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var ref *Result
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for run := 0; run < 2; run++ {
+			res := freshRun(t, world.Small(), 23, shardedConfig(4, 4))
+			if ref == nil {
+				ref = res
+				continue
+			}
+			requireEqualResults(t, fmt.Sprintf("GOMAXPROCS=%d run=%d", procs, run), ref, res)
+		}
+	}
+}
+
+// TestShardedRejectsRescan: the rescan engine has no dirty sets to
+// partition, so New must refuse the combination loudly.
+func TestShardedRejectsRescan(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Engine = EngineRescan
+	cfg.Shards = 4
+	if _, err := New(cfg, nil, nil, nil, nil, nil); err == nil {
+		t.Fatal("New accepted Shards with the rescan engine")
+	}
+}
+
+// TestShardedSpreadsWork guards against a degenerate partition: on the
+// small world with 4 shards, at least two shards must actually converge
+// adjacencies, and the exchange counters must register the cross-shard
+// traffic that alias repair and spanning constraints generate.
+func TestShardedSpreadsWork(t *testing.T) {
+	cfg := shardedConfig(4, 1)
+	cfg.Obs = obs.New(1 << 12)
+	res := freshRun(t, world.Small(), 23, cfg)
+	if len(res.Interfaces) == 0 {
+		t.Fatal("run observed no interfaces")
+	}
+	snap := cfg.Obs.Metrics.Snapshot()
+	active := 0
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "cfs.shard.") && strings.HasSuffix(name, ".adjs") && v > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Errorf("only %d of 4 shards converged adjacencies — degenerate partition\n%s", active, snap.Render())
+	}
+	if snap.Counters["cfs.shard.exchange.adjs"] == 0 && snap.Counters["cfs.shard.exchange.sets"] == 0 {
+		t.Error("no exchange traffic recorded: cross-shard invalidations went unaccounted")
+	}
+}

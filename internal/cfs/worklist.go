@@ -67,6 +67,14 @@ type worklist struct {
 	// own intersection is being applied to its members, their narrowing
 	// must not re-dirty the set (it is at its fixed point afterwards).
 	applyingSet int
+
+	// Exchange-accounting hooks, set by the sharded engine. Purely
+	// observational — they fire on dirty-state transitions and must
+	// never influence which work gets enqueued. onDirtySet fires when a
+	// clean alias set becomes dirty; onOwnerRedirty fires when an owner
+	// repair re-dirties an interface's dependent adjacencies.
+	onDirtySet     func(setIdx int)
+	onOwnerRedirty func(ip netaddr.IP, idxs []int)
 }
 
 func newWorklist(st *state) *worklist {
@@ -89,7 +97,12 @@ func newWorklist(st *state) *worklist {
 // narrows: the alias set containing ip must re-intersect.
 func (w *worklist) candChanged(ip netaddr.IP) {
 	if idx, ok := w.setOf[ip]; ok && idx != w.applyingSet {
-		w.dirtySets[idx] = true
+		if !w.dirtySets[idx] {
+			w.dirtySets[idx] = true
+			if w.onDirtySet != nil {
+				w.onDirtySet(idx)
+			}
+		}
 	}
 }
 
@@ -137,6 +150,9 @@ func (w *worklist) resolveAliases() {
 		w.lastOwner[ip] = asn
 		for _, idx := range idxs {
 			w.dirtyAdj[idx] = true
+		}
+		if w.onOwnerRedirty != nil {
+			w.onOwnerRedirty(ip, idxs)
 		}
 		if asn != 0 {
 			w.asAdjs[asn] = append(w.asAdjs[asn], idxs...)

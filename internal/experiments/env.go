@@ -44,9 +44,23 @@ type Env struct {
 	// focus on: content providers and Tier-1 transit (§5).
 	Targets []world.ASN
 
+	// WideScanSample caps the iPlane/Ark wide scan of InitialCorpus at
+	// this many destination ASes, chosen by a deterministic stride over
+	// the AS list. 0 scans every AS (the pre-existing behavior); NewEnv
+	// sets it automatically for internet-scale worlds, where
+	// one-address-per-AS means hundreds of thousands of traceroutes.
+	// Override it before calling InitialCorpus to change the budget.
+	WideScanSample int
+
 	seed int64
 	obs  *obs.Obs
 }
+
+// largeWorldASes is the AS population above which NewEnv switches to
+// the scaled deployment: stride-thinned Atlas and looking-glass fleets
+// and a sampled wide scan. Well above every curated profile through
+// PaperScale, so their stacks are built exactly as before.
+const largeWorldASes = 4096
 
 // Instrument attaches an observability sink to the whole stack: the
 // trace engine, the platform scheduler, and every subsequent RunCFS /
@@ -63,7 +77,7 @@ func NewEnv(wcfg world.Config, seed int64) *Env {
 	w := world.Generate(wcfg)
 	rt := bgp.Compute(w)
 	engine := trace.New(w, rt, seed)
-	fleet := platform.Deploy(w, platform.DefaultDeploy())
+	fleet := platform.Deploy(w, deployFor(w))
 	svc := platform.NewService(w, fleet, engine, rt)
 	db := registry.Collect(w, registry.DefaultConfig())
 	e := &Env{
@@ -96,7 +110,43 @@ func NewEnv(wcfg world.Config, seed int64) *Env {
 			e.Targets = append(e.Targets, as.ASN)
 		}
 	}
+	if len(w.ASes) >= largeWorldASes {
+		e.WideScanSample = 512
+	}
 	return e
+}
+
+// deployFor picks the fleet configuration for a world: the Table 1
+// deployment as-is for every curated profile, and a stride-thinned
+// variant above largeWorldASes that holds the fleet near the size a
+// thousand-AS world would get (a few hundred Atlas probes, a dozen or
+// two looking-glass operators) instead of scaling it with the
+// population — platform campaigns visit every vantage point, so an
+// unthinned internet-scale fleet would turn every corpus into tens of
+// millions of traceroutes.
+func deployFor(w *world.World) platform.DeployConfig {
+	dcfg := platform.DefaultDeploy()
+	if len(w.ASes) < largeWorldASes {
+		return dcfg
+	}
+	atlasEligible, lgASes := 0, 0
+	for _, as := range w.ASes {
+		switch as.Type {
+		case world.Access, world.Enterprise:
+			atlasEligible++
+		}
+		if as.RunsLookingGlass {
+			lgASes++
+		}
+	}
+	const atlasHosts, lgHosts = 128, 16
+	if atlasEligible > atlasHosts {
+		dcfg.AtlasSampleStride = atlasEligible / atlasHosts
+	}
+	if lgASes > lgHosts {
+		dcfg.LGSampleStride = lgASes / lgHosts
+	}
+	return dcfg
 }
 
 // InitialCorpus runs the measurement campaigns of §5: every platform
@@ -114,8 +164,16 @@ func (e *Env) InitialCorpus() []trace.Path {
 		}
 	}
 	paths := e.Svc.Campaign(platform.Kinds(), focused)
+	all := e.W.ASes
+	stride := 1
+	if e.WideScanSample > 0 && len(all) > e.WideScanSample {
+		// Deterministic stride sample: evenly spaced across the AS list,
+		// so every type and region stays represented.
+		stride = (len(all) + e.WideScanSample - 1) / e.WideScanSample
+	}
 	var wide []netaddr.IP
-	for _, as := range e.W.ASes {
+	for i := 0; i < len(all); i += stride {
+		as := all[i]
 		wide = append(wide, e.W.Interfaces[e.W.Routers[as.Routers[0]].Core()].IP)
 	}
 	paths = append(paths, e.Svc.Campaign([]platform.Kind{platform.IPlane, platform.Ark}, wide)...)

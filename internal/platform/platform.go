@@ -98,6 +98,17 @@ type DeployConfig struct {
 	LGBGPFraction float64
 	// IPlaneVPs and ArkVPs are the archive fleet sizes.
 	IPlaneVPs, ArkVPs int
+
+	// AtlasSampleStride deterministically thins the Atlas host pool for
+	// internet-scale worlds: only every stride-th eligible edge AS (in
+	// world order) hosts probes. 0 or 1 — the default — deploys to every
+	// eligible AS, byte-identically to deployments before the knob
+	// existed; skipped ASes consume no randomness.
+	AtlasSampleStride int
+	// LGSampleStride is the same thinning for looking-glass operators:
+	// only every stride-th LG-running AS (in world order) exposes its
+	// routers. 0 or 1 deploys all of them.
+	LGSampleStride int
 }
 
 // DefaultDeploy mirrors the relative platform sizes of Table 1.
@@ -131,8 +142,13 @@ func Deploy(w *world.World, cfg DeployConfig) *Fleet {
 	// RIPE Atlas: probes behind access and enterprise networks,
 	// Europe-heavy (the paper: "RIPE Atlas probes have a significantly
 	// larger footprint in Europe").
+	atlasEligible := 0
 	for _, as := range w.ASes {
 		if as.Type != world.Access && as.Type != world.Enterprise {
+			continue
+		}
+		atlasEligible++
+		if cfg.AtlasSampleStride > 1 && (atlasEligible-1)%cfg.AtlasSampleStride != 0 {
 			continue
 		}
 		mean := cfg.AtlasPerAccessAS
@@ -150,8 +166,13 @@ func Deploy(w *world.World, cfg DeployConfig) *Fleet {
 	}
 	// Looking glasses: transit and Tier-1 operators expose one vantage
 	// per PoP router; a fraction answer BGP queries.
+	lgSeen := 0
 	for _, as := range w.ASes {
 		if !as.RunsLookingGlass {
+			continue
+		}
+		lgSeen++
+		if cfg.LGSampleStride > 1 && (lgSeen-1)%cfg.LGSampleStride != 0 {
 			continue
 		}
 		bgpCap := rng.Float64() < cfg.LGBGPFraction

@@ -9,6 +9,14 @@ type Config struct {
 	// NumMetros caps how many embedded metros are instantiated (in
 	// weight order). 0 means all.
 	NumMetros int
+	// SyntheticMetros appends generated satellite markets beyond the
+	// embedded seed list: each satellite orbits an embedded hub metro
+	// (same country and region, a fraction of its weight) at a distinct
+	// coordinate far enough away that registry normalisation keeps it a
+	// separate metro cluster. 0 — the value in every profile up to
+	// Large — generates the embedded list only, byte-identically to
+	// configs predating the knob.
+	SyntheticMetros int
 	// FacilityDensity scales facilities per metro: a metro of weight w
 	// gets about w*FacilityDensity facilities (at least one).
 	FacilityDensity float64
@@ -28,6 +36,15 @@ type Config struct {
 	// TetheringFrac is the probability that two members of a common IXP
 	// lacking a common facility establish a private VLAN over the fabric.
 	TetheringFrac float64
+
+	// ColoMeshDegree adds a bounded-degree cross-connect mesh among the
+	// ASes co-located in each facility: every resident privately
+	// interconnects with up to this many of its ASN-order neighbours in
+	// the same building. This is what carries the Large profile to an
+	// order-of-a-million interfaces. 0 — the value in every profile up
+	// to Large — disables the tier and leaves older configs
+	// byte-identical.
+	ColoMeshDegree int
 }
 
 // Small returns a world small enough for fast unit tests.
@@ -100,9 +117,41 @@ func PaperScale() Config {
 	return c
 }
 
+// Large returns an internet-scale world: tens of thousands of ASes,
+// hundreds of metros and on the order of a million interfaces. It is the
+// profile the sharded CFS engine exists for; generation takes tens of
+// seconds and convergence should run with Config.Shards > 1.
+func Large() Config {
+	return Config{
+		Seed:            9,
+		NumMetros:       0,   // every embedded metro...
+		SyntheticMetros: 172, // ...plus satellite markets (260 total)
+		FacilityDensity: 16,
+		NumIXPs:         160,
+		InactiveIXPs:    12,
+		NumTier1:        12,
+		NumTransit:      800,
+		NumContent:      64,
+		NumAccess:       18000,
+		NumEnterprise:   12000,
+		RemotePeerFrac:  0.20,
+		TetheringFrac:   0.08,
+		ColoMeshDegree:  10,
+	}
+}
+
 func (c Config) withDefaults() Config {
 	if c.NumMetros <= 0 || c.NumMetros > MaxMetros {
 		c.NumMetros = MaxMetros
+	}
+	if c.SyntheticMetros < 0 {
+		c.SyntheticMetros = 0
+	}
+	if c.SyntheticMetros > maxSyntheticMetros {
+		c.SyntheticMetros = maxSyntheticMetros
+	}
+	if c.ColoMeshDegree < 0 {
+		c.ColoMeshDegree = 0
 	}
 	if c.FacilityDensity <= 0 {
 		c.FacilityDensity = 12

@@ -42,6 +42,13 @@ func (b *builder) newAS(n ASN, name string, typ ASType, region geo.Region, prefi
 		}
 	}
 	b.w.ASes = append(b.w.ASes, as)
+	// Populate the ASN index eagerly so builder-time lookups
+	// (byASNOrNil in the peering passes) stay O(1) at Large scale;
+	// buildIndexes rebuilds the same mapping at the end.
+	if b.w.byASN == nil {
+		b.w.byASN = make(map[ASN]*AS)
+	}
+	b.w.byASN[n] = as
 	b.asAlloc[n] = netaddr.NewAllocator(parent)
 	b.peersM[n] = make(map[ASN]bool)
 	b.providersM[n] = make(map[ASN]bool)
@@ -142,11 +149,30 @@ func (b *builder) joinFacility(as *AS, f FacilityID) {
 	as.Facilities = append(as.Facilities, f)
 }
 
+// scaledBits widens an AS type's per-network prefix (halving the block)
+// each time the population doubles past maxAtBase, keeping the type's
+// total address budget constant so Large populations fit the shared
+// 20.0.0.0/7 pool. Every profile up to PaperScale stays below maxAtBase
+// and keeps its historical block size (and so its exact addresses).
+func scaledBits(base uint8, count, maxAtBase int) uint8 {
+	bits := base
+	for count > maxAtBase {
+		bits++
+		maxAtBase *= 2
+	}
+	return bits
+}
+
 func (b *builder) genASes() {
 	regions := []geo.Region{geo.NorthAmerica, geo.Europe, geo.Asia}
+	tier1Bits := scaledBits(14, b.cfg.NumTier1, 16)
+	contentBits := scaledBits(15, b.cfg.NumContent, 16)
+	transitBits := scaledBits(17, b.cfg.NumTransit, 96)
+	accessBits := scaledBits(19, b.cfg.NumAccess, 1024)
+	enterpriseBits := scaledBits(21, b.cfg.NumEnterprise, 256)
 	// Tier-1 transit providers: global footprint, private-peering heavy.
 	for i := 0; i < b.cfg.NumTier1; i++ {
-		as := b.newAS(ASN(tier1BaseASN+i), tier1Name(i), Tier1, regions[i%len(regions)], 14)
+		as := b.newAS(ASN(tier1BaseASN+i), tier1Name(i), Tier1, regions[i%len(regions)], tier1Bits)
 		as.TagsCommunities = true
 		as.RunsLookingGlass = true
 		as.PublishesNOCPage = b.rng.Float64() < 0.9
@@ -174,7 +200,7 @@ func (b *builder) genASes() {
 	// Content / CDN networks: global, public-peering heavy; the first is
 	// styled after Google: no DNS, unresponsive to alias probes.
 	for i := 0; i < b.cfg.NumContent; i++ {
-		as := b.newAS(ASN(contentBaseASN+i*10), contentName(i), Content, regions[i%len(regions)], 15)
+		as := b.newAS(ASN(contentBaseASN+i*10), contentName(i), Content, regions[i%len(regions)], contentBits)
 		as.OpenPeering = true
 		as.PublishesNOCPage = b.rng.Float64() < 0.9
 		ipid := b.randIPID()
@@ -202,7 +228,7 @@ func (b *builder) genASes() {
 	// Regional transit providers.
 	for i := 0; i < b.cfg.NumTransit; i++ {
 		region := b.w.Metros[b.weightedMetro(-1)].Region
-		as := b.newAS(ASN(transitBaseASN+i*3), transitName(i), Transit, region, 17)
+		as := b.newAS(ASN(transitBaseASN+i*3), transitName(i), Transit, region, transitBits)
 		as.TagsCommunities = b.rng.Float64() < 0.7
 		as.RunsLookingGlass = b.rng.Float64() < 0.6
 		as.PublishesNOCPage = b.rng.Float64() < 0.65
@@ -231,7 +257,7 @@ func (b *builder) genASes() {
 	for i := 0; i < b.cfg.NumAccess; i++ {
 		home := b.weightedMetro(-1)
 		m := b.w.Metros[home]
-		as := b.newAS(ASN(accessBaseASN+i*2), accessName(m.Name, i), Access, m.Region, 19)
+		as := b.newAS(ASN(accessBaseASN+i*2), accessName(m.Name, i), Access, m.Region, accessBits)
 		as.DNSStyle = []DNSStyle{DNSNone, DNSStale, DNSAirport}[b.rng.Intn(3)]
 		as.OpenPeering = b.rng.Float64() < 0.6
 		ipid := b.randIPID()
@@ -251,10 +277,17 @@ func (b *builder) genASes() {
 			}
 		}
 	}
-	// Enterprise stubs: off-facility only.
+	// Enterprise stubs: off-facility only. The base floats above the
+	// access range when an internet-scale access population would
+	// otherwise collide with it (access ASNs grow by 2 per network);
+	// every profile up to PaperScale keeps the historical 60000 base.
+	entBase := ASN(enterpriseBaseASN)
+	if over := ASN(accessBaseASN + 2*b.cfg.NumAccess); over > entBase {
+		entBase = over
+	}
 	for i := 0; i < b.cfg.NumEnterprise; i++ {
 		home := b.weightedMetro(-1)
-		as := b.newAS(ASN(enterpriseBaseASN+i), enterpriseName(i), Enterprise, b.w.Metros[home].Region, 21)
+		as := b.newAS(entBase+ASN(i), enterpriseName(i), Enterprise, b.w.Metros[home].Region, enterpriseBits)
 		as.DNSStyle = DNSNone
 		b.addRouter(as, None, home, b.randIPID())
 	}

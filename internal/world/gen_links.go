@@ -28,6 +28,7 @@ func (b *builder) addMembership(as *AS, ix *IXP) *Membership {
 		return nil
 	}
 	b.memberDone[mk] = true
+	b.ixpsOfAS[as.ASN] = append(b.ixpsOfAS[as.ASN], ix.ID)
 
 	inIXP := make(map[FacilityID]bool, len(ix.Facilities))
 	for _, f := range ix.Facilities {
@@ -109,6 +110,7 @@ func (b *builder) addMembership(as *AS, ix *IXP) *Membership {
 		Reseller:     reseller,
 	}
 	b.w.Memberships = append(b.w.Memberships, m)
+	b.memberRouter[mk] = rtr
 	// Redundant second port: some local members connect a second router
 	// at another facility of the same exchange (the AMS-IX dual-homing
 	// the §4.4 experiment relies on). Traffic from a peer lands on the
@@ -157,6 +159,9 @@ func (b *builder) addSecondPort(as *AS, ix *IXP, first FacilityID) {
 		Port:         port,
 		AccessSwitch: sw,
 	})
+	// The tether pass picks the AS's latest port on the exchange; the
+	// second port is now it.
+	b.memberRouter[memberKey{as.ASN, ix.ID}] = rtr
 }
 
 // ixpsHostedAt counts active exchanges with an access switch at f.
@@ -330,6 +335,12 @@ func pairProb(a, b ASType) float64 {
 }
 
 func (b *builder) genPublicPeering() {
+	// One pass over the membership table, preserving first-appearance
+	// order per exchange (the order the per-IXP scan used to produce).
+	byIXPMembers := make([][]*Membership, len(b.w.IXPs))
+	for _, m := range b.w.Memberships {
+		byIXPMembers[m.IXP] = append(byIXPMembers[m.IXP], m)
+	}
 	for _, ix := range b.w.IXPs {
 		if ix.Inactive {
 			continue
@@ -339,16 +350,23 @@ func (b *builder) genPublicPeering() {
 		// the fabric-proximate one.
 		byAS := make(map[ASN][]*Membership)
 		var order []ASN
-		for _, m := range b.w.Memberships {
-			if m.IXP == ix.ID {
-				if _, seen := byAS[m.AS]; !seen {
-					order = append(order, m.AS)
-				}
-				byAS[m.AS] = append(byAS[m.AS], m)
+		for _, m := range byIXPMembers[ix.ID] {
+			if _, seen := byAS[m.AS]; !seen {
+				order = append(order, m.AS)
 			}
+			byAS[m.AS] = append(byAS[m.AS], m)
+		}
+		// Mega-exchanges (only the internet-scale profile grows any)
+		// consider bilateral sessions within a bounded member window
+		// instead of the full quadratic cross-product; below the gate
+		// the window spans every pair, preserving historical worlds
+		// draw-for-draw.
+		window := len(order)
+		if window > 128 {
+			window = 64
 		}
 		for i := 0; i < len(order); i++ {
-			for j := i + 1; j < len(order); j++ {
+			for j := i + 1; j < len(order) && j <= i+window; j++ {
 				asA, asB := b.w.byASNOrNil(order[i]), b.w.byASNOrNil(order[j])
 				multilateral := false
 				establish := false
@@ -495,19 +513,15 @@ func (b *builder) commonFacilities(a, z *AS) []FacilityID {
 }
 
 func (b *builder) sharedIXP(a, z *AS) *IXP {
-	mine := make(map[IXPID]bool)
-	for mk := range b.memberDone {
-		if mk.as == a.ASN {
-			mine[mk.ix] = true
-		}
+	mine := make(map[IXPID]bool, len(b.ixpsOfAS[a.ASN]))
+	for _, ix := range b.ixpsOfAS[a.ASN] {
+		mine[ix] = true
 	}
 	// Deterministic choice: the lowest-numbered shared exchange.
 	best := IXPID(None)
-	for mk := range b.memberDone {
-		if mk.as == z.ASN && mine[mk.ix] {
-			if best == IXPID(None) || mk.ix < best {
-				best = mk.ix
-			}
+	for _, ix := range b.ixpsOfAS[z.ASN] {
+		if mine[ix] && (best == IXPID(None) || ix < best) {
+			best = ix
 		}
 	}
 	if best == IXPID(None) {
@@ -523,17 +537,11 @@ func (b *builder) crossConnect(a, z *AS, rel Relationship, fa, fz FacilityID) {
 }
 
 func (b *builder) tether(a, z *AS, rel Relationship, ix *IXP) {
-	// The VLAN terminates on the routers holding the IXP ports.
-	var ra, rz RouterID = None, None
-	for _, m := range b.w.Memberships {
-		if m.IXP == ix.ID && m.AS == a.ASN {
-			ra = m.Router
-		}
-		if m.IXP == ix.ID && m.AS == z.ASN {
-			rz = m.Router
-		}
-	}
-	if ra == None || rz == None {
+	// The VLAN terminates on the routers holding the IXP ports (the
+	// latest port each side holds on the exchange).
+	ra, okA := b.memberRouter[memberKey{a.ASN, ix.ID}]
+	rz, okZ := b.memberRouter[memberKey{z.ASN, ix.ID}]
+	if !okA || !okZ {
 		return
 	}
 	b.privateLink(a, z, rel, ra, rz, Tethering, ix.ID)
@@ -705,16 +713,20 @@ func (b *builder) genPrivateLinks() {
 }
 
 func (b *builder) finishRelationships() {
+	// Invert providersM once instead of scanning every other AS per AS;
+	// the final per-AS sort makes the map iteration order irrelevant.
+	custOf := make(map[ASN][]ASN)
 	for _, as := range b.w.ASes {
-		var providers, customers, peers []ASN
+		for p := range b.providersM[as.ASN] {
+			custOf[p] = append(custOf[p], as.ASN)
+		}
+	}
+	for _, as := range b.w.ASes {
+		var providers, peers []ASN
 		for p := range b.providersM[as.ASN] {
 			providers = append(providers, p)
 		}
-		for _, other := range b.w.ASes {
-			if b.providersM[other.ASN][as.ASN] {
-				customers = append(customers, other.ASN)
-			}
-		}
+		customers := custOf[as.ASN]
 		for p := range b.peersM[as.ASN] {
 			peers = append(peers, p)
 		}
@@ -722,6 +734,64 @@ func (b *builder) finishRelationships() {
 		sortASNs(customers)
 		sortASNs(peers)
 		as.Providers, as.Customers, as.Peers = providers, customers, peers
+	}
+}
+
+// genColoMesh wires the facility-internal cross-connect tier: every AS
+// resident in a facility privately interconnects with up to
+// ColoMeshDegree of its ASN-order neighbours in the same building. This
+// models the dense intra-building cross-connect market of large carrier
+// hotels and is the interface mass behind the Large profile. Gated off
+// (zero links, zero RNG draws) when the knob is zero, so profiles
+// predating it generate byte-identical worlds.
+func (b *builder) genColoMesh() {
+	deg := b.cfg.ColoMeshDegree
+	if deg <= 0 {
+		return
+	}
+	residents := make([][]*AS, len(b.w.Facilities))
+	for _, as := range b.w.ASes { // ASN-ascending: ASes is sorted
+		for _, f := range as.Facilities {
+			if _, ok := b.routerAt[routerKey{as.ASN, f, b.w.Facilities[f].Metro}]; ok {
+				residents[f] = append(residents[f], as)
+			}
+		}
+	}
+	// Networks resident in many buildings cap their total cross-connect
+	// count, which also bounds the /30 draw on any one AS's block.
+	meshCap := 3 * deg
+	meshCount := make(map[ASN]int)
+	for fid, res := range residents {
+		f := FacilityID(fid)
+		metro := b.w.Facilities[f].Metro
+		for i := 0; i < len(res); i++ {
+			for k := 1; k <= deg && i+k < len(res); k++ {
+				a, z := res[i], res[i+k]
+				if meshCount[a.ASN] >= meshCap || meshCount[z.ASN] >= meshCap {
+					continue
+				}
+				ra := b.routerAt[routerKey{a.ASN, f, metro}]
+				rz := b.routerAt[routerKey{z.ASN, f, metro}]
+				lo, hi := ra, rz
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if b.linkSeen[linkKey{lo, hi, CrossConnect}] {
+					continue
+				}
+				rel := PeerToPeer
+				switch {
+				case b.providersM[a.ASN][z.ASN]:
+					rel = CustomerToProvider
+				case b.providersM[z.ASN][a.ASN]:
+					a, z, ra, rz = z, a, rz, ra
+					rel = CustomerToProvider
+				}
+				b.privateLink(a, z, rel, ra, rz, CrossConnect, None)
+				meshCount[a.ASN]++
+				meshCount[z.ASN]++
+			}
+		}
 	}
 }
 

@@ -27,6 +27,9 @@ func Generate(cfg Config) *World {
 		memberDone:  make(map[memberKey]bool),
 		peersM:      make(map[ASN]map[ASN]bool),
 		providersM:  make(map[ASN]map[ASN]bool),
+
+		ixpsOfAS:     make(map[ASN][]IXPID),
+		memberRouter: make(map[memberKey]RouterID),
 	}
 	b.genMetros()
 	b.genFacilities()
@@ -36,6 +39,7 @@ func Generate(cfg Config) *World {
 	b.genMemberships()
 	b.genPublicPeering()
 	b.genPrivateLinks()
+	b.genColoMesh()
 	b.finishRelationships()
 	b.w.buildIndexes()
 	return b.w
@@ -74,6 +78,14 @@ type builder struct {
 	peersM      map[ASN]map[ASN]bool // symmetric peer relationships
 	providersM  map[ASN]map[ASN]bool // providersM[cust][prov]
 
+	// Incremental views of memberDone / Memberships kept so the private-
+	// link passes stay near-linear at Large scale. ixpsOfAS mirrors the
+	// memberDone key set per AS; memberRouter tracks the router of the
+	// *latest* membership per (AS, IXP), matching the scan order the
+	// tether pass historically used.
+	ixpsOfAS     map[ASN][]IXPID
+	memberRouter map[memberKey]RouterID
+
 	metroWeights []float64
 }
 
@@ -92,6 +104,39 @@ func (b *builder) genMetros() {
 		b.w.Metros = append(b.w.Metros, m)
 		b.w.airports[m.ID] = s.airport
 		b.metroWeights = append(b.metroWeights, s.weight)
+	}
+	// Satellite markets for the internet-scale profile: each orbits an
+	// embedded hub (round-robin, so the heaviest markets sprout rings
+	// first) at least ~1.5 degrees away — far enough that the registry
+	// normaliser keeps it a distinct metro cluster.
+	for i := 0; i < b.cfg.SyntheticMetros; i++ {
+		hub := i % n
+		ring := 1 + i/n
+		s := metroSeeds[hub]
+		dLat := (b.rng.Float64()*2 - 1) * 1.5
+		dLon := (b.rng.Float64()*2 - 1) * 1.5
+		if dLat >= 0 {
+			dLat += 1.5
+		} else {
+			dLat -= 1.5
+		}
+		lat := s.lat + dLat
+		if lat > 85 {
+			lat = 85
+		}
+		if lat < -85 {
+			lat = -85
+		}
+		m := &geo.Metro{
+			ID:      geo.MetroID(len(b.w.Metros)),
+			Name:    fmt.Sprintf("%s Edge %d", s.name, ring),
+			Country: s.country,
+			Region:  s.region,
+			Center:  geo.Coord{Lat: lat, Lon: s.lon + dLon},
+		}
+		b.w.Metros = append(b.w.Metros, m)
+		b.w.airports[m.ID] = syntheticAirport(i)
+		b.metroWeights = append(b.metroWeights, s.weight*(0.08+0.06*b.rng.Float64()))
 	}
 }
 

@@ -116,6 +116,17 @@ var metroSeeds = []metroSeed{
 // MaxMetros is the number of embedded metropolitan areas available.
 var MaxMetros = len(metroSeeds)
 
+// maxSyntheticMetros bounds Config.SyntheticMetros: the synthetic
+// airport-code space ("X" plus two letters) holds 676 codes, and none of
+// the embedded IATA codes start with X, so codes stay collision-free.
+const maxSyntheticMetros = 650
+
+// syntheticAirport derives the IATA-style code for the i-th satellite
+// metro.
+func syntheticAirport(i int) string {
+	return string([]byte{'X', byte('A' + (i/26)%26), byte('A' + i%26)})
+}
+
 // MetroAirport returns the IATA-style code the DNS naming substrate uses
 // for a metro.
 func (w *World) MetroAirport(id geo.MetroID) string {

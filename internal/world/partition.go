@@ -1,0 +1,64 @@
+package world
+
+// Partition is a metro-keyed split of a world's interfaces into n
+// shards, the decomposition the sharded CFS engine mirrors (built there
+// from registry data rather than ground truth). Every metro maps to
+// exactly one shard, every interface follows its router's metro, and
+// the Exchange set lists exactly the constraints that span shards:
+// interconnection links whose two ends land in different shards, and
+// IXP memberships whose router sits in a different shard than the
+// exchange's primary metro (remote peering and multi-metro fabrics).
+type Partition struct {
+	N int
+	// ShardOfMetro maps every metro to its shard.
+	ShardOfMetro []int
+	// ShardOf maps every InterfaceID to its shard.
+	ShardOf []int
+	// Interfaces lists each shard's interfaces in ascending ID order.
+	Interfaces [][]InterfaceID
+	// ExchangeLinks are the links whose end interfaces live in
+	// different shards.
+	ExchangeLinks []LinkID
+	// ExchangeMemberships are the memberships whose router's shard
+	// differs from the IXP's primary-metro shard.
+	ExchangeMemberships []MembershipID
+}
+
+// PartitionByMetro splits the world into n metro-keyed shards. n is
+// clamped to [1, number of metros]; metros are assigned round-robin by
+// metro ID, so the split is deterministic for a given world.
+func PartitionByMetro(w *World, n int) *Partition {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(w.Metros) {
+		n = len(w.Metros)
+	}
+	p := &Partition{
+		N:            n,
+		ShardOfMetro: make([]int, len(w.Metros)),
+		ShardOf:      make([]int, len(w.Interfaces)),
+		Interfaces:   make([][]InterfaceID, n),
+	}
+	for m := range w.Metros {
+		p.ShardOfMetro[m] = m % n
+	}
+	for _, ifc := range w.Interfaces {
+		s := p.ShardOfMetro[w.Routers[ifc.Router].Metro]
+		p.ShardOf[ifc.ID] = s
+		p.Interfaces[s] = append(p.Interfaces[s], ifc.ID)
+	}
+	for _, l := range w.Links {
+		if p.ShardOf[l.AIface] != p.ShardOf[l.BIface] {
+			p.ExchangeLinks = append(p.ExchangeLinks, l.ID)
+		}
+	}
+	for _, m := range w.Memberships {
+		rtrShard := p.ShardOfMetro[w.Routers[m.Router].Metro]
+		ixpShard := p.ShardOfMetro[w.IXPs[m.IXP].Metro]
+		if rtrShard != ixpShard {
+			p.ExchangeMemberships = append(p.ExchangeMemberships, m.ID)
+		}
+	}
+	return p
+}

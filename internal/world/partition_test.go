@@ -1,0 +1,107 @@
+package world
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPartitionProperties drives PartitionByMetro through 1000
+// randomized cases (varied world configurations × random shard counts)
+// and asserts the three partition invariants the sharded engine relies
+// on: every interface lands in exactly one shard, the exchange set
+// contains exactly the cross-shard constraints, and the union of the
+// shards reconstructs the world's interface set.
+func TestPartitionProperties(t *testing.T) {
+	configs := []Config{
+		Small(),
+		Medium(),
+		{Seed: 3, NumMetros: 4, FacilityDensity: 3, NumIXPs: 4, NumTier1: 2,
+			NumTransit: 4, NumContent: 2, NumAccess: 8, NumEnterprise: 4},
+		{Seed: 11, NumMetros: 16, FacilityDensity: 6, NumIXPs: 12, NumTier1: 4,
+			NumTransit: 10, NumContent: 4, NumAccess: 30, NumEnterprise: 10,
+			RemotePeerFrac: 0.5, TetheringFrac: 0.3},
+		{Seed: 17, NumMetros: 6, FacilityDensity: 4, NumIXPs: 6, NumTier1: 3,
+			NumTransit: 6, NumContent: 3, NumAccess: 12, NumEnterprise: 6,
+			SyntheticMetros: 9, ColoMeshDegree: 3},
+	}
+	worlds := make([]*World, len(configs))
+	for i, cfg := range configs {
+		worlds[i] = Generate(cfg)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const cases = 1000
+	for c := 0; c < cases; c++ {
+		w := worlds[c%len(worlds)]
+		n := 1 + rng.Intn(2*len(w.Metros)) // exercises the clamp too
+		p := PartitionByMetro(w, n)
+		checkPartition(t, w, p, n)
+		if t.Failed() {
+			t.Fatalf("case %d: world %d, n=%d", c, c%len(worlds), n)
+		}
+	}
+}
+
+func checkPartition(t *testing.T, w *World, p *Partition, requested int) {
+	t.Helper()
+	if p.N < 1 || p.N > len(w.Metros) || (requested <= len(w.Metros) && requested >= 1 && p.N != requested) {
+		t.Errorf("shard count %d out of range for %d metros (requested %d)", p.N, len(w.Metros), requested)
+	}
+	// Every metro and interface maps to exactly one in-range shard.
+	if len(p.ShardOfMetro) != len(w.Metros) {
+		t.Fatalf("ShardOfMetro covers %d of %d metros", len(p.ShardOfMetro), len(w.Metros))
+	}
+	for m, s := range p.ShardOfMetro {
+		if s < 0 || s >= p.N {
+			t.Fatalf("metro %d assigned out-of-range shard %d", m, s)
+		}
+	}
+	if len(p.ShardOf) != len(w.Interfaces) {
+		t.Fatalf("ShardOf covers %d of %d interfaces", len(p.ShardOf), len(w.Interfaces))
+	}
+	seen := make([]bool, len(w.Interfaces))
+	total := 0
+	for s, ids := range p.Interfaces {
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("interface %d appears in more than one shard", id)
+			}
+			seen[id] = true
+			total++
+			if p.ShardOf[id] != s {
+				t.Fatalf("interface %d listed in shard %d but ShardOf says %d", id, s, p.ShardOf[id])
+			}
+			if got := p.ShardOfMetro[w.Routers[w.Interfaces[id].Router].Metro]; got != s {
+				t.Fatalf("interface %d in shard %d but its metro maps to %d", id, s, got)
+			}
+		}
+	}
+	// Union of the shards reconstructs the world's interface set.
+	if total != len(w.Interfaces) {
+		t.Fatalf("shards hold %d interfaces, world has %d", total, len(w.Interfaces))
+	}
+	// The exchange set is exactly the cross-shard link set.
+	exchange := make(map[LinkID]bool, len(p.ExchangeLinks))
+	for _, id := range p.ExchangeLinks {
+		exchange[id] = true
+	}
+	for _, l := range w.Links {
+		cross := p.ShardOf[l.AIface] != p.ShardOf[l.BIface]
+		if cross != exchange[l.ID] {
+			t.Fatalf("link %d: cross-shard=%v exchange=%v", l.ID, cross, exchange[l.ID])
+		}
+	}
+	exchM := make(map[MembershipID]bool, len(p.ExchangeMemberships))
+	for _, id := range p.ExchangeMemberships {
+		exchM[id] = true
+	}
+	for _, m := range w.Memberships {
+		cross := p.ShardOfMetro[w.Routers[m.Router].Metro] != p.ShardOfMetro[w.IXPs[m.IXP].Metro]
+		if cross != exchM[m.ID] {
+			t.Fatalf("membership %d: cross-shard=%v exchange=%v", m.ID, cross, exchM[m.ID])
+		}
+	}
+	// Single-shard partitions have, by definition, nothing to exchange.
+	if p.N == 1 && (len(p.ExchangeLinks) > 0 || len(p.ExchangeMemberships) > 0) {
+		t.Fatalf("n=1 partition has a non-empty exchange set")
+	}
+}
