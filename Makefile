@@ -1,6 +1,7 @@
 # Development targets. CI (.github/workflows/ci.yml) runs the same
-# sequence — vet, lint, build, test, race, the engine differential
-# under race — plus staticcheck (not vendored here; CI installs it).
+# sequence — vet, lint, build, test, race, the engine and
+# incremental-vs-fresh differentials under race — plus staticcheck
+# (not vendored here; CI installs it).
 
 .PHONY: all vet lint build test race bench bench-large bench-figures fuzz experiments check
 
@@ -30,8 +31,10 @@ race:
 
 # Engine benchmark harness: times both CFS cores (observability off and
 # on) and writes machine-readable BENCH_cfs.json — ns/op, probes
-# issued, proposals recomputed, peak RSS. Override the knobs for a CI
-# smoke run: make bench BENCH_PROFILE=small BENCH_RUNS=1
+# issued, proposals recomputed, peak RSS. Pass -incremental K in
+# BENCH_FLAGS to also time K single-delta ApplyDelta epochs against a
+# fresh re-run (-min-incremental-speedup gates the ratio). Override the
+# knobs for a CI smoke run: make bench BENCH_PROFILE=small BENCH_RUNS=1
 BENCH_PROFILE ?= default
 BENCH_RUNS ?= 3
 BENCH_FLAGS ?=

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"facilitymap/internal/cfs"
+	"facilitymap/internal/delta"
 	"facilitymap/internal/experiments"
 	"facilitymap/internal/obs"
 	"facilitymap/internal/world"
@@ -74,17 +75,29 @@ type engineReport struct {
 }
 
 type report struct {
-	Profile      string         `json:"profile"`
-	Seed         int64          `json:"seed"`
-	Runs         int            `json:"runs"`
-	GoMaxProcs   int            `json:"go_max_procs"`
-	PeakRSSBytes int64          `json:"peak_rss_bytes"`
+	Profile      string `json:"profile"`
+	Seed         int64  `json:"seed"`
+	Runs         int    `json:"runs"`
+	GoMaxProcs   int    `json:"go_max_procs"`
+	PeakRSSBytes int64  `json:"peak_rss_bytes"`
 	// Shards is the -shards setting of the "sharded" entry (0 when the
 	// sharded engine was not benchmarked); ShardSpeedupX is the
 	// unsharded worklist's ns_per_op over the sharded engine's.
 	Shards        int            `json:"shards,omitempty"`
 	ShardSpeedupX float64        `json:"shard_speedup_x,omitempty"`
 	Engines       []engineReport `json:"engines"`
+
+	// The -incremental scenario: mean re-convergence time of one
+	// single-AS facility delta applied to a converged pipeline
+	// (ApplyDelta, surgical repair) against a fresh full run over the
+	// same mutated registry. Kept as top-level fields — the engines list
+	// stays one entry per full-run engine.
+	IncrementalDeltas     int     `json:"incremental_deltas,omitempty"`
+	IncrementalNsPerOp    int64   `json:"incremental_ns_per_op,omitempty"`
+	FreshNsPerOp          int64   `json:"fresh_ns_per_op,omitempty"`
+	IncrementalSpeedupX   float64 `json:"incremental_speedup_x,omitempty"`
+	IncrementalRecomputed int64   `json:"incremental_recomputed_per_op,omitempty"`
+	FreshRecomputed       int64   `json:"fresh_recomputed,omitempty"`
 }
 
 // engineSpec names one benchmark entry: the report label plus the full
@@ -136,6 +149,8 @@ func main() {
 		baseline    = flag.String("baseline", "", "previous report to compare against (read before -out is overwritten)")
 		maxRegress  = flag.Float64("max-regress", 0, "fail when worklist ns_per_op regresses by more than this fraction vs -baseline (0 = no gate)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
+		incremental = flag.Int("incremental", 0, "also benchmark delta re-convergence: apply this many single-AS facility deltas to a converged pipeline (0 = skip)")
+		minIncSpeed = flag.Float64("min-incremental-speedup", 0, "fail when fresh/incremental wall-time ratio falls below this (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -226,6 +241,15 @@ func main() {
 			fmt.Printf("shard speedup (%d shards): %.2fx\n", *shards, rep.ShardSpeedupX)
 		}
 	}
+	if *incremental > 0 {
+		if err := measureIncremental(&rep, wcfg, *seed, *incremental, *runs); err != nil {
+			fmt.Fprintf(os.Stderr, "cfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("incremental %10d ns/op  %12d ns/op(fresh)  %.1fx speedup  %6d recomputed/op  %8d recomputed(fresh)\n",
+			rep.IncrementalNsPerOp, rep.FreshNsPerOp, rep.IncrementalSpeedupX,
+			rep.IncrementalRecomputed, rep.FreshRecomputed)
+	}
 	rep.PeakRSSBytes = peakRSS()
 
 	f, err := os.Create(*out)
@@ -254,12 +278,90 @@ func main() {
 			}
 		}
 	}
+	if *minIncSpeed > 0 {
+		if rep.IncrementalSpeedupX < *minIncSpeed {
+			fmt.Fprintf(os.Stderr, "cfsbench: incremental speedup %.2fx below gate %.2fx\n",
+				rep.IncrementalSpeedupX, *minIncSpeed)
+			os.Exit(1)
+		}
+	}
 	if *maxRegress > 0 && base != nil {
 		if err := checkRegression(base, &rep, *maxRegress); err != nil {
 			fmt.Fprintf(os.Stderr, "cfsbench: %v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// measureIncremental benchmarks the delta path: converge once, then
+// apply k single-AS facility deltas one batch at a time and time each
+// ApplyDelta; the reference is a fresh full run over the same mutated
+// registry. Both numbers average over the -runs fresh environments.
+func measureIncremental(rep *report, wcfg world.Config, seed int64, k, runs int) error {
+	cfg := cfs.DefaultConfig()
+	var incTotal, freshTotal time.Duration
+	var incRecomp, freshRecomp, batches int64
+	for r := 0; r < runs; r++ {
+		env := experiments.NewEnv(wcfg, seed)
+		p, res0 := env.RunCFSPipeline(cfg)
+		if len(res0.Interfaces) == 0 {
+			return fmt.Errorf("incremental: initial run observed no interfaces")
+		}
+		log := singleASDeltas(env, k)
+		if len(log) < k {
+			return fmt.Errorf("incremental: only %d of %d eligible single-AS deltas", len(log), k)
+		}
+		for _, d := range log {
+			t0 := time.Now()
+			res, err := p.ApplyDelta([]delta.Delta{d})
+			if err != nil {
+				return fmt.Errorf("incremental: %w", err)
+			}
+			incTotal += time.Since(t0)
+			for _, h := range res.History {
+				incRecomp += int64(h.Recomputed)
+			}
+			batches++
+		}
+		// The fresh reference sees the same end state: a new environment
+		// whose registry has all k deltas applied up front.
+		env2 := experiments.NewEnv(wcfg, seed)
+		delta.ApplyToDatabase(env2.DB, log)
+		t0 := time.Now()
+		resF := env2.RunCFS(cfg)
+		freshTotal += time.Since(t0)
+		for _, h := range resF.History {
+			freshRecomp += int64(h.Recomputed)
+		}
+	}
+	rep.IncrementalDeltas = k
+	rep.IncrementalNsPerOp = incTotal.Nanoseconds() / batches
+	rep.FreshNsPerOp = freshTotal.Nanoseconds() / int64(runs)
+	rep.IncrementalRecomputed = incRecomp / batches
+	rep.FreshRecomputed = freshRecomp / int64(runs)
+	if rep.IncrementalNsPerOp > 0 {
+		rep.IncrementalSpeedupX = float64(rep.FreshNsPerOp) / float64(rep.IncrementalNsPerOp)
+	}
+	return nil
+}
+
+// singleASDeltas picks up to k deterministic one-AS facility removals:
+// the first facility of each AS holding at least two, in AS order.
+func singleASDeltas(env *experiments.Env, k int) []delta.Delta {
+	var out []delta.Delta
+	for _, as := range env.W.ASes {
+		if len(out) >= k {
+			break
+		}
+		facs := env.DB.FacilitiesOfAS(as.ASN)
+		if len(facs) < 2 {
+			continue
+		}
+		out = append(out, delta.Delta{
+			Kind: delta.ASFacilityRemove, AS: as.ASN, Facility: facs[0],
+		})
+	}
+	return out
 }
 
 // loadReport reads a previously written report.

@@ -57,6 +57,7 @@ import (
 
 	"facilitymap"
 	"facilitymap/internal/cfs"
+	"facilitymap/internal/delta"
 	"facilitymap/internal/ip2asn"
 	"facilitymap/internal/obs"
 	"facilitymap/internal/registry"
@@ -83,6 +84,8 @@ func main() {
 		resil      = flag.Bool("resilience", false, "print the facility-criticality ranking and top outage simulation")
 		why        = flag.String("why", "", "print the evidence behind the inference for one interface address")
 		asJSON     = flag.Bool("json", false, "emit the mapping as JSON instead of tables")
+		deltasFile = flag.String("deltas", "", "replay a JSONL delta log (see worldgen -churn) after the initial convergence")
+		deltaBatch = flag.Int("delta-batch", 25, "deltas applied per epoch when replaying -deltas")
 
 		metrics   = flag.Bool("metrics", false, "print the metric snapshot (probe counts, work counters, phase timings) on stderr after the run")
 		traceLog  = flag.String("trace-log", "", "write the structured event trace (JSONL) to this file")
@@ -144,6 +147,14 @@ func main() {
 
 	m := sys.MapInterconnections()
 	defer flushObservability(o, *metrics, *traceLog)
+	if *deltasFile != "" {
+		var err error
+		m, err = replayDeltas(sys, *deltasFile, *deltaBatch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *asJSON {
 		if *verbose {
 			printHistory(os.Stderr, m.Result().History) // keep stdout valid JSON
@@ -227,6 +238,41 @@ func main() {
 			fmt.Printf("  %-18s %s (%.1f%%)\n", "remote flags", v.RemotePeering, 100*v.RemotePeering.Frac())
 		}
 	}
+}
+
+// replayDeltas streams a JSONL delta log into the live pipeline in
+// fixed-size batches, printing one line per published epoch, and
+// returns the final snapshot.
+func replayDeltas(sys *facilitymap.System, file string, batch int) (*facilitymap.Mapping, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	log, err := delta.DecodeJSONL(f)
+	if err != nil {
+		return nil, err
+	}
+	if batch <= 0 {
+		batch = len(log)
+	}
+	fmt.Printf("\nreplaying %d deltas in batches of %d\n", len(log), batch)
+	fmt.Printf("%-6s %-7s %-9s %-9s %s\n", "EPOCH", "DELTAS", "OBSERVED", "RESOLVED", "FRACTION")
+	m := sys.Current()
+	for lo := 0; lo < len(log); lo += batch {
+		hi := lo + batch
+		if hi > len(log) {
+			hi = len(log)
+		}
+		m, err = sys.Apply(log[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		res := m.Result()
+		fmt.Printf("%-6d %-7d %-9d %-9d %.1f%%\n",
+			m.Epoch(), hi-lo, len(res.Interfaces), res.Resolved(), 100*res.ResolvedFraction())
+	}
+	return m, nil
 }
 
 // flushObservability prints the metric snapshot (stderr, so stdout

@@ -9,6 +9,13 @@
 //	worldgen [-profile small|medium|default|paper|large] [-seed N] [-summary]
 //	worldgen -partition N ...   # also print the N-shard metro partition
 //	worldgen -check dump.json   # validate + summarise an existing dump
+//	worldgen -churn N ...       # emit an N-record delta log instead
+//
+// -churn N emits a reproducible JSONL delta log — facility-list edits,
+// IXP membership changes, BGP sessions coming and going, cross-connects
+// appearing and vanishing — drawn against the generated world. The log
+// replays into a running pipeline via cfsmap -deltas, or onto the world
+// itself with delta.ApplyToWorld (observation-layer records skipped).
 //
 // -partition N splits the world into N metro-keyed shards (the
 // decomposition the sharded CFS engine mirrors) and prints each shard's
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"os"
 
+	"facilitymap/internal/delta"
 	"facilitymap/internal/world"
 )
 
@@ -32,6 +40,7 @@ func main() {
 		summary   = flag.Bool("summary", false, "print counts instead of the full JSON dump")
 		partition = flag.Int("partition", 0, "print the N-shard metro partition (shard sizes, cross-shard load)")
 		check     = flag.String("check", "", "load a dump, validate it and print its summary")
+		churn     = flag.Int("churn", 0, "emit an N-record JSONL delta log for the generated world instead of the dump")
 	)
 	flag.Parse()
 
@@ -70,6 +79,14 @@ func main() {
 	}
 	cfg.Seed = *seed
 	w = world.Generate(cfg)
+
+	if *churn > 0 {
+		log, _ := delta.Churn(w, *churn, *seed)
+		if err := delta.EncodeJSONL(os.Stdout, log); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *summary || *partition > 0 {
 		if *summary {

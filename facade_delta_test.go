@@ -1,0 +1,152 @@
+package facilitymap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"facilitymap/internal/cfs"
+	"facilitymap/internal/delta"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// TestSystemApplyPublishesEpochs drives the snapshot lifecycle through
+// the facade: epoch 0 from the initial convergence, monotonically
+// numbered snapshots from Apply, Current always pointing at the latest,
+// and earlier snapshots staying intact.
+func TestSystemApplyPublishesEpochs(t *testing.T) {
+	sys := smallSystem(t)
+	if sys.Current() != nil {
+		t.Fatal("Current non-nil before any run")
+	}
+	if _, err := sys.Apply(nil); err == nil {
+		t.Fatal("Apply before MapInterconnections accepted")
+	}
+
+	m0 := sys.MapInterconnections()
+	if m0.Epoch() != 0 {
+		t.Fatalf("initial epoch %d, want 0", m0.Epoch())
+	}
+	if sys.Current() != m0 {
+		t.Fatal("Current does not point at the initial mapping")
+	}
+
+	full, _ := delta.Churn(sys.Env.W, 60, 5)
+	var log []delta.Delta
+	for _, d := range full {
+		if d.Kind.WorldExpressible() {
+			log = append(log, d)
+		}
+	}
+	if len(log) == 0 {
+		t.Fatal("churn produced no facility deltas")
+	}
+
+	resolvedBefore := m0.Result().Resolved()
+	m1, err := sys.Apply(log)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if m1.Epoch() != 1 {
+		t.Fatalf("epoch after Apply %d, want 1", m1.Epoch())
+	}
+	if sys.Current() != m1 {
+		t.Fatal("Current not updated by Apply")
+	}
+	// The epoch-0 snapshot is immutable: same object, same contents.
+	if m0.Epoch() != 0 || m0.Result().Resolved() != resolvedBefore {
+		t.Fatal("Apply disturbed the previous snapshot")
+	}
+	// The new snapshot still answers facade queries.
+	infos := m1.Interfaces()
+	if len(infos) == 0 {
+		t.Fatal("post-delta mapping empty")
+	}
+	if _, ok := m1.Lookup(infos[0].IP); !ok {
+		t.Fatal("lookup on post-delta mapping failed")
+	}
+}
+
+// TestWriteJSONStableOrdering pins the wire format: two encodings of
+// one mapping are byte-identical, and the summary keys appear in their
+// documented order so downstream diffs stay clean.
+func TestWriteJSONStableOrdering(t *testing.T) {
+	sys := smallSystem(t)
+	m := sys.MapInterconnections()
+
+	var a, b bytes.Buffer
+	if err := m.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same mapping differ")
+	}
+
+	out := a.String()
+	keys := []string{
+		`"summary"`, `"interfaces"`, `"resolved"`, `"resolved_fraction"`,
+		`"iterations"`, `"routers"`, `"multi_role_routers"`, `"multi_ixp_routers"`,
+		`"far_end_placements"`, `"proximity_placements"`,
+	}
+	pos := -1
+	for _, k := range keys {
+		at := strings.Index(out, k)
+		if at < 0 {
+			t.Fatalf("key %s missing from output", k)
+		}
+		if at < pos {
+			t.Fatalf("key %s out of order", k)
+		}
+		pos = at
+	}
+}
+
+// TestMergeMappingsConflicts merges runs whose overlapping interfaces
+// hold mutually exclusive inferences: the earliest run's answer wins
+// and the disagreement is counted, never silently intersected away.
+func TestMergeMappingsConflicts(t *testing.T) {
+	sys := smallSystem(t)
+	ip := netaddr.IP(0x0a000001)
+	mk := func(fac world.FacilityID) *Mapping {
+		return &Mapping{sys: sys, res: &cfs.Result{
+			Interfaces: map[netaddr.IP]*cfs.InterfaceResult{
+				ip: {
+					IP: ip, Owner: 64500, Resolved: true,
+					Facility: fac, Candidates: []world.FacilityID{fac},
+				},
+			},
+		}}
+	}
+	merged := MergeMappings(mk(1), mk(2))
+	if merged == nil {
+		t.Fatal("merge returned nil")
+	}
+	res := merged.Result()
+	if res.MergeConflicts != 1 {
+		t.Fatalf("MergeConflicts = %d, want 1", res.MergeConflicts)
+	}
+	ir := res.Interfaces[ip]
+	if ir == nil || !ir.Resolved || ir.Facility != 1 {
+		t.Fatalf("conflict did not keep the earliest answer: %+v", ir)
+	}
+
+	// A genuine overlap still intersects: {1,2} x {2,3} -> {2}.
+	mkSet := func(c ...world.FacilityID) *Mapping {
+		return &Mapping{sys: sys, res: &cfs.Result{
+			Interfaces: map[netaddr.IP]*cfs.InterfaceResult{
+				ip: {IP: ip, Owner: 64500, Candidates: c},
+			},
+		}}
+	}
+	ok := MergeMappings(mkSet(1, 2), mkSet(2, 3)).Result()
+	if ok.MergeConflicts != 0 {
+		t.Fatalf("clean overlap counted as conflict")
+	}
+	if ir := ok.Interfaces[ip]; !ir.Resolved || ir.Facility != 2 {
+		t.Fatalf("overlap did not collapse to the shared facility: %+v", ir)
+	}
+}

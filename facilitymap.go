@@ -25,8 +25,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"facilitymap/internal/cfs"
+	"facilitymap/internal/delta"
 	"facilitymap/internal/experiments"
 	"facilitymap/internal/netaddr"
 	"facilitymap/internal/stats"
@@ -74,11 +77,22 @@ func DefaultConfig() Config {
 }
 
 // System is a fully wired synthetic Internet plus measurement stack.
+//
+// After MapInterconnections, the System retains the live pipeline and
+// the latest versioned snapshot: Apply folds registry or observation
+// deltas in and re-converges incrementally, Current returns the most
+// recently published mapping. Apply calls are serialized internally;
+// Current is safe from any goroutine and always sees a complete,
+// immutable snapshot.
 type System struct {
 	// Env exposes the underlying environment for advanced use (the
 	// experiment harnesses, the raw world, the measurement service).
 	Env *experiments.Env
 	cfg Config
+
+	mu   sync.Mutex // serializes MapInterconnections / Apply
+	pipe *cfs.Pipeline
+	cur  atomic.Pointer[Mapping]
 }
 
 // NewSystem generates the world and deploys the measurement platforms.
@@ -126,9 +140,42 @@ func (s *System) MapInterconnections() *Mapping {
 	}
 	c.Shards = s.cfg.Shards
 	c.TraceProvenance = s.cfg.Explain
-	res := s.Env.RunCFS(c)
-	return &Mapping{sys: s, res: res}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pipe, res := s.Env.RunCFSPipeline(c)
+	m := &Mapping{sys: s, res: res}
+	s.pipe = pipe
+	s.cur.Store(m)
+	return m
 }
+
+// Apply folds a batch of deltas — facility-list edits, IXP membership
+// changes, BGP sessions coming or going, cross-connects appearing or
+// vanishing — into the system's view and re-converges incrementally,
+// publishing and returning the next epoch's snapshot. The result is
+// bit-for-bit the mapping a fresh run over the mutated inputs would
+// produce (see the cfs package's differential tests for the exact
+// regime). Requires a prior MapInterconnections and an incremental
+// engine (the default).
+func (s *System) Apply(log []delta.Delta) (*Mapping, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pipe == nil {
+		return nil, fmt.Errorf("facilitymap: Apply before MapInterconnections")
+	}
+	res, err := s.pipe.ApplyDelta(log)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapping{sys: s, res: res}
+	s.cur.Store(m)
+	return m, nil
+}
+
+// Current returns the most recently published mapping snapshot, or nil
+// before the first MapInterconnections. Snapshots are immutable; a
+// concurrent Apply publishes a new one rather than mutating this one.
+func (s *System) Current() *Mapping { return s.cur.Load() }
 
 // Mapping is the outcome of one CFS run.
 type Mapping struct {
@@ -138,6 +185,10 @@ type Mapping struct {
 
 // Result exposes the raw CFS result for advanced consumers.
 func (m *Mapping) Result() *cfs.Result { return m.res }
+
+// Epoch is the snapshot's version number: 0 for the initial
+// convergence, incremented by every Apply.
+func (m *Mapping) Epoch() int { return m.res.Epoch }
 
 // InterfaceInfo is the human-readable inference for one interface.
 type InterfaceInfo struct {

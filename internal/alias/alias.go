@@ -24,8 +24,9 @@ import (
 // clock that advances with every probe, so counter velocities are
 // observable.
 type Prober struct {
-	w   *world.World
-	rng *rand.Rand
+	w    *world.World
+	rng  *rand.Rand
+	seed int64
 
 	clock   float64 // seconds since start
 	state   map[world.RouterID]*counterState
@@ -44,10 +45,27 @@ func NewProber(w *world.World, seed int64) *Prober {
 	p := &Prober{
 		w:       w,
 		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 		state:   make(map[world.RouterID]*counterState),
 		perTick: 0.005, // 5ms between probes
 	}
 	return p
+}
+
+// ResetStream rewinds the prober's measurement stream to its initial
+// state: the RNG back to the construction seed, the simulated clock to
+// zero, and all per-router counter state forgotten. The cumulative
+// Probes ledger is deliberately kept — it counts probes actually
+// issued, across stream generations.
+//
+// The incremental pipeline calls this at the start of a re-ingestion
+// epoch so that replaying a retained observation corpus sees exactly
+// the probe responses a fresh prober at the same seed would produce,
+// which is what the delta-vs-fresh bit-for-bit guarantee rests on.
+func (p *Prober) ResetStream() {
+	p.rng = rand.New(rand.NewSource(p.seed))
+	p.clock = 0
+	p.state = make(map[world.RouterID]*counterState)
 }
 
 func (p *Prober) counter(r world.RouterID) *counterState {

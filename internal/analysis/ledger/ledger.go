@@ -3,7 +3,10 @@
 // counter incremented once up front and again per attempt — which
 // silently skewed every per-probe cost figure the evaluation reports.
 // The fix concentrated all accounting in one place; this pass keeps it
-// there.
+// there. internal/delta is in scope too: delta replay must never grow
+// its own probe counters — a ledger field or an unbooked draw appearing
+// there would fork the accounting the moment incremental re-convergence
+// issues follow-up measurements.
 //
 // The invariants, stated over the names the package actually uses:
 //
@@ -40,7 +43,7 @@ var Analyzer = &framework.Analyzer{
 	Doc: "probe accounting flows through probeLedger alone: no outside access to " +
 		"probeCount/rngSeq, every RNG draw is booked, and booking happens exactly " +
 		"once per measurement function, never in a loop",
-	Packages: []string{"internal/trace"},
+	Packages: []string{"internal/trace", "internal/delta"},
 	Run:      run,
 }
 

@@ -1,6 +1,7 @@
 // Package noclock forbids ambient nondeterminism sources inside the
-// engine packages (internal/cfs, internal/trace): wall-clock reads
-// (time.Now, time.Since, time.Sleep) and anything from math/rand.
+// engine packages (internal/cfs, internal/trace, internal/delta):
+// wall-clock reads (time.Now, time.Since, time.Sleep) and anything
+// from math/rand.
 //
 // The sanctioned sources, established by PRs 3–4, are:
 //
@@ -11,7 +12,10 @@
 //   - the seeded mrand stream in internal/trace/fastrng.go, which
 //     reproduces math/rand's sequence bit-for-bit from the engine's
 //     probe-derived seeds (the file carries a //cfslint:file-ignore —
-//     it is the wrapper whose existence lets everything else abstain).
+//     it is the wrapper whose existence lets everything else abstain);
+//   - the embedded splitmix64 stream in internal/delta/rng.go — churn
+//     logs are a pure function of (world, n, seed), so the generator
+//     carries its own counter-mode RNG and never touches math/rand.
 //
 // A stray time.Now in an engine loop or a rand.New(rand.NewSource(..))
 // beside the sanctioned stream would silently decouple runs from their
@@ -31,7 +35,7 @@ var Analyzer = &framework.Analyzer{
 	Name: "noclock",
 	Doc: "forbid time.Now/time.Since/time.Sleep and all of math/rand in engine " +
 		"packages; the injected clock and the fastrng stream are the only sanctioned sources",
-	Packages: []string{"internal/cfs", "internal/trace"},
+	Packages: []string{"internal/cfs", "internal/trace", "internal/delta"},
 	Run:      run,
 }
 

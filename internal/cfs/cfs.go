@@ -168,6 +168,17 @@ type Pipeline struct {
 	// is the only clock in the package and never influences an
 	// inference; injectable so tests can pin it.
 	now func() time.Time
+
+	// Incremental-convergence state, populated by the first run and
+	// consumed by ApplyDelta: the converged engine state and the engine
+	// over it, the retained observation corpus (initial paths and
+	// sessions plus every targeted follow-up path, as a plain corpus),
+	// and the snapshot epoch counter. epoch 0 is the initial run; each
+	// ApplyDelta publishes epoch+1.
+	st    *state
+	eng   engine
+	obsIn Observations
+	epoch int
 }
 
 // pipelineMetrics are the CFS loop's observability handles, resolved
@@ -183,6 +194,12 @@ type pipelineMetrics struct {
 	conflicts   *obs.Gauge   // cfs.conflicts
 	resolved    *obs.Gauge   // cfs.resolved
 	observed    *obs.Gauge   // cfs.observed
+
+	// Delta-ingestion observability: deltas folded in, adjacencies
+	// re-dirtied per epoch, and the published snapshot version.
+	deltasApplied *obs.Counter // cfs.delta.applied
+	deltaRedirty  *obs.Counter // cfs.delta.redirtied
+	snapshotVer   *obs.Gauge   // cfs.snapshot.version
 
 	phaseAliasResolve *obs.Histogram // cfs.phase.alias_resolve
 	phaseConstraint   *obs.Histogram // cfs.phase.constraint
@@ -213,6 +230,9 @@ func resolveMetrics(o *obs.Obs) pipelineMetrics {
 		conflicts:         o.Gauge("cfs.conflicts"),
 		resolved:          o.Gauge("cfs.resolved"),
 		observed:          o.Gauge("cfs.observed"),
+		deltasApplied:     o.Counter("cfs.delta.applied"),
+		deltaRedirty:      o.Counter("cfs.delta.redirtied"),
+		snapshotVer:       o.Gauge("cfs.snapshot.version"),
 		phaseAliasResolve: o.Histogram("cfs.phase.alias_resolve"),
 		phaseConstraint:   o.Histogram("cfs.phase.constraint"),
 		phaseAlias:        o.Histogram("cfs.phase.alias"),
@@ -357,11 +377,18 @@ type IterationStats struct {
 	WallTime time.Duration
 }
 
-// Result is the full outcome of one CFS run.
+// Result is the full outcome of one CFS convergence. Results are
+// immutable snapshots: assemble deep-copies everything the live engine
+// state can still mutate, so a Result stays valid — and safe to serve
+// concurrently — while later ApplyDelta epochs re-converge.
 type Result struct {
 	Interfaces map[netaddr.IP]*InterfaceResult
 	Links      []*Adjacency
 	History    []IterationStats
+
+	// Epoch is the snapshot version: 0 for the initial run, then one
+	// per ApplyDelta. History covers only this epoch's convergence.
+	Epoch int
 
 	// aliasSetOf maps an address to its alias-set ID (router identity)
 	// for the census; nil when alias resolution was disabled.

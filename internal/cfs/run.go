@@ -70,7 +70,27 @@ func (p *Pipeline) run(in Observations) *Result {
 	for _, s := range in.Sessions {
 		st.processSession(s)
 	}
+	st.captureProvBase()
 
+	// Retain the converged state, engine and corpus for ApplyDelta.
+	// The corpus copy grows with every targeted follow-up path, so a
+	// re-ingestion epoch can replay exactly what this run consumed.
+	p.st, p.eng, p.epoch = st, eng, 0
+	p.obsIn = Observations{
+		Paths:    append([]trace.Path(nil), in.Paths...),
+		Sessions: append([]SessionObservation(nil), in.Sessions...),
+	}
+
+	history := p.converge(st, eng, p.cfg.UseTargeted)
+	return p.finish(st, history)
+}
+
+// converge drives the CFS iteration loop to its fixed point and
+// returns the convergence curve. Targeted follow-ups are suppressed on
+// re-ingestion epochs (the retained corpus already contains the
+// follow-up paths of the original run; re-measuring them would fork
+// the probe stream from the fresh-run equivalent).
+func (p *Pipeline) converge(st *state, eng engine, useTargeted bool) []IterationStats {
 	aliasAt := make(map[int]bool, len(p.cfg.AliasRounds))
 	for _, r := range p.cfg.AliasRounds {
 		aliasAt[r] = true
@@ -120,7 +140,7 @@ func (p *Pipeline) run(in Observations) *Result {
 
 		followUps, newAdjs := 0, 0
 		followStart := p.now()
-		if p.cfg.UseTargeted && p.svc != nil && iter < p.cfg.MaxIterations {
+		if useTargeted && p.svc != nil && iter < p.cfg.MaxIterations {
 			followUps, newAdjs = st.targetedRound(iter)
 		}
 		followEnd := p.now()
@@ -163,11 +183,20 @@ func (p *Pipeline) run(in Observations) *Result {
 			break // fixed point: nothing more to learn
 		}
 	}
+	return history
+}
+
+// finish assembles the immutable snapshot for the current epoch: the
+// deep-copied Result plus the two second-class post-passes (§4.3
+// far-end, §4.4 proximity), both pure functions of converged state.
+func (p *Pipeline) finish(st *state, history []IterationStats) *Result {
 	res := st.assemble(history)
 	p.applyFarEnd(st, res)
 	if p.cfg.UseProximity {
 		p.applyProximity(st, res)
 	}
+	res.Epoch = p.epoch
+	p.m.snapshotVer.Set(int64(p.epoch))
 	return res
 }
 
@@ -347,6 +376,7 @@ func (st *state) targetedRound(iter int) (followUps, newAdjs int) {
 				}
 				if cfg.MDAFlows > 1 {
 					for _, path := range st.p.svc.MDAFrom(vp, dst, cfg.MDAFlows) {
+						st.p.obsIn.Paths = append(st.p.obsIn.Paths, path)
 						newAdjs += st.processPath(path)
 					}
 					followUps += cfg.MDAFlows
@@ -356,6 +386,7 @@ func (st *state) targetedRound(iter int) (followUps, newAdjs int) {
 				path := st.p.svc.TracerouteFrom(vp, dst)
 				followUps++
 				budget--
+				st.p.obsIn.Paths = append(st.p.obsIn.Paths, path)
 				newAdjs += st.processPath(path)
 			}
 			used := st.usedTargets[ip]
@@ -509,10 +540,24 @@ func (st *state) assemble(history []IterationStats) *Result {
 		}
 		res.Interfaces[ip] = ir
 	}
-	res.Links = st.adjOrder
+	// The snapshot must outlive the live state: later delta epochs
+	// mutate adjacencies in place and append provenance, so both are
+	// deep-copied here. aliasSetOf captures the current Sets object,
+	// which is immutable — re-resolution replaces the pointer.
+	res.Links = make([]*Adjacency, len(st.adjOrder))
+	for i, a := range st.adjOrder {
+		cp := *a
+		res.Links[i] = &cp
+	}
 	if st.sets != nil {
 		res.aliasSetOf = st.sets.SetID
 	}
-	res.Provenance = st.prov
+	if st.prov != nil {
+		res.Provenance = make(map[netaddr.IP][]string, len(st.prov))
+		//cfslint:ordered per-key deep copy into a fresh map: each note slice is copied independently, so iteration order cannot reach the result
+		for ip, notes := range st.prov {
+			res.Provenance[ip] = append([]string(nil), notes...)
+		}
+	}
 	return res
 }

@@ -71,6 +71,24 @@ type state struct {
 
 	// prov records constraint provenance per IP when tracing is on.
 	prov map[netaddr.IP][]string
+	// provBase is, per IP, the length of prov right after ingestion —
+	// the pinned-owner prefix that survives a surgical delta reset
+	// (everything after it is re-derived narrowing history).
+	provBase map[netaddr.IP]int
+}
+
+// captureProvBase snapshots the post-ingestion provenance lengths.
+// Run calls it once, after paths and sessions folded in and before
+// iteration 1: the only provenance written by ingestion is the pin
+// entries, and those are exactly what a delta reset must keep.
+func (st *state) captureProvBase() {
+	if st.prov == nil {
+		return
+	}
+	st.provBase = make(map[netaddr.IP]int, len(st.prov))
+	for ip, notes := range st.prov {
+		st.provBase[ip] = len(notes)
+	}
 }
 
 func (p *Pipeline) newState() *state {

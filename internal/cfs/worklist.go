@@ -63,6 +63,14 @@ type worklist struct {
 	dirtySets map[int]bool // Sets.All indices to re-intersect
 	setOf     map[netaddr.IP]int
 
+	// pristine is parallel to adjOrder: a value copy of every
+	// adjacency as registered, before any constraint pass mutated its
+	// Type/owner fields. A surgical delta epoch restores re-dirtied
+	// adjacencies from here so a stale classification (say PublicRemote
+	// from the old facility lists) cannot survive into the new fixed
+	// point when neither classify branch fires under the new lists.
+	pristine []Adjacency
+
 	// applyingSet suppresses self-re-enqueueing: while an alias set's
 	// own intersection is being applied to its members, their narrowing
 	// must not re-dirty the set (it is at its fixed point afterwards).
@@ -112,6 +120,7 @@ func (w *worklist) register() {
 	st := w.st
 	for idx := w.indexed; idx < len(st.adjOrder); idx++ {
 		a := st.adjOrder[idx]
+		w.pristine = append(w.pristine, *a)
 		w.dirtyAdj[idx] = true
 		w.dep(a.Near, idx)
 		if a.Public {

@@ -1,0 +1,105 @@
+package delta
+
+import (
+	"fmt"
+
+	"facilitymap/internal/registry"
+	"facilitymap/internal/world"
+)
+
+// ApplyToWorld replays the world-expressible deltas of log onto w in
+// place — facility-list changes only; observation-layer kinds are
+// skipped — and rebuilds the world's indexes. Applying the log Churn
+// produced to a clone of Churn's input yields a world byte-identical
+// to the one Churn returned: both paths run the same applyWorld.
+func ApplyToWorld(w *world.World, log []Delta) error {
+	for i, d := range log {
+		if !d.Kind.WorldExpressible() {
+			continue
+		}
+		if err := applyWorld(w, d); err != nil {
+			return fmt.Errorf("delta: record %d: %w", i, err)
+		}
+	}
+	w.Finalize()
+	return nil
+}
+
+// applyWorld mutates ground truth for one facility-list delta. Adds
+// append (if absent), removes filter; list order is therefore a pure
+// function of the initial world and the log, which is what the
+// byte-equality ground-truth guarantee rests on.
+func applyWorld(w *world.World, d Delta) error {
+	switch d.Kind {
+	case ASFacilityAdd, ASFacilityRemove:
+		as := w.ASByNumber(d.AS)
+		if as == nil {
+			return fmt.Errorf("%s: unknown AS%d", d.Kind, d.AS)
+		}
+		if int(d.Facility) < 0 || int(d.Facility) >= len(w.Facilities) {
+			return fmt.Errorf("%s: unknown facility %d", d.Kind, d.Facility)
+		}
+		if d.Kind == ASFacilityAdd {
+			as.Facilities = appendFacility(as.Facilities, d.Facility)
+		} else {
+			as.Facilities = filterFacility(as.Facilities, d.Facility)
+		}
+	case IXPFacilityAdd, IXPFacilityRemove:
+		if int(d.IXP) < 0 || int(d.IXP) >= len(w.IXPs) {
+			return fmt.Errorf("%s: unknown IXP%d", d.Kind, d.IXP)
+		}
+		if int(d.Facility) < 0 || int(d.Facility) >= len(w.Facilities) {
+			return fmt.Errorf("%s: unknown facility %d", d.Kind, d.Facility)
+		}
+		ix := w.IXPs[d.IXP]
+		if d.Kind == IXPFacilityAdd {
+			ix.Facilities = appendFacility(ix.Facilities, d.Facility)
+		} else {
+			ix.Facilities = filterFacility(ix.Facilities, d.Facility)
+		}
+	}
+	return nil
+}
+
+func appendFacility(s []world.FacilityID, f world.FacilityID) []world.FacilityID {
+	for _, x := range s {
+		if x == f {
+			return s
+		}
+	}
+	return append(s, f)
+}
+
+func filterFacility(s []world.FacilityID, f world.FacilityID) []world.FacilityID {
+	for i, x := range s {
+		if x == f {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// ApplyToDatabase replays the registry-view deltas of log onto db in
+// place: facility-list and membership kinds. Session and cross-connect
+// kinds mutate the observation corpus, not the registry, and are
+// applied by cfs.Pipeline.ApplyDelta; they are skipped here. Mutating
+// a database other pipelines still read is on the caller — clone with
+// registry's Clone first when in doubt.
+func ApplyToDatabase(db *registry.Database, log []Delta) {
+	for _, d := range log {
+		switch d.Kind {
+		case ASFacilityAdd:
+			db.AddASFacility(d.AS, d.Facility)
+		case ASFacilityRemove:
+			db.RemoveASFacility(d.AS, d.Facility)
+		case IXPFacilityAdd:
+			db.AddIXPFacility(d.IXP, d.Facility)
+		case IXPFacilityRemove:
+			db.RemoveIXPFacility(d.IXP, d.Facility)
+		case MemberAdd:
+			db.AddMember(d.IXP, d.AS, d.Port)
+		case MemberRemove:
+			db.RemoveMember(d.IXP, d.AS, d.Port)
+		}
+	}
+}

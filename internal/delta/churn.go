@@ -1,0 +1,274 @@
+package delta
+
+import (
+	"facilitymap/internal/world"
+)
+
+// Churn generates n deltas valid against w and returns the log plus
+// the post-churn world. The input world is not touched: churn clones
+// it and evolves the clone, so each delta is generated against the
+// state left by the ones before it. World-expressible kinds are
+// applied to the clone through the same applyWorld that ApplyToWorld
+// runs, which makes the ground-truth property checkable by
+// construction:
+//
+//	log, after := Churn(w, n, seed)
+//	ApplyToWorld(world.Clone(w), log)  ≡  after   (byte-identical JSON)
+//
+// Observation-layer kinds (membership, session, cross-connect) never
+// mutate ground truth; they reference real memberships, ports and
+// private links of the evolving world so a replay into the pipeline
+// stays plausible. Generation is a pure function of (w, n, seed).
+func Churn(w *world.World, n int, seed int64) ([]Delta, *world.World) {
+	out := world.Clone(w)
+	r := newRNG(seed)
+	g := &churner{w: out, r: r, removedMember: make(map[int]bool)}
+
+	log := make([]Delta, 0, n)
+	for len(log) < n {
+		d, ok := g.next()
+		if !ok {
+			break // degenerate world: nothing left to churn
+		}
+		if d.Kind.WorldExpressible() {
+			// Cannot fail: the generator only proposes in-range refs.
+			if err := applyWorld(out, d); err != nil {
+				panic("delta: churn generated invalid delta: " + err.Error())
+			}
+		}
+		log = append(log, d)
+	}
+	out.Finalize()
+	return log, out
+}
+
+type churner struct {
+	w *world.World
+	r *splitmix64
+
+	// removedMember tracks membership rows a MemberRemove has already
+	// retired (by index into w.Memberships) so removals are not
+	// duplicated; removedStack feeds MemberAdd reversals.
+	removedMember map[int]bool
+	removedStack  []Delta
+}
+
+// next rolls a kind and tries to generate a valid record, retrying
+// across kinds a bounded number of times so a world that cannot
+// support one kind still produces the others.
+func (g *churner) next() (Delta, bool) {
+	for attempt := 0; attempt < 64; attempt++ {
+		var d Delta
+		var ok bool
+		switch g.r.intn(10) {
+		case 0, 1:
+			d, ok = g.asFacilityAdd()
+		case 2, 3:
+			d, ok = g.asFacilityRemove()
+		case 4:
+			d, ok = g.ixpFacilityAdd()
+		case 5:
+			d, ok = g.ixpFacilityRemove()
+		case 6:
+			d, ok = g.memberRemove()
+		case 7:
+			d, ok = g.memberAdd()
+		case 8:
+			if g.r.intn(2) == 0 {
+				d, ok = g.sessionUp()
+			} else {
+				d, ok = g.sessionDown()
+			}
+		default:
+			if g.r.intn(2) == 0 {
+				d, ok = g.crossConnect(CrossConnectAdd)
+			} else {
+				d, ok = g.crossConnect(CrossConnectRemove)
+			}
+		}
+		if ok {
+			return d, true
+		}
+	}
+	return Delta{}, false
+}
+
+func (g *churner) asFacilityAdd() (Delta, bool) {
+	w := g.w
+	if len(w.ASes) == 0 || len(w.Facilities) == 0 {
+		return Delta{}, false
+	}
+	as := w.ASes[g.r.intn(len(w.ASes))]
+	fac := world.FacilityID(g.r.intn(len(w.Facilities)))
+	for _, f := range as.Facilities {
+		if f == fac {
+			return Delta{}, false
+		}
+	}
+	return Delta{Kind: ASFacilityAdd, AS: as.ASN, Facility: fac}, true
+}
+
+// asFacilityRemove prefers facilities hosting none of the AS's routers
+// — the clean "tenancy ended" case. An AS whose every listed facility
+// hosts a router makes this roll fail and another kind is tried.
+func (g *churner) asFacilityRemove() (Delta, bool) {
+	w := g.w
+	if len(w.ASes) == 0 {
+		return Delta{}, false
+	}
+	as := w.ASes[g.r.intn(len(w.ASes))]
+	if len(as.Facilities) == 0 {
+		return Delta{}, false
+	}
+	fac := as.Facilities[g.r.intn(len(as.Facilities))]
+	for _, rid := range as.Routers {
+		if w.Routers[rid].Facility == fac {
+			return Delta{}, false
+		}
+	}
+	return Delta{Kind: ASFacilityRemove, AS: as.ASN, Facility: fac}, true
+}
+
+// ixpFacilityAdd extends the fabric to a same-metro facility the IXP
+// does not list yet.
+func (g *churner) ixpFacilityAdd() (Delta, bool) {
+	w := g.w
+	if len(w.IXPs) == 0 {
+		return Delta{}, false
+	}
+	ix := w.IXPs[g.r.intn(len(w.IXPs))]
+	if ix.Inactive {
+		return Delta{}, false
+	}
+	var cands []world.FacilityID
+	for _, f := range w.Facilities {
+		if f.Metro != ix.Metro {
+			continue
+		}
+		listed := false
+		for _, have := range ix.Facilities {
+			if have == f.ID {
+				listed = true
+				break
+			}
+		}
+		if !listed {
+			cands = append(cands, f.ID)
+		}
+	}
+	if len(cands) == 0 {
+		return Delta{}, false
+	}
+	return Delta{Kind: IXPFacilityAdd, IXP: ix.ID, Facility: cands[g.r.intn(len(cands))]}, true
+}
+
+// ixpFacilityRemove retires the fabric's presence at one facility,
+// keeping the list non-empty. Switch rows for the site linger in
+// ground truth like any decommissioned-hardware record would.
+func (g *churner) ixpFacilityRemove() (Delta, bool) {
+	w := g.w
+	if len(w.IXPs) == 0 {
+		return Delta{}, false
+	}
+	ix := w.IXPs[g.r.intn(len(w.IXPs))]
+	if ix.Inactive || len(ix.Facilities) < 2 {
+		return Delta{}, false
+	}
+	fac := ix.Facilities[g.r.intn(len(ix.Facilities))]
+	return Delta{Kind: IXPFacilityRemove, IXP: ix.ID, Facility: fac}, true
+}
+
+func (g *churner) memberRemove() (Delta, bool) {
+	w := g.w
+	if len(w.Memberships) == 0 {
+		return Delta{}, false
+	}
+	i := g.r.intn(len(w.Memberships))
+	if g.removedMember[i] {
+		return Delta{}, false
+	}
+	m := w.Memberships[i]
+	d := Delta{
+		Kind: MemberRemove,
+		IXP:  m.IXP,
+		AS:   m.AS,
+		Port: w.Interfaces[m.Port].IP,
+	}
+	g.removedMember[i] = true
+	g.removedStack = append(g.removedStack, d)
+	return d, true
+}
+
+// memberAdd reverses the most recent un-reversed MemberRemove: the
+// only membership "add" expressible without inventing ports.
+func (g *churner) memberAdd() (Delta, bool) {
+	if len(g.removedStack) == 0 {
+		return Delta{}, false
+	}
+	d := g.removedStack[len(g.removedStack)-1]
+	g.removedStack = g.removedStack[:len(g.removedStack)-1]
+	for i := range g.removedMember {
+		m := g.w.Memberships[i]
+		if m.IXP == d.IXP && m.AS == d.AS && g.w.Interfaces[m.Port].IP == d.Port {
+			delete(g.removedMember, i)
+			break
+		}
+	}
+	d.Kind = MemberAdd
+	return d, true
+}
+
+// sessionUp synthesises a looking-glass row: one member of an IXP
+// listing its BGP session to another member across the shared LAN.
+func (g *churner) sessionUp() (Delta, bool) {
+	w := g.w
+	if len(w.IXPs) == 0 {
+		return Delta{}, false
+	}
+	ix := w.IXPs[g.r.intn(len(w.IXPs))]
+	members := w.MembersOf(ix.ID)
+	if ix.Inactive || len(members) < 2 {
+		return Delta{}, false
+	}
+	peer := members[g.r.intn(len(members))]
+	local := members[g.r.intn(len(members))]
+	if local.AS == peer.AS {
+		return Delta{}, false
+	}
+	return Delta{
+		Kind:    SessionUp,
+		LGAS:    local.AS,
+		LocalIP: w.Interfaces[local.Port].IP,
+		PeerIP:  w.Interfaces[peer.Port].IP,
+		PeerAS:  peer.AS,
+	}, true
+}
+
+func (g *churner) sessionDown() (Delta, bool) {
+	w := g.w
+	if len(w.Memberships) == 0 {
+		return Delta{}, false
+	}
+	m := w.Memberships[g.r.intn(len(w.Memberships))]
+	return Delta{Kind: SessionDown, PeerIP: w.Interfaces[m.Port].IP, PeerAS: m.AS}, true
+}
+
+// crossConnect picks a real private link and emits its two interface
+// addresses: an add is a fresh two-hop observation over the connect, a
+// remove retracts any such synthetic observation.
+func (g *churner) crossConnect(kind Kind) (Delta, bool) {
+	w := g.w
+	if len(w.Links) == 0 {
+		return Delta{}, false
+	}
+	l := w.Links[g.r.intn(len(w.Links))]
+	if !l.IsPrivate() {
+		return Delta{}, false
+	}
+	return Delta{
+		Kind:   kind,
+		NearIP: w.Interfaces[l.AIface].IP,
+		FarIP:  w.Interfaces[l.BIface].IP,
+		Router: l.A,
+	}, true
+}

@@ -1,0 +1,234 @@
+package delta
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"facilitymap/internal/registry"
+	"facilitymap/internal/world"
+)
+
+func encode(t *testing.T, w *world.World) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := w.EncodeJSON(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestChurnGroundTruth is the delta log's defining property: replaying
+// the log onto a clone of the pre-churn world reproduces the post-churn
+// world byte for byte.
+func TestChurnGroundTruth(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  world.Config
+		n    int
+	}{
+		{"small", world.Small(), 150},
+		{"medium", world.Medium(), 300},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := world.Generate(tc.cfg)
+			before := encode(t, w)
+
+			log, after := Churn(w, tc.n, 99)
+			if len(log) != tc.n {
+				t.Fatalf("churn produced %d deltas, want %d", len(log), tc.n)
+			}
+
+			// The input world must be untouched.
+			if !bytes.Equal(before, encode(t, w)) {
+				t.Fatal("Churn mutated its input world")
+			}
+
+			replayed := world.Clone(w)
+			if err := ApplyToWorld(replayed, log); err != nil {
+				t.Fatalf("ApplyToWorld: %v", err)
+			}
+			if !bytes.Equal(encode(t, replayed), encode(t, after)) {
+				t.Fatal("replayed world differs from churned world")
+			}
+		})
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	w := world.Generate(world.Small())
+	a, _ := Churn(w, 100, 7)
+	b, _ := Churn(w, 100, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (world, n, seed) produced different logs")
+	}
+	c, _ := Churn(w, 100, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical logs")
+	}
+}
+
+func TestChurnCoversKinds(t *testing.T) {
+	w := world.Generate(world.Small())
+	log, _ := Churn(w, 400, 3)
+	seen := map[Kind]int{}
+	for _, d := range log {
+		if !d.Kind.Valid() {
+			t.Fatalf("invalid kind %q", d.Kind)
+		}
+		seen[d.Kind]++
+	}
+	for _, k := range []Kind{
+		ASFacilityAdd, ASFacilityRemove, IXPFacilityAdd, IXPFacilityRemove,
+		MemberRemove, SessionUp, SessionDown, CrossConnectAdd,
+	} {
+		if seen[k] == 0 {
+			t.Errorf("400-record churn never produced %s (mix: %v)", k, seen)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	w := world.Generate(world.Small())
+	log, _ := Churn(w, 200, 12)
+
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, log); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(log, got) {
+		t.Fatalf("round trip mismatch: %d in, %d out", len(log), len(got))
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	_, err := DecodeJSONL(bytes.NewBufferString(`{"kind":"frobnicate"}` + "\n"))
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestApplyToDatabase exercises the registry mutators through delta
+// replay: adds and removes must be exact inverses on the association
+// lists the pipeline reads.
+func TestApplyToDatabase(t *testing.T) {
+	w := world.Generate(world.Small())
+	db := registry.Collect(w, registry.DefaultConfig())
+	db2 := db.Clone()
+
+	// Find an AS with a facility recorded and a facility it lacks.
+	var asn world.ASN
+	var have, lack world.FacilityID = -1, -1
+	for _, as := range w.ASes {
+		facs := db.FacilitiesOfAS(as.ASN)
+		if len(facs) == 0 {
+			continue
+		}
+		present := map[world.FacilityID]bool{}
+		for _, f := range facs {
+			present[f] = true
+		}
+		for _, f := range w.Facilities {
+			if !present[f.ID] {
+				asn, have, lack = as.ASN, facs[0], f.ID
+				break
+			}
+		}
+		if lack >= 0 {
+			break
+		}
+	}
+	if lack < 0 {
+		t.Skip("no AS with both a recorded and a missing facility")
+	}
+
+	before := append([]world.FacilityID(nil), db2.FacilitiesOfAS(asn)...)
+	ApplyToDatabase(db2, []Delta{
+		{Kind: ASFacilityAdd, AS: asn, Facility: lack},
+		{Kind: ASFacilityRemove, AS: asn, Facility: have},
+	})
+	after := db2.FacilitiesOfAS(asn)
+	if reflect.DeepEqual(before, after) {
+		t.Fatal("deltas had no effect")
+	}
+	found := false
+	for i := 1; i < len(after); i++ {
+		if after[i] < after[i-1] {
+			t.Fatalf("facility list not ascending after mutation: %v", after)
+		}
+	}
+	for _, f := range after {
+		if f == have {
+			t.Fatalf("removed facility %d still present", have)
+		}
+		if f == lack {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("added facility %d missing", lack)
+	}
+
+	// Reverse the pair: back to the starting list.
+	ApplyToDatabase(db2, []Delta{
+		{Kind: ASFacilityRemove, AS: asn, Facility: lack},
+		{Kind: ASFacilityAdd, AS: asn, Facility: have},
+	})
+	if !reflect.DeepEqual(before, db2.FacilitiesOfAS(asn)) {
+		t.Fatalf("add/remove not inverse: %v vs %v", before, db2.FacilitiesOfAS(asn))
+	}
+
+	// The clone's mutations never leak into the original.
+	if !reflect.DeepEqual(db.FacilitiesOfAS(asn), before) {
+		t.Fatal("mutating the clone changed the original database")
+	}
+}
+
+func TestMemberDeltasOnDatabase(t *testing.T) {
+	w := world.Generate(world.Small())
+	db := registry.Collect(w, registry.DefaultConfig())
+
+	// Pick a membership the registry actually recorded.
+	var pick Delta
+	for _, m := range w.Memberships {
+		rec := db.IXPs[m.IXP]
+		if rec == nil {
+			continue
+		}
+		port := w.Interfaces[m.Port].IP
+		if owner, ok := db.PortOwner(port); ok && owner == m.AS {
+			pick = Delta{Kind: MemberRemove, IXP: m.IXP, AS: m.AS, Port: port}
+			break
+		}
+	}
+	if pick.Kind == "" {
+		t.Skip("no recorded membership to churn")
+	}
+
+	db2 := db.Clone()
+	ApplyToDatabase(db2, []Delta{pick})
+	if _, ok := db2.PortOwner(pick.Port); ok {
+		t.Fatal("port owner survives member removal")
+	}
+	for _, m := range db2.IXPs[pick.IXP].Members {
+		if m == pick.AS {
+			t.Fatal("member list still holds removed AS")
+		}
+	}
+
+	add := pick
+	add.Kind = MemberAdd
+	ApplyToDatabase(db2, []Delta{add})
+	if owner, ok := db2.PortOwner(pick.Port); !ok || owner != pick.AS {
+		t.Fatal("member re-add did not restore port ownership")
+	}
+
+	// Original untouched throughout.
+	if owner, ok := db.PortOwner(pick.Port); !ok || owner != pick.AS {
+		t.Fatal("clone mutation leaked into original")
+	}
+}

@@ -1,0 +1,122 @@
+package delta
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// wireDelta is the JSONL record. IPs travel as dotted quads (matching
+// the world dump format); every field is emitted explicitly so a log
+// round-trips without per-kind special cases.
+type wireDelta struct {
+	Kind     string `json:"kind"`
+	AS       int    `json:"as"`
+	Facility int    `json:"facility"`
+	IXP      int    `json:"ixp"`
+	Port     string `json:"port"`
+	LGAS     int    `json:"lg_as"`
+	LocalIP  string `json:"local_ip"`
+	PeerIP   string `json:"peer_ip"`
+	PeerAS   int    `json:"peer_as"`
+	NearIP   string `json:"near_ip"`
+	FarIP    string `json:"far_ip"`
+	Router   int    `json:"router"`
+}
+
+func ipString(ip netaddr.IP) string {
+	if ip == 0 {
+		return ""
+	}
+	return ip.String()
+}
+
+func parseIP(s string) (netaddr.IP, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return netaddr.ParseIP(s)
+}
+
+// EncodeJSONL writes the log one JSON object per line.
+func EncodeJSONL(w io.Writer, log []Delta) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, d := range log {
+		rec := wireDelta{
+			Kind:     string(d.Kind),
+			AS:       int(d.AS),
+			Facility: int(d.Facility),
+			IXP:      int(d.IXP),
+			Port:     ipString(d.Port),
+			LGAS:     int(d.LGAS),
+			LocalIP:  ipString(d.LocalIP),
+			PeerIP:   ipString(d.PeerIP),
+			PeerAS:   int(d.PeerAS),
+			NearIP:   ipString(d.NearIP),
+			FarIP:    ipString(d.FarIP),
+			Router:   int(d.Router),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeJSONL reads a delta log written by EncodeJSONL. Blank lines are
+// skipped; unknown kinds and malformed addresses are errors.
+func DecodeJSONL(r io.Reader) ([]Delta, error) {
+	var out []Delta
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec wireDelta
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("delta: line %d: %w", line, err)
+		}
+		d := Delta{
+			Kind:     Kind(rec.Kind),
+			AS:       world.ASN(rec.AS),
+			Facility: world.FacilityID(rec.Facility),
+			IXP:      world.IXPID(rec.IXP),
+			LGAS:     world.ASN(rec.LGAS),
+			PeerAS:   world.ASN(rec.PeerAS),
+			Router:   world.RouterID(rec.Router),
+		}
+		if !d.Kind.Valid() {
+			return nil, fmt.Errorf("delta: line %d: unknown kind %q", line, rec.Kind)
+		}
+		var err error
+		if d.Port, err = parseIP(rec.Port); err != nil {
+			return nil, fmt.Errorf("delta: line %d: port: %w", line, err)
+		}
+		if d.LocalIP, err = parseIP(rec.LocalIP); err != nil {
+			return nil, fmt.Errorf("delta: line %d: local_ip: %w", line, err)
+		}
+		if d.PeerIP, err = parseIP(rec.PeerIP); err != nil {
+			return nil, fmt.Errorf("delta: line %d: peer_ip: %w", line, err)
+		}
+		if d.NearIP, err = parseIP(rec.NearIP); err != nil {
+			return nil, fmt.Errorf("delta: line %d: near_ip: %w", line, err)
+		}
+		if d.FarIP, err = parseIP(rec.FarIP); err != nil {
+			return nil, fmt.Errorf("delta: line %d: far_ip: %w", line, err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

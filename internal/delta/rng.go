@@ -1,0 +1,22 @@
+package delta
+
+// splitmix64 is the package's only randomness source: churn generation
+// must be reproducible from its seed alone, and cfslint's noclock pass
+// bans math/rand here. The constants are Steele et al.'s SplitMix64,
+// the same generator the trace engine's lazy RNG uses.
+type splitmix64 struct{ s uint64 }
+
+func newRNG(seed int64) *splitmix64 { return &splitmix64{s: uint64(seed)} }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). n must be positive.
+func (r *splitmix64) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

@@ -200,6 +200,14 @@ func (e *Env) Sessions() []cfs.SessionObservation {
 // RunCFS executes the pipeline with the given configuration over a fresh
 // initial corpus plus the looking-glass session listings.
 func (e *Env) RunCFS(cfg cfs.Config) *cfs.Result {
+	_, res := e.RunCFSPipeline(cfg)
+	return res
+}
+
+// RunCFSPipeline is RunCFS, additionally handing back the live pipeline
+// so the caller can feed it deltas (ApplyDelta) after the initial
+// convergence.
+func (e *Env) RunCFSPipeline(cfg cfs.Config) (*cfs.Pipeline, *cfs.Result) {
 	if cfg.Obs == nil {
 		cfg.Obs = e.obs
 	}
@@ -210,10 +218,11 @@ func (e *Env) RunCFS(cfg cfs.Config) *cfs.Result {
 		// validation lives in the facade and the CLI.
 		panic(err)
 	}
-	return p.RunObservations(cfs.Observations{
+	res := p.RunObservations(cfs.Observations{
 		Paths:    e.InitialCorpus(),
 		Sessions: e.Sessions(),
 	})
+	return p, res
 }
 
 // FreshRunCFS builds a brand-new environment for the given world and

@@ -1,0 +1,147 @@
+package registry
+
+import (
+	"sort"
+
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/world"
+)
+
+// This file holds the delta mutators: the small set of in-place edits
+// the incremental pipeline (internal/delta, cfs.Pipeline.ApplyDelta)
+// applies to a collected database. Every mutator preserves the
+// invariants queries rely on — asFacilities stays ascending, Members
+// and asIXPs stay duplicate-free — so a mutated database is
+// indistinguishable from one collected over the mutated world view.
+
+// Clone returns a copy of db that is safe to edit through the mutators
+// below while the original keeps serving reads. The association
+// structures deltas touch (AS facility lists, IXP records, AS-to-IXP
+// index, port ownership) are deep-copied; the immutable bulk (facility
+// records, per-source views, prefix trie, metro clusters) is shared,
+// following the RemoveFacilities copy-with-filter precedent.
+func (db *Database) Clone() *Database {
+	out := &Database{
+		Facilities:    db.Facilities,
+		IXPs:          make(map[world.IXPID]*IXPRecord, len(db.IXPs)),
+		asFacilities:  make(map[world.ASN][]world.FacilityID, len(db.asFacilities)),
+		asIXPs:        make(map[world.ASN][]world.IXPID, len(db.asIXPs)),
+		asNames:       db.asNames,
+		pdbFacilities: db.pdbFacilities,
+		nocFacilities: db.nocFacilities,
+		prefixes:      db.prefixes,
+		cluster:       db.cluster,
+		clusterName:   db.clusterName,
+		portOwners:    make(map[netaddr.IP]world.ASN, len(db.portOwners)),
+		PortLocations: db.PortLocations,
+		RemoteMembers: db.RemoteMembers,
+	}
+	//cfslint:ordered per-key deep copy into a fresh map: each value is copied independently, so iteration order cannot reach the clone
+	for asn, facs := range db.asFacilities {
+		out.asFacilities[asn] = append([]world.FacilityID(nil), facs...)
+	}
+	//cfslint:ordered per-key deep copy into a fresh map: each value is copied independently, so iteration order cannot reach the clone
+	for asn, ixps := range db.asIXPs {
+		out.asIXPs[asn] = append([]world.IXPID(nil), ixps...)
+	}
+	//cfslint:ordered per-key deep copy into a fresh map: each record is copied independently, so iteration order cannot reach the clone
+	for id, rec := range db.IXPs {
+		cp := *rec
+		cp.Facilities = append([]world.FacilityID(nil), rec.Facilities...)
+		cp.Members = append([]world.ASN(nil), rec.Members...)
+		out.IXPs[id] = &cp
+	}
+	for ip, asn := range db.portOwners {
+		out.portOwners[ip] = asn
+	}
+	return out
+}
+
+// AddASFacility records that asn is present at fac, keeping the
+// facility list ascending. Idempotent.
+func (db *Database) AddASFacility(asn world.ASN, fac world.FacilityID) {
+	db.asFacilities[asn] = insertFacilitySorted(db.asFacilities[asn], fac)
+}
+
+// RemoveASFacility erases asn's presence at fac. Idempotent.
+func (db *Database) RemoveASFacility(asn world.ASN, fac world.FacilityID) {
+	db.asFacilities[asn] = removeFacility(db.asFacilities[asn], fac)
+}
+
+// AddIXPFacility records that the IXP's fabric reaches fac. No-op for
+// IXPs the registry never confirmed.
+func (db *Database) AddIXPFacility(ix world.IXPID, fac world.FacilityID) {
+	rec := db.IXPs[ix]
+	if rec == nil {
+		return
+	}
+	rec.Facilities = insertFacilitySorted(rec.Facilities, fac)
+}
+
+// RemoveIXPFacility erases fac from the IXP's facility list.
+func (db *Database) RemoveIXPFacility(ix world.IXPID, fac world.FacilityID) {
+	rec := db.IXPs[ix]
+	if rec == nil {
+		return
+	}
+	rec.Facilities = removeFacility(rec.Facilities, fac)
+}
+
+// AddMember records asn joining the IXP with the given peering-LAN
+// address: the member list, the AS-to-IXP index and port ownership all
+// gain the entry. No-op for unconfirmed IXPs.
+func (db *Database) AddMember(ix world.IXPID, asn world.ASN, port netaddr.IP) {
+	rec := db.IXPs[ix]
+	if rec == nil {
+		return
+	}
+	rec.Members = appendASNUnique(rec.Members, asn)
+	db.asIXPs[asn] = appendIXPUnique(db.asIXPs[asn], ix)
+	if port != 0 {
+		db.portOwners[port] = asn
+	}
+}
+
+// RemoveMember records asn leaving the IXP, dropping the membership
+// row, the AS-to-IXP index entry and the port's ownership record.
+func (db *Database) RemoveMember(ix world.IXPID, asn world.ASN, port netaddr.IP) {
+	rec := db.IXPs[ix]
+	if rec == nil {
+		return
+	}
+	for i, m := range rec.Members {
+		if m == asn {
+			rec.Members = append(rec.Members[:i], rec.Members[i+1:]...)
+			break
+		}
+	}
+	for i, x := range db.asIXPs[asn] {
+		if x == ix {
+			db.asIXPs[asn] = append(db.asIXPs[asn][:i], db.asIXPs[asn][i+1:]...)
+			break
+		}
+	}
+	if port != 0 {
+		delete(db.portOwners, port)
+	}
+}
+
+func insertFacilitySorted(s []world.FacilityID, f world.FacilityID) []world.FacilityID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= f })
+	if i < len(s) && s[i] == f {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = f
+	return s
+}
+
+func removeFacility(s []world.FacilityID, f world.FacilityID) []world.FacilityID {
+	for i, x := range s {
+		if x == f {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

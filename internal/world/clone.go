@@ -1,0 +1,21 @@
+package world
+
+import "bytes"
+
+// Clone returns a deep copy of w with freshly built indexes. It round
+// trips through the JSON codec — slow relative to a hand-written copy,
+// but guaranteed to stay complete as fields are added, and validated by
+// the same reference checks every external dump passes through. Churn
+// generation clones a world before mutating it so the original stays
+// usable as the "before" side of a delta log.
+func Clone(w *World) *World {
+	var buf bytes.Buffer
+	if err := w.EncodeJSON(&buf); err != nil {
+		panic("world: Clone encode: " + err.Error())
+	}
+	out, err := DecodeJSON(&buf)
+	if err != nil {
+		panic("world: Clone decode: " + err.Error())
+	}
+	return out
+}
