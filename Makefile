@@ -3,7 +3,7 @@
 # incremental-vs-fresh differentials under race — plus staticcheck
 # (not vendored here; CI installs it).
 
-.PHONY: all vet lint build test race bench bench-large bench-figures fuzz experiments check
+.PHONY: all vet lint build test race bench bench-large bench-figures fuzz experiments serve-smoke check
 
 all: check
 
@@ -25,9 +25,11 @@ test:
 	go test ./...
 
 # The CFS engine fans pure phases out over a worker pool; run its tests
-# (and the trace simulator's) under the race detector.
+# (and the trace simulator's) under the race detector. internal/serve
+# rides along: its epoch-consistency test races concurrent queries
+# against live Apply batches.
 race:
-	go test -race ./internal/cfs/... ./internal/trace/...
+	go test -race ./internal/cfs/... ./internal/trace/... ./internal/serve/...
 
 # Engine benchmark harness: times both CFS cores (observability off and
 # on) and writes machine-readable BENCH_cfs.json — ns/op, probes
@@ -57,6 +59,13 @@ bench-figures:
 # is a build artifact and stays out of git (see .gitignore).
 experiments:
 	go run ./cmd/experiments > examples/experiments_output.txt
+
+# End-to-end daemon smoke: boot cfsd on the small profile, drive the
+# query API and one delta batch over HTTP, append to a followed churn
+# log, and assert epoch advance + cache swap + graceful SIGTERM drain.
+# Needs curl and jq.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 fuzz:
 	go test -fuzz FuzzParseIP -fuzztime 30s ./internal/netaddr/

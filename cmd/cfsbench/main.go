@@ -29,11 +29,19 @@
 // overwritten): with -max-regress R, the run fails when the worklist
 // engine's ns_per_op exceeds the baseline by more than the fraction R.
 //
+// -serve adds the daemon scenario: the query API's request mix (snapshot
+// digests, interface lookups, AS-pair queries) against one converged
+// system, measured cold (epoch cache disabled — every query renders
+// from the immutable snapshot) and hot (cache warmed — every query is
+// an epoch-keyed hit). serve_speedup_x is the cold/hot ratio and
+// -min-serve-speedup gates it; CI requires the cache to be worth at
+// least 10x on the small profile.
+//
 // Usage:
 //
 //	cfsbench [-profile small|medium|default|paper|large] [-seed N] [-runs N]
 //	         [-shards N] [-out FILE] [-max-overhead X] [-baseline FILE]
-//	         [-max-regress R]
+//	         [-max-regress R] [-incremental N] [-serve]
 package main
 
 import (
@@ -98,6 +106,15 @@ type report struct {
 	IncrementalSpeedupX   float64 `json:"incremental_speedup_x,omitempty"`
 	IncrementalRecomputed int64   `json:"incremental_recomputed_per_op,omitempty"`
 	FreshRecomputed       int64   `json:"fresh_recomputed,omitempty"`
+
+	// The -serve scenario: the daemon's query path, cold (epoch cache
+	// disabled, every query renders from the snapshot) vs hot (cache
+	// warmed, every query hits its epoch entry), over the same request
+	// mix. ServeSpeedupX = cold/hot, gated by -min-serve-speedup.
+	ServeQueries        int     `json:"serve_queries,omitempty"`
+	ServeColdNsPerQuery int64   `json:"serve_cold_ns_per_query,omitempty"`
+	ServeHotNsPerQuery  int64   `json:"serve_hot_ns_per_query,omitempty"`
+	ServeSpeedupX       float64 `json:"serve_speedup_x,omitempty"`
 }
 
 // engineSpec names one benchmark entry: the report label plus the full
@@ -151,6 +168,9 @@ func main() {
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
 		incremental = flag.Int("incremental", 0, "also benchmark delta re-convergence: apply this many single-AS facility deltas to a converged pipeline (0 = skip)")
 		minIncSpeed = flag.Float64("min-incremental-speedup", 0, "fail when fresh/incremental wall-time ratio falls below this (0 = no gate)")
+		serveBench  = flag.Bool("serve", false, "also benchmark the daemon's query path: hot (epoch cache) vs cold (render per query)")
+		serveQs     = flag.Int("serve-queries", 512, "request-mix size for -serve")
+		minServeSp  = flag.Float64("min-serve-speedup", 0, "fail when the -serve cold/hot ratio falls below this (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -250,6 +270,14 @@ func main() {
 			rep.IncrementalNsPerOp, rep.FreshNsPerOp, rep.IncrementalSpeedupX,
 			rep.IncrementalRecomputed, rep.FreshRecomputed)
 	}
+	if *serveBench {
+		if err := measureServe(&rep, *profile, *seed, *serveQs, *runs); err != nil {
+			fmt.Fprintf(os.Stderr, "cfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serve     %12d ns/query(cold)  %8d ns/query(hot)  %.1fx cache speedup over %d queries\n",
+			rep.ServeColdNsPerQuery, rep.ServeHotNsPerQuery, rep.ServeSpeedupX, rep.ServeQueries)
+	}
 	rep.PeakRSSBytes = peakRSS()
 
 	f, err := os.Create(*out)
@@ -282,6 +310,13 @@ func main() {
 		if rep.IncrementalSpeedupX < *minIncSpeed {
 			fmt.Fprintf(os.Stderr, "cfsbench: incremental speedup %.2fx below gate %.2fx\n",
 				rep.IncrementalSpeedupX, *minIncSpeed)
+			os.Exit(1)
+		}
+	}
+	if *minServeSp > 0 {
+		if rep.ServeSpeedupX < *minServeSp {
+			fmt.Fprintf(os.Stderr, "cfsbench: serve cache speedup %.2fx below gate %.2fx\n",
+				rep.ServeSpeedupX, *minServeSp)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"facilitymap"
+	"facilitymap/internal/obs"
+	"facilitymap/internal/serve"
+)
+
+// measureServe benchmarks the daemon's query path (-serve): one
+// converged system, one fixed request mix — snapshot digests,
+// interface lookups, AS-pair interconnection queries — played against
+// two servers sharing that system. The cold server has its epoch cache
+// disabled, so every query renders from the immutable snapshot; the
+// hot server is warmed first, so every timed query is a cache hit.
+// The ratio is the value of the epoch cache in steady state, which
+// -min-serve-speedup turns into a gate.
+func measureServe(rep *report, profile string, seed int64, queries, runs int) error {
+	sys, err := facilitymap.NewSystem(facilitymap.Config{Profile: profile, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	m := sys.MapInterconnections()
+	reqs := buildServeRequests(m, queries)
+	if len(reqs) == 0 {
+		return fmt.Errorf("serve: no query targets in the snapshot")
+	}
+
+	// Read-only traffic: neither server needs its writer loop. The
+	// request timeout is disabled so the measurement sees the handler
+	// path, not stdlib timer machinery; both modes skip it equally.
+	cold := serve.New(sys, serve.Options{RequestTimeout: -1, CacheEntries: -1, Obs: obs.New(0)})
+	hot := serve.New(sys, serve.Options{RequestTimeout: -1, Obs: obs.New(0)})
+
+	coldNs, err := timeServe(cold.Handler(), reqs, runs)
+	if err != nil {
+		return fmt.Errorf("serve cold: %w", err)
+	}
+	hotNs, err := timeServe(hot.Handler(), reqs, runs)
+	if err != nil {
+		return fmt.Errorf("serve hot: %w", err)
+	}
+	rep.ServeQueries = len(reqs)
+	rep.ServeColdNsPerQuery = coldNs
+	rep.ServeHotNsPerQuery = hotNs
+	if hotNs > 0 {
+		rep.ServeSpeedupX = float64(coldNs) / float64(hotNs)
+	}
+	return nil
+}
+
+// buildServeRequests assembles the fixed mix: one snapshot digest and
+// roughly equal parts interface lookups and AS-pair queries, cycling
+// through targets sampled from the mapping. Requests are pre-built and
+// reused so the timed loops measure the server, not URL parsing.
+func buildServeRequests(m *facilitymap.Mapping, n int) []*http.Request {
+	infos := m.Interfaces()
+	var ips []string
+	step := len(infos)/64 + 1
+	for i := 0; i < len(infos) && len(ips) < 64; i += step {
+		ips = append(ips, infos[i].IP)
+	}
+	res := m.Result()
+	var pairs [][2]int
+	seen := map[[2]int]bool{}
+	for _, l := range res.Links {
+		far := l.FarAS
+		if l.Public {
+			far = 0
+			if ir := res.Interfaces[l.FarPort]; ir != nil {
+				far = ir.Owner
+			}
+		}
+		if l.NearAS == 0 || far == 0 || far == l.NearAS {
+			continue
+		}
+		a, b := int(l.NearAS), int(far)
+		if a > b {
+			a, b = b, a
+		}
+		p := [2]int{a, b}
+		if !seen[p] {
+			seen[p] = true
+			pairs = append(pairs, p)
+			if len(pairs) >= 64 {
+				break
+			}
+		}
+	}
+	if len(ips) == 0 || len(pairs) == 0 {
+		return nil
+	}
+	if n < 4 {
+		n = 4
+	}
+	out := make([]*http.Request, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			out = append(out, httptest.NewRequest("GET", "/v1/snapshot", nil))
+		case 1, 3:
+			out = append(out, httptest.NewRequest("GET", "/v1/interface/"+ips[i%len(ips)], nil))
+		default:
+			p := pairs[i%len(pairs)]
+			out = append(out, httptest.NewRequest("GET",
+				fmt.Sprintf("/v1/interconnections?a=%d&b=%d", p[0], p[1]), nil))
+		}
+	}
+	return out
+}
+
+// timeServe plays the request mix through the handler: one untimed
+// warmup pass (verifying statuses, filling the hot server's cache and
+// the snapshot's lazily built AS-pair index so both modes measure
+// rendering, not index construction), then runs timed passes.
+func timeServe(h http.Handler, reqs []*http.Request, runs int) (int64, error) {
+	for _, r := range reqs {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r)
+		if rec.Code != http.StatusOK {
+			return 0, fmt.Errorf("%s %s: status %d: %s",
+				r.Method, r.URL, rec.Code, rec.Body.String())
+		}
+	}
+	t0 := time.Now()
+	for i := 0; i < runs; i++ {
+		for _, r := range reqs {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, r)
+		}
+	}
+	total := time.Since(t0)
+	return total.Nanoseconds() / int64(runs*len(reqs)), nil
+}

@@ -10,6 +10,7 @@
 //	worldgen -partition N ...   # also print the N-shard metro partition
 //	worldgen -check dump.json   # validate + summarise an existing dump
 //	worldgen -churn N ...       # emit an N-record delta log instead
+//	worldgen -churn N -out F    # append the log to F (tailable by cfsd -follow)
 //
 // -churn N emits a reproducible JSONL delta log — facility-list edits,
 // IXP membership changes, BGP sessions coming and going, cross-connects
@@ -41,6 +42,7 @@ func main() {
 		partition = flag.Int("partition", 0, "print the N-shard metro partition (shard sizes, cross-shard load)")
 		check     = flag.String("check", "", "load a dump, validate it and print its summary")
 		churn     = flag.Int("churn", 0, "emit an N-record JSONL delta log for the generated world instead of the dump")
+		out       = flag.String("out", "", "write to FILE instead of stdout; churn logs are appended, so a live cfsd -follow can tail the file")
 	)
 	flag.Parse()
 
@@ -82,7 +84,12 @@ func main() {
 
 	if *churn > 0 {
 		log, _ := delta.Churn(w, *churn, *seed)
-		if err := delta.EncodeJSONL(os.Stdout, log); err != nil {
+		dst, closeDst, err := output(*out, true)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeDst()
+		if err := delta.EncodeJSONL(dst, log); err != nil {
 			fatal(err)
 		}
 		return
@@ -97,9 +104,34 @@ func main() {
 		}
 		return
 	}
-	if err := w.EncodeJSON(os.Stdout); err != nil {
+	dst, closeDst, err := output(*out, false)
+	if err != nil {
 		fatal(err)
 	}
+	defer closeDst()
+	if err := w.EncodeJSON(dst); err != nil {
+		fatal(err)
+	}
+}
+
+// output resolves -out: stdout when empty; otherwise the named file,
+// opened in append mode for churn logs (a tailing cfsd must never see
+// the file truncate under it) and truncated for world dumps.
+func output(path string, appendMode bool) (*os.File, func(), error) {
+	if path == "" {
+		return os.Stdout, func() {}, nil
+	}
+	mode := os.O_CREATE | os.O_WRONLY
+	if appendMode {
+		mode |= os.O_APPEND
+	} else {
+		mode |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, mode, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }
 
 // printPartition renders the metro-keyed shard split: per-shard metro

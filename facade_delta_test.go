@@ -88,7 +88,7 @@ func TestWriteJSONStableOrdering(t *testing.T) {
 
 	out := a.String()
 	keys := []string{
-		`"summary"`, `"interfaces"`, `"resolved"`, `"resolved_fraction"`,
+		`"summary"`, `"epoch"`, `"interfaces"`, `"resolved"`, `"resolved_fraction"`,
 		`"iterations"`, `"routers"`, `"multi_role_routers"`, `"multi_ixp_routers"`,
 		`"far_end_placements"`, `"proximity_placements"`,
 	}

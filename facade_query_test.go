@@ -1,0 +1,223 @@
+package facilitymap
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"facilitymap/internal/delta"
+	"facilitymap/internal/world"
+)
+
+// TestSeedZeroHonored pins the Config.Seed contract: every value,
+// including 0, is used verbatim — NewSystem never substitutes the
+// profile's built-in seed. Before the fix, Seed==0 silently fell back
+// to the profile default, making 0 the one seed that could not be
+// asked for.
+func TestSeedZeroHonored(t *testing.T) {
+	sys, err := NewSystem(Config{Profile: "small", Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := world.Small()
+	wcfg.Seed = 0
+	want := world.Generate(wcfg)
+
+	var got, ref bytes.Buffer
+	if err := sys.Env.W.EncodeJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.EncodeJSON(&ref); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), ref.Bytes()) {
+		t.Fatal("Seed 0 did not generate the seed-0 world")
+	}
+
+	// And it is NOT the profile-default world the old fallback built.
+	var def bytes.Buffer
+	if err := world.Generate(world.Small()).EncodeJSON(&def); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got.Bytes(), def.Bytes()) {
+		t.Fatal("Seed 0 still falls back to the profile default seed")
+	}
+}
+
+// TestWriteJSONEpoch pins the epoch field of the JSON dump: a
+// post-Apply snapshot's dump carries its own epoch, so tooling
+// replaying a delta log can tell which epoch a dump describes.
+func TestWriteJSONEpoch(t *testing.T) {
+	sys := smallSystem(t)
+	m0 := sys.MapInterconnections()
+
+	decodeEpoch := func(m *Mapping) int {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Summary SnapshotSummary `json:"summary"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc.Summary.Epoch
+	}
+	if got := decodeEpoch(m0); got != 0 {
+		t.Fatalf("initial dump epoch %d, want 0", got)
+	}
+
+	m1, err := sys.Apply(facilityChurn(t, sys, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeEpoch(m1); got != 1 {
+		t.Fatalf("post-Apply dump epoch %d, want 1", got)
+	}
+	// The earlier snapshot's dump is unchanged.
+	if got := decodeEpoch(m0); got != 0 {
+		t.Fatalf("epoch-0 dump now reports epoch %d", got)
+	}
+}
+
+// TestMergeMappingsEpoch merges post-Apply snapshots: the merged epoch
+// is the max of the inputs, not a silent reset to 0.
+func TestMergeMappingsEpoch(t *testing.T) {
+	sys := smallSystem(t)
+	m0 := sys.MapInterconnections()
+	m1, err := sys.Apply(facilityChurn(t, sys, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.Epoch() != 0 || m1.Epoch() != 1 {
+		t.Fatalf("setup epochs %d/%d, want 0/1", m0.Epoch(), m1.Epoch())
+	}
+	for _, order := range [][]*Mapping{{m0, m1}, {m1, m0}} {
+		merged := MergeMappings(order...)
+		if merged == nil {
+			t.Fatal("merge returned nil")
+		}
+		if got := merged.Epoch(); got != 1 {
+			t.Fatalf("merged epoch %d, want max(0,1)=1", got)
+		}
+	}
+	if got := MergeMappings(m0, m0).Epoch(); got != 0 {
+		t.Fatalf("merge of two epoch-0 snapshots has epoch %d, want 0", got)
+	}
+}
+
+// TestFacadeEdgeCases pins the facade's boundary behavior: Current
+// before the first convergence, Lookup on unparsable and unknown
+// addresses, and Apply with an empty delta batch.
+func TestFacadeEdgeCases(t *testing.T) {
+	sys := smallSystem(t)
+	if sys.Current() != nil {
+		t.Fatal("Current non-nil before MapInterconnections")
+	}
+	m := sys.MapInterconnections()
+
+	if _, ok := m.Lookup("definitely-not-an-ip"); ok {
+		t.Error("Lookup accepted an unparsable address")
+	}
+	if _, ok := m.Lookup("203.0.113.254"); ok {
+		t.Error("Lookup resolved an address outside the observation pool")
+	}
+
+	// An empty batch is a heartbeat: it publishes a fresh epoch whose
+	// mapping is identical to the previous one. Pinned so callers can
+	// rely on Apply always advancing the epoch counter.
+	resolved := m.Result().Resolved()
+	m1, err := sys.Apply(nil)
+	if err != nil {
+		t.Fatalf("Apply(empty): %v", err)
+	}
+	if m1.Epoch() != m.Epoch()+1 {
+		t.Fatalf("empty Apply published epoch %d, want %d", m1.Epoch(), m.Epoch()+1)
+	}
+	if m1.Result().Resolved() != resolved {
+		t.Fatalf("empty Apply changed the mapping: resolved %d -> %d",
+			resolved, m1.Result().Resolved())
+	}
+	if sys.Current() != m1 {
+		t.Fatal("empty Apply did not update Current")
+	}
+}
+
+// TestInterconnections exercises the AS-pair index: every link of the
+// snapshot is findable under its (normalized) AS pair, the query is
+// order-insensitive, and unknown pairs return nothing.
+func TestInterconnections(t *testing.T) {
+	sys := smallSystem(t)
+	m := sys.MapInterconnections()
+	res := m.Result()
+	if len(res.Links) == 0 {
+		t.Fatal("no links in the snapshot")
+	}
+	if m.ASPairs() == 0 {
+		t.Fatal("AS-pair index is empty")
+	}
+
+	checked := 0
+	for _, l := range res.Links {
+		far := m.farASOf(l)
+		if l.NearAS == 0 || far == 0 || far == l.NearAS {
+			continue
+		}
+		got := m.Interconnections(int(l.NearAS), int(far))
+		if len(got) == 0 {
+			t.Fatalf("pair (%v, %v) has a link but no index entry", l.NearAS, far)
+		}
+		found := false
+		for _, ixn := range got {
+			if ixn.NearIP == l.Near.String() && ixn.Type == l.Type.String() {
+				found = true
+				if ixn.NearAS != int(l.NearAS) || ixn.FarAS != int(far) {
+					t.Fatalf("pair fields wrong: %+v", ixn)
+				}
+				if l.Public && ixn.IXP == "" {
+					t.Fatalf("public link lacks IXP name: %+v", ixn)
+				}
+				if ixn.Resolved && ixn.Facility == "" {
+					t.Fatalf("resolved link lacks facility name: %+v", ixn)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("link %v not listed under its pair", l.Near)
+		}
+		// Order-insensitive.
+		rev := m.Interconnections(int(far), int(l.NearAS))
+		if len(rev) != len(got) {
+			t.Fatalf("pair query not symmetric: %d vs %d", len(got), len(rev))
+		}
+		checked++
+		if checked >= 25 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no link with two known ASes")
+	}
+	if got := m.Interconnections(1, 2); len(got) != 0 {
+		t.Fatalf("bogus pair returned %d interconnections", len(got))
+	}
+}
+
+// facilityChurn draws a churn log against the system's world and keeps
+// only the registry-expressible facility deltas (the surgical path).
+func facilityChurn(t *testing.T, sys *System, n int) []delta.Delta {
+	t.Helper()
+	full, _ := delta.Churn(sys.Env.W, n, 5)
+	var log []delta.Delta
+	for _, d := range full {
+		if d.Kind.WorldExpressible() {
+			log = append(log, d)
+		}
+	}
+	if len(log) == 0 {
+		t.Fatal("churn produced no facility deltas")
+	}
+	return log
+}

@@ -45,7 +45,11 @@ type Config struct {
 	// to run for a long time).
 	Profile string
 	// Seed drives every random choice; equal seeds give equal worlds
-	// and equal inferences.
+	// and equal inferences. Every value — including 0 — is honored
+	// verbatim: NewSystem never substitutes the profile's built-in
+	// seed, so Config{Profile: "small"} and Config{Profile: "small",
+	// Seed: 0} mean the same (seed-0) world. Use DefaultConfig for the
+	// paper's canonical operating point (seed 42).
 	Seed int64
 	// MaxIterations bounds the CFS loop (paper: 100).
 	MaxIterations int
@@ -121,9 +125,11 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Shards > 0 && cfg.Engine == cfs.EngineRescan {
 		return nil, fmt.Errorf("facilitymap: Shards requires the worklist engine, not %q", cfg.Engine)
 	}
-	if cfg.Seed != 0 {
-		wcfg.Seed = cfg.Seed
-	}
+	// The configured seed is honored verbatim, zero included: silently
+	// falling back to the profile default made Seed==0 the one value
+	// that could not be asked for, and masked forgotten-seed bugs in
+	// reproducibility harnesses.
+	wcfg.Seed = cfg.Seed
 	return &System{Env: experiments.NewEnv(wcfg, wcfg.Seed), cfg: cfg}, nil
 }
 
@@ -181,6 +187,24 @@ func (s *System) Current() *Mapping { return s.cur.Load() }
 type Mapping struct {
 	sys *System
 	res *cfs.Result
+
+	// The AS-pair interconnection index is derived from res.Links once
+	// per snapshot, on first use: Mapping is immutable, so the lazily
+	// built index is valid for the snapshot's whole lifetime and safe
+	// to share across concurrent readers.
+	ixnOnce sync.Once
+	ixnIdx  map[asPair][]int // normalized AS pair -> indices into res.Links
+}
+
+// asPair is a normalized (lo <= hi) AS pair, the interconnection
+// index key.
+type asPair struct{ lo, hi world.ASN }
+
+func pairKey(a, b world.ASN) asPair {
+	if a > b {
+		a, b = b, a
+	}
+	return asPair{a, b}
 }
 
 // Result exposes the raw CFS result for advanced consumers.
@@ -277,6 +301,107 @@ func (m *Mapping) describe(ir *cfs.InterfaceResult) InterfaceInfo {
 	return info
 }
 
+// Interconnection is one classified peering link between two ASes, in
+// the JSON shape the query API serves.
+type Interconnection struct {
+	// NearIP is the near-end peering interface; FarIP is the far
+	// interface (private links) or the far member's IXP port (public
+	// links), empty when the far side was never observed.
+	NearIP string `json:"near_ip"`
+	FarIP  string `json:"far_ip,omitempty"`
+	NearAS int    `json:"near_as"`
+	FarAS  int    `json:"far_as"`
+	// Type is the engineering approach: public-local, public-remote,
+	// cross-connect, tethering or private-unknown.
+	Type string `json:"type"`
+	// IXP names the exchange crossed by a public link.
+	IXP string `json:"ixp,omitempty"`
+	// Facility and City locate the link where its near end resolved.
+	Facility string `json:"facility,omitempty"`
+	City     string `json:"city,omitempty"`
+	Resolved bool   `json:"resolved"`
+}
+
+// Interconnections lists every classified link between the two ASes
+// (order-insensitive), in the snapshot's deterministic link order. The
+// paper's §8 query — "which interconnections does this AS pair have,
+// and where are they established" — served from the epoch's immutable
+// snapshot.
+func (m *Mapping) Interconnections(a, b int) []Interconnection {
+	m.ixnOnce.Do(m.buildInterconnectionIndex)
+	idx := m.ixnIdx[pairKey(world.ASN(a), world.ASN(b))]
+	out := make([]Interconnection, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, m.describeLink(m.res.Links[i]))
+	}
+	return out
+}
+
+// ASPairs returns the number of distinct AS pairs with at least one
+// classified interconnection in this snapshot.
+func (m *Mapping) ASPairs() int {
+	m.ixnOnce.Do(m.buildInterconnectionIndex)
+	return len(m.ixnIdx)
+}
+
+// buildInterconnectionIndex folds res.Links into the per-AS-pair index.
+// The far-end AS of a public link is the owner of the replying IXP
+// port, resolved through the snapshot's own interface inferences (the
+// same rule the resilience analyzer applies).
+func (m *Mapping) buildInterconnectionIndex() {
+	idx := make(map[asPair][]int)
+	for i, l := range m.res.Links {
+		far := m.farASOf(l)
+		if l.NearAS == 0 || far == 0 || far == l.NearAS {
+			continue
+		}
+		key := pairKey(l.NearAS, far)
+		idx[key] = append(idx[key], i)
+	}
+	m.ixnIdx = idx
+}
+
+func (m *Mapping) farASOf(l *cfs.Adjacency) world.ASN {
+	if !l.Public {
+		return l.FarAS
+	}
+	if ir := m.res.Interfaces[l.FarPort]; ir != nil {
+		return ir.Owner
+	}
+	return 0
+}
+
+// describeLink renders one adjacency in the query-API shape.
+func (m *Mapping) describeLink(l *cfs.Adjacency) Interconnection {
+	env := m.sys.Env
+	out := Interconnection{
+		NearIP: l.Near.String(),
+		NearAS: int(l.NearAS),
+		FarAS:  int(m.farASOf(l)),
+		Type:   l.Type.String(),
+	}
+	if l.Public {
+		if l.FarPort != 0 {
+			out.FarIP = l.FarPort.String()
+		}
+		if rec, ok := env.DB.IXPs[l.IXP]; ok {
+			out.IXP = rec.Name
+		}
+	} else if l.Far != 0 {
+		out.FarIP = l.Far.String()
+	}
+	if ir := m.res.Interfaces[l.Near]; ir != nil && ir.Resolved {
+		out.Resolved = true
+		if rec, ok := env.DB.Facilities[ir.Facility]; ok {
+			out.Facility = rec.Name
+		}
+		if c, ok := env.DB.MetroClusterOf(ir.Facility); ok {
+			out.City = env.DB.ClusterName(c)
+		}
+	}
+	return out
+}
+
 // ValidationSummary condenses the §6 validation of a run.
 type ValidationSummary struct {
 	Overall       validation.Count
@@ -336,35 +461,51 @@ func MergeMappings(mappings ...*Mapping) *Mapping {
 	return &Mapping{sys: mappings[0].sys, res: cfs.Merge(results...)}
 }
 
-// WriteJSON emits the mapping as machine-readable JSON: a summary plus
-// one record per interface (resolved first). Downstream tooling can
-// consume this instead of the text tables.
-func (m *Mapping) WriteJSON(w io.Writer) error {
+// SnapshotSummary is the JSON-shaped digest of one snapshot: the epoch
+// stamp plus coverage and convergence statistics. It is the "summary"
+// block of WriteJSON and the body of the daemon's /v1/snapshot.
+type SnapshotSummary struct {
+	// Epoch identifies which versioned snapshot this summary (and any
+	// dump carrying it) describes — without it, tooling replaying a
+	// delta log cannot tell which epoch a JSON dump belongs to.
+	Epoch               int     `json:"epoch"`
+	Interfaces          int     `json:"interfaces"`
+	Resolved            int     `json:"resolved"`
+	ResolvedFraction    float64 `json:"resolved_fraction"`
+	Iterations          int     `json:"iterations"`
+	Routers             int     `json:"routers"`
+	MultiRoleRouters    int     `json:"multi_role_routers"`
+	MultiIXPRouters     int     `json:"multi_ixp_routers"`
+	FarEndPlacements    int     `json:"far_end_placements"`
+	ProximityPlacements int     `json:"proximity_placements"`
+}
+
+// Summarize condenses the snapshot into its JSON-shaped digest.
+func (m *Mapping) Summarize() SnapshotSummary {
 	census := m.res.Census()
+	return SnapshotSummary{
+		Epoch:               m.res.Epoch,
+		Interfaces:          len(m.res.Interfaces),
+		Resolved:            m.res.Resolved(),
+		ResolvedFraction:    m.res.ResolvedFraction(),
+		Iterations:          len(m.res.History),
+		Routers:             census.Routers,
+		MultiRoleRouters:    census.MultiRole,
+		MultiIXPRouters:     census.MultiIXP,
+		FarEndPlacements:    m.res.FarEndInferences,
+		ProximityPlacements: m.res.ProximityInferences,
+	}
+}
+
+// WriteJSON emits the mapping as machine-readable JSON: a summary
+// (epoch first, so dumps from different epochs are distinguishable)
+// plus one record per interface (resolved first). Downstream tooling
+// can consume this instead of the text tables.
+func (m *Mapping) WriteJSON(w io.Writer) error {
 	doc := struct {
-		Summary struct {
-			Interfaces    int     `json:"interfaces"`
-			Resolved      int     `json:"resolved"`
-			ResolvedFrac  float64 `json:"resolved_fraction"`
-			Iterations    int     `json:"iterations"`
-			Routers       int     `json:"routers"`
-			MultiRole     int     `json:"multi_role_routers"`
-			MultiIXP      int     `json:"multi_ixp_routers"`
-			FarEndPlaced  int     `json:"far_end_placements"`
-			ProximityUsed int     `json:"proximity_placements"`
-		} `json:"summary"`
+		Summary    SnapshotSummary `json:"summary"`
 		Interfaces []InterfaceInfo `json:"interfaces"`
-	}{}
-	doc.Summary.Interfaces = len(m.res.Interfaces)
-	doc.Summary.Resolved = m.res.Resolved()
-	doc.Summary.ResolvedFrac = m.res.ResolvedFraction()
-	doc.Summary.Iterations = len(m.res.History)
-	doc.Summary.Routers = census.Routers
-	doc.Summary.MultiRole = census.MultiRole
-	doc.Summary.MultiIXP = census.MultiIXP
-	doc.Summary.FarEndPlaced = m.res.FarEndInferences
-	doc.Summary.ProximityUsed = m.res.ProximityInferences
-	doc.Interfaces = m.Interfaces()
+	}{Summary: m.Summarize(), Interfaces: m.Interfaces()}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

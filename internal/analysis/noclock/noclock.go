@@ -1,7 +1,7 @@
 // Package noclock forbids ambient nondeterminism sources inside the
-// engine packages (internal/cfs, internal/trace, internal/delta):
-// wall-clock reads (time.Now, time.Since, time.Sleep) and anything
-// from math/rand.
+// engine packages (internal/cfs, internal/trace, internal/delta) and
+// the daemon layer (internal/serve, cmd/cfsd): wall-clock reads
+// (time.Now, time.Since, time.Sleep) and anything from math/rand.
 //
 // The sanctioned sources, established by PRs 3–4, are:
 //
@@ -15,7 +15,13 @@
 //     it is the wrapper whose existence lets everything else abstain);
 //   - the embedded splitmix64 stream in internal/delta/rng.go — churn
 //     logs are a pure function of (world, n, seed), so the generator
-//     carries its own counter-mode RNG and never touches math/rand.
+//     carries its own counter-mode RNG and never touches math/rand;
+//   - the serve layer's injected latency clock (serve.Options.Now,
+//     defaulting to an annotated time.Now) and cmd/cfsd's annotated
+//     boot-timing reads — wall time there feeds logs and request
+//     histograms, never an inference. time.NewTicker (the follow
+//     tailer's poll) is deliberately not banned: waiting is fine,
+//     reading the clock into state is not.
 //
 // A stray time.Now in an engine loop or a rand.New(rand.NewSource(..))
 // beside the sanctioned stream would silently decouple runs from their
@@ -35,7 +41,7 @@ var Analyzer = &framework.Analyzer{
 	Name: "noclock",
 	Doc: "forbid time.Now/time.Since/time.Sleep and all of math/rand in engine " +
 		"packages; the injected clock and the fastrng stream are the only sanctioned sources",
-	Packages: []string{"internal/cfs", "internal/trace", "internal/delta"},
+	Packages: []string{"internal/cfs", "internal/trace", "internal/delta", "internal/serve", "cmd/cfsd"},
 	Run:      run,
 }
 

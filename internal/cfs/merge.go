@@ -24,7 +24,8 @@ import (
 // unresolved in one run may collapse to a single facility once another
 // run contributes a disjoint constraint. Runs that disagree outright —
 // an empty intersection — keep the earliest run's answer and increment
-// MergeConflicts. Links are unioned.
+// MergeConflicts. Links are unioned. The merged Epoch is the maximum of
+// the inputs' epochs (the merge describes the newest state involved).
 //
 // Merge uses one worker per available CPU; MergeWorkers takes an
 // explicit count. The per-interface fold is independent across
@@ -57,6 +58,12 @@ func MergeObserved(o *obs.Obs, workers int, results ...*Result) *Result {
 		out.MissingFacilityData += res.MissingFacilityData
 		out.ProximityInferences += res.ProximityInferences
 		out.FarEndInferences += res.FarEndInferences
+		// A merge of epoch-N and epoch-M snapshots describes the world
+		// as of the newest input, so the merged result carries the max
+		// epoch rather than silently resetting to 0.
+		if res.Epoch > out.Epoch {
+			out.Epoch = res.Epoch
+		}
 		if out.aliasSetOf == nil {
 			out.aliasSetOf = res.aliasSetOf
 		}

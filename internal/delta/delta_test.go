@@ -2,7 +2,9 @@ package delta
 
 import (
 	"bytes"
+	"io"
 	"reflect"
+	"strings"
 	"testing"
 
 	"facilitymap/internal/registry"
@@ -230,5 +232,85 @@ func TestMemberDeltasOnDatabase(t *testing.T) {
 	// Original untouched throughout.
 	if owner, ok := db.PortOwner(pick.Port); !ok || owner != pick.AS {
 		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+// TestDecoderStreams drives the record-by-record Decoder: Next yields
+// every record in order then io.EOF, Batch slices the stream into
+// fixed-size chunks, and both agree with the whole-log DecodeJSONL.
+func TestDecoderStreams(t *testing.T) {
+	w := world.Generate(world.Small())
+	log, _ := Churn(w, 97, 3)
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+
+	dec := NewDecoder(bytes.NewReader(encoded))
+	var got []Delta
+	for {
+		d, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, d)
+	}
+	if !reflect.DeepEqual(log, got) {
+		t.Fatalf("Next stream mismatch: %d in, %d out", len(log), len(got))
+	}
+
+	dec = NewDecoder(bytes.NewReader(encoded))
+	var batched []Delta
+	for {
+		b, err := dec.Batch(10)
+		if err != nil {
+			t.Fatalf("Batch: %v", err)
+		}
+		batched = append(batched, b...)
+		if len(b) < 10 {
+			break
+		}
+	}
+	if !reflect.DeepEqual(log, batched) {
+		t.Fatalf("Batch stream mismatch: %d in, %d out", len(log), len(batched))
+	}
+}
+
+// TestDecoderErrorsPositioned pins the error contract: a malformed
+// record mid-stream reports its line number, and the records before it
+// are still delivered.
+func TestDecoderErrorsPositioned(t *testing.T) {
+	in := `{"kind":"session_down","peer_ip":"10.0.0.9","peer_as":64500}` + "\n" +
+		"\n" + // blank lines are skipped but still counted
+		`{"kind":"frobnicate"}` + "\n"
+	dec := NewDecoder(strings.NewReader(in))
+	if _, err := dec.Next(); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	_, err := dec.Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("malformed record yielded %v, want positioned error", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not name line 3", err)
+	}
+}
+
+// TestUnmarshalSingleLine checks the exported per-line decoder the
+// daemon's follow-tail uses.
+func TestUnmarshalSingleLine(t *testing.T) {
+	d, err := Unmarshal([]byte(`{"kind":"as_facility_add","as":64512,"facility":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != ASFacilityAdd || d.AS != 64512 || d.Facility != 7 {
+		t.Fatalf("decoded %+v", d)
+	}
+	if _, err := Unmarshal([]byte(`{"kind":"as_facility_add","near_ip":"badip"}`)); err == nil {
+		t.Fatal("malformed address accepted")
 	}
 }

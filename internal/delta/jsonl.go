@@ -68,54 +68,107 @@ func EncodeJSONL(w io.Writer, log []Delta) error {
 	return bw.Flush()
 }
 
-// DecodeJSONL reads a delta log written by EncodeJSONL. Blank lines are
-// skipped; unknown kinds and malformed addresses are errors.
-func DecodeJSONL(r io.Reader) ([]Delta, error) {
-	var out []Delta
+// Unmarshal decodes one JSONL record (a single line without its
+// newline). Unknown kinds and malformed addresses are errors. This is
+// the single line-level decoder: the batch reader, the streaming
+// Decoder and the daemon's follow-tail all route through it.
+func Unmarshal(raw []byte) (Delta, error) {
+	var rec wireDelta
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return Delta{}, err
+	}
+	d := Delta{
+		Kind:     Kind(rec.Kind),
+		AS:       world.ASN(rec.AS),
+		Facility: world.FacilityID(rec.Facility),
+		IXP:      world.IXPID(rec.IXP),
+		LGAS:     world.ASN(rec.LGAS),
+		PeerAS:   world.ASN(rec.PeerAS),
+		Router:   world.RouterID(rec.Router),
+	}
+	if !d.Kind.Valid() {
+		return Delta{}, fmt.Errorf("unknown kind %q", rec.Kind)
+	}
+	var err error
+	if d.Port, err = parseIP(rec.Port); err != nil {
+		return Delta{}, fmt.Errorf("port: %w", err)
+	}
+	if d.LocalIP, err = parseIP(rec.LocalIP); err != nil {
+		return Delta{}, fmt.Errorf("local_ip: %w", err)
+	}
+	if d.PeerIP, err = parseIP(rec.PeerIP); err != nil {
+		return Delta{}, fmt.Errorf("peer_ip: %w", err)
+	}
+	if d.NearIP, err = parseIP(rec.NearIP); err != nil {
+		return Delta{}, fmt.Errorf("near_ip: %w", err)
+	}
+	if d.FarIP, err = parseIP(rec.FarIP); err != nil {
+		return Delta{}, fmt.Errorf("far_ip: %w", err)
+	}
+	return d, nil
+}
+
+// Decoder reads a JSONL delta stream record by record, the shape a
+// long-running ingestion path wants: a POST body or a tailed log can
+// be consumed without buffering the whole stream first.
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewDecoder wraps r in a streaming decoder. Lines up to 1 MiB are
+// accepted, matching DecodeJSONL.
+func NewDecoder(r io.Reader) *Decoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
+	return &Decoder{sc: sc}
+}
+
+// Next returns the next record. Blank lines are skipped. io.EOF marks
+// a cleanly exhausted stream; any other error is positioned ("line N:
+// ...") and the decoder stops there.
+func (d *Decoder) Next() (Delta, error) {
+	for d.sc.Scan() {
+		d.line++
+		raw := d.sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
-		var rec wireDelta
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			return nil, fmt.Errorf("delta: line %d: %w", line, err)
+		rec, err := Unmarshal(raw)
+		if err != nil {
+			return Delta{}, fmt.Errorf("delta: line %d: %w", d.line, err)
 		}
-		d := Delta{
-			Kind:     Kind(rec.Kind),
-			AS:       world.ASN(rec.AS),
-			Facility: world.FacilityID(rec.Facility),
-			IXP:      world.IXPID(rec.IXP),
-			LGAS:     world.ASN(rec.LGAS),
-			PeerAS:   world.ASN(rec.PeerAS),
-			Router:   world.RouterID(rec.Router),
-		}
-		if !d.Kind.Valid() {
-			return nil, fmt.Errorf("delta: line %d: unknown kind %q", line, rec.Kind)
-		}
-		var err error
-		if d.Port, err = parseIP(rec.Port); err != nil {
-			return nil, fmt.Errorf("delta: line %d: port: %w", line, err)
-		}
-		if d.LocalIP, err = parseIP(rec.LocalIP); err != nil {
-			return nil, fmt.Errorf("delta: line %d: local_ip: %w", line, err)
-		}
-		if d.PeerIP, err = parseIP(rec.PeerIP); err != nil {
-			return nil, fmt.Errorf("delta: line %d: peer_ip: %w", line, err)
-		}
-		if d.NearIP, err = parseIP(rec.NearIP); err != nil {
-			return nil, fmt.Errorf("delta: line %d: near_ip: %w", line, err)
-		}
-		if d.FarIP, err = parseIP(rec.FarIP); err != nil {
-			return nil, fmt.Errorf("delta: line %d: far_ip: %w", line, err)
-		}
-		out = append(out, d)
+		return rec, nil
 	}
-	if err := sc.Err(); err != nil {
+	if err := d.sc.Err(); err != nil {
+		return Delta{}, err
+	}
+	return Delta{}, io.EOF
+}
+
+// Batch reads up to n records (n <= 0 means all remaining). A shorter
+// (possibly empty) batch with a nil error means the stream is
+// exhausted.
+func (d *Decoder) Batch(n int) ([]Delta, error) {
+	var out []Delta
+	for n <= 0 || len(out) < n {
+		rec, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// DecodeJSONL reads a delta log written by EncodeJSONL. Blank lines are
+// skipped; unknown kinds and malformed addresses are errors.
+func DecodeJSONL(r io.Reader) ([]Delta, error) {
+	out, err := NewDecoder(r).Batch(0)
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

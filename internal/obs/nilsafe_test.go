@@ -35,7 +35,8 @@ func TestNilReceiversAreNoOps(t *testing.T) {
 
 	var h *Histogram
 	h.Observe(time.Second)
-	if got := h.Stats(); got != (HistogramStats{}) {
+	if got := h.Stats(); got.Count != 0 || got.Sum != 0 || got.Mean != 0 ||
+		got.Max != 0 || got.Buckets != nil {
 		t.Errorf("nil Histogram.Stats() = %+v, want zero", got)
 	}
 

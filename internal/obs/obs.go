@@ -142,12 +142,19 @@ func bucketOf(ns int64) int {
 	return b
 }
 
-// HistogramStats is a histogram's exported summary.
+// HistogramStats is a histogram's exported summary. Buckets carries
+// the per-bucket observation counts — bucket i covers [2^(i-1) µs,
+// 2^i µs) with bucket 0 holding sub-microsecond observations and the
+// last bucket open-ended — trimmed of trailing zero buckets so idle
+// histograms stay compact. A latency endpoint (the daemon's /metrics)
+// needs the distribution, not just count/mean/max: a mean hides the
+// tail that a per-request timeout budget is set against.
 type HistogramStats struct {
-	Count int64         `json:"count"`
-	Sum   time.Duration `json:"sum_ns"`
-	Mean  time.Duration `json:"mean_ns"`
-	Max   time.Duration `json:"max_ns"`
+	Count   int64         `json:"count"`
+	Sum     time.Duration `json:"sum_ns"`
+	Mean    time.Duration `json:"mean_ns"`
+	Max     time.Duration `json:"max_ns"`
+	Buckets []int64       `json:"bucket_counts,omitempty"`
 }
 
 // Stats summarises the histogram (zero stats for nil).
@@ -162,6 +169,17 @@ func (h *Histogram) Stats() HistogramStats {
 	}
 	if s.Count > 0 {
 		s.Mean = s.Sum / time.Duration(s.Count)
+	}
+	last := -1
+	var buckets [histBuckets]int64
+	for i := range buckets {
+		buckets[i] = h.buckets[i].Load()
+		if buckets[i] != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = append([]int64(nil), buckets[:last+1]...)
 	}
 	return s
 }

@@ -206,3 +206,38 @@ func ExampleTracer() {
 	fmt.Print(buf.String())
 	// Output: {"seq":1,"kind":"iteration","iter":1}
 }
+
+// TestHistogramBuckets pins the exported distribution: bucket 0 holds
+// sub-microsecond observations, bucket i holds [2^(i-1)µs, 2^iµs), and
+// trailing zero buckets are trimmed.
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(500 * time.Nanosecond) // bucket 0
+	h.Observe(1 * time.Microsecond)  // bucket 1
+	h.Observe(3 * time.Microsecond)  // bucket 2: [2µs, 4µs)
+	h.Observe(3500 * time.Nanosecond)
+	s := h.Stats()
+	want := []int64{1, 1, 2}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+	}
+	for i := range want {
+		if s.Buckets[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+		}
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum %d != count %d", total, s.Count)
+	}
+	// An empty histogram exports no buckets at all.
+	if got := (&Histogram{}).Stats().Buckets; got != nil {
+		t.Fatalf("idle histogram exported buckets %v", got)
+	}
+	if got := (*Histogram)(nil).Stats().Buckets; got != nil {
+		t.Fatalf("nil histogram exported buckets %v", got)
+	}
+}

@@ -1,0 +1,87 @@
+package serve
+
+import "sync"
+
+// cachedResponse is one fully rendered HTTP response: status plus JSON
+// body. Caching the rendered bytes (not the decoded structures) makes a
+// hit a map lookup and a write — no re-marshal, no facade call.
+type cachedResponse struct {
+	status int
+	body   []byte
+}
+
+// epochCache is the query cache keyed by (epoch, request key). The
+// invariant the daemon's consistency test pins: an entry never outlives
+// the epoch it was rendered from. The cache tracks a single current
+// epoch; a lookup against any other epoch misses, and the first store
+// from a newer epoch drops the whole map — wholesale invalidation on
+// snapshot swap, never entry-by-entry decay.
+//
+// Stores are also monotonic: a late writer that rendered its response
+// from an already superseded snapshot (it loaded Current just before an
+// Apply landed) is silently dropped rather than resurrecting stale
+// bytes under the new epoch.
+type epochCache struct {
+	mu      sync.RWMutex
+	epoch   int
+	max     int
+	entries map[string]cachedResponse
+}
+
+func newEpochCache(max int) *epochCache {
+	return &epochCache{
+		epoch:   -1, // before any store; real epochs start at 0
+		max:     max,
+		entries: make(map[string]cachedResponse),
+	}
+}
+
+// get returns the cached response for key rendered at epoch, if any.
+func (c *epochCache) get(epoch int, key string) (cachedResponse, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if epoch != c.epoch {
+		return cachedResponse{}, false
+	}
+	r, ok := c.entries[key]
+	return r, ok
+}
+
+// put stores a response rendered from the snapshot at epoch. A stale
+// epoch is dropped; a newer epoch resets the cache first. The entry
+// count is bounded at max: once full, new keys are not admitted (the
+// bound is a memory cap, not an LRU — a fresh epoch empties it anyway).
+func (c *epochCache) put(epoch int, key string, r cachedResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch < c.epoch {
+		return
+	}
+	if epoch > c.epoch {
+		c.epoch = epoch
+		c.entries = make(map[string]cachedResponse)
+	}
+	if _, exists := c.entries[key]; !exists && len(c.entries) >= c.max {
+		return
+	}
+	c.entries[key] = r
+}
+
+// advance moves the cache to epoch, clearing it if the epoch is new.
+// The writer loop calls this right after publishing a snapshot so stale
+// entries vanish at the swap, not lazily at the next store.
+func (c *epochCache) advance(epoch int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch > c.epoch {
+		c.epoch = epoch
+		c.entries = make(map[string]cachedResponse)
+	}
+}
+
+// len reports the current entry count (test hook).
+func (c *epochCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

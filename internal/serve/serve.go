@@ -1,0 +1,432 @@
+// Package serve is the continuous mapping service behind cmd/cfsd: a
+// read-mostly HTTP/JSON query API over a facilitymap.System's current
+// snapshot, plus a delta ingestion path that feeds System.Apply from a
+// single writer goroutine.
+//
+// The concurrency story leans entirely on the facade's epoch contract:
+// System.Current is an atomic pointer to an immutable Mapping, so every
+// query handler loads the pointer once and renders its whole response
+// from that one snapshot — a response is consistent with exactly one
+// epoch even while Apply is publishing the next. Responses are cached
+// under (epoch, request) keys; the cache is invalidated wholesale when
+// the epoch advances, so an entry can never outlive its snapshot (see
+// epochCache).
+//
+// Writes are serialized through one goroutine (Run): POST /v1/deltas
+// and the follow-tailer both enqueue batches and wait, so the System
+// only ever sees one Apply at a time and the "applied" response can
+// name the exact epoch a batch produced.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"facilitymap"
+	"facilitymap/internal/delta"
+	"facilitymap/internal/netaddr"
+	"facilitymap/internal/obs"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultMaxInFlight    = 64
+	DefaultCacheEntries   = 4096
+
+	// maxDeltaBody bounds a POST /v1/deltas body (8 MiB ≈ 60k records).
+	maxDeltaBody = 8 << 20
+	// applyQueueDepth bounds batches waiting for the writer goroutine.
+	applyQueueDepth = 16
+)
+
+// Options configures a Server. The zero value is usable: every field
+// has a default, and a nil Obs disables metrics at zero cost.
+type Options struct {
+	// RequestTimeout bounds each request end to end (default 5s;
+	// negative disables the timeout handler).
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently executing handlers; excess
+	// requests are rejected with 503 rather than queued (default 64).
+	MaxInFlight int
+	// CacheEntries bounds the epoch cache (default 4096; negative
+	// disables caching entirely — every query renders from the
+	// snapshot, the cold-path cfsbench -serve measures).
+	CacheEntries int
+	// Obs receives request counts, latency histograms, cache hit/miss
+	// counters and the published epoch gauge. Nil disables.
+	Obs *obs.Obs
+	// Now is the injected clock for latency measurement; nil means
+	// wall time. Tests inject a fake so latency math is deterministic.
+	Now func() time.Time
+}
+
+// routeObs is the per-route metric bundle, resolved once at New.
+type routeObs struct {
+	count   *obs.Counter
+	errors  *obs.Counter
+	latency *obs.Histogram
+}
+
+// Server serves the query API for one facilitymap.System. Construct
+// with New, start the writer loop with Run (required for POST
+// /v1/deltas and Follow), and mount Handler on an http.Server.
+type Server struct {
+	sys     *facilitymap.System
+	opt     Options
+	cache   *epochCache // nil when caching is disabled
+	handler http.Handler
+	now     func() time.Time
+
+	applyCh  chan applyReq
+	done     chan struct{} // closed when Run returns
+	inflight chan struct{}
+
+	routes     map[string]routeObs
+	hits       *obs.Counter
+	misses     *obs.Counter
+	rejected   *obs.Counter
+	applied    *obs.Counter
+	applyErrs  *obs.Counter
+	followBad  *obs.Counter
+	epochGauge *obs.Gauge
+}
+
+// New wires a Server over sys. The system should already have run
+// MapInterconnections; until it does, queries answer 503.
+func New(sys *facilitymap.System, opt Options) *Server {
+	if opt.RequestTimeout == 0 {
+		opt.RequestTimeout = DefaultRequestTimeout
+	}
+	if opt.MaxInFlight <= 0 {
+		opt.MaxInFlight = DefaultMaxInFlight
+	}
+	if opt.CacheEntries == 0 {
+		opt.CacheEntries = DefaultCacheEntries
+	}
+	now := opt.Now
+	if now == nil {
+		//cfslint:ignore noclock the latency-clock boundary: wall time feeds request histograms only, never an inference; tests inject a fake
+		now = time.Now
+	}
+	s := &Server{
+		sys:      sys,
+		opt:      opt,
+		now:      now,
+		applyCh:  make(chan applyReq, applyQueueDepth),
+		done:     make(chan struct{}),
+		inflight: make(chan struct{}, opt.MaxInFlight),
+	}
+	if opt.CacheEntries > 0 {
+		s.cache = newEpochCache(opt.CacheEntries)
+	}
+	o := opt.Obs
+	s.routes = make(map[string]routeObs)
+	for _, r := range []string{"interface", "interconnections", "snapshot", "metrics", "deltas"} {
+		s.routes[r] = routeObs{
+			count:   o.Counter("serve.http.requests." + r),
+			errors:  o.Counter("serve.http.errors." + r),
+			latency: o.Histogram("serve.http.latency." + r),
+		}
+	}
+	s.hits = o.Counter("serve.cache.hits")
+	s.misses = o.Counter("serve.cache.misses")
+	s.rejected = o.Counter("serve.http.rejected")
+	s.applied = o.Counter("serve.deltas.applied")
+	s.applyErrs = o.Counter("serve.deltas.errors")
+	s.followBad = o.Counter("serve.follow.bad_lines")
+	s.epochGauge = o.Gauge("serve.epoch")
+
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/interface/{ip}", s.route("interface", s.handleInterface))
+	mux.Handle("GET /v1/interconnections", s.route("interconnections", s.handleInterconnections))
+	mux.Handle("GET /v1/snapshot", s.route("snapshot", s.handleSnapshot))
+	mux.Handle("GET /metrics", s.route("metrics", s.handleMetrics))
+	mux.Handle("POST /v1/deltas", s.route("deltas", s.handleDeltas))
+	var h http.Handler = mux
+	if opt.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, opt.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	s.handler = h
+	return s
+}
+
+// Handler returns the fully wired HTTP handler (routing, concurrency
+// bound, per-request timeout, instrumentation).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Done is closed when the writer loop has exited (after draining).
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// route wraps a handler with the concurrency bound and per-route
+// metrics. The bound rejects rather than queues: under overload the
+// caller gets a fast 503, not a slow success after the timeout budget.
+func (s *Server) route(name string, h http.HandlerFunc) http.Handler {
+	ro := s.routes[name]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.rejected.Inc()
+			writeError(w, http.StatusServiceUnavailable, "server at concurrency limit")
+			return
+		}
+		start := s.now()
+		h(w, r)
+		ro.latency.Observe(s.now().Sub(start))
+		ro.count.Inc()
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, epoch int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if epoch >= 0 {
+		w.Header().Set("X-CFS-Epoch", strconv.Itoa(epoch))
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	writeJSON(w, status, -1, body)
+}
+
+// cached runs one epoch-cached query: load the current snapshot once,
+// serve from cache when the rendered response for (epoch, key) exists,
+// otherwise render from that same snapshot and store it. The whole
+// response derives from a single immutable Mapping, so it is consistent
+// with exactly one epoch even when Apply swaps snapshots mid-request.
+func (s *Server) cached(ro routeObs, w http.ResponseWriter, key string,
+	render func(m *facilitymap.Mapping) (int, []byte)) {
+	m := s.sys.Current()
+	if m == nil {
+		ro.errors.Inc()
+		writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+		return
+	}
+	epoch := m.Epoch()
+	if s.cache != nil {
+		if r, ok := s.cache.get(epoch, key); ok {
+			s.hits.Inc()
+			if r.status != http.StatusOK {
+				ro.errors.Inc()
+			}
+			writeJSON(w, r.status, epoch, r.body)
+			return
+		}
+		s.misses.Inc()
+	}
+	status, body := render(m)
+	if s.cache != nil {
+		s.cache.put(epoch, key, cachedResponse{status: status, body: body})
+	}
+	if status != http.StatusOK {
+		ro.errors.Inc()
+	}
+	writeJSON(w, status, epoch, body)
+}
+
+// interfaceResponse is the GET /v1/interface/{ip} body. The Interface
+// block reuses facilitymap.InterfaceInfo verbatim (the same record the
+// JSON dump emits), so dump consumers and API consumers share a shape.
+type interfaceResponse struct {
+	Epoch     int                        `json:"epoch"`
+	Interface *facilitymap.InterfaceInfo `json:"interface,omitempty"`
+	Error     string                     `json:"error,omitempty"`
+}
+
+func (s *Server) handleInterface(w http.ResponseWriter, r *http.Request) {
+	ip := r.PathValue("ip")
+	s.cached(s.routes["interface"], w, "if\x00"+ip, func(m *facilitymap.Mapping) (int, []byte) {
+		resp := interfaceResponse{Epoch: m.Epoch()}
+		if _, err := netaddr.ParseIP(ip); err != nil {
+			resp.Error = fmt.Sprintf("unparsable address %q", ip)
+			body, _ := json.Marshal(resp)
+			return http.StatusBadRequest, body
+		}
+		info, ok := m.Lookup(ip)
+		if !ok {
+			resp.Error = "no inference recorded for " + ip
+			body, _ := json.Marshal(resp)
+			return http.StatusNotFound, body
+		}
+		resp.Interface = &info
+		body, _ := json.Marshal(resp)
+		return http.StatusOK, body
+	})
+}
+
+// interconnectionsResponse is the GET /v1/interconnections body: every
+// classified link between the (order-insensitive) AS pair.
+type interconnectionsResponse struct {
+	Epoch            int                           `json:"epoch"`
+	A                int                           `json:"a"`
+	B                int                           `json:"b"`
+	Interconnections []facilitymap.Interconnection `json:"interconnections"`
+}
+
+func (s *Server) handleInterconnections(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	a, errA := strconv.Atoi(q.Get("a"))
+	b, errB := strconv.Atoi(q.Get("b"))
+	if errA != nil || errB != nil || a <= 0 || b <= 0 {
+		s.routes["interconnections"].errors.Inc()
+		writeError(w, http.StatusBadRequest, "need positive integer ASNs ?a= and ?b=")
+		return
+	}
+	// Normalize so (a,b) and (b,a) share one cache entry.
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := "ixn\x00" + strconv.Itoa(lo) + "," + strconv.Itoa(hi)
+	s.cached(s.routes["interconnections"], w, key, func(m *facilitymap.Mapping) (int, []byte) {
+		resp := interconnectionsResponse{
+			Epoch:            m.Epoch(),
+			A:                lo,
+			B:                hi,
+			Interconnections: m.Interconnections(lo, hi),
+		}
+		body, _ := json.Marshal(resp)
+		return http.StatusOK, body
+	})
+}
+
+// snapshotResponse is the GET /v1/snapshot body: the epoch-stamped
+// digest plus the AS-pair index size.
+type snapshotResponse struct {
+	facilitymap.SnapshotSummary
+	ASPairs int `json:"as_pairs"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.cached(s.routes["snapshot"], w, "snap", func(m *facilitymap.Mapping) (int, []byte) {
+		resp := snapshotResponse{SnapshotSummary: m.Summarize(), ASPairs: m.ASPairs()}
+		body, _ := json.Marshal(resp)
+		return http.StatusOK, body
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var reg *obs.Registry
+	if s.opt.Obs != nil {
+		reg = s.opt.Obs.Metrics
+	}
+	snap := reg.Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, snap.Render())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	snap.WriteJSON(w)
+}
+
+// deltasResponse is the POST /v1/deltas body: how many records were
+// folded in and which epoch the resulting snapshot carries.
+type deltasResponse struct {
+	Epoch   int `json:"epoch"`
+	Applied int `json:"applied"`
+}
+
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	ro := s.routes["deltas"]
+	log, err := delta.NewDecoder(http.MaxBytesReader(w, r.Body, maxDeltaBody)).Batch(0)
+	if err != nil {
+		ro.errors.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// An empty batch is a heartbeat: it still publishes a fresh epoch
+	// (the facade pins this), which the smoke test leans on.
+	m, err := s.enqueue(r.Context(), log)
+	if err != nil {
+		ro.errors.Inc()
+		status := http.StatusServiceUnavailable
+		if r.Context().Err() == nil {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	body, _ := json.Marshal(deltasResponse{Epoch: m.Epoch(), Applied: len(log)})
+	writeJSON(w, http.StatusOK, m.Epoch(), body)
+}
+
+// applyReq is one batch waiting for the writer goroutine.
+type applyReq struct {
+	log  []delta.Delta
+	resp chan applyResult
+}
+
+type applyResult struct {
+	m   *facilitymap.Mapping
+	err error
+}
+
+// enqueue hands a batch to the writer loop and waits for the published
+// snapshot. It fails fast when the writer has exited and gives up when
+// the request context does.
+func (s *Server) enqueue(ctx context.Context, log []delta.Delta) (*facilitymap.Mapping, error) {
+	req := applyReq{log: log, resp: make(chan applyResult, 1)}
+	select {
+	case s.applyCh <- req:
+	case <-s.done:
+		return nil, fmt.Errorf("serve: writer loop stopped")
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case res := <-req.resp:
+		return res.m, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Run is the single writer loop: every System.Apply in the daemon goes
+// through here, one batch at a time. It blocks until ctx is canceled,
+// then drains batches already queued (graceful SIGTERM semantics — an
+// accepted POST is never dropped) and closes Done.
+func (s *Server) Run(ctx context.Context) {
+	defer close(s.done)
+	for {
+		select {
+		case req := <-s.applyCh:
+			s.apply(req)
+		case <-ctx.Done():
+			for {
+				select {
+				case req := <-s.applyCh:
+					s.apply(req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) apply(req applyReq) {
+	m, err := s.sys.Apply(req.log)
+	if err != nil {
+		s.applyErrs.Inc()
+	} else {
+		s.applied.Add(int64(len(req.log)))
+		s.epochGauge.Set(int64(m.Epoch()))
+		if s.cache != nil {
+			// Invalidate at the swap, not lazily at the next store:
+			// stale entries vanish the moment the new epoch is live.
+			s.cache.advance(m.Epoch())
+		}
+	}
+	req.resp <- applyResult{m: m, err: err}
+}

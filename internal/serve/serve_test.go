@@ -1,0 +1,603 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"facilitymap"
+	"facilitymap/internal/delta"
+	"facilitymap/internal/obs"
+)
+
+func smallSystem(t *testing.T) *facilitymap.System {
+	t.Helper()
+	sys, err := facilitymap.NewSystem(facilitymap.Config{
+		Profile: "small", Seed: 1, MaxIterations: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// startServer builds a Server and runs its writer loop for the test's
+// lifetime; cleanup cancels and waits for the drain.
+func startServer(t *testing.T, sys *facilitymap.System, opt Options) *Server {
+	t.Helper()
+	if opt.Obs == nil {
+		opt.Obs = obs.New(0)
+	}
+	s := New(sys, opt)
+	ctx, cancel := context.WithCancel(context.Background())
+	go s.Run(ctx)
+	t.Cleanup(func() {
+		cancel()
+		<-s.Done()
+	})
+	return s
+}
+
+func get(h http.Handler, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func postDeltas(t *testing.T, h http.Handler, log []delta.Delta) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := delta.EncodeJSONL(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/deltas", &buf))
+	return rec
+}
+
+func decode[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+// mixedChurn draws a full-vocabulary churn log (facility, membership,
+// session and cross-connect deltas) against the system's world.
+func mixedChurn(t *testing.T, sys *facilitymap.System, n, seed int) []delta.Delta {
+	t.Helper()
+	log, _ := delta.Churn(sys.Env.W, n, int64(seed))
+	if len(log) != n {
+		t.Fatalf("churn produced %d deltas, want %d", len(log), n)
+	}
+	return log
+}
+
+// sampleQueries extracts representative query targets from a snapshot:
+// interface addresses and AS pairs that actually exist.
+func sampleQueries(m *facilitymap.Mapping, nIPs, nPairs int) (ips []string, pairs [][2]int) {
+	res := m.Result()
+	infos := m.Interfaces()
+	step := len(infos)/nIPs + 1
+	for i := 0; i < len(infos) && len(ips) < nIPs; i += step {
+		ips = append(ips, infos[i].IP)
+	}
+	seen := map[[2]int]bool{}
+	for _, l := range res.Links {
+		far := l.FarAS
+		if l.Public {
+			far = 0
+			if ir := res.Interfaces[l.FarPort]; ir != nil {
+				far = ir.Owner
+			}
+		}
+		if l.NearAS == 0 || far == 0 || far == l.NearAS {
+			continue
+		}
+		a, b := int(l.NearAS), int(far)
+		if a > b {
+			a, b = b, a
+		}
+		p := [2]int{a, b}
+		if !seen[p] {
+			seen[p] = true
+			pairs = append(pairs, p)
+			if len(pairs) >= nPairs {
+				break
+			}
+		}
+	}
+	return ips, pairs
+}
+
+// TestEpochCache pins the cache invariants directly: same-epoch hits,
+// cross-epoch misses, wholesale reset on advance, stale puts dropped,
+// and the entry bound.
+func TestEpochCache(t *testing.T) {
+	c := newEpochCache(2)
+	r1 := cachedResponse{status: 200, body: []byte("one")}
+	c.put(0, "k1", r1)
+	if got, ok := c.get(0, "k1"); !ok || string(got.body) != "one" {
+		t.Fatal("same-epoch get missed")
+	}
+	if _, ok := c.get(1, "k1"); ok {
+		t.Fatal("entry visible under a different epoch")
+	}
+
+	// Bound: third distinct key at the same epoch is not admitted.
+	c.put(0, "k2", r1)
+	c.put(0, "k3", r1)
+	if _, ok := c.get(0, "k3"); ok {
+		t.Fatal("bound exceeded")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d, want 2", c.len())
+	}
+
+	// Advancing resets wholesale.
+	c.advance(1)
+	if c.len() != 0 {
+		t.Fatalf("advance left %d entries", c.len())
+	}
+	if _, ok := c.get(0, "k1"); ok {
+		t.Fatal("entry outlived its epoch")
+	}
+
+	// A late writer from the superseded epoch is dropped.
+	c.put(0, "k1", r1)
+	if _, ok := c.get(0, "k1"); ok {
+		t.Fatal("stale put resurrected an old epoch")
+	}
+	if c.len() != 0 {
+		t.Fatal("stale put stored under the new epoch")
+	}
+}
+
+// TestQueryEndpoints drives every read route against a converged
+// system and checks each response against the facade directly.
+func TestQueryEndpoints(t *testing.T) {
+	sys := smallSystem(t)
+	m := sys.MapInterconnections()
+	o := obs.New(0)
+	s := startServer(t, sys, Options{Obs: o})
+	h := s.Handler()
+
+	ips, pairs := sampleQueries(m, 4, 4)
+	if len(ips) == 0 || len(pairs) == 0 {
+		t.Fatal("no query targets in the snapshot")
+	}
+
+	// Interface: hit, then repeat (cache hit), then 404 and 400.
+	rec := get(h, "/v1/interface/"+ips[0])
+	if rec.Code != http.StatusOK {
+		t.Fatalf("interface status %d: %s", rec.Code, rec.Body)
+	}
+	got := decode[interfaceResponse](t, rec)
+	want, ok := m.Lookup(ips[0])
+	if !ok {
+		t.Fatal("sampled IP not in mapping")
+	}
+	if got.Epoch != m.Epoch() || got.Interface == nil || !reflect.DeepEqual(*got.Interface, want) {
+		t.Fatalf("interface response mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if rec.Header().Get("X-CFS-Epoch") != "0" {
+		t.Fatalf("epoch header %q, want 0", rec.Header().Get("X-CFS-Epoch"))
+	}
+
+	misses := s.misses.Value()
+	rec = get(h, "/v1/interface/"+ips[0])
+	if rec.Code != http.StatusOK {
+		t.Fatalf("repeat status %d", rec.Code)
+	}
+	if s.misses.Value() != misses || s.hits.Value() == 0 {
+		t.Fatalf("repeat query did not hit the cache (hits=%d misses=%d)",
+			s.hits.Value(), s.misses.Value())
+	}
+
+	if rec = get(h, "/v1/interface/203.0.113.254"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown IP status %d, want 404", rec.Code)
+	}
+	if rec = get(h, "/v1/interface/not-an-ip"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unparsable IP status %d, want 400", rec.Code)
+	}
+
+	// Interconnections: order-insensitive and equal to the facade.
+	a, b := pairs[0][0], pairs[0][1]
+	rec = get(h, fmt.Sprintf("/v1/interconnections?a=%d&b=%d", b, a))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("interconnections status %d: %s", rec.Code, rec.Body)
+	}
+	ixn := decode[interconnectionsResponse](t, rec)
+	if !reflect.DeepEqual(ixn.Interconnections, m.Interconnections(a, b)) {
+		t.Fatal("interconnections mismatch with facade")
+	}
+	if rec = get(h, "/v1/interconnections?a=zero&b=1"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad ASN status %d, want 400", rec.Code)
+	}
+
+	// Snapshot digest.
+	rec = get(h, "/v1/snapshot")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot status %d", rec.Code)
+	}
+	snap := decode[snapshotResponse](t, rec)
+	if snap.SnapshotSummary != m.Summarize() || snap.ASPairs != m.ASPairs() {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+
+	// Metrics exposes the counters this test just incremented.
+	rec = get(h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	ms := decode[obs.Snapshot](t, rec)
+	if ms.Counters["serve.http.requests.interface"] == 0 {
+		t.Fatalf("metrics missing request counters: %v", ms.Counters)
+	}
+	if rec = get(h, "/metrics?format=text"); !bytes.Contains(rec.Body.Bytes(), []byte("serve.cache.hits")) {
+		t.Fatal("text metrics missing cache counters")
+	}
+}
+
+// TestServerBeforeFirstSnapshot: queries against a system that has not
+// converged yet answer 503, not a panic or an empty 200.
+func TestServerBeforeFirstSnapshot(t *testing.T) {
+	s := startServer(t, smallSystem(t), Options{})
+	rec := get(s.Handler(), "/v1/snapshot")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+}
+
+// TestDeltaIngestion drives POST /v1/deltas: the epoch advances, the
+// response names it, the cache is invalidated wholesale, and a
+// malformed body is rejected without touching the system.
+func TestDeltaIngestion(t *testing.T) {
+	sys := smallSystem(t)
+	m0 := sys.MapInterconnections()
+	s := startServer(t, sys, Options{})
+	h := s.Handler()
+
+	// Warm the cache at epoch 0.
+	ips, _ := sampleQueries(m0, 2, 1)
+	get(h, "/v1/interface/"+ips[0])
+	get(h, "/v1/snapshot")
+	if s.cache.len() == 0 {
+		t.Fatal("cache not warmed")
+	}
+
+	rec := postDeltas(t, h, mixedChurn(t, sys, 30, 11))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST status %d: %s", rec.Code, rec.Body)
+	}
+	dr := decode[deltasResponse](t, rec)
+	if dr.Epoch != 1 || dr.Applied != 30 {
+		t.Fatalf("deltas response %+v, want epoch 1 applied 30", dr)
+	}
+	if cur := sys.Current(); cur.Epoch() != 1 {
+		t.Fatalf("system epoch %d after POST, want 1", cur.Epoch())
+	}
+
+	// The warmed entries died with epoch 0.
+	if _, ok := s.cache.get(0, "snap"); ok {
+		t.Fatal("epoch-0 cache entry survived the swap")
+	}
+	snap := decode[snapshotResponse](t, get(h, "/v1/snapshot"))
+	if snap.Epoch != 1 {
+		t.Fatalf("post-swap snapshot epoch %d, want 1", snap.Epoch)
+	}
+
+	// Malformed body: 400, no epoch consumed.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/deltas",
+		bytes.NewBufferString(`{"kind":"frobnicate"}`+"\n")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed POST status %d, want 400", rec.Code)
+	}
+	if cur := sys.Current(); cur.Epoch() != 1 {
+		t.Fatalf("malformed POST advanced the epoch to %d", cur.Epoch())
+	}
+
+	// An empty body is the heartbeat: a fresh epoch, nothing applied.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/deltas", bytes.NewBuffer(nil)))
+	if dr := decode[deltasResponse](t, rec); dr.Epoch != 2 || dr.Applied != 0 {
+		t.Fatalf("heartbeat response %+v, want epoch 2 applied 0", dr)
+	}
+}
+
+// TestConcurrencyLimit fills the in-flight semaphore by hand and checks
+// the overload answer is a fast 503.
+func TestConcurrencyLimit(t *testing.T) {
+	sys := smallSystem(t)
+	sys.MapInterconnections()
+	s := startServer(t, sys, Options{MaxInFlight: 2})
+	s.inflight <- struct{}{}
+	s.inflight <- struct{}{}
+	rec := get(s.Handler(), "/v1/snapshot")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d at the concurrency limit, want 503", rec.Code)
+	}
+	if s.rejected.Value() != 1 {
+		t.Fatalf("rejected counter %d, want 1", s.rejected.Value())
+	}
+	<-s.inflight
+	<-s.inflight
+	if rec = get(s.Handler(), "/v1/snapshot"); rec.Code != http.StatusOK {
+		t.Fatalf("status %d after release, want 200", rec.Code)
+	}
+}
+
+// TestConcurrentEpochConsistency is the daemon's central guarantee,
+// run under -race in CI: queries racing a stream of Apply batches
+// never observe a torn snapshot — every response is consistent with
+// exactly one published epoch — and once the last batch lands, fresh
+// queries serve the final epoch with no stale cache.
+func TestConcurrentEpochConsistency(t *testing.T) {
+	sys := smallSystem(t)
+	m0 := sys.MapInterconnections()
+	s := startServer(t, sys, Options{})
+	h := s.Handler()
+
+	ips, pairs := sampleQueries(m0, 6, 6)
+	if len(ips) < 2 || len(pairs) < 2 {
+		t.Fatal("not enough query targets")
+	}
+
+	// mappings[e] is the immutable snapshot published as epoch e,
+	// recorded by the writer side as each batch lands.
+	var mu sync.Mutex
+	mappings := map[int]*facilitymap.Mapping{0: m0}
+	snapshotAt := func(epoch int) *facilitymap.Mapping {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			m := mappings[epoch]
+			mu.Unlock()
+			if m != nil || time.Now().After(deadline) {
+				return m
+			}
+			// The response can arrive between the writer publishing the
+			// snapshot and the poster registering it; spin briefly.
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	report := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// checkInterface asserts the response equals what its own epoch's
+	// snapshot answers — regardless of which epoch that is.
+	checkInterface := func(ip string) {
+		rec := get(h, "/v1/interface/"+ip)
+		if rec.Code != http.StatusOK && rec.Code != http.StatusNotFound {
+			report("interface %s: status %d", ip, rec.Code)
+			return
+		}
+		var got interfaceResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			report("interface %s: %v", ip, err)
+			return
+		}
+		m := snapshotAt(got.Epoch)
+		if m == nil {
+			report("interface %s: response from unpublished epoch %d", ip, got.Epoch)
+			return
+		}
+		want, ok := m.Lookup(ip)
+		switch {
+		case rec.Code == http.StatusNotFound:
+			if ok {
+				report("interface %s: 404 but epoch %d resolves it", ip, got.Epoch)
+			}
+		case !ok:
+			report("interface %s: 200 but epoch %d has no record", ip, got.Epoch)
+		case got.Interface == nil || !reflect.DeepEqual(*got.Interface, want):
+			report("interface %s: epoch %d torn response:\n got %+v\nwant %+v",
+				ip, got.Epoch, got.Interface, want)
+		}
+	}
+	checkPair := func(p [2]int) {
+		rec := get(h, fmt.Sprintf("/v1/interconnections?a=%d&b=%d", p[0], p[1]))
+		if rec.Code != http.StatusOK {
+			report("pair %v: status %d", p, rec.Code)
+			return
+		}
+		var got interconnectionsResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			report("pair %v: %v", p, err)
+			return
+		}
+		m := snapshotAt(got.Epoch)
+		if m == nil {
+			report("pair %v: response from unpublished epoch %d", p, got.Epoch)
+			return
+		}
+		if want := m.Interconnections(p[0], p[1]); !reflect.DeepEqual(got.Interconnections, want) {
+			report("pair %v: epoch %d torn response", p, got.Epoch)
+		}
+	}
+	checkSnapshot := func() {
+		rec := get(h, "/v1/snapshot")
+		if rec.Code != http.StatusOK {
+			report("snapshot: status %d", rec.Code)
+			return
+		}
+		var got snapshotResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			report("snapshot: %v", err)
+			return
+		}
+		m := snapshotAt(got.Epoch)
+		if m == nil {
+			report("snapshot: response from unpublished epoch %d", got.Epoch)
+			return
+		}
+		if want := m.Summarize(); got.SnapshotSummary != want || got.ASPairs != m.ASPairs() {
+			// Every field coming from one Census/Summarize call of one
+			// snapshot: any mix of two epochs trips this.
+			report("snapshot: epoch %d torn digest:\n got %+v\nwant %+v",
+				got.Epoch, got.SnapshotSummary, want)
+		}
+	}
+
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch (g + i) % 3 {
+				case 0:
+					checkInterface(ips[(g+i)%len(ips)])
+				case 1:
+					checkPair(pairs[(g+i)%len(pairs)])
+				case 2:
+					checkSnapshot()
+				}
+			}
+		}(g)
+	}
+
+	// The writer side: three mixed batches through the ingestion path,
+	// registering each published snapshot before the next POST.
+	churn := mixedChurn(t, sys, 120, 9)
+	final := 0
+	for i, batch := range [][]delta.Delta{churn[:40], churn[40:80], churn[80:]} {
+		rec := postDeltas(t, h, batch)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("POST %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+		dr := decode[deltasResponse](t, rec)
+		mu.Lock()
+		mappings[dr.Epoch] = sys.Current()
+		mu.Unlock()
+		final = dr.Epoch
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if final != 3 {
+		t.Fatalf("final epoch %d, want 3", final)
+	}
+
+	// No stale cache after the last swap: fresh queries of every kind
+	// answer the final epoch and match the final snapshot exactly.
+	cur := sys.Current()
+	if cur.Epoch() != final {
+		t.Fatalf("Current epoch %d, want %d", cur.Epoch(), final)
+	}
+	for _, ip := range ips {
+		got := decode[interfaceResponse](t, get(h, "/v1/interface/"+ip))
+		if got.Epoch != final {
+			t.Fatalf("post-drain interface query answered epoch %d, want %d", got.Epoch, final)
+		}
+	}
+	snap := decode[snapshotResponse](t, get(h, "/v1/snapshot"))
+	if snap.Epoch != final || snap.SnapshotSummary != cur.Summarize() {
+		t.Fatalf("post-drain snapshot stale: %+v", snap)
+	}
+	if s.hits.Value() == 0 || s.misses.Value() == 0 {
+		t.Fatalf("cache never exercised (hits=%d misses=%d)", s.hits.Value(), s.misses.Value())
+	}
+}
+
+// TestFollowTail drives the file-tail ingestion path: batches appended
+// to a JSONL log land as epochs, partial lines are held until their
+// newline arrives, and malformed lines are skipped and counted.
+func TestFollowTail(t *testing.T) {
+	sys := smallSystem(t)
+	sys.MapInterconnections()
+	s := startServer(t, sys, Options{})
+
+	path := t.TempDir() + "/churn.jsonl"
+	ctx, cancel := context.WithCancel(context.Background())
+	followDone := make(chan error, 1)
+	go func() { followDone <- s.Follow(ctx, path, 5*time.Millisecond, 256) }()
+
+	waitEpoch := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if cur := sys.Current(); cur.Epoch() >= want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("epoch never reached %d (at %d)", want, sys.Current().Epoch())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	churn := mixedChurn(t, sys, 40, 21)
+	var buf bytes.Buffer
+	if err := delta.EncodeJSONL(&buf, churn[:20]); err != nil {
+		t.Fatal(err)
+	}
+	appendFile(t, path, buf.Bytes())
+	waitEpoch(1)
+
+	// A record split across two writes must not be torn: write half a
+	// line plus garbage-free prefix, then the rest.
+	buf.Reset()
+	if err := delta.EncodeJSONL(&buf, churn[20:]); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.Bytes()
+	appendFile(t, path, line[:len(line)/2])
+	time.Sleep(20 * time.Millisecond) // a few polls with the partial line pending
+	before := sys.Current().Epoch()
+	appendFile(t, path, line[len(line)/2:])
+	waitEpoch(before + 1)
+
+	// Malformed lines are counted and skipped, valid ones still apply.
+	bad := s.followBad.Value()
+	appendFile(t, path, []byte(`{"kind":"frobnicate"}`+"\n"))
+	appendFile(t, path, []byte(`{"kind":"session_down","peer_ip":"10.9.9.9","peer_as":64999}`+"\n"))
+	waitEpoch(before + 2)
+	if s.followBad.Value() != bad+1 {
+		t.Fatalf("bad-line counter %d, want %d", s.followBad.Value(), bad+1)
+	}
+
+	cancel()
+	if err := <-followDone; err != context.Canceled {
+		t.Fatalf("Follow returned %v, want context.Canceled", err)
+	}
+}
+
+func appendFile(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+}
