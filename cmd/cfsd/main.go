@@ -14,6 +14,10 @@
 //	GET  /v1/interconnections?a=ASN&b=ASN
 //	                            every classified link between an AS pair
 //	GET  /v1/snapshot           the epoch-stamped mapping digest
+//	POST /v1/interfaces:batch   a JSON array of addresses; one result per
+//	                            address, all from one snapshot
+//	GET  /v1/interfaces/stream  every inference as NDJSON, one record per
+//	                            line (epoch in X-CFS-Epoch)
 //	GET  /metrics               the obs snapshot (?format=text for the table)
 //	POST /v1/deltas             a JSONL delta batch (worldgen -churn format);
 //	                            answers {"epoch":N,"applied":K}
@@ -21,6 +25,8 @@
 // Every query is answered from the current immutable snapshot and
 // stamped with its epoch (body and X-CFS-Epoch header); responses are
 // cached per epoch and the cache dies wholesale at each snapshot swap.
+// The writer loop materializes each snapshot's serving tables at the
+// swap, so queries are table reads — never snapshot-wide builds.
 // Writes — POSTed batches and, with -follow, records tailed from a
 // growing churn log — are serialized through one writer goroutine.
 //
@@ -86,10 +92,11 @@ func main() {
 		len(m.Result().Interfaces), m.Result().Resolved())
 
 	srv := serve.New(sys, serve.Options{
-		RequestTimeout: *timeout,
-		MaxInFlight:    *inflight,
-		CacheEntries:   *cacheSize,
-		Obs:            obs.New(0),
+		RequestTimeout:     *timeout,
+		MaxInFlight:        *inflight,
+		CacheEntries:       *cacheSize,
+		MaterializeWorkers: *workers,
+		Obs:                obs.New(0),
 	})
 
 	// The writer loop owns every Apply; canceling writerCtx begins the

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -194,6 +195,34 @@ type Mapping struct {
 	// to share across concurrent readers.
 	ixnOnce sync.Once
 	ixnIdx  map[asPair][]int // normalized AS pair -> indices into res.Links
+
+	// The materialized tables (described records plus their rendered
+	// JSON) are built at most once per snapshot — eagerly by Materialize
+	// (the daemon's writer loop calls it right after each publish) or
+	// lazily by the first accessor that needs them. The atomic pointer
+	// lets fast paths peek without entering the Once.
+	matOnce sync.Once
+	mat     atomic.Pointer[materialized]
+}
+
+// materialized is a snapshot's query-serving tables, derived once from
+// res so the request hot path never re-describes an interface: the
+// describe() formatting, provenance dedup and JSON marshaling all
+// happen here, at swap time, instead of per request.
+type materialized struct {
+	// order lists every interface resolved-first, then in ascending
+	// address order — the Interfaces() and stream-dump ordering.
+	order []netaddr.IP
+	// index maps an interface address to its position in order.
+	index map[netaddr.IP]int
+	// infos[i] is the described record of order[i]; blobs[i] is its
+	// JSON rendering. Both are shared, immutable, and live exactly as
+	// long as the snapshot.
+	infos []InterfaceInfo
+	blobs [][]byte
+	// summary is the snapshot digest, pre-computed so /v1/snapshot
+	// never re-walks the router census per query.
+	summary SnapshotSummary
 }
 
 // asPair is a normalized (lo <= hi) AS pair, the interconnection
@@ -229,11 +258,22 @@ type InterfaceInfo struct {
 	Evidence []string
 }
 
-// Lookup reports the inference for one interface address.
+// Lookup reports the inference for one interface address. When the
+// snapshot has been materialized the answer is a table read; otherwise
+// the record is described on the fly (no full materialization is
+// triggered for a single lookup). Returned records share their slices
+// with the snapshot — treat them as read-only.
 func (m *Mapping) Lookup(ip string) (InterfaceInfo, bool) {
 	addr, err := netaddr.ParseIP(ip)
 	if err != nil {
 		return InterfaceInfo{}, false
+	}
+	if mat := m.mat.Load(); mat != nil {
+		i, ok := mat.index[addr]
+		if !ok {
+			return InterfaceInfo{}, false
+		}
+		return mat.infos[i], true
 	}
 	ir, ok := m.res.Interfaces[addr]
 	if !ok {
@@ -242,24 +282,160 @@ func (m *Mapping) Lookup(ip string) (InterfaceInfo, bool) {
 	return m.describe(ir), true
 }
 
-// Interfaces lists every inference, resolved first, in address order.
-func (m *Mapping) Interfaces() []InterfaceInfo {
-	var ips []netaddr.IP
-	for ip := range m.res.Interfaces {
-		ips = append(ips, ip)
+// interfaceOrder returns the snapshot's canonical listing order —
+// resolved first, then ascending address — as a pre-sorted slice. The
+// (ip, resolved) pairs are captured up front so the comparator never
+// does map lookups (two per comparison adds up over n·log n compares
+// on the internet-scale profile).
+func interfaceOrder(interfaces map[netaddr.IP]*cfs.InterfaceResult) []netaddr.IP {
+	type sortKey struct {
+		ip       netaddr.IP
+		resolved bool
 	}
-	sort.Slice(ips, func(i, j int) bool {
-		a, b := m.res.Interfaces[ips[i]], m.res.Interfaces[ips[j]]
-		if a.Resolved != b.Resolved {
-			return a.Resolved
+	keys := make([]sortKey, 0, len(interfaces))
+	for ip, ir := range interfaces {
+		keys = append(keys, sortKey{ip, ir.Resolved})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].resolved != keys[j].resolved {
+			return keys[i].resolved
 		}
-		return ips[i] < ips[j]
+		return keys[i].ip < keys[j].ip
 	})
+	out := make([]netaddr.IP, len(keys))
+	for i, k := range keys {
+		out[i] = k.ip
+	}
+	return out
+}
+
+// Interfaces lists every inference, resolved first, in address order.
+// A materialized snapshot answers from its table; otherwise records
+// are described on the fly.
+func (m *Mapping) Interfaces() []InterfaceInfo {
+	if mat := m.mat.Load(); mat != nil {
+		out := make([]InterfaceInfo, len(mat.infos))
+		copy(out, mat.infos)
+		return out
+	}
+	ips := interfaceOrder(m.res.Interfaces)
 	out := make([]InterfaceInfo, 0, len(ips))
 	for _, ip := range ips {
 		out = append(out, m.describe(m.res.Interfaces[ip]))
 	}
 	return out
+}
+
+// foldWorkers resolves a worker count the way cfs.Config.Workers does:
+// 0 (or negative) means one per available CPU.
+func foldWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// parallelFold splits [0, n) into at most `workers` contiguous chunks
+// and runs fn on each from its own goroutine, waiting for all — the
+// same index-addressed sharding the CFS engine's compute phases use,
+// so output order never depends on goroutine scheduling. fn receives a
+// dense 0-based shard index and its half-open range; with one chunk it
+// runs inline.
+func parallelFold(n, workers int, fn func(shard, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	shard := 0
+	for s := 0; s < workers; s++ {
+		lo, hi := s*n/workers, (s+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(shard, lo, hi)
+		shard++
+	}
+	wg.Wait()
+}
+
+// Materialize builds the snapshot's query-serving tables — the
+// described record and rendered JSON of every interface, plus the
+// AS-pair interconnection index — in a parallel fold over `workers`
+// goroutines (0 = one per CPU). The daemon's writer loop calls this
+// right after each Apply publishes, so the first query after a swap
+// is a table read instead of a snapshot-wide build; calling it again
+// (from any goroutine) is a no-op. Library users never need it: every
+// accessor falls back to on-the-fly description.
+func (m *Mapping) Materialize(workers int) {
+	m.matOnce.Do(func() {
+		m.ixnOnce.Do(func() { m.buildInterconnectionIndex(workers) })
+		order := interfaceOrder(m.res.Interfaces)
+		mat := &materialized{
+			order: order,
+			index: make(map[netaddr.IP]int, len(order)),
+			infos: make([]InterfaceInfo, len(order)),
+			blobs: make([][]byte, len(order)),
+		}
+		parallelFold(len(order), foldWorkers(workers), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				mat.infos[i] = m.describe(m.res.Interfaces[order[i]])
+				mat.blobs[i], _ = json.Marshal(&mat.infos[i])
+			}
+		})
+		for i, ip := range order {
+			mat.index[ip] = i
+		}
+		mat.summary = m.computeSummary()
+		m.mat.Store(mat)
+	})
+}
+
+// materialize is Materialize with the system's configured worker
+// count, used by the lazy paths.
+func (m *Mapping) materialize() *materialized {
+	if mat := m.mat.Load(); mat != nil {
+		return mat
+	}
+	m.Materialize(m.sys.cfg.Workers)
+	return m.mat.Load()
+}
+
+// InterfaceJSON returns the pre-rendered JSON record (the InterfaceInfo
+// shape) for one interface address, materializing the snapshot's tables
+// on first use. The returned bytes are shared and immutable.
+func (m *Mapping) InterfaceJSON(ip string) ([]byte, bool) {
+	addr, err := netaddr.ParseIP(ip)
+	if err != nil {
+		return nil, false
+	}
+	mat := m.materialize()
+	i, ok := mat.index[addr]
+	if !ok {
+		return nil, false
+	}
+	return mat.blobs[i], true
+}
+
+// EachInterfaceJSON calls yield with every interface's pre-rendered
+// JSON record in the snapshot's listing order (resolved first, then
+// ascending address) until yield returns false. The bytes are shared
+// and immutable; the daemon's stream endpoint writes them verbatim.
+func (m *Mapping) EachInterfaceJSON(yield func(rec []byte) bool) {
+	for _, b := range m.materialize().blobs {
+		if !yield(b) {
+			return
+		}
+	}
 }
 
 func (m *Mapping) describe(ir *cfs.InterfaceResult) InterfaceInfo {
@@ -328,8 +504,7 @@ type Interconnection struct {
 // and where are they established" — served from the epoch's immutable
 // snapshot.
 func (m *Mapping) Interconnections(a, b int) []Interconnection {
-	m.ixnOnce.Do(m.buildInterconnectionIndex)
-	idx := m.ixnIdx[pairKey(world.ASN(a), world.ASN(b))]
+	idx := m.interconnectionIndex()[pairKey(world.ASN(a), world.ASN(b))]
 	out := make([]Interconnection, 0, len(idx))
 	for _, i := range idx {
 		out = append(out, m.describeLink(m.res.Links[i]))
@@ -340,23 +515,52 @@ func (m *Mapping) Interconnections(a, b int) []Interconnection {
 // ASPairs returns the number of distinct AS pairs with at least one
 // classified interconnection in this snapshot.
 func (m *Mapping) ASPairs() int {
-	m.ixnOnce.Do(m.buildInterconnectionIndex)
-	return len(m.ixnIdx)
+	return len(m.interconnectionIndex())
 }
 
-// buildInterconnectionIndex folds res.Links into the per-AS-pair index.
-// The far-end AS of a public link is the owner of the replying IXP
-// port, resolved through the snapshot's own interface inferences (the
-// same rule the resilience analyzer applies).
-func (m *Mapping) buildInterconnectionIndex() {
-	idx := make(map[asPair][]int)
-	for i, l := range m.res.Links {
-		far := m.farASOf(l)
-		if l.NearAS == 0 || far == 0 || far == l.NearAS {
-			continue
+// interconnectionIndex returns the per-AS-pair link index, building it
+// on first use with the system's configured worker count. Materialize
+// forces the build at swap time so daemon queries never pay it.
+func (m *Mapping) interconnectionIndex() map[asPair][]int {
+	m.ixnOnce.Do(func() { m.buildInterconnectionIndex(m.sys.cfg.Workers) })
+	return m.ixnIdx
+}
+
+// buildInterconnectionIndex folds res.Links into the per-AS-pair index
+// with a parallel fold: contiguous link ranges build per-shard partial
+// indexes, merged in shard order so every pair's link list stays in
+// ascending global link order regardless of worker count. The far-end
+// AS of a public link is the owner of the replying IXP port, resolved
+// through the snapshot's own interface inferences (the same rule the
+// resilience analyzer applies).
+func (m *Mapping) buildInterconnectionIndex(workers int) {
+	links := m.res.Links
+	w := foldWorkers(workers)
+	if w > len(links) {
+		w = len(links)
+	}
+	if w < 1 {
+		w = 1
+	}
+	parts := make([]map[asPair][]int, w)
+	parallelFold(len(links), w, func(shard, lo, hi int) {
+		part := make(map[asPair][]int)
+		for i := lo; i < hi; i++ {
+			l := links[i]
+			far := m.farASOf(l)
+			if l.NearAS == 0 || far == 0 || far == l.NearAS {
+				continue
+			}
+			key := pairKey(l.NearAS, far)
+			part[key] = append(part[key], i)
 		}
-		key := pairKey(l.NearAS, far)
-		idx[key] = append(idx[key], i)
+		parts[shard] = part
+	})
+	idx := make(map[asPair][]int)
+	for _, part := range parts {
+		for key, is := range part {
+			idx[key] = append(idx[key], is...)
+		}
 	}
 	m.ixnIdx = idx
 }
@@ -480,8 +684,17 @@ type SnapshotSummary struct {
 	ProximityPlacements int     `json:"proximity_placements"`
 }
 
-// Summarize condenses the snapshot into its JSON-shaped digest.
+// Summarize condenses the snapshot into its JSON-shaped digest. A
+// materialized snapshot answers from its pre-computed digest; otherwise
+// the census runs on the fly.
 func (m *Mapping) Summarize() SnapshotSummary {
+	if mat := m.mat.Load(); mat != nil {
+		return mat.summary
+	}
+	return m.computeSummary()
+}
+
+func (m *Mapping) computeSummary() SnapshotSummary {
 	census := m.res.Census()
 	return SnapshotSummary{
 		Epoch:               m.res.Epoch,

@@ -1,7 +1,10 @@
 // Package noclock forbids ambient nondeterminism sources inside the
-// engine packages (internal/cfs, internal/trace, internal/delta) and
-// the daemon layer (internal/serve, cmd/cfsd): wall-clock reads
-// (time.Now, time.Since, time.Sleep) and anything from math/rand.
+// engine packages (internal/cfs, internal/trace, internal/delta), the
+// snapshot facade (the root facilitymap package, whose swap-time
+// materialization must render byte-identical tables for a given
+// snapshot) and the daemon layer (internal/serve, cmd/cfsd):
+// wall-clock reads (time.Now, time.Since, time.Sleep) and anything
+// from math/rand.
 //
 // The sanctioned sources, established by PRs 3–4, are:
 //
@@ -41,7 +44,7 @@ var Analyzer = &framework.Analyzer{
 	Name: "noclock",
 	Doc: "forbid time.Now/time.Since/time.Sleep and all of math/rand in engine " +
 		"packages; the injected clock and the fastrng stream are the only sanctioned sources",
-	Packages: []string{"internal/cfs", "internal/trace", "internal/delta", "internal/serve", "cmd/cfsd"},
+	Packages: []string{"facilitymap", "internal/cfs", "internal/trace", "internal/delta", "internal/serve", "cmd/cfsd"},
 	Run:      run,
 }
 

@@ -1,0 +1,54 @@
+// Package facilitymap is noclock's fixture for the snapshot facade:
+// its base name matches the real root package, where the swap-time
+// materialization fold must render byte-identical tables for a given
+// snapshot — so no clock reads or ambient randomness may leak into it.
+package facilitymap
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Flagged: timing the fold from inside the facade. Wall time belongs
+// to the caller (the daemon's writer loop), never to the fold itself.
+func foldTimed(shards int, fn func(int)) time.Duration {
+	t0 := time.Now() // want `time.Now in an engine package`
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) { defer wg.Done(); fn(s) }(s)
+	}
+	wg.Wait()
+	return time.Since(t0) // want `time.Since in an engine package`
+}
+
+// Flagged: backing off between shard merges reads the clock.
+func mergeWithBackoff(merge func() bool) {
+	for !merge() {
+		time.Sleep(time.Millisecond) // want `time.Sleep in an engine package`
+	}
+}
+
+// Flagged: jittered shard boundaries decouple the rendered tables from
+// the snapshot — two materializations of one epoch would differ.
+func jitteredShard(n int) int {
+	return rand.Intn(n) // want `math/rand.Intn in an engine package`
+}
+
+// Clean: splitting a caller-supplied budget is arithmetic, not a clock.
+func perShardBudget(d time.Duration, shards int) time.Duration {
+	return d / time.Duration(shards)
+}
+
+// Clean: deterministic shard assignment from the key itself.
+func shardOf(key uint32, shards int) int {
+	return int(key % uint32(shards))
+}
+
+// Suppressed: an explicit, justified boundary, mirroring the facade's
+// sanctioned pattern of annotating the single wall-clock touchpoint.
+func swapStamp() time.Time {
+	//cfslint:ignore noclock fixture's sanctioned boundary: the swap timestamp feeds a log line, never a table
+	return time.Now()
+}

@@ -1,0 +1,64 @@
+// Batch/fold-shaped callers: the serving layer's bulk paths touch the
+// obs handle from loops, closures and worker goroutines, so rule 2
+// must hold (and its guards must dominate) across those shapes too.
+package client
+
+import "obs"
+
+// Flagged: a per-item dereference inside the batch loop; the loop
+// multiplies one missing guard into a panic per address.
+func batchUnguarded(o *obs.Obs, ips []string) int {
+	n := 0
+	for range ips {
+		if o.Metrics != nil { // want `o.Metrics dereferences a possibly-nil`
+			n++
+		}
+	}
+	return n
+}
+
+// Clean: one early exit dominates every iteration.
+func batchGuarded(o *obs.Obs, ips []string) int {
+	if o == nil {
+		return 0
+	}
+	n := 0
+	for range ips {
+		if o.Metrics != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Flagged: the materialization fold captures the handle in per-shard
+// goroutines; the guard has to sit outside the spawn, and here it
+// doesn't exist.
+func foldUnguarded(o *obs.Obs, shards int, done chan<- *obs.Registry) {
+	for s := 0; s < shards; s++ {
+		go func() {
+			done <- o.Metrics // want `o.Metrics dereferences a possibly-nil`
+		}()
+	}
+}
+
+// Clean: the early exit dominates the closures it precedes.
+func foldGuarded(o *obs.Obs, shards int, done chan<- *obs.Registry) {
+	if o == nil {
+		return
+	}
+	for s := 0; s < shards; s++ {
+		go func() {
+			done <- o.Metrics
+		}()
+	}
+}
+
+// Flagged: guarding one handle says nothing about its sibling — the
+// batch path juggles per-route and per-cache handles.
+func twoHandles(a *obs.Obs, b *obs.Obs) bool {
+	if a == nil {
+		return false
+	}
+	return a.Metrics == b.Metrics // want `b.Metrics dereferences a possibly-nil`
+}

@@ -10,78 +10,224 @@ type cachedResponse struct {
 	body   []byte
 }
 
-// epochCache is the query cache keyed by (epoch, request key). The
-// invariant the daemon's consistency test pins: an entry never outlives
-// the epoch it was rendered from. The cache tracks a single current
-// epoch; a lookup against any other epoch misses, and the first store
-// from a newer epoch drops the whole map — wholesale invalidation on
-// snapshot swap, never entry-by-entry decay.
+// cacheKey addresses one cached response without per-request string
+// concatenation: the route tag namespaces the key spaces (so
+// /v1/interface/snap can never collide with the snapshot digest) and
+// arg carries the route-specific argument — the interface address, the
+// normalized AS pair, the joined batch body. The struct is comparable,
+// so the hot lookup allocates nothing.
+type cacheKey struct {
+	route uint8
+	arg   string
+}
+
+// Route tags for cacheKey.
+const (
+	routeInterface uint8 = iota
+	routeInterconnections
+	routeSnapshot
+	routeBatch
+)
+
+// cacheShards is the lock-stripe count. Requests hash across shards by
+// key, so concurrent readers on different keys contend on different
+// mutexes; 16 stripes keeps the worst case (every core hammering the
+// cache) spread while the per-shard maps stay big enough to matter.
+const cacheShards = 16
+
+// epochCache is the query cache keyed by (epoch, request key),
+// lock-striped over cacheShards shards. The invariant the daemon's
+// consistency test pins is unchanged from the single-lock version: an
+// entry never outlives the epoch it was rendered from. Each shard
+// tracks the current epoch independently; a lookup against any other
+// epoch misses, and the first store from a newer epoch drops that
+// shard's map — wholesale invalidation on snapshot swap (advance walks
+// every shard at the swap itself), never entry-by-entry decay.
 //
 // Stores are also monotonic: a late writer that rendered its response
 // from an already superseded snapshot (it loaded Current just before an
 // Apply landed) is silently dropped rather than resurrecting stale
 // bytes under the new epoch.
+//
+// Cold misses dedup through a per-shard singleflight table: the first
+// miss for a key becomes the render leader, concurrent misses for the
+// same (epoch, key) wait on its result instead of rendering again.
 type epochCache struct {
+	perShard int // entry bound per shard (total bound / cacheShards)
+	shards   [cacheShards]cacheShard
+}
+
+type cacheShard struct {
 	mu      sync.RWMutex
 	epoch   int
-	max     int
-	entries map[string]cachedResponse
+	entries map[cacheKey]cachedResponse
+	flight  map[cacheKey]*flightCall
+}
+
+// flightCall is one in-progress render: waiters block on done, then
+// read res/ok (written before the close, so the channel close is the
+// happens-before edge).
+type flightCall struct {
+	done  chan struct{}
+	epoch int
+	res   cachedResponse
+	ok    bool // false when the leader panicked before delivering
 }
 
 func newEpochCache(max int) *epochCache {
-	return &epochCache{
-		epoch:   -1, // before any store; real epochs start at 0
-		max:     max,
-		entries: make(map[string]cachedResponse),
+	per := (max + cacheShards - 1) / cacheShards
+	if per < 1 {
+		per = 1
 	}
+	c := &epochCache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].epoch = -1 // before any store; real epochs start at 0
+		c.shards[i].entries = make(map[cacheKey]cachedResponse)
+		c.shards[i].flight = make(map[cacheKey]*flightCall)
+	}
+	return c
+}
+
+// shardOf picks the stripe for a key: FNV-1a over the route tag and
+// the argument bytes.
+func (c *epochCache) shardOf(key cacheKey) *cacheShard {
+	h := uint32(2166136261)
+	h = (h ^ uint32(key.route)) * 16777619
+	for i := 0; i < len(key.arg); i++ {
+		h = (h ^ uint32(key.arg[i])) * 16777619
+	}
+	return &c.shards[h%cacheShards]
 }
 
 // get returns the cached response for key rendered at epoch, if any.
-func (c *epochCache) get(epoch int, key string) (cachedResponse, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if epoch != c.epoch {
+func (c *epochCache) get(epoch int, key cacheKey) (cachedResponse, bool) {
+	sh := c.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if epoch != sh.epoch {
 		return cachedResponse{}, false
 	}
-	r, ok := c.entries[key]
+	r, ok := sh.entries[key]
 	return r, ok
 }
 
 // put stores a response rendered from the snapshot at epoch. A stale
-// epoch is dropped; a newer epoch resets the cache first. The entry
-// count is bounded at max: once full, new keys are not admitted (the
-// bound is a memory cap, not an LRU — a fresh epoch empties it anyway).
-func (c *epochCache) put(epoch int, key string, r cachedResponse) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if epoch < c.epoch {
-		return
-	}
-	if epoch > c.epoch {
-		c.epoch = epoch
-		c.entries = make(map[string]cachedResponse)
-	}
-	if _, exists := c.entries[key]; !exists && len(c.entries) >= c.max {
-		return
-	}
-	c.entries[key] = r
+// epoch is dropped; a newer epoch resets the shard first. It reports
+// whether the store was refused because the shard was full (the bound
+// is a memory cap, not an LRU — a fresh epoch empties it anyway); the
+// caller surfaces that as serve.cache.full_drops.
+func (c *epochCache) put(epoch int, key cacheKey, r cachedResponse) (fullDrop bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.storeLocked(c.perShard, epoch, key, r)
 }
 
-// advance moves the cache to epoch, clearing it if the epoch is new.
+func (sh *cacheShard) storeLocked(perShard, epoch int, key cacheKey, r cachedResponse) (fullDrop bool) {
+	if epoch < sh.epoch {
+		return false
+	}
+	if epoch > sh.epoch {
+		sh.epoch = epoch
+		sh.entries = make(map[cacheKey]cachedResponse)
+	}
+	if _, exists := sh.entries[key]; !exists && len(sh.entries) >= perShard {
+		return true
+	}
+	sh.entries[key] = r
+	return false
+}
+
+// renderOutcome says how a render call resolved, for the cache
+// counters: the caller led the render, waited on another goroutine's
+// identical render, or led and had its store refused by the capacity
+// bound.
+type renderOutcome uint8
+
+const (
+	renderLed renderOutcome = iota
+	renderDeduped
+	renderFullDrop
+)
+
+// render resolves a cache miss with singleflight semantics: the first
+// caller for (epoch, key) runs fn and stores the result; concurrent
+// callers for the same epoch and key block until the leader finishes
+// and share its response without rendering. A waiter whose epoch does
+// not match the in-flight render (a snapshot swap landed in between)
+// renders independently — correctness over dedup at the boundary.
+func (c *epochCache) render(epoch int, key cacheKey, fn func() cachedResponse) (cachedResponse, renderOutcome) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if fc, ok := sh.flight[key]; ok {
+		sh.mu.Unlock()
+		if fc.epoch == epoch {
+			<-fc.done
+			if fc.ok {
+				return fc.res, renderDeduped
+			}
+		}
+		// Epoch mismatch (or a panicked leader): render independently.
+		res := fn()
+		sh.mu.Lock()
+		full := sh.storeLocked(c.perShard, epoch, key, res)
+		sh.mu.Unlock()
+		return res, outcome(full)
+	}
+	fc := &flightCall{done: make(chan struct{}), epoch: epoch}
+	sh.flight[key] = fc
+	sh.mu.Unlock()
+
+	var res cachedResponse
+	var full, delivered bool
+	defer func() {
+		// Runs even if fn panics: waiters must never block forever on a
+		// flight whose leader died. ok stays false on the panic path.
+		sh.mu.Lock()
+		delete(sh.flight, key)
+		sh.mu.Unlock()
+		fc.res = res
+		fc.ok = delivered
+		close(fc.done)
+	}()
+	res = fn()
+	delivered = true
+	sh.mu.Lock()
+	full = sh.storeLocked(c.perShard, epoch, key, res)
+	sh.mu.Unlock()
+	return res, outcome(full)
+}
+
+func outcome(fullDrop bool) renderOutcome {
+	if fullDrop {
+		return renderFullDrop
+	}
+	return renderLed
+}
+
+// advance moves every shard to epoch, clearing those it is new for.
 // The writer loop calls this right after publishing a snapshot so stale
 // entries vanish at the swap, not lazily at the next store.
 func (c *epochCache) advance(epoch int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if epoch > c.epoch {
-		c.epoch = epoch
-		c.entries = make(map[string]cachedResponse)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if epoch > sh.epoch {
+			sh.epoch = epoch
+			sh.entries = make(map[cacheKey]cachedResponse)
+		}
+		sh.mu.Unlock()
 	}
 }
 
-// len reports the current entry count (test hook).
+// len reports the current entry count across shards (test hook).
 func (c *epochCache) len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
 }

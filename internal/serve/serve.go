@@ -12,6 +12,16 @@
 // the epoch advances, so an entry can never outlive its snapshot (see
 // epochCache).
 //
+// The hot path is engineered down to a hash lookup plus a buffer
+// write: the writer loop materializes each snapshot's tables (described
+// records, pre-rendered JSON, the AS-pair index) at swap time, so a
+// cold query is table reads and byte appends — never a snapshot-wide
+// build — and a hot query touches one cache shard under a striped
+// RWMutex. Concurrent cold misses for one key dedup through a
+// singleflight table and render once. Batched (POST /v1/interfaces:batch)
+// and streaming (GET /v1/interfaces/stream) shapes amortize per-request
+// overhead for bulk consumers.
+//
 // Writes are serialized through one goroutine (Run): POST /v1/deltas
 // and the follow-tailer both enqueue batches and wait, so the System
 // only ever sees one Apply at a time and the "applied" response can
@@ -22,8 +32,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"facilitymap"
@@ -40,6 +54,10 @@ const (
 
 	// maxDeltaBody bounds a POST /v1/deltas body (8 MiB ≈ 60k records).
 	maxDeltaBody = 8 << 20
+	// maxBatchBody bounds a POST /v1/interfaces:batch body.
+	maxBatchBody = 1 << 20
+	// maxBatchIPs bounds the addresses in one batch query.
+	maxBatchIPs = 4096
 	// applyQueueDepth bounds batches waiting for the writer goroutine.
 	applyQueueDepth = 16
 )
@@ -48,7 +66,10 @@ const (
 // has a default, and a nil Obs disables metrics at zero cost.
 type Options struct {
 	// RequestTimeout bounds each request end to end (default 5s;
-	// negative disables the timeout handler).
+	// negative disables the timeout handler). The stream endpoint is
+	// exempt: its response is written incrementally and its size scales
+	// with the snapshot, so it is bounded by write progress, not wall
+	// time.
 	RequestTimeout time.Duration
 	// MaxInFlight bounds concurrently executing handlers; excess
 	// requests are rejected with 503 rather than queued (default 64).
@@ -57,6 +78,10 @@ type Options struct {
 	// disables caching entirely — every query renders from the
 	// snapshot, the cold-path cfsbench -serve measures).
 	CacheEntries int
+	// MaterializeWorkers is the parallel-fold width used when the
+	// writer loop materializes a freshly published snapshot's tables
+	// (0 = one worker per CPU).
+	MaterializeWorkers int
 	// Obs receives request counts, latency histograms, cache hit/miss
 	// counters and the published epoch gauge. Nil disables.
 	Obs *obs.Obs
@@ -82,19 +107,49 @@ type Server struct {
 	handler http.Handler
 	now     func() time.Time
 
+	// Per-route handlers, wrapped once at New with the concurrency
+	// bound and metrics. Routing is hand-rolled in dispatch: stdlib
+	// ServeMux wildcard matching costs several allocations per request
+	// (match-slice appends while backtracking, plus a trailing-slash
+	// redirect probe), which alone would blow the hot path's allocation
+	// budget.
+	hInterface, hIxn, hSnapshot, hMetrics http.Handler
+	hDeltas, hBatch, hStream              http.Handler
+	inner                                 http.Handler // dispatch, timeout-wrapped
+
+	// hdr caches the current epoch's pre-built X-CFS-Epoch header
+	// value, so stamping a hot response assigns a shared slice instead
+	// of allocating one per request.
+	hdr atomic.Pointer[epochHdrEntry]
+
 	applyCh  chan applyReq
 	done     chan struct{} // closed when Run returns
 	inflight chan struct{}
 
-	routes     map[string]routeObs
-	hits       *obs.Counter
-	misses     *obs.Counter
-	rejected   *obs.Counter
-	applied    *obs.Counter
-	applyErrs  *obs.Counter
-	followBad  *obs.Counter
-	epochGauge *obs.Gauge
+	routes      map[string]routeObs
+	hits        *obs.Counter
+	misses      *obs.Counter
+	fullDrops   *obs.Counter
+	flightDedup *obs.Counter
+	rejected    *obs.Counter
+	applied     *obs.Counter
+	applyErrs   *obs.Counter
+	followBad   *obs.Counter
+	epochGauge  *obs.Gauge
 }
+
+type epochHdrEntry struct {
+	epoch int
+	hdr   []string
+}
+
+// Shared header value slices: assigning them to the header map is
+// alloc-free on the hot path (the map buckets already exist after the
+// first request on a connection).
+var (
+	hdrJSON   = []string{"application/json"}
+	hdrNDJSON = []string{"application/x-ndjson"}
+)
 
 // New wires a Server over sys. The system should already have run
 // MapInterconnections; until it does, queries answer 503.
@@ -126,7 +181,7 @@ func New(sys *facilitymap.System, opt Options) *Server {
 	}
 	o := opt.Obs
 	s.routes = make(map[string]routeObs)
-	for _, r := range []string{"interface", "interconnections", "snapshot", "metrics", "deltas"} {
+	for _, r := range []string{"interface", "interconnections", "snapshot", "metrics", "deltas", "batch", "stream"} {
 		s.routes[r] = routeObs{
 			count:   o.Counter("serve.http.requests." + r),
 			errors:  o.Counter("serve.http.errors." + r),
@@ -135,24 +190,70 @@ func New(sys *facilitymap.System, opt Options) *Server {
 	}
 	s.hits = o.Counter("serve.cache.hits")
 	s.misses = o.Counter("serve.cache.misses")
+	s.fullDrops = o.Counter("serve.cache.full_drops")
+	s.flightDedup = o.Counter("serve.cache.flight_dedup")
 	s.rejected = o.Counter("serve.http.rejected")
 	s.applied = o.Counter("serve.deltas.applied")
 	s.applyErrs = o.Counter("serve.deltas.errors")
 	s.followBad = o.Counter("serve.follow.bad_lines")
 	s.epochGauge = o.Gauge("serve.epoch")
 
-	mux := http.NewServeMux()
-	mux.Handle("GET /v1/interface/{ip}", s.route("interface", s.handleInterface))
-	mux.Handle("GET /v1/interconnections", s.route("interconnections", s.handleInterconnections))
-	mux.Handle("GET /v1/snapshot", s.route("snapshot", s.handleSnapshot))
-	mux.Handle("GET /metrics", s.route("metrics", s.handleMetrics))
-	mux.Handle("POST /v1/deltas", s.route("deltas", s.handleDeltas))
-	var h http.Handler = mux
+	s.hInterface = s.route("interface", s.handleInterface)
+	s.hIxn = s.route("interconnections", s.handleInterconnections)
+	s.hSnapshot = s.route("snapshot", s.handleSnapshot)
+	s.hMetrics = s.route("metrics", s.handleMetrics)
+	s.hDeltas = s.route("deltas", s.handleDeltas)
+	s.hBatch = s.route("batch", s.handleBatch)
+	s.hStream = s.route("stream", s.handleStream)
+	var h http.Handler = http.HandlerFunc(s.dispatch)
 	if opt.RequestTimeout > 0 {
 		h = http.TimeoutHandler(h, opt.RequestTimeout, `{"error":"request timed out"}`)
 	}
-	s.handler = h
+	s.inner = h
+	// The stream dump bypasses the timeout handler (which buffers the
+	// whole response in memory until the handler returns — the opposite
+	// of streaming); it still honors the concurrency bound.
+	s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/interfaces/stream" {
+			serveMethod(w, r, http.MethodGet, s.hStream)
+			return
+		}
+		s.inner.ServeHTTP(w, r)
+	})
 	return s
+}
+
+// interfacePrefix is the one path-parameterized route.
+const interfacePrefix = "/v1/interface/"
+
+// dispatch is the router: exact-path (plus one prefix) matching with
+// zero per-request allocations.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case strings.HasPrefix(path, interfacePrefix):
+		serveMethod(w, r, http.MethodGet, s.hInterface)
+	case path == "/v1/interconnections":
+		serveMethod(w, r, http.MethodGet, s.hIxn)
+	case path == "/v1/snapshot":
+		serveMethod(w, r, http.MethodGet, s.hSnapshot)
+	case path == "/metrics":
+		serveMethod(w, r, http.MethodGet, s.hMetrics)
+	case path == "/v1/deltas":
+		serveMethod(w, r, http.MethodPost, s.hDeltas)
+	case path == "/v1/interfaces:batch":
+		serveMethod(w, r, http.MethodPost, s.hBatch)
+	default:
+		writeError(w, http.StatusNotFound, "no such route")
+	}
+}
+
+func serveMethod(w http.ResponseWriter, r *http.Request, method string, h http.Handler) {
+	if r.Method != method {
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	h.ServeHTTP(w, r)
 }
 
 // Handler returns the fully wired HTTP handler (routing, concurrency
@@ -183,10 +284,25 @@ func (s *Server) route(name string, h http.HandlerFunc) http.Handler {
 	})
 }
 
-func writeJSON(w http.ResponseWriter, status int, epoch int, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
-	if epoch >= 0 {
-		w.Header().Set("X-CFS-Epoch", strconv.Itoa(epoch))
+// epochHeader returns the shared X-CFS-Epoch header value for epoch,
+// rebuilding the one-entry cache only when the epoch changes.
+func (s *Server) epochHeader(epoch int) []string {
+	if e := s.hdr.Load(); e != nil && e.epoch == epoch {
+		return e.hdr
+	}
+	e := &epochHdrEntry{epoch: epoch, hdr: []string{strconv.Itoa(epoch)}}
+	s.hdr.Store(e)
+	return e.hdr
+}
+
+// writeJSON stamps the response headers from shared slices (keys in
+// canonical form, so direct map assignment equals Header().Set without
+// the per-call []string allocation) and writes the body.
+func writeJSON(w http.ResponseWriter, status int, epochHdr []string, body []byte) {
+	h := w.Header()
+	h["Content-Type"] = hdrJSON
+	if epochHdr != nil {
+		h["X-Cfs-Epoch"] = epochHdr
 	}
 	w.WriteHeader(status)
 	w.Write(body)
@@ -196,15 +312,17 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	body, _ := json.Marshal(struct {
 		Error string `json:"error"`
 	}{msg})
-	writeJSON(w, status, -1, body)
+	writeJSON(w, status, nil, body)
 }
 
 // cached runs one epoch-cached query: load the current snapshot once,
-// serve from cache when the rendered response for (epoch, key) exists,
-// otherwise render from that same snapshot and store it. The whole
-// response derives from a single immutable Mapping, so it is consistent
-// with exactly one epoch even when Apply swaps snapshots mid-request.
-func (s *Server) cached(ro routeObs, w http.ResponseWriter, key string,
+// serve from cache when the rendered response for (epoch, route, arg)
+// exists, otherwise render from that same snapshot — deduping
+// concurrent identical renders through the cache's singleflight — and
+// store it. The whole response derives from a single immutable Mapping,
+// so it is consistent with exactly one epoch even when Apply swaps
+// snapshots mid-request.
+func (s *Server) cached(ro routeObs, w http.ResponseWriter, route uint8, arg string,
 	render func(m *facilitymap.Mapping) (int, []byte)) {
 	m := s.sys.Current()
 	if m == nil {
@@ -213,25 +331,53 @@ func (s *Server) cached(ro routeObs, w http.ResponseWriter, key string,
 		return
 	}
 	epoch := m.Epoch()
-	if s.cache != nil {
-		if r, ok := s.cache.get(epoch, key); ok {
-			s.hits.Inc()
-			if r.status != http.StatusOK {
-				ro.errors.Inc()
-			}
-			writeJSON(w, r.status, epoch, r.body)
-			return
+	hdr := s.epochHeader(epoch)
+	if s.cache == nil {
+		status, body := render(m)
+		if status != http.StatusOK {
+			ro.errors.Inc()
 		}
-		s.misses.Inc()
+		writeJSON(w, status, hdr, body)
+		return
 	}
-	status, body := render(m)
-	if s.cache != nil {
-		s.cache.put(epoch, key, cachedResponse{status: status, body: body})
+	key := cacheKey{route: route, arg: arg}
+	if r, ok := s.cache.get(epoch, key); ok {
+		s.hits.Inc()
+		if r.status != http.StatusOK {
+			ro.errors.Inc()
+		}
+		writeJSON(w, r.status, hdr, r.body)
+		return
 	}
-	if status != http.StatusOK {
+	s.misses.Inc()
+	r, out := s.cache.render(epoch, key, func() cachedResponse {
+		status, body := render(m)
+		return cachedResponse{status: status, body: body}
+	})
+	switch out {
+	case renderDeduped:
+		s.flightDedup.Inc()
+	case renderFullDrop:
+		s.fullDrops.Inc()
+	}
+	if r.status != http.StatusOK {
 		ro.errors.Inc()
 	}
-	writeJSON(w, status, epoch, body)
+	writeJSON(w, r.status, hdr, r.body)
+}
+
+// wrapEpochField assembles `{"epoch":N,"<field>":<rec>}` around a
+// pre-rendered record without re-marshaling it.
+func wrapEpochField(epoch int, field string, rec []byte) []byte {
+	b := make([]byte, 0, len(rec)+len(field)+16)
+	b = append(b, `{"epoch":`...)
+	b = strconv.AppendInt(b, int64(epoch), 10)
+	b = append(b, ',', '"')
+	b = append(b, field...)
+	b = append(b, '"', ':')
+	b = append(b, rec...)
+	b = append(b, '}')
+	return b
 }
 
 // interfaceResponse is the GET /v1/interface/{ip} body. The Interface
@@ -244,23 +390,24 @@ type interfaceResponse struct {
 }
 
 func (s *Server) handleInterface(w http.ResponseWriter, r *http.Request) {
-	ip := r.PathValue("ip")
-	s.cached(s.routes["interface"], w, "if\x00"+ip, func(m *facilitymap.Mapping) (int, []byte) {
-		resp := interfaceResponse{Epoch: m.Epoch()}
+	ip := strings.TrimPrefix(r.URL.Path, interfacePrefix)
+	s.cached(s.routes["interface"], w, routeInterface, ip, func(m *facilitymap.Mapping) (int, []byte) {
 		if _, err := netaddr.ParseIP(ip); err != nil {
-			resp.Error = fmt.Sprintf("unparsable address %q", ip)
-			body, _ := json.Marshal(resp)
+			body, _ := json.Marshal(interfaceResponse{
+				Epoch: m.Epoch(), Error: fmt.Sprintf("unparsable address %q", ip),
+			})
 			return http.StatusBadRequest, body
 		}
-		info, ok := m.Lookup(ip)
+		rec, ok := m.InterfaceJSON(ip)
 		if !ok {
-			resp.Error = "no inference recorded for " + ip
-			body, _ := json.Marshal(resp)
+			body, _ := json.Marshal(interfaceResponse{
+				Epoch: m.Epoch(), Error: "no inference recorded for " + ip,
+			})
 			return http.StatusNotFound, body
 		}
-		resp.Interface = &info
-		body, _ := json.Marshal(resp)
-		return http.StatusOK, body
+		// The record was marshaled once at materialization; the response
+		// just frames it with the epoch.
+		return http.StatusOK, wrapEpochField(m.Epoch(), "interface", rec)
 	})
 }
 
@@ -273,11 +420,46 @@ type interconnectionsResponse struct {
 	Interconnections []facilitymap.Interconnection `json:"interconnections"`
 }
 
+// parseASPair extracts positive ?a= and ?b= ASNs. The fast path scans
+// RawQuery by hand — the hot lookup shape is plain "a=N&b=N", and
+// url.Values allocates a map plus strings per call; anything escaped
+// falls back to the stdlib parser.
+func parseASPair(r *http.Request) (a, b int, ok bool) {
+	raw := r.URL.RawQuery
+	if strings.ContainsAny(raw, "%+;") {
+		q := r.URL.Query()
+		a, errA := strconv.Atoi(q.Get("a"))
+		b, errB := strconv.Atoi(q.Get("b"))
+		return a, b, errA == nil && errB == nil && a > 0 && b > 0
+	}
+	for len(raw) > 0 {
+		seg := raw
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			seg, raw = raw[:i], raw[i+1:]
+		} else {
+			raw = ""
+		}
+		switch {
+		case strings.HasPrefix(seg, "a="):
+			v, err := strconv.Atoi(seg[2:])
+			if err != nil {
+				return 0, 0, false
+			}
+			a = v
+		case strings.HasPrefix(seg, "b="):
+			v, err := strconv.Atoi(seg[2:])
+			if err != nil {
+				return 0, 0, false
+			}
+			b = v
+		}
+	}
+	return a, b, a > 0 && b > 0
+}
+
 func (s *Server) handleInterconnections(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	a, errA := strconv.Atoi(q.Get("a"))
-	b, errB := strconv.Atoi(q.Get("b"))
-	if errA != nil || errB != nil || a <= 0 || b <= 0 {
+	a, b, ok := parseASPair(r)
+	if !ok {
 		s.routes["interconnections"].errors.Inc()
 		writeError(w, http.StatusBadRequest, "need positive integer ASNs ?a= and ?b=")
 		return
@@ -287,8 +469,11 @@ func (s *Server) handleInterconnections(w http.ResponseWriter, r *http.Request) 
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	key := "ixn\x00" + strconv.Itoa(lo) + "," + strconv.Itoa(hi)
-	s.cached(s.routes["interconnections"], w, key, func(m *facilitymap.Mapping) (int, []byte) {
+	var kb [24]byte
+	k := strconv.AppendInt(kb[:0], int64(lo), 10)
+	k = append(k, ',')
+	k = strconv.AppendInt(k, int64(hi), 10)
+	s.cached(s.routes["interconnections"], w, routeInterconnections, string(k), func(m *facilitymap.Mapping) (int, []byte) {
 		resp := interconnectionsResponse{
 			Epoch:            m.Epoch(),
 			A:                lo,
@@ -308,11 +493,144 @@ type snapshotResponse struct {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	s.cached(s.routes["snapshot"], w, "snap", func(m *facilitymap.Mapping) (int, []byte) {
+	s.cached(s.routes["snapshot"], w, routeSnapshot, "", func(m *facilitymap.Mapping) (int, []byte) {
 		resp := snapshotResponse{SnapshotSummary: m.Summarize(), ASPairs: m.ASPairs()}
 		body, _ := json.Marshal(resp)
 		return http.StatusOK, body
 	})
+}
+
+// batchResponse is the POST /v1/interfaces:batch body: one result per
+// requested address, in request order, all rendered from one snapshot.
+type batchResponse struct {
+	Epoch   int           `json:"epoch"`
+	Results []batchResult `json:"results"`
+}
+
+type batchResult struct {
+	IP        string                     `json:"ip"`
+	Interface *facilitymap.InterfaceInfo `json:"interface,omitempty"`
+	Error     string                     `json:"error,omitempty"`
+}
+
+// handleBatch answers POST /v1/interfaces:batch: a JSON array of
+// interface addresses in, an epoch-stamped array of inferences out.
+// The whole batch costs one snapshot load and occupies one cache key —
+// the raw request body — so a repeated bulk query (the byte-identical
+// poll a downstream monitor sends every cycle) is a single hash lookup
+// that never re-parses the JSON, regardless of batch size.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ro := s.routes["batch"]
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	if err != nil {
+		ro.errors.Inc()
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	s.cached(ro, w, routeBatch, string(body), func(m *facilitymap.Mapping) (int, []byte) {
+		var ips []string
+		if err := json.Unmarshal(body, &ips); err != nil {
+			b, _ := json.Marshal(struct {
+				Error string `json:"error"`
+			}{"body must be a JSON array of interface addresses"})
+			return http.StatusBadRequest, b
+		}
+		if len(ips) > maxBatchIPs {
+			b, _ := json.Marshal(struct {
+				Error string `json:"error"`
+			}{fmt.Sprintf("batch of %d addresses exceeds the %d bound", len(ips), maxBatchIPs)})
+			return http.StatusBadRequest, b
+		}
+		return renderBatch(m, ips)
+	})
+}
+
+// renderBatch assembles the batch body by framing the pre-rendered
+// per-interface records — no per-request marshal of inference data.
+func renderBatch(m *facilitymap.Mapping, ips []string) (int, []byte) {
+	b := make([]byte, 0, 32+96*len(ips))
+	b = append(b, `{"epoch":`...)
+	b = strconv.AppendInt(b, int64(m.Epoch()), 10)
+	b = append(b, `,"results":[`...)
+	for i, ip := range ips {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"ip":`...)
+		if _, err := netaddr.ParseIP(ip); err != nil {
+			// Arbitrary input: JSON-escape through Marshal.
+			q, _ := json.Marshal(ip)
+			b = append(b, q...)
+			b = append(b, `,"error":"unparsable address"}`...)
+			continue
+		}
+		// A parseable dotted quad is plain ASCII — quote it verbatim.
+		b = append(b, '"')
+		b = append(b, ip...)
+		b = append(b, '"')
+		if rec, ok := m.InterfaceJSON(ip); ok {
+			b = append(b, `,"interface":`...)
+			b = append(b, rec...)
+			b = append(b, '}')
+		} else {
+			b = append(b, `,"error":"no inference recorded"}`...)
+		}
+	}
+	b = append(b, `]}`...)
+	return http.StatusOK, b
+}
+
+// streamBufPool recycles the stream endpoint's write buffers so a dump
+// costs O(1) buffer allocations regardless of snapshot size.
+var streamBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64<<10)
+		return &b
+	},
+}
+
+// handleStream answers GET /v1/interfaces/stream: every inference in
+// the snapshot's listing order as NDJSON, one pre-rendered record per
+// line, written through a pooled buffer. The whole dump derives from
+// one snapshot load and carries its epoch in X-CFS-Epoch.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	ro := s.routes["stream"]
+	m := s.sys.Current()
+	if m == nil {
+		ro.errors.Inc()
+		writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+		return
+	}
+	h := w.Header()
+	h["Content-Type"] = hdrNDJSON
+	h["X-Cfs-Epoch"] = s.epochHeader(m.Epoch())
+	w.WriteHeader(http.StatusOK)
+
+	bp := streamBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	failed := false
+	m.EachInterfaceJSON(func(rec []byte) bool {
+		if len(buf) > 0 && len(buf)+len(rec)+1 > cap(buf) {
+			if _, err := w.Write(buf); err != nil {
+				failed = true
+				return false
+			}
+			buf = buf[:0]
+		}
+		buf = append(buf, rec...)
+		buf = append(buf, '\n')
+		return true
+	})
+	if !failed && len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			failed = true
+		}
+	}
+	*bp = buf[:0]
+	streamBufPool.Put(bp)
+	if failed {
+		ro.errors.Inc()
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -358,7 +676,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body, _ := json.Marshal(deltasResponse{Epoch: m.Epoch(), Applied: len(log)})
-	writeJSON(w, http.StatusOK, m.Epoch(), body)
+	writeJSON(w, http.StatusOK, s.epochHeader(m.Epoch()), body)
 }
 
 // applyReq is one batch waiting for the writer goroutine.
@@ -393,11 +711,16 @@ func (s *Server) enqueue(ctx context.Context, log []delta.Delta) (*facilitymap.M
 }
 
 // Run is the single writer loop: every System.Apply in the daemon goes
-// through here, one batch at a time. It blocks until ctx is canceled,
-// then drains batches already queued (graceful SIGTERM semantics — an
-// accepted POST is never dropped) and closes Done.
+// through here, one batch at a time. On entry it materializes the boot
+// snapshot (if one is already published) so the very first query is a
+// table read. It blocks until ctx is canceled, then drains batches
+// already queued (graceful SIGTERM semantics — an accepted POST is
+// never dropped) and closes Done.
 func (s *Server) Run(ctx context.Context) {
 	defer close(s.done)
+	if m := s.sys.Current(); m != nil {
+		m.Materialize(s.opt.MaterializeWorkers)
+	}
 	for {
 		select {
 		case req := <-s.applyCh:
@@ -420,6 +743,10 @@ func (s *Server) apply(req applyReq) {
 	if err != nil {
 		s.applyErrs.Inc()
 	} else {
+		// Swap-time materialization: build the new snapshot's tables on
+		// the writer — a parallel fold over the interface set — before
+		// acknowledging the batch, so no query ever pays the build.
+		m.Materialize(s.opt.MaterializeWorkers)
 		s.applied.Add(int64(len(req.log)))
 		s.epochGauge.Set(int64(m.Epoch()))
 		if s.cache != nil {

@@ -9,7 +9,9 @@ import (
 	"net/http/httptest"
 	"os"
 	"reflect"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -120,25 +122,52 @@ func sampleQueries(m *facilitymap.Mapping, nIPs, nPairs int) (ips []string, pair
 	return ips, pairs
 }
 
+// sameShardKeys returns n distinct keys that all hash to one stripe of
+// c, so capacity tests exercise a single shard's bound deterministically.
+func sameShardKeys(c *epochCache, n int) []cacheKey {
+	keys := []cacheKey{{route: routeInterface, arg: "k0"}}
+	want := c.shardOf(keys[0])
+	for i := 1; len(keys) < n; i++ {
+		k := cacheKey{route: routeInterface, arg: fmt.Sprintf("k%d", i)}
+		if c.shardOf(k) == want {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
 // TestEpochCache pins the cache invariants directly: same-epoch hits,
 // cross-epoch misses, wholesale reset on advance, stale puts dropped,
-// and the entry bound.
+// and the per-shard entry bound (with the refusal reported so the
+// server can count it as a full drop).
 func TestEpochCache(t *testing.T) {
-	c := newEpochCache(2)
+	c := newEpochCache(2 * cacheShards) // two entries per shard
+	keys := sameShardKeys(c, 3)
 	r1 := cachedResponse{status: 200, body: []byte("one")}
-	c.put(0, "k1", r1)
-	if got, ok := c.get(0, "k1"); !ok || string(got.body) != "one" {
+	if full := c.put(0, keys[0], r1); full {
+		t.Fatal("first put reported a full drop")
+	}
+	if got, ok := c.get(0, keys[0]); !ok || string(got.body) != "one" {
 		t.Fatal("same-epoch get missed")
 	}
-	if _, ok := c.get(1, "k1"); ok {
+	if _, ok := c.get(1, keys[0]); ok {
 		t.Fatal("entry visible under a different epoch")
 	}
 
-	// Bound: third distinct key at the same epoch is not admitted.
-	c.put(0, "k2", r1)
-	c.put(0, "k3", r1)
-	if _, ok := c.get(0, "k3"); ok {
+	// Bound: a third distinct key on a full shard is refused, and the
+	// refusal is reported. Overwriting an existing key still works.
+	c.put(0, keys[1], r1)
+	if full := c.put(0, keys[2], r1); !full {
+		t.Fatal("put at capacity did not report a full drop")
+	}
+	if _, ok := c.get(0, keys[2]); ok {
 		t.Fatal("bound exceeded")
+	}
+	if full := c.put(0, keys[0], cachedResponse{status: 200, body: []byte("two")}); full {
+		t.Fatal("overwrite of a resident key reported a full drop")
+	}
+	if got, _ := c.get(0, keys[0]); string(got.body) != "two" {
+		t.Fatal("overwrite lost")
 	}
 	if c.len() != 2 {
 		t.Fatalf("len %d, want 2", c.len())
@@ -149,18 +178,125 @@ func TestEpochCache(t *testing.T) {
 	if c.len() != 0 {
 		t.Fatalf("advance left %d entries", c.len())
 	}
-	if _, ok := c.get(0, "k1"); ok {
+	if _, ok := c.get(0, keys[0]); ok {
 		t.Fatal("entry outlived its epoch")
 	}
 
-	// A late writer from the superseded epoch is dropped.
-	c.put(0, "k1", r1)
-	if _, ok := c.get(0, "k1"); ok {
+	// A late writer from the superseded epoch is dropped silently — a
+	// stale put is not a capacity problem, so no full drop either.
+	if full := c.put(0, keys[0], r1); full {
+		t.Fatal("stale put reported a full drop")
+	}
+	if _, ok := c.get(0, keys[0]); ok {
 		t.Fatal("stale put resurrected an old epoch")
 	}
 	if c.len() != 0 {
 		t.Fatal("stale put stored under the new epoch")
 	}
+}
+
+// TestEpochCacheSingleflight: concurrent cold misses for one (epoch,
+// key) render exactly once — waiters share the leader's response.
+func TestEpochCacheSingleflight(t *testing.T) {
+	c := newEpochCache(64)
+	key := cacheKey{route: routeSnapshot, arg: ""}
+	release := make(chan struct{})
+	var calls int32
+
+	const waiters = 8
+	var started, wg sync.WaitGroup
+	led := make(chan renderOutcome, waiters)
+	started.Add(waiters)
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			defer wg.Done()
+			started.Done()
+			res, out := c.render(7, key, func() cachedResponse {
+				atomic.AddInt32(&calls, 1)
+				<-release // hold the flight open until every goroutine has arrived
+				return cachedResponse{status: 200, body: []byte("rendered")}
+			})
+			if string(res.body) != "rendered" {
+				t.Errorf("waiter got %q", res.body)
+			}
+			led <- out
+		}()
+	}
+	started.Wait()
+	time.Sleep(10 * time.Millisecond) // let the stragglers reach render
+	close(release)
+	wg.Wait()
+
+	if calls != 1 {
+		t.Fatalf("render ran %d times, want 1", calls)
+	}
+	close(led)
+	var leaders, deduped int
+	for out := range led {
+		switch out {
+		case renderLed:
+			leaders++
+		case renderDeduped:
+			deduped++
+		}
+	}
+	if leaders != 1 || deduped != waiters-1 {
+		t.Fatalf("outcomes: %d leaders, %d deduped; want 1 and %d", leaders, deduped, waiters-1)
+	}
+	if _, ok := c.get(7, key); !ok {
+		t.Fatal("singleflight result not stored")
+	}
+}
+
+// TestEpochCacheConcurrent hammers get/put/render against a racing
+// advance under -race. The invariant: a hit at epoch e always returns
+// bytes rendered for e — the body encodes its epoch, so any cross-epoch
+// leak is caught by content, not just by the race detector.
+func TestEpochCacheConcurrent(t *testing.T) {
+	c := newEpochCache(128)
+	var epoch atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	body := func(e int, k int) []byte {
+		return []byte(fmt.Sprintf("e%d-k%d", e, k))
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := int(epoch.Load())
+				key := cacheKey{route: routeInterface, arg: fmt.Sprintf("k%d", (g*7+i)%13)}
+				if got, ok := c.get(e, key); ok {
+					if want := fmt.Sprintf("e%d-", e); !bytes.HasPrefix(got.body, []byte(want)) {
+						t.Errorf("epoch %d hit returned %q", e, got.body)
+						return
+					}
+				}
+				switch i % 3 {
+				case 0:
+					c.put(e, key, cachedResponse{status: 200, body: body(e, (g*7+i)%13)})
+				case 1:
+					c.render(e, key, func() cachedResponse {
+						return cachedResponse{status: 200, body: body(e, (g*7+i)%13)}
+					})
+				}
+			}
+		}(g)
+	}
+	for e := 1; e <= 50; e++ {
+		epoch.Store(int64(e))
+		c.advance(e)
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestQueryEndpoints drives every read route against a converged
@@ -250,12 +386,127 @@ func TestQueryEndpoints(t *testing.T) {
 }
 
 // TestServerBeforeFirstSnapshot: queries against a system that has not
-// converged yet answer 503, not a panic or an empty 200.
+// converged yet answer 503, not a panic or an empty 200 — including the
+// bulk shapes.
 func TestServerBeforeFirstSnapshot(t *testing.T) {
 	s := startServer(t, smallSystem(t), Options{})
-	rec := get(s.Handler(), "/v1/snapshot")
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("status %d, want 503", rec.Code)
+	for _, path := range []string{"/v1/snapshot", "/v1/interfaces/stream"} {
+		if rec := get(s.Handler(), path); rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s: status %d, want 503", path, rec.Code)
+		}
+	}
+	if rec := postBatch(s.Handler(), `["10.0.0.1"]`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("batch status %d, want 503", rec.Code)
+	}
+}
+
+func postBatch(h http.Handler, body string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/interfaces:batch",
+		bytes.NewBufferString(body)))
+	return rec
+}
+
+// TestBatchEndpoint drives POST /v1/interfaces:batch: results arrive in
+// request order from one snapshot, per-address failures are inline (not
+// whole-batch errors), a repeat of the same batch is one cache hit, and
+// malformed or oversized bodies answer 400.
+func TestBatchEndpoint(t *testing.T) {
+	sys := smallSystem(t)
+	m := sys.MapInterconnections()
+	s := startServer(t, sys, Options{})
+	h := s.Handler()
+
+	ips, _ := sampleQueries(m, 3, 1)
+	if len(ips) < 2 {
+		t.Fatal("not enough interface targets")
+	}
+	req := append([]string{}, ips...)
+	req = append(req, "203.0.113.254", "not-an-ip")
+	body, _ := json.Marshal(req)
+
+	rec := postBatch(h, string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body)
+	}
+	got := decode[batchResponse](t, rec)
+	if got.Epoch != m.Epoch() || len(got.Results) != len(req) {
+		t.Fatalf("batch envelope: epoch %d results %d, want %d and %d",
+			got.Epoch, len(got.Results), m.Epoch(), len(req))
+	}
+	if rec.Header().Get("X-CFS-Epoch") != fmt.Sprint(m.Epoch()) {
+		t.Fatalf("epoch header %q", rec.Header().Get("X-CFS-Epoch"))
+	}
+	for i, ip := range ips {
+		r := got.Results[i]
+		want, ok := m.Lookup(ip)
+		if !ok {
+			t.Fatalf("sampled IP %s not in mapping", ip)
+		}
+		if r.IP != ip || r.Error != "" || r.Interface == nil || !reflect.DeepEqual(*r.Interface, want) {
+			t.Fatalf("batch result %d mismatch:\n got %+v\nwant %+v", i, r, want)
+		}
+	}
+	if r := got.Results[len(req)-2]; r.Interface != nil || r.Error == "" {
+		t.Fatalf("unknown address result %+v, want inline error", r)
+	}
+	if r := got.Results[len(req)-1]; r.Interface != nil || r.Error == "" {
+		t.Fatalf("unparsable address result %+v, want inline error", r)
+	}
+
+	// The whole batch occupies one cache key: a repeat is one hit.
+	hits := s.hits.Value()
+	if rec = postBatch(h, string(body)); rec.Code != http.StatusOK {
+		t.Fatalf("repeat batch status %d", rec.Code)
+	}
+	if s.hits.Value() != hits+1 {
+		t.Fatalf("repeat batch hits %d, want %d", s.hits.Value(), hits+1)
+	}
+	if got2 := decode[batchResponse](t, rec); !reflect.DeepEqual(got2, got) {
+		t.Fatal("cached batch response differs from the rendered one")
+	}
+
+	if rec = postBatch(h, `{"not":"an array"}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("non-array body status %d, want 400", rec.Code)
+	}
+	huge, _ := json.Marshal(make([]string, maxBatchIPs+1))
+	if rec = postBatch(h, string(huge)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized batch status %d, want 400", rec.Code)
+	}
+}
+
+// TestStreamEndpoint checks the NDJSON dump: one line per inference in
+// the snapshot's listing order, each line equal to the facade's record,
+// epoch stamped in the header.
+func TestStreamEndpoint(t *testing.T) {
+	sys := smallSystem(t)
+	m := sys.MapInterconnections()
+	s := startServer(t, sys, Options{})
+
+	rec := get(s.Handler(), "/v1/interfaces/stream")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream status %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	if rec.Header().Get("X-CFS-Epoch") != fmt.Sprint(m.Epoch()) {
+		t.Fatalf("epoch header %q", rec.Header().Get("X-CFS-Epoch"))
+	}
+
+	want := m.Interfaces()
+	lines := bytes.Split(bytes.TrimSuffix(rec.Body.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) != len(want) {
+		t.Fatalf("stream emitted %d lines, want %d", len(lines), len(want))
+	}
+	for i, line := range lines {
+		var info facilitymap.InterfaceInfo
+		if err := json.Unmarshal(line, &info); err != nil {
+			t.Fatalf("line %d: %v (%q)", i, err, line)
+		}
+		if !reflect.DeepEqual(info, want[i]) {
+			t.Fatalf("line %d mismatch:\n got %+v\nwant %+v", i, info, want[i])
+		}
 	}
 }
 
@@ -289,7 +540,7 @@ func TestDeltaIngestion(t *testing.T) {
 	}
 
 	// The warmed entries died with epoch 0.
-	if _, ok := s.cache.get(0, "snap"); ok {
+	if _, ok := s.cache.get(0, cacheKey{route: routeSnapshot}); ok {
 		t.Fatal("epoch-0 cache entry survived the swap")
 	}
 	snap := decode[snapshotResponse](t, get(h, "/v1/snapshot"))
@@ -457,6 +708,80 @@ func TestConcurrentEpochConsistency(t *testing.T) {
 				got.Epoch, got.SnapshotSummary, want)
 		}
 	}
+	// checkBatch: every result in a batch must agree with the one
+	// snapshot the envelope's epoch names — a torn batch (results from
+	// two epochs) is exactly the bug this pins.
+	batchBody, _ := json.Marshal(ips[:3])
+	checkBatch := func() {
+		rec := postBatch(h, string(batchBody))
+		if rec.Code != http.StatusOK {
+			report("batch: status %d", rec.Code)
+			return
+		}
+		var got batchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			report("batch: %v", err)
+			return
+		}
+		m := snapshotAt(got.Epoch)
+		if m == nil {
+			report("batch: response from unpublished epoch %d", got.Epoch)
+			return
+		}
+		if len(got.Results) != 3 {
+			report("batch: %d results, want 3", len(got.Results))
+			return
+		}
+		for i, r := range got.Results {
+			want, ok := m.Lookup(ips[i])
+			switch {
+			case !ok:
+				if r.Error == "" {
+					report("batch %s: result but epoch %d has no record", ips[i], got.Epoch)
+				}
+			case r.Interface == nil || !reflect.DeepEqual(*r.Interface, want):
+				report("batch %s: epoch %d torn result:\n got %+v\nwant %+v",
+					ips[i], got.Epoch, r.Interface, want)
+			}
+		}
+	}
+	// checkStream: the dump's header epoch must name a snapshot whose
+	// interface listing matches the streamed lines exactly.
+	checkStream := func() {
+		rec := get(h, "/v1/interfaces/stream")
+		if rec.Code != http.StatusOK {
+			report("stream: status %d", rec.Code)
+			return
+		}
+		epoch, err := strconv.Atoi(rec.Header().Get("X-CFS-Epoch"))
+		if err != nil {
+			report("stream: bad epoch header %q", rec.Header().Get("X-CFS-Epoch"))
+			return
+		}
+		m := snapshotAt(epoch)
+		if m == nil {
+			report("stream: response from unpublished epoch %d", epoch)
+			return
+		}
+		want := m.Interfaces()
+		lines := bytes.Split(bytes.TrimSuffix(rec.Body.Bytes(), []byte("\n")), []byte("\n"))
+		if len(lines) != len(want) {
+			report("stream: epoch %d emitted %d lines, want %d", epoch, len(lines), len(want))
+			return
+		}
+		for i, line := range lines {
+			var info facilitymap.InterfaceInfo
+			if err := json.Unmarshal(line, &info); err != nil {
+				report("stream line %d: %v", i, err)
+				return
+			}
+			if !reflect.DeepEqual(info, want[i]) {
+				report("stream line %d: epoch %d torn record:\n got %+v\nwant %+v",
+					i, epoch, info, want[i])
+				return
+			}
+		}
+	}
 
 	for g := 0; g < 6; g++ {
 		wg.Add(1)
@@ -468,13 +793,17 @@ func TestConcurrentEpochConsistency(t *testing.T) {
 					return
 				default:
 				}
-				switch (g + i) % 3 {
+				switch (g + i) % 5 {
 				case 0:
 					checkInterface(ips[(g+i)%len(ips)])
 				case 1:
 					checkPair(pairs[(g+i)%len(pairs)])
 				case 2:
 					checkSnapshot()
+				case 3:
+					checkBatch()
+				case 4:
+					checkStream()
 				}
 			}
 		}(g)
@@ -513,9 +842,12 @@ func TestConcurrentEpochConsistency(t *testing.T) {
 		t.Fatalf("Current epoch %d, want %d", cur.Epoch(), final)
 	}
 	for _, ip := range ips {
-		got := decode[interfaceResponse](t, get(h, "/v1/interface/"+ip))
-		if got.Epoch != final {
-			t.Fatalf("post-drain interface query answered epoch %d, want %d", got.Epoch, final)
+		// Twice: the second answer must come from the final epoch's cache.
+		for i := 0; i < 2; i++ {
+			got := decode[interfaceResponse](t, get(h, "/v1/interface/"+ip))
+			if got.Epoch != final {
+				t.Fatalf("post-drain interface query answered epoch %d, want %d", got.Epoch, final)
+			}
 		}
 	}
 	snap := decode[snapshotResponse](t, get(h, "/v1/snapshot"))

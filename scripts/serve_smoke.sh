@@ -8,10 +8,14 @@
 #   2. interface lookups answer 200 (known), 404 (unknown), 400 (garbage)
 #   3. POST /v1/deltas applies a worldgen churn batch and names epoch 1
 #   4. the epoch cache swapped: /v1/snapshot now serves epoch 1
-#   5. worldgen -churn -out appends to the followed log; the tail
+#   5. POST /v1/interfaces:batch answers every address from one epoch,
+#      with per-address errors inline, and a repeat batch hits the cache
+#   6. GET /v1/interfaces/stream dumps every inference as NDJSON with
+#      the epoch in the X-CFS-Epoch header
+#   7. worldgen -churn -out appends to the followed log; the tail
 #      applies it and the epoch advances again without any HTTP write
-#   6. /metrics accounts for the requests and cache traffic
-#   7. SIGTERM drains gracefully (exit code 0)
+#   8. /metrics accounts for the requests and cache traffic
+#   9. SIGTERM drains gracefully (exit code 0)
 #
 # Needs curl and jq. Run from the repo root: make serve-smoke
 set -euo pipefail
@@ -81,7 +85,37 @@ curl -sf "$BASE/v1/snapshot" | jq -e '.epoch == 1' >/dev/null \
 curl -sf "$BASE/v1/interface/$IP" | jq -e '.epoch == 1' >/dev/null \
   || fail "interface cache entry outlived its epoch"
 
-# 5. The follow tail: append churn to the log file and wait for the
+# 5. A batch: known, unknown and garbage addresses in one POST, every
+# answer from the same epoch, errors inline per address.
+BATCH="$(curl -sf -X POST -H 'Content-Type: application/json' \
+  --data-binary "[\"$IP\",\"203.0.113.254\",\"not-an-ip\"]" "$BASE/v1/interfaces:batch")"
+echo "serve-smoke: batch: $BATCH"
+jq -e --arg ip "$IP" '
+  .epoch == 1 and (.results | length == 3)
+  and .results[0].ip == $ip and .results[0].interface.IP == $ip
+  and .results[1].error == "no inference recorded"
+  and .results[2].error == "unparsable address"' <<<"$BATCH" >/dev/null \
+  || fail "batch response malformed"
+# A byte-identical repeat must come from the epoch cache.
+HITS_BEFORE="$(curl -sf "$BASE/metrics" | jq '.counters["serve.cache.hits"]')"
+curl -sf -X POST -H 'Content-Type: application/json' \
+  --data-binary "[\"$IP\",\"203.0.113.254\",\"not-an-ip\"]" "$BASE/v1/interfaces:batch" >/dev/null
+HITS_AFTER="$(curl -sf "$BASE/metrics" | jq '.counters["serve.cache.hits"]')"
+[ "$HITS_AFTER" -gt "$HITS_BEFORE" ] || fail "repeat batch missed the epoch cache"
+
+# 6. The stream: one NDJSON record per interface, epoch in the header,
+# record count agreeing with the snapshot digest.
+curl -sfD "$TMP/stream.hdr" "$BASE/v1/interfaces/stream" -o "$TMP/stream.ndjson"
+grep -qi '^X-CFS-Epoch: 1' "$TMP/stream.hdr" || fail "stream missing epoch header"
+STREAMED="$(wc -l < "$TMP/stream.ndjson")"
+WANT_IFS="$(curl -sf "$BASE/v1/snapshot" | jq '.interfaces')"
+[ "$STREAMED" = "$WANT_IFS" ] || fail "stream emitted $STREAMED records, snapshot says $WANT_IFS"
+jq -es 'all(.IP | length > 0)' "$TMP/stream.ndjson" >/dev/null \
+  || fail "stream records are not interface objects"
+jq -se --arg ip "$IP" 'any(.[]; .IP == $ip)' "$TMP/stream.ndjson" >/dev/null \
+  || fail "stream is missing the known interface"
+
+# 7. The follow tail: append churn to the log file and wait for the
 # daemon to fold it in (no HTTP write involved).
 "$TMP/worldgen" -profile small -seed 7 -churn 10 -out "$CHURN_LOG"
 for _ in $(seq 1 50); do
