@@ -13,7 +13,13 @@ vet:
 # The repo's own invariant suite (internal/analysis, driven by
 # cmd/cfslint): deterministic map iteration, sanctioned clocks/RNG,
 # single-source probe accounting, nil-safe observability, fenced facset
-# algebra. Also runs as a vet tool:
+# algebra, plus the flow-aware serving invariants — one System.Current()
+# load per request scope (snapconsist), cache epochs derived from
+# Mapping.Epoch() with advance reachable from the Apply swap (epochkey),
+# a provable termination edge on every daemon goroutine (goleak), and
+# allocation-free //cfslint:hotpath functions (hotalloc). CI also runs
+# `cfslint -json` and archives the machine-readable report. Also runs as
+# a vet tool:
 #   go vet -vettool=$$(go env GOPATH)/bin/cfslint ./...
 lint:
 	go run ./cmd/cfslint ./...

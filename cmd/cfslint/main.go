@@ -1,12 +1,19 @@
 // Command cfslint runs the repo's invariant suite (internal/analysis):
 // deterministic map iteration, sanctioned clocks and RNG, single-source
-// probe accounting, nil-safe observability, fenced facset algebra.
+// probe accounting, nil-safe observability, fenced facset algebra, and
+// the flow-aware serving invariants (one snapshot load per request,
+// epoch-keyed cache hygiene, goroutine termination edges, hotpath
+// allocation budgets).
 //
 // It speaks two protocols:
 //
-//	cfslint [packages]          standalone: load via `go list -export`,
-//	                            analyze, print findings, exit 1 on any.
-//	                            Defaults to ./... from the module root.
+//	cfslint [-json] [packages]  standalone: load via `go list -export`,
+//	                            analyze, print findings, exit 1 on any
+//	                            unsuppressed one. Defaults to ./... from
+//	                            the module root. -json emits the full
+//	                            report (suppressed findings included) as
+//	                            [{file,line,col,analyzer,message,
+//	                            suppressed}] for CI.
 //
 //	go vet -vettool=$(which cfslint) ./...
 //	                            unit-checker mode: cmd/go invokes the
@@ -52,7 +59,16 @@ func run(args []string) int {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		return runUnit(args[0])
 	}
-	return runStandalone(args)
+	jsonOut := false
+	var patterns []string
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOut = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
+	return runStandalone(patterns, jsonOut)
 }
 
 // printVersion implements -V=full: cmd/go fingerprints the tool binary
@@ -73,9 +89,22 @@ func printVersion() int {
 	return 0
 }
 
+// jsonDiagnostic is the -json report schema CI consumes (validated
+// with jq in the workflow): one object per finding, suppressed ones
+// included so the report audits what the directives cover. The exit
+// code still keys off unsuppressed findings only.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 // runStandalone loads packages through the go command and analyzes
 // them all in one process.
-func runStandalone(patterns []string) int {
+func runStandalone(patterns []string, jsonOut bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -86,15 +115,37 @@ func runStandalone(patterns []string) int {
 	}
 	suite := analysis.Suite()
 	exit := 0
+	report := []jsonDiagnostic{} // encodes as [] when clean, never null
 	for _, pkg := range pkgs {
-		diags, err := framework.RunAnalyzers(pkg, suite)
+		diags, err := framework.RunAnalyzersVerbose(pkg, suite)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cfslint:", err)
 			return 2
 		}
 		for _, d := range diags {
-			fmt.Println(d)
-			exit = 1
+			if jsonOut {
+				report = append(report, jsonDiagnostic{
+					File:       d.Pos.Filename,
+					Line:       d.Pos.Line,
+					Col:        d.Pos.Column,
+					Analyzer:   d.Analyzer,
+					Message:    d.Message,
+					Suppressed: d.Suppressed,
+				})
+			} else if !d.Suppressed {
+				fmt.Println(d)
+			}
+			if !d.Suppressed {
+				exit = 1
+			}
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "cfslint:", err)
+			return 2
 		}
 	}
 	return exit

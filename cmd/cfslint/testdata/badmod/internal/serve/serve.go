@@ -1,0 +1,61 @@
+// Package serve deliberately violates the four flow-aware serving
+// invariants — snapconsist, epochkey, goleak and hotalloc — so the
+// integration test can watch cfslint report each one, standalone and
+// under go vet -vettool. The stubs are self-contained: badmod is its
+// own module and must not import facilitymap.
+package serve
+
+import "fmt"
+
+// Mapping is the snapshot stub.
+type Mapping struct{ epoch int }
+
+func (m *Mapping) Epoch() int     { return m.epoch }
+func (m *Mapping) Render() []byte { return nil }
+
+// System is the facade stub.
+type System struct{ cur *Mapping }
+
+func (s *System) Current() *Mapping { return s.cur }
+
+type cacheKey struct{ path string }
+
+type epochCache struct{}
+
+func (c *epochCache) get(epoch int, key cacheKey) ([]byte, bool) { return nil, false }
+
+func use(*Mapping) {}
+
+// DoubleLoad takes two snapshots in one request scope: an Apply
+// landing between them skews the response (snapconsist).
+func DoubleLoad(s *System) {
+	m := s.Current()
+	use(m)
+	m2 := s.Current()
+	use(m2)
+}
+
+// LiteralEpoch keys the cache with a fabricated epoch instead of one
+// derived from Mapping.Epoch() (epochkey).
+func LiteralEpoch(c *epochCache) {
+	c.get(42, cacheKey{path: "/facilities"})
+}
+
+// LeakyWorker spawns a goroutine with no termination edge: no context,
+// no done channel, an unconditional loop (goleak).
+func LeakyWorker(ch chan int) {
+	go func() {
+		for {
+			use(nil)
+			ch <- 1
+		}
+	}()
+}
+
+// HotFormat allocates through fmt.Sprintf on a marked hot path
+// (hotalloc).
+//
+//cfslint:hotpath
+func HotFormat(key cacheKey) string {
+	return fmt.Sprintf("hot:%s", key.path)
+}

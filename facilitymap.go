@@ -263,6 +263,8 @@ type InterfaceInfo struct {
 // the record is described on the fly (no full materialization is
 // triggered for a single lookup). Returned records share their slices
 // with the snapshot — treat them as read-only.
+//
+//cfslint:hotpath
 func (m *Mapping) Lookup(ip string) (InterfaceInfo, bool) {
 	addr, err := netaddr.ParseIP(ip)
 	if err != nil {
@@ -413,6 +415,8 @@ func (m *Mapping) materialize() *materialized {
 // InterfaceJSON returns the pre-rendered JSON record (the InterfaceInfo
 // shape) for one interface address, materializing the snapshot's tables
 // on first use. The returned bytes are shared and immutable.
+//
+//cfslint:hotpath
 func (m *Mapping) InterfaceJSON(ip string) ([]byte, bool) {
 	addr, err := netaddr.ParseIP(ip)
 	if err != nil {
@@ -430,6 +434,8 @@ func (m *Mapping) InterfaceJSON(ip string) ([]byte, bool) {
 // JSON record in the snapshot's listing order (resolved first, then
 // ascending address) until yield returns false. The bytes are shared
 // and immutable; the daemon's stream endpoint writes them verbatim.
+//
+//cfslint:hotpath
 func (m *Mapping) EachInterfaceJSON(yield func(rec []byte) bool) {
 	for _, b := range m.materialize().blobs {
 		if !yield(b) {

@@ -1,0 +1,12 @@
+package epochkey_test
+
+import (
+	"testing"
+
+	"facilitymap/internal/analysis/analysistest"
+	"facilitymap/internal/analysis/epochkey"
+)
+
+func TestEpochkey(t *testing.T) {
+	analysistest.Run(t, "testdata", epochkey.Analyzer, "serve")
+}

@@ -1,5 +1,7 @@
 package framework
 
+import "go/ast"
+
 // DirectivesAnalyzer validates the suppression mechanism itself: a
 // cfslint directive with a missing reason, a missing or unknown
 // analyzer name, or an unknown verb is a diagnostic. This closes the
@@ -19,16 +21,44 @@ func DirectivesAnalyzer(knownAnalyzers []string) *Analyzer {
 	}
 	a.Run = func(pass *Pass) error {
 		for _, f := range pass.Files {
+			// Lines a //cfslint:hotpath directive may legally occupy:
+			// each FuncDecl's doc-comment lines and the line above it.
+			funcLines := make(map[int]bool)
+			for _, decl := range f.Decls {
+				fn, isFunc := decl.(*ast.FuncDecl)
+				if !isFunc {
+					continue
+				}
+				declLine := pass.Fset.Position(fn.Pos()).Line
+				lo := declLine - 1
+				if fn.Doc != nil {
+					lo = pass.Fset.Position(fn.Doc.Pos()).Line
+				}
+				for line := lo; line < declLine; line++ {
+					funcLines[line] = true
+				}
+			}
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					d, ok := parseDirective(c.Text, pass.Fset.Position(c.Pos()))
 					if !ok {
 						continue
 					}
+					if d.verb == hotpathVerb {
+						switch {
+						case d.reason != "":
+							pass.Reportf(c.Pos(),
+								"cfslint:hotpath takes no arguments (got %q): it marks the function below, nothing else", d.reason)
+						case !funcLines[d.pos.Line]:
+							pass.Reportf(c.Pos(),
+								"cfslint:hotpath must sit in a function's doc comment or on the line above its declaration")
+						}
+						continue
+					}
 					switch {
 					case d.verb != "ordered" && d.verb != "ignore" && d.verb != "file-ignore":
 						pass.Reportf(c.Pos(),
-							"unknown cfslint directive %q (want ordered, ignore or file-ignore)", d.verb)
+							"unknown cfslint directive %q (want ordered, ignore, file-ignore or hotpath)", d.verb)
 					case d.analyzer == "":
 						pass.Reportf(c.Pos(),
 							"cfslint:%s needs an analyzer name and a reason", d.verb)

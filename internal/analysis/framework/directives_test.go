@@ -30,6 +30,8 @@ func TestDirectiveValidation(t *testing.T) {
 		`cfslint:ignore needs an analyzer name and a reason`,
 		`cfslint:ignore names unknown analyzer "bogus"`,
 		`unknown cfslint directive "frobnicate"`,
+		`cfslint:hotpath takes no arguments`,
+		`cfslint:hotpath must sit in a function's doc comment`,
 	}
 	if len(diags) != len(wantSubstrings) {
 		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wantSubstrings), diags)

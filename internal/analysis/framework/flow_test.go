@@ -1,0 +1,350 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFunc type-checks src (a dependency-free package "p") and
+// returns the named function plus the info needed by the substrate.
+func parseFunc(t *testing.T, src, name string) (*token.FileSet, *ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewInfo()
+	conf := types.Config{Error: func(error) {}}
+	conf.Check("p", fset, []*ast.File{f}, info) // best-effort: tests use self-contained code
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Name.Name == name {
+			return fset, fn, info
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil, nil
+}
+
+// callNamed finds the n-th (0-based) call whose callee text contains
+// sub.
+func callNamed(t *testing.T, fn *ast.FuncDecl, sub string, n int) *ast.CallExpr {
+	t.Helper()
+	var found *ast.CallExpr
+	count := 0
+	ast.Inspect(fn, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if strings.Contains(types.ExprString(call.Fun), sub) {
+			if count == n {
+				found = call
+			}
+			count++
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("call %q #%d not found", sub, n)
+	}
+	return found
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	_, fn, _ := parseFunc(t, `package p
+func a() {}
+func b() {}
+func f() {
+	a()
+	b()
+}`, "f")
+	cfg := BuildCFG(fn.Body)
+	first := callNamed(t, fn, "a", 0)
+	second := callNamed(t, fn, "b", 0)
+	if !cfg.Reaches(first, second) {
+		t.Error("a() should reach b()")
+	}
+	if cfg.Reaches(second, first) {
+		t.Error("b() must not reach a() in straight-line code")
+	}
+}
+
+func TestCFGBranchesDoNotCross(t *testing.T) {
+	_, fn, _ := parseFunc(t, `package p
+func a() {}
+func b() {}
+func f(c bool) {
+	if c {
+		a()
+	} else {
+		b()
+	}
+}`, "f")
+	cfg := BuildCFG(fn.Body)
+	inThen := callNamed(t, fn, "a", 0)
+	inElse := callNamed(t, fn, "b", 0)
+	if cfg.Reaches(inThen, inElse) || cfg.Reaches(inElse, inThen) {
+		t.Error("then and else arms must be mutually unreachable")
+	}
+}
+
+func TestCFGEarlyReturnCutsFlow(t *testing.T) {
+	_, fn, _ := parseFunc(t, `package p
+func a() {}
+func b() {}
+func f(c bool) {
+	if c {
+		a()
+		return
+	}
+	b()
+}`, "f")
+	cfg := BuildCFG(fn.Body)
+	before := callNamed(t, fn, "a", 0)
+	after := callNamed(t, fn, "b", 0)
+	if cfg.Reaches(before, after) {
+		t.Error("statements after a return in the same arm must be unreachable from it")
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	_, fn, _ := parseFunc(t, `package p
+func a() {}
+func b() {}
+func f(n int) {
+	for i := 0; i < n; i++ {
+		b()
+		a()
+	}
+}`, "f")
+	cfg := BuildCFG(fn.Body)
+	late := callNamed(t, fn, "a", 0)
+	early := callNamed(t, fn, "b", 0)
+	if !cfg.Reaches(late, early) {
+		t.Error("loop body end should reach loop body start via the back edge")
+	}
+}
+
+func TestCFGBreakLeavesLoop(t *testing.T) {
+	_, fn, _ := parseFunc(t, `package p
+func a() {}
+func b() {}
+func f(xs []int) {
+	for range xs {
+		a()
+		break
+	}
+	b()
+}`, "f")
+	cfg := BuildCFG(fn.Body)
+	inLoop := callNamed(t, fn, "a", 0)
+	afterLoop := callNamed(t, fn, "b", 0)
+	if !cfg.Reaches(inLoop, afterLoop) {
+		t.Error("break should connect the loop body to the statement after the loop")
+	}
+	if cfg.Reaches(inLoop, inLoop) {
+		t.Error("unconditional break severs the back edge; a() must not reach itself")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	_, fn, _ := parseFunc(t, `package p
+func a() {}
+func b() {}
+func c() {}
+func f(xs, ys []int) {
+outer:
+	for range xs {
+		for range ys {
+			a()
+			break outer
+		}
+		b()
+	}
+	c()
+}`, "f")
+	cfg := BuildCFG(fn.Body)
+	inner := callNamed(t, fn, "a", 0)
+	outerTail := callNamed(t, fn, "b", 0)
+	after := callNamed(t, fn, "c", 0)
+	if !cfg.Reaches(inner, after) {
+		t.Error("break outer should reach past the outer loop")
+	}
+	if cfg.Reaches(inner, outerTail) {
+		t.Error("break outer must not fall through to the outer loop tail")
+	}
+}
+
+func TestCFGSwitchArms(t *testing.T) {
+	_, fn, _ := parseFunc(t, `package p
+func a() {}
+func b() {}
+func c() {}
+func f(n int) {
+	switch n {
+	case 1:
+		a()
+	default:
+		b()
+	}
+	c()
+}`, "f")
+	cfg := BuildCFG(fn.Body)
+	armA := callNamed(t, fn, "a", 0)
+	armB := callNamed(t, fn, "b", 0)
+	after := callNamed(t, fn, "c", 0)
+	if cfg.Reaches(armA, armB) || cfg.Reaches(armB, armA) {
+		t.Error("switch arms must be mutually unreachable")
+	}
+	if !cfg.Reaches(armA, after) || !cfg.Reaches(armB, after) {
+		t.Error("every switch arm should reach the statement after the switch")
+	}
+}
+
+func TestCFGSelectArms(t *testing.T) {
+	_, fn, _ := parseFunc(t, `package p
+func a() {}
+func b() {}
+func f(ch chan int, done chan struct{}) {
+	for {
+		select {
+		case <-ch:
+			a()
+		case <-done:
+			b()
+			return
+		}
+	}
+}`, "f")
+	cfg := BuildCFG(fn.Body)
+	work := callNamed(t, fn, "a", 0)
+	exit := callNamed(t, fn, "b", 0)
+	if !cfg.Reaches(work, exit) {
+		t.Error("the work arm should reach the done arm around the loop")
+	}
+	if cfg.Reaches(exit, work) {
+		t.Error("the returning arm must not reach back into the loop")
+	}
+}
+
+func TestOriginsChasesAssignments(t *testing.T) {
+	src := `package p
+func load() int { return 1 }
+func other() int { return 2 }
+func f() int {
+	s := load()
+	t := s
+	u := t + 1
+	return u
+}`
+	_, fn, info := parseFunc(t, src, "f")
+	o := NewOrigins(info, fn)
+	ret := fn.Body.List[len(fn.Body.List)-1].(*ast.ReturnStmt)
+	if !o.DerivedFromCall(ret.Results[0], func(c *ast.CallExpr) bool {
+		return types.ExprString(c.Fun) == "load"
+	}) {
+		t.Error("u should derive from load() through two assignments")
+	}
+	if o.DerivedFromCall(ret.Results[0], func(c *ast.CallExpr) bool {
+		return types.ExprString(c.Fun) == "other"
+	}) {
+		t.Error("u must not derive from a call that never fed it")
+	}
+}
+
+func TestOriginsMultiValueAndComposite(t *testing.T) {
+	src := `package p
+func load() (int, error) { return 1, nil }
+type box struct{ v int }
+func f() box {
+	v, _ := load()
+	return box{v: v}
+}`
+	_, fn, info := parseFunc(t, src, "f")
+	o := NewOrigins(info, fn)
+	ret := fn.Body.List[len(fn.Body.List)-1].(*ast.ReturnStmt)
+	if !o.DerivedFromCall(ret.Results[0], func(c *ast.CallExpr) bool {
+		return types.ExprString(c.Fun) == "load"
+	}) {
+		t.Error("a call result wrapped in a composite literal should keep its origin")
+	}
+}
+
+func TestOriginsParamsAreRoots(t *testing.T) {
+	src := `package p
+func f(epoch uint64) uint64 {
+	e := epoch
+	return e
+}`
+	_, fn, info := parseFunc(t, src, "f")
+	o := NewOrigins(info, fn)
+	ret := fn.Body.List[len(fn.Body.List)-1].(*ast.ReturnStmt)
+	roots := o.Roots(ret.Results[0])
+	if len(roots) != 1 {
+		t.Fatalf("want 1 root, got %d", len(roots))
+	}
+	id, ok := roots[0].(*ast.Ident)
+	if !ok || id.Name != "epoch" {
+		t.Errorf("root should be the parameter ident, got %T", roots[0])
+	}
+	if obj := info.Uses[id]; obj == nil || !o.IsParam(obj) {
+		t.Error("IsParam should recognise the parameter root")
+	}
+}
+
+func TestOriginsRangeVariable(t *testing.T) {
+	src := `package p
+func load() []int { return nil }
+func f() int {
+	for _, v := range load() {
+		return v
+	}
+	return 0
+}`
+	_, fn, info := parseFunc(t, src, "f")
+	o := NewOrigins(info, fn)
+	var ret *ast.ReturnStmt
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok && ret == nil {
+			ret = r
+		}
+		return true
+	})
+	if !o.DerivedFromCall(ret.Results[0], func(c *ast.CallExpr) bool {
+		return types.ExprString(c.Fun) == "load"
+	}) {
+		t.Error("a range variable should derive from the ranged expression")
+	}
+}
+
+func TestHotpathFuncs(t *testing.T) {
+	src := `package p
+//cfslint:hotpath
+func marked() {}
+
+// doc comment.
+//cfslint:hotpath
+func docMarked() {}
+
+func unmarked() {}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, fn := range HotpathFuncs(fset, []*ast.File{file}) {
+		got[fn.Name.Name] = true
+	}
+	if !got["marked"] || !got["docMarked"] {
+		t.Errorf("both annotated functions should be found, got %v", got)
+	}
+	if got["unmarked"] {
+		t.Error("unmarked function must not be returned")
+	}
+}

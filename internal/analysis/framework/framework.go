@@ -73,6 +73,10 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a finding acknowledged by a reasoned cfslint
+	// directive. RunAnalyzers drops these; RunAnalyzersVerbose keeps
+	// them so the -json report can show what the suppressions cover.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -91,17 +95,18 @@ type Pass struct {
 	sink     func(Diagnostic)
 }
 
-// Reportf records a diagnostic at pos unless a cfslint directive
-// suppresses this analyzer on that line, the line above, or the file.
+// Reportf records a diagnostic at pos. A cfslint directive naming this
+// analyzer on that line, the line above, or the file marks the
+// diagnostic suppressed rather than discarding it; the driver decides
+// whether suppressed findings surface (RunAnalyzersVerbose) or drop
+// (RunAnalyzers).
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.suppress.suppresses(p.Analyzer.Name, position) {
-		return
-	}
 	p.sink(Diagnostic{
-		Analyzer: p.Analyzer.Name,
-		Pos:      position,
-		Message:  fmt.Sprintf(format, args...),
+		Analyzer:   p.Analyzer.Name,
+		Pos:        position,
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: p.suppress.suppresses(p.Analyzer.Name, position),
 	})
 }
 
@@ -117,8 +122,24 @@ type PackageResult struct {
 }
 
 // RunAnalyzers applies every applicable analyzer to the package and
-// returns the surviving diagnostics sorted by position.
+// returns the surviving (unsuppressed) diagnostics sorted by position.
 func RunAnalyzers(pkg *PackageResult, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAnalyzersVerbose(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	diags := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			diags = append(diags, d)
+		}
+	}
+	return diags, nil
+}
+
+// RunAnalyzersVerbose is RunAnalyzers keeping suppressed findings
+// (Suppressed=true), for reports that audit what the directives cover.
+func RunAnalyzersVerbose(pkg *PackageResult, analyzers []*Analyzer) ([]Diagnostic, error) {
 	supp := parseSuppressions(pkg.Fset, pkg.Files, analyzerNames(analyzers))
 	var diags []Diagnostic
 	for _, a := range analyzers {

@@ -30,9 +30,15 @@ const directivePrefix = "//cfslint:"
 // orderedAnalyzer is the analyzer the "ordered" verb is sugar for.
 const orderedAnalyzer = "nomapiter"
 
+// hotpathVerb marks a function declaration as allocation-budgeted:
+// //cfslint:hotpath is not a suppression but an opt-in — it attaches
+// the hotalloc analyzer's rules to the function it annotates (doc
+// comment or the line directly above). See HotpathFuncs in flow.go.
+const hotpathVerb = "hotpath"
+
 // directive is one parsed cfslint comment.
 type directive struct {
-	verb     string // "ordered", "ignore", "file-ignore"
+	verb     string // "ordered", "ignore", "file-ignore", "hotpath"
 	analyzer string // target analyzer name ("" when missing)
 	reason   string // justification ("" when missing)
 	pos      token.Position
@@ -54,6 +60,10 @@ func parseDirective(text string, pos token.Position) (directive, bool) {
 	case "ignore", "file-ignore":
 		d.analyzer, d.reason, _ = strings.Cut(strings.TrimSpace(tail), " ")
 		d.reason = strings.TrimSpace(d.reason)
+	case hotpathVerb:
+		// Marker, not suppression: no analyzer, no reason. Any trailing
+		// text is kept so the directives validator can reject it.
+		d.reason = strings.TrimSpace(tail)
 	}
 	return d, true
 }

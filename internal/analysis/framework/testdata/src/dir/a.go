@@ -22,3 +22,14 @@ var wellFormedOrdered int
 
 //cfslint:file-ignore noclock fixture-wide suppression carrying its justification
 var wellFormedFileIgnore int
+
+// A well-formed hotpath marker: in the doc comment of a function.
+//
+//cfslint:hotpath
+func wellFormedHotpath() {}
+
+//cfslint:hotpath carrying stray words
+func hotpathWithArgs() {}
+
+//cfslint:hotpath
+type floatingHotpath struct{}

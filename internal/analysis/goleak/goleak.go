@@ -1,0 +1,153 @@
+// Package goleak requires a provable termination edge on every `go`
+// statement in the daemon packages. The SIGTERM drain ordering —
+// cancel the writer context, wait on Done, then close the listener —
+// only ends the process because each goroutine it waits on provably
+// stops; one unbounded loop turns graceful shutdown into a hang that
+// the goroutine-count regression test can only catch when the leak is
+// fast. The rules, on the PR 10 flow substrate:
+//
+//   - `go f(ctx, ...)` with a context.Context argument is accepted:
+//     termination is the callee's contract, checked where the callee's
+//     own loops live (Run's drain select, Follow's ticker select).
+//   - `go func() { ... }()` is accepted when every loop in the body is
+//     bounded: a range statement (finite collection, or a channel
+//     ended by close) or a conditional for. An unconditional `for {}`
+//     must contain a select with a receive case whose body exits the
+//     loop (return or break) — the context/done-channel termination
+//     edge — or a guard (`if ...`, `case ...`) that exits.
+//   - anything else — a bare `go f()` whose interior this pass cannot
+//     see and whose arguments carry no context — is a diagnostic.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+
+	"facilitymap/internal/analysis/framework"
+)
+
+// Analyzer is the goleak pass.
+var Analyzer = &framework.Analyzer{
+	Name: "goleak",
+	Doc: "every go statement in the daemon packages needs a provable termination " +
+		"edge: a context argument, bounded loops, or a done-select that exits",
+	Packages: []string{"internal/serve", "internal/delta", "cmd/cfsd"},
+	Run:      run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, g)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGo(pass *framework.Pass, g *ast.GoStmt) {
+	call := g.Call
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		checkBody(pass, g, lit.Body)
+		return
+	}
+	// A named callee: accept when a context (or the receiver's own
+	// lifetime machinery) flows in; the callee's loops are checked at
+	// its definition if it lives in a linted package.
+	for _, arg := range call.Args {
+		if isContext(pass, arg) {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(),
+		"go statement with no provable termination edge: pass a context to the callee or use a literal body with bounded loops")
+}
+
+// isContext reports whether e's type is context.Context.
+func isContext(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	return framework.NamedTypeName(tv.Type) == "Context"
+}
+
+// checkBody validates a goroutine literal: every unconditional for
+// loop needs an exit edge inside it.
+func checkBody(pass *framework.Pass, g *ast.GoStmt, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literal: its go statement is checked separately
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			// Range loops are bounded by their collection (a ranged
+			// channel ends at close); conditional fors carry their own
+			// exit in the condition.
+			return true
+		}
+		if !loopExits(loop) {
+			pass.Reportf(loop.Pos(),
+				"unbounded loop in a goroutine: add a termination edge (select on ctx.Done()/a done channel that returns or breaks)")
+		}
+		return true
+	})
+}
+
+// loopExits reports whether an unconditional for loop contains a
+// statement that leaves it: a return anywhere in its body, a break
+// binding to this loop, or a select/if arm doing either. Breaks inside
+// nested for/select/switch bind to the inner statement and do not
+// count; nested function literals are opaque.
+func loopExits(loop *ast.ForStmt) bool {
+	exits := false
+	depth := 0 // break-binding depth: for/select/switch between us and the loop
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if exits || n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			exits = true
+			return
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.BREAK:
+				// An unlabeled break exits the innermost for/select/
+				// switch; it ends our loop only at depth 0. A labeled
+				// break is taken to target an enclosing statement.
+				if depth == 0 || n.Label != nil {
+					exits = true
+				}
+			case token.GOTO:
+				exits = true // jumps out of the loop body
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if n == ast.Node(loop) {
+				for _, c := range framework.DirectChildren(n) {
+					walk(c)
+				}
+				return
+			}
+			depth++
+			for _, c := range framework.DirectChildren(n) {
+				walk(c)
+			}
+			depth--
+			return
+		}
+		for _, c := range framework.DirectChildren(n) {
+			walk(c)
+		}
+	}
+	walk(loop)
+	return exits
+}

@@ -1,0 +1,85 @@
+// Package cfsd is goleak's fixture; its base name matches the real
+// cmd/cfsd, so the analyzer runs over it.
+package cfsd
+
+import "context"
+
+func runLoop(ctx context.Context) {}
+func work()                       {}
+func use(int)                     {}
+
+// Clean: the context argument is the termination contract — the
+// callee's own loops are checked at its definition.
+func spawnWithContext(ctx context.Context) {
+	go runLoop(ctx)
+}
+
+// Flagged: nothing bounds the callee and this pass cannot see inside
+// it.
+func spawnBare() {
+	go work() // want `go statement with no provable termination edge`
+}
+
+// Clean: the done-select is the termination edge.
+func spawnSelectLoop(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				use(v)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Flagged: the loop drains forever; closing ch panics the send side
+// but never ends this goroutine.
+func spawnDrainForever(ch chan int) {
+	go func() {
+		for { // want `unbounded loop in a goroutine`
+			use(<-ch)
+		}
+	}()
+}
+
+// Clean: a ranged channel ends at close.
+func spawnRangeChannel(ch chan int) {
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+}
+
+// Clean: a conditional loop carries its exit in the condition.
+func spawnBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			use(i)
+		}
+	}()
+}
+
+// Clean: no loops at all — the body runs to completion.
+func spawnOneShot(errCh chan error, fn func() error) {
+	go func() { errCh <- fn() }()
+}
+
+// Clean: a break guarded inside the loop still exits it.
+func spawnBreakOut(ch chan int) {
+	go func() {
+		for {
+			if v := <-ch; v == 0 {
+				break
+			}
+		}
+	}()
+}
+
+// Suppressed: a justified process-lifetime goroutine.
+func spawnForever() {
+	//cfslint:ignore goleak fixture's sanctioned process-lifetime pump, reaped at exit
+	go work()
+}

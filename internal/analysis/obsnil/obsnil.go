@@ -139,7 +139,10 @@ func checkCallers(pass *framework.Pass) {
 }
 
 // walkGuarded recurses through n carrying the set of expressions known
-// non-nil on this path (rendered via types.ExprString).
+// non-nil on this path (rendered via types.ExprString). The fact
+// extraction (framework.NonNilFacts / NilTestedFacts / Terminates)
+// lives in the shared flow substrate since PR 10 — the same guard
+// semantics back the flow-aware serving analyzers.
 func walkGuarded(pass *framework.Pass, n ast.Node, guarded []string) {
 	if n == nil {
 		return
@@ -150,8 +153,8 @@ func walkGuarded(pass *framework.Pass, n ast.Node, guarded []string) {
 		// the block sees o non-nil.
 		for _, st := range n.List {
 			walkGuarded(pass, st, guarded)
-			if ifs, ok := st.(*ast.IfStmt); ok && ifs.Else == nil && terminates(ifs.Body) {
-				guarded = append(guarded, nilTestedFacts(ifs.Cond)...)
+			if ifs, ok := st.(*ast.IfStmt); ok && ifs.Else == nil && framework.Terminates(ifs.Body) {
+				guarded = append(guarded, framework.NilTestedFacts(ifs.Cond)...)
 			}
 		}
 		return
@@ -160,7 +163,7 @@ func walkGuarded(pass *framework.Pass, n ast.Node, guarded []string) {
 			walkGuarded(pass, n.Init, guarded)
 		}
 		walkGuarded(pass, n.Cond, guarded)
-		walkGuarded(pass, n.Body, append(guarded, nonNilFacts(n.Cond)...))
+		walkGuarded(pass, n.Body, append(guarded, framework.NonNilFacts(n.Cond)...))
 		walkGuarded(pass, n.Else, guarded)
 		return
 	case *ast.BinaryExpr:
@@ -168,83 +171,16 @@ func walkGuarded(pass *framework.Pass, n ast.Node, guarded []string) {
 		// only evaluates under the left's facts.
 		if n.Op == token.LAND {
 			walkGuarded(pass, n.X, guarded)
-			walkGuarded(pass, n.Y, append(guarded, nonNilFacts(n.X)...))
+			walkGuarded(pass, n.Y, append(guarded, framework.NonNilFacts(n.X)...))
 			return
 		}
 	case *ast.SelectorExpr:
 		checkSelection(pass, n, guarded)
 		// keep walking: x.Metrics.Counter has a nested selector base
 	}
-	for _, c := range directChildren(n) {
+	for _, c := range framework.DirectChildren(n) {
 		walkGuarded(pass, c, guarded)
 	}
-}
-
-// nonNilFacts extracts expressions proven non-nil when cond is true:
-// `x != nil` conjuncts (across &&).
-func nonNilFacts(cond ast.Expr) []string {
-	bin, ok := cond.(*ast.BinaryExpr)
-	if !ok {
-		return nil
-	}
-	switch bin.Op {
-	case token.LAND:
-		return append(nonNilFacts(bin.X), nonNilFacts(bin.Y)...)
-	case token.NEQ:
-		if isNil(bin.Y) {
-			return []string{types.ExprString(bin.X)}
-		}
-		if isNil(bin.X) {
-			return []string{types.ExprString(bin.Y)}
-		}
-	}
-	return nil
-}
-
-func isNil(e ast.Expr) bool {
-	id, ok := e.(*ast.Ident)
-	return ok && id.Name == "nil"
-}
-
-// nilTestedFacts extracts expressions proven non-nil when cond is
-// FALSE: `x == nil` disjuncts (across ||), the early-exit-guard dual of
-// nonNilFacts.
-func nilTestedFacts(cond ast.Expr) []string {
-	bin, ok := cond.(*ast.BinaryExpr)
-	if !ok {
-		return nil
-	}
-	switch bin.Op {
-	case token.LOR:
-		return append(nilTestedFacts(bin.X), nilTestedFacts(bin.Y)...)
-	case token.EQL:
-		if isNil(bin.Y) {
-			return []string{types.ExprString(bin.X)}
-		}
-		if isNil(bin.X) {
-			return []string{types.ExprString(bin.Y)}
-		}
-	}
-	return nil
-}
-
-// terminates reports whether a guard body unconditionally leaves the
-// enclosing scope: return, break/continue/goto, or a panic call.
-func terminates(body *ast.BlockStmt) bool {
-	if len(body.List) == 0 {
-		return false
-	}
-	switch last := body.List[len(body.List)-1].(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 func checkSelection(pass *framework.Pass, sel *ast.SelectorExpr, guarded []string) {
@@ -274,22 +210,4 @@ func checkSelection(pass *framework.Pass, sel *ast.SelectorExpr, guarded []strin
 	pass.Reportf(sel.Pos(),
 		"%s.%s dereferences a possibly-nil *obs.Obs: guard with `if %s != nil` or use the nil-safe methods (Counter/Gauge/Histogram/Emit)",
 		base, sel.Sel.Name, base)
-}
-
-// directChildren returns n's immediate AST children; the guard walker
-// recurses manually because ast.Inspect cannot thread the guard set.
-func directChildren(n ast.Node) []ast.Node {
-	var out []ast.Node
-	first := true
-	ast.Inspect(n, func(m ast.Node) bool {
-		if first {
-			first = false
-			return true
-		}
-		if m != nil {
-			out = append(out, m)
-		}
-		return false
-	})
-	return out
 }

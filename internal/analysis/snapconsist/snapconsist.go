@@ -1,0 +1,253 @@
+// Package snapconsist enforces the one-snapshot-per-request discipline
+// the serving layer's epoch consistency rests on. A request handler (or
+// any function in internal/serve / cmd/cfsd) observes the published
+// mapping through System.Current(); the whole response — body, cache
+// key, X-CFS-Epoch stamp — must derive from that single load. The
+// raced TestConcurrentEpochConsistency can only catch a violation when
+// an Apply happens to land between the two loads; this pass makes the
+// skew a compile-time event. Three rules, all on the PR 10 flow
+// substrate:
+//
+//  1. Double load: a System.Current() call reachable (CFG) from an
+//     earlier one in the same function means both can execute in one
+//     request — the second may observe a different epoch.
+//  2. Escape: a Current()-derived snapshot assigned to a struct field,
+//     a package-level variable, or handed to a Store method outlives
+//     the request; later requests would read a pinned, stale snapshot
+//     instead of loading their own.
+//  3. Split stamp: an Epoch() stamp whose receiver derives (def-use)
+//     from a different Current() load than the Mapping the body uses —
+//     the header would advertise an epoch the payload was not rendered
+//     from.
+package snapconsist
+
+import (
+	"go/ast"
+
+	"facilitymap/internal/analysis/framework"
+)
+
+// Analyzer is the snapconsist pass.
+var Analyzer = &framework.Analyzer{
+	Name: "snapconsist",
+	Doc: "a request-scoped function must call System.Current() at most once and " +
+		"thread that snapshot everywhere; second loads, escaping snapshots and " +
+		"epoch stamps from a different load are epoch-skew bugs",
+	Packages: []string{"internal/serve", "cmd/cfsd"},
+	Run:      run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isCurrentCall matches x.Current() where x is a (pointer to) System.
+func isCurrentCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	return framework.IsMethodCall(pass.TypesInfo, call, "System", "Current")
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	var currents []*ast.CallExpr
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isCurrentCall(pass, call) {
+			currents = append(currents, call)
+		}
+		return true
+	})
+	origins := framework.NewOrigins(pass.TypesInfo, fn)
+	checkEscapes(pass, fn, origins)
+	if len(currents) == 0 {
+		return
+	}
+	cfg := framework.BuildCFG(fn.Body)
+	checkDoubleLoads(pass, cfg, currents)
+	if len(currents) >= 2 {
+		checkSplitStamps(pass, fn, origins, currents)
+	}
+}
+
+// checkDoubleLoads flags every Current() call reachable from an
+// earlier one: both loads can execute in a single request, so the
+// later one can observe a newer epoch than the first. A single call
+// that reaches itself around a loop is the same bug.
+func checkDoubleLoads(pass *framework.Pass, cfg *framework.CFG, currents []*ast.CallExpr) {
+	for _, later := range currents {
+		for _, earlier := range currents {
+			if !cfg.Reaches(earlier, later) {
+				continue
+			}
+			pass.Reportf(later.Pos(),
+				"second System.Current() load in one request scope: an Apply between the loads skews the epoch; thread the first snapshot instead")
+			break
+		}
+	}
+}
+
+// checkEscapes flags a Current()-derived value stored beyond request
+// scope: assigned to a field/element/deref, to a package-level
+// variable, or passed to a Store method (the atomic-pointer idiom).
+func checkEscapes(pass *framework.Pass, fn *ast.FuncDecl, origins *framework.Origins) {
+	fromCurrent := func(e ast.Expr) bool {
+		return origins.DerivedFromCall(e, func(c *ast.CallExpr) bool {
+			return isCurrentCall(pass, c)
+		})
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if !escapingLHS(pass, lhs) {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if fromCurrent(rhs) {
+					pass.Reportf(n.Pos(),
+						"snapshot from System.Current() stored beyond request scope: later requests would pin this epoch instead of loading their own")
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Store" {
+				return true
+			}
+			for _, arg := range n.Args {
+				if fromCurrent(arg) {
+					pass.Reportf(n.Pos(),
+						"snapshot from System.Current() handed to %s.Store: storing a load beyond request scope pins its epoch", exprText(sel.X))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// escapingLHS reports whether an assignment target outlives the
+// function: a field/element/deref write, or a package-level variable.
+func escapingLHS(pass *framework.Pass, lhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			return false
+		}
+		return obj.Parent() == pass.Pkg.Scope()
+	}
+	return false
+}
+
+// checkSplitStamps flags an Epoch() call whose receiver derives from
+// one Current() load while another Mapping use in the same function
+// derives from a different one: the stamp and the body disagree.
+func checkSplitStamps(pass *framework.Pass, fn *ast.FuncDecl, origins *framework.Origins, currents []*ast.CallExpr) {
+	isCurrent := func(c *ast.CallExpr) bool { return isCurrentCall(pass, c) }
+	// Map every Epoch() receiver and every other Mapping-valued use to
+	// the set of Current() calls it derives from.
+	type use struct {
+		node  ast.Expr
+		roots map[*ast.CallExpr]bool
+		stamp bool // receiver of an .Epoch() call
+	}
+	var uses []use
+	epochRecv := make(map[ast.Expr]bool)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if framework.IsMethodCall(pass.TypesInfo, call, "Mapping", "Epoch") {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				epochRecv[sel.X] = true
+			}
+		}
+		return true
+	})
+	collect := func(e ast.Expr, stamp bool) {
+		roots := make(map[*ast.CallExpr]bool)
+		for _, c := range origins.RootCalls(e) {
+			if isCurrent(c) {
+				roots[c] = true
+			}
+		}
+		if len(roots) > 0 {
+			uses = append(uses, use{node: e, roots: roots, stamp: stamp})
+		}
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || !isMappingValue(pass, id) {
+			return true
+		}
+		collect(id, epochRecv[ast.Expr(id)])
+		return true
+	})
+	for _, stampUse := range uses {
+		if !stampUse.stamp {
+			continue
+		}
+		for _, bodyUse := range uses {
+			if bodyUse.stamp || sameRootSet(stampUse.roots, bodyUse.roots) {
+				continue
+			}
+			if disjoint(stampUse.roots, bodyUse.roots) {
+				pass.Reportf(stampUse.node.Pos(),
+					"epoch stamp taken from a different System.Current() load than the response body: stamp and payload can disagree")
+				break
+			}
+		}
+	}
+}
+
+func sameRootSet(a, b map[*ast.CallExpr]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func disjoint(a, b map[*ast.CallExpr]bool) bool {
+	for k := range a {
+		if b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// isMappingValue reports whether id denotes a value of type *Mapping
+// (or Mapping) — the snapshot handle the rules track.
+func isMappingValue(pass *framework.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	return framework.NamedTypeName(obj.Type()) == "Mapping"
+}
+
+func exprText(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		return exprText(sel.X) + "." + sel.Sel.Name
+	}
+	return "receiver"
+}

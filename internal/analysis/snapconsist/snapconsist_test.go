@@ -1,0 +1,12 @@
+package snapconsist_test
+
+import (
+	"testing"
+
+	"facilitymap/internal/analysis/analysistest"
+	"facilitymap/internal/analysis/snapconsist"
+)
+
+func TestSnapconsist(t *testing.T) {
+	analysistest.Run(t, "testdata", snapconsist.Analyzer, "serve")
+}

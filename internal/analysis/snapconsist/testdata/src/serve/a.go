@@ -1,0 +1,99 @@
+// Package serve is snapconsist's fixture; its base name matches the
+// real internal/serve, so the analyzer runs over it. The stubs mirror
+// the facade shapes the pass matches on: a System with an atomic
+// Current() and a Mapping with an Epoch() stamp.
+package serve
+
+// Mapping is the snapshot stub.
+type Mapping struct{ epoch int }
+
+func (m *Mapping) Epoch() int     { return m.epoch }
+func (m *Mapping) Render() []byte { return nil }
+
+// System is the facade stub.
+type System struct{ cur *Mapping }
+
+func (s *System) Current() *Mapping { return s.cur }
+
+type server struct {
+	sys    *System
+	pinned *Mapping
+}
+
+// holder mimics the atomic.Pointer Store idiom.
+type holder struct{ m *Mapping }
+
+func (h *holder) Store(m *Mapping) { h.m = m }
+
+func use(*Mapping)    {}
+func write([]byte)    {}
+func stamp(epoch int) {}
+
+// Clean: one load, threaded through stamp and body.
+func handleClean(s *server) {
+	m := s.sys.Current()
+	if m == nil {
+		return
+	}
+	stamp(m.Epoch())
+	write(m.Render())
+}
+
+// Flagged: the second load can observe a different epoch than the
+// first when an Apply lands between them.
+func handleDoubleLoad(s *server) {
+	m := s.sys.Current()
+	use(m)
+	m2 := s.sys.Current() // want `second System.Current\(\) load in one request scope`
+	use(m2)
+}
+
+// Clean: loads on mutually exclusive branches never execute together.
+func handleBranchLoads(s *server, alt bool) {
+	if alt {
+		use(s.sys.Current())
+	} else {
+		use(s.sys.Current())
+	}
+}
+
+// Flagged: a load reachable around a loop is a repeated load.
+func handleLoopLoad(s *server, n int) {
+	for i := 0; i < n; i++ {
+		use(s.sys.Current()) // want `second System.Current\(\) load in one request scope`
+	}
+}
+
+// Flagged: the snapshot escapes the request into a field.
+func pinField(s *server) {
+	s.pinned = s.sys.Current() // want `stored beyond request scope`
+}
+
+// Flagged: the snapshot escapes through a Store method.
+func pinStore(s *server, h *holder) {
+	m := s.sys.Current()
+	h.Store(m) // want `handed to h.Store`
+}
+
+// Flagged: the epoch stamp comes from a different load than the body.
+func handleSplitStamp(s *server) {
+	m := s.sys.Current()
+	m2 := s.sys.Current() // want `second System.Current\(\) load in one request scope`
+	stamp(m2.Epoch())     // want `epoch stamp taken from a different System.Current\(\) load`
+	write(m.Render())
+}
+
+// Clean: a snapshot handed in as a parameter is the caller's problem.
+func renderFrom(m *Mapping) []byte {
+	stamp(m.Epoch())
+	return m.Render()
+}
+
+// Suppressed: a justified second load (e.g. a deliberate refresh).
+func handleRefresh(s *server) {
+	m := s.sys.Current()
+	use(m)
+	//cfslint:ignore snapconsist fixture's sanctioned refresh: comparison endpoint diffs two epochs on purpose
+	m2 := s.sys.Current()
+	use(m2)
+}

@@ -90,6 +90,8 @@ func newEpochCache(max int) *epochCache {
 
 // shardOf picks the stripe for a key: FNV-1a over the route tag and
 // the argument bytes.
+//
+//cfslint:hotpath
 func (c *epochCache) shardOf(key cacheKey) *cacheShard {
 	h := uint32(2166136261)
 	h = (h ^ uint32(key.route)) * 16777619
@@ -100,6 +102,8 @@ func (c *epochCache) shardOf(key cacheKey) *cacheShard {
 }
 
 // get returns the cached response for key rendered at epoch, if any.
+//
+//cfslint:hotpath
 func (c *epochCache) get(epoch int, key cacheKey) (cachedResponse, bool) {
 	sh := c.shardOf(key)
 	sh.mu.RLock()
@@ -116,6 +120,8 @@ func (c *epochCache) get(epoch int, key cacheKey) (cachedResponse, bool) {
 // whether the store was refused because the shard was full (the bound
 // is a memory cap, not an LRU — a fresh epoch empties it anyway); the
 // caller surfaces that as serve.cache.full_drops.
+//
+//cfslint:hotpath
 func (c *epochCache) put(epoch int, key cacheKey, r cachedResponse) (fullDrop bool) {
 	sh := c.shardOf(key)
 	sh.mu.Lock()
@@ -123,12 +129,14 @@ func (c *epochCache) put(epoch int, key cacheKey, r cachedResponse) (fullDrop bo
 	return sh.storeLocked(c.perShard, epoch, key, r)
 }
 
+//cfslint:hotpath
 func (sh *cacheShard) storeLocked(perShard, epoch int, key cacheKey, r cachedResponse) (fullDrop bool) {
 	if epoch < sh.epoch {
 		return false
 	}
 	if epoch > sh.epoch {
 		sh.epoch = epoch
+		//cfslint:ignore hotalloc epoch-swap branch only: runs once per shard per published snapshot, not per request
 		sh.entries = make(map[cacheKey]cachedResponse)
 	}
 	if _, exists := sh.entries[key]; !exists && len(sh.entries) >= perShard {
@@ -208,12 +216,15 @@ func outcome(fullDrop bool) renderOutcome {
 // advance moves every shard to epoch, clearing those it is new for.
 // The writer loop calls this right after publishing a snapshot so stale
 // entries vanish at the swap, not lazily at the next store.
+//
+//cfslint:hotpath
 func (c *epochCache) advance(epoch int) {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		if epoch > sh.epoch {
 			sh.epoch = epoch
+			//cfslint:ignore hotalloc epoch-swap reset: one map per shard per published snapshot, off the request path
 			sh.entries = make(map[cacheKey]cachedResponse)
 		}
 		sh.mu.Unlock()

@@ -228,6 +228,8 @@ const interfacePrefix = "/v1/interface/"
 
 // dispatch is the router: exact-path (plus one prefix) matching with
 // zero per-request allocations.
+//
+//cfslint:hotpath
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Path
 	switch {
@@ -248,6 +250,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+//cfslint:hotpath
 func serveMethod(w http.ResponseWriter, r *http.Request, method string, h http.Handler) {
 	if r.Method != method {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
@@ -286,6 +289,8 @@ func (s *Server) route(name string, h http.HandlerFunc) http.Handler {
 
 // epochHeader returns the shared X-CFS-Epoch header value for epoch,
 // rebuilding the one-entry cache only when the epoch changes.
+//
+//cfslint:hotpath
 func (s *Server) epochHeader(epoch int) []string {
 	if e := s.hdr.Load(); e != nil && e.epoch == epoch {
 		return e.hdr
@@ -298,6 +303,8 @@ func (s *Server) epochHeader(epoch int) []string {
 // writeJSON stamps the response headers from shared slices (keys in
 // canonical form, so direct map assignment equals Header().Set without
 // the per-call []string allocation) and writes the body.
+//
+//cfslint:hotpath
 func writeJSON(w http.ResponseWriter, status int, epochHdr []string, body []byte) {
 	h := w.Header()
 	h["Content-Type"] = hdrJSON
@@ -322,6 +329,8 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 // store it. The whole response derives from a single immutable Mapping,
 // so it is consistent with exactly one epoch even when Apply swaps
 // snapshots mid-request.
+//
+//cfslint:hotpath
 func (s *Server) cached(ro routeObs, w http.ResponseWriter, route uint8, arg string,
 	render func(m *facilitymap.Mapping) (int, []byte)) {
 	m := s.sys.Current()
@@ -350,6 +359,7 @@ func (s *Server) cached(ro routeObs, w http.ResponseWriter, route uint8, arg str
 		return
 	}
 	s.misses.Inc()
+	//cfslint:ignore hotalloc miss-path only: the singleflight closure must capture the pinned snapshot so every deduped waiter shares one epoch-consistent render
 	r, out := s.cache.render(epoch, key, func() cachedResponse {
 		status, body := render(m)
 		return cachedResponse{status: status, body: body}
@@ -368,6 +378,8 @@ func (s *Server) cached(ro routeObs, w http.ResponseWriter, route uint8, arg str
 
 // wrapEpochField assembles `{"epoch":N,"<field>":<rec>}` around a
 // pre-rendered record without re-marshaling it.
+//
+//cfslint:hotpath
 func wrapEpochField(epoch int, field string, rec []byte) []byte {
 	b := make([]byte, 0, len(rec)+len(field)+16)
 	b = append(b, `{"epoch":`...)
@@ -547,6 +559,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // renderBatch assembles the batch body by framing the pre-rendered
 // per-interface records — no per-request marshal of inference data.
+//
+//cfslint:hotpath
 func renderBatch(m *facilitymap.Mapping, ips []string) (int, []byte) {
 	b := make([]byte, 0, 32+96*len(ips))
 	b = append(b, `{"epoch":`...)
@@ -559,6 +573,7 @@ func renderBatch(m *facilitymap.Mapping, ips []string) (int, []byte) {
 		b = append(b, `{"ip":`...)
 		if _, err := netaddr.ParseIP(ip); err != nil {
 			// Arbitrary input: JSON-escape through Marshal.
+			//cfslint:ignore hotalloc malformed-address path only: arbitrary input must be JSON-escaped, and Marshal's any parameter boxes the string
 			q, _ := json.Marshal(ip)
 			b = append(b, q...)
 			b = append(b, `,"error":"unparsable address"}`...)

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"reflect"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -919,6 +920,74 @@ func TestFollowTail(t *testing.T) {
 	cancel()
 	if err := <-followDone; err != context.Canceled {
 		t.Fatalf("Follow returned %v, want context.Canceled", err)
+	}
+}
+
+// TestNoGoroutineLeakAcrossDaemonCycles is the runtime counterpart of
+// the goleak analyzer: three full daemon lifecycles — writer loop,
+// follow tailer polling a churn log, queries and a tailed batch — must
+// return the process to its baseline goroutine count. A worker missing
+// its termination edge compounds once per cycle, which separates a
+// real leak from scheduler noise.
+func TestNoGoroutineLeakAcrossDaemonCycles(t *testing.T) {
+	sys := smallSystem(t)
+	sys.MapInterconnections()
+
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	for cycle := 0; cycle < 3; cycle++ {
+		s := New(sys, Options{Obs: obs.New(0)})
+		ctx, cancel := context.WithCancel(context.Background())
+		go s.Run(ctx)
+
+		path := t.TempDir() + "/churn.jsonl"
+		followDone := make(chan error, 1)
+		go func() { followDone <- s.Follow(ctx, path, 2*time.Millisecond, 64) }()
+
+		// Exercise the request path so route goroutines (timeout
+		// handler, concurrency bound) spin up and wind down too.
+		h := s.Handler()
+		if rec := get(h, "/v1/snapshot"); rec.Code != http.StatusOK {
+			t.Fatalf("snapshot query: %d %s", rec.Code, rec.Body.String())
+		}
+
+		// One batch through the tailer so its poll loop does real work
+		// before the drain.
+		before := sys.Current().Epoch()
+		var buf bytes.Buffer
+		if err := delta.EncodeJSONL(&buf, mixedChurn(t, sys, 8, 100+cycle)); err != nil {
+			t.Fatal(err)
+		}
+		appendFile(t, path, buf.Bytes())
+		deadline := time.Now().Add(10 * time.Second)
+		for sys.Current().Epoch() <= before {
+			if time.Now().After(deadline) {
+				t.Fatalf("tailed batch never applied (epoch stuck at %d)", before)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+
+		cancel()
+		<-s.Done()
+		if err := <-followDone; err != context.Canceled {
+			t.Fatalf("Follow returned %v, want context.Canceled", err)
+		}
+	}
+
+	// Exited goroutines are reaped asynchronously; poll until the count
+	// settles back to (near) baseline instead of asserting immediately.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine count %d after three start/drain cycles, baseline %d: a daemon worker leaked", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
